@@ -1,0 +1,87 @@
+/// \file bench_cim_system.cpp
+/// \brief System-level experiments on the digital CIM path:
+///        (a) Pinatubo-style bulk bitwise ops [21] — the canonical CIM-P
+///            workload of Table I — against the COM-F baseline;
+///        (b) an INT-quantized MLP running end to end on CimSystem tiles
+///            (bit-serial DAC -> crossbar -> ADC -> shift-add), sweeping
+///            ADC resolution — the accelerator story of Section II.
+#include <cmath>
+#include <iostream>
+
+#include "core/bulk_bitwise.hpp"
+#include "core/quantized_mlp.hpp"
+#include "util/table.hpp"
+
+using namespace cim;
+
+int main() {
+  // --- (a) bulk bitwise: CIM-P vs COM-F --------------------------------------
+  {
+    util::Table t({"word width (bits)", "CIM time/op (ns)",
+                   "CIM energy/op (pJ)", "COM-F time/op (ns)",
+                   "COM-F energy/op (pJ)", "energy win"});
+    t.set_title("Bulk bitwise XOR [21] — in-periphery vs conventional core");
+    util::Rng rng(3);
+    for (const std::size_t bits : {16u, 32u, 64u}) {
+      core::BulkBitwiseEngine eng(4, bits, bits);
+      eng.store(0, rng());
+      eng.store(1, rng());
+      eng.reset_stats();
+      const std::size_t ops = 32;
+      for (std::size_t k = 0; k < ops; ++k)
+        eng.op_rows(2, 0, 1, crossbar::ScoutOp::kXor);
+      const auto base = eng.com_f_baseline(ops);
+      t.add_row({std::to_string(bits),
+                 util::Table::num(eng.stats().lockstep_time_ns / ops, 1),
+                 util::Table::num(eng.stats().energy_pj / ops, 1),
+                 util::Table::num(base.time_ns / ops, 2),
+                 util::Table::num(base.energy_pj / ops, 0),
+                 util::Table::num(base.energy_pj / eng.stats().energy_pj, 1) +
+                     "x"});
+    }
+    t.print(std::cout);
+    std::cout << "note: CIM op time is width-independent (one sense + one "
+                 "write cycle);\nat memory-row widths (8 KB) the same two "
+                 "cycles process 65536 bits.\n\n";
+  }
+
+  // --- (b) quantized MLP on tiles, ADC resolution sweep -----------------------
+  {
+    util::Rng rng(3);
+    const auto train = nn::generate_digits(500, rng, 0.1);
+    const auto test = nn::generate_digits(150, rng, 0.1);
+    nn::Mlp net({nn::kPixels, 16, nn::kClasses}, rng);
+    net.fit(train, 40, 0.05, rng);
+    const auto q = core::QuantizedMlp::from_mlp(net, 4, 4, train);
+    std::cout << "float accuracy " << util::Table::num(net.accuracy(test), 3)
+              << ", INT4 reference "
+              << util::Table::num(q.accuracy_reference(test), 3) << "\n";
+
+    util::Table t({"ADC bits", "tile accuracy", "tiles", "energy/inf (pJ)",
+                   "latency/inf (ns)", "area (um^2)"});
+    t.set_title("INT4 MLP on CimSystem tiles — ADC resolution sweep");
+    for (const int adc_bits : {4, 6, 8, 10}) {
+      core::CimSystemConfig cfg;
+      cfg.tile.tile.rows = 32;
+      cfg.tile.tile.cols = 16;
+      cfg.tile.tile.adc_bits = adc_bits;
+      cfg.tile.array.model_ir_drop = false;
+      cfg.tile.seed = 7;
+      core::CimMlpRunner runner(q, cfg);
+      const double acc = runner.accuracy(test);
+      const auto totals = runner.totals();
+      const double n = static_cast<double>(test.size());
+      t.add_row({std::to_string(adc_bits), util::Table::num(acc, 3),
+                 std::to_string(totals.tiles),
+                 util::Table::num(totals.energy_pj / n, 0),
+                 util::Table::num(totals.time_ns / n, 0),
+                 util::Table::num(totals.area_um2, 0)});
+    }
+    t.print(std::cout);
+  }
+  std::cout << "shape check: bulk bitwise wins energy by orders of magnitude "
+               "(operands never cross the bus); tile MLP accuracy collapses "
+               "at low ADC resolution and saturates near the INT4 reference "
+               "by ~8-10 bits — the Section II.E resolution/cost knife edge.\n";
+  return 0;
+}

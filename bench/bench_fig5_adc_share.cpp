@@ -1,0 +1,101 @@
+/// \file bench_fig5_adc_share.cpp
+/// \brief Regenerates **Fig. 5** — "Area and Power share of CIM design
+///        blocks": the ADC dominates CIM die area and power consumption.
+///        Prints the per-block breakdown of an ISAAC-style tile and sweeps
+///        ADC resolution and ADC count.
+#include <iostream>
+
+#include "periphery/tile_cost.hpp"
+#include "periphery/voltage_domains.hpp"
+#include "util/table.hpp"
+
+using namespace cim;
+
+int main() {
+  periphery::TileConfig tile;
+  tile.rows = tile.cols = 128;
+  tile.adc_bits = 8;
+  tile.adcs = 1;
+  tile.dac_bits = 1;
+  tile.input_bits = 8;
+
+  // --- per-block breakdown ---------------------------------------------------
+  {
+    const auto blocks = periphery::tile_breakdown(tile);
+    const auto total = periphery::total_cost(blocks);
+    util::Table t({"block", "area (um^2)", "area share", "power (mW)",
+                   "power share"});
+    t.set_title("Fig. 5 — area/power share of CIM design blocks (128x128, 8-bit ADC)");
+    for (const auto& b : blocks) {
+      t.add_row({b.name, util::Table::num(b.area_um2, 1),
+                 util::Table::num(100.0 * b.area_um2 / total.area_um2, 1) + "%",
+                 util::Table::num(b.power_mw, 4),
+                 util::Table::num(100.0 * b.power_mw / total.power_mw, 1) + "%"});
+    }
+    t.add_row({"total", util::Table::num(total.area_um2, 1), "100%",
+               util::Table::num(total.power_mw, 3), "100%"});
+    t.print(std::cout);
+  }
+
+  // --- sweep ADC resolution ---------------------------------------------------
+  {
+    util::Table t({"ADC bits", "ADC area share", "ADC power share",
+                   "tile VMM latency (ns)", "tile VMM energy (pJ)"});
+    t.set_title("Fig. 5 sweep — ADC dominance grows with resolution");
+    for (const int bits : {4, 5, 6, 7, 8, 9, 10}) {
+      auto cfg = tile;
+      cfg.adc_bits = bits;
+      const auto blocks = periphery::tile_breakdown(cfg);
+      t.add_row({std::to_string(bits),
+                 util::Table::num(100.0 * periphery::area_share(blocks, "ADC"), 1) + "%",
+                 util::Table::num(100.0 * periphery::power_share(blocks, "ADC"), 1) + "%",
+                 util::Table::num(periphery::tile_vmm_latency_ns(cfg), 1),
+                 util::Table::num(periphery::tile_vmm_energy_pj(cfg), 1)});
+    }
+    t.print(std::cout);
+  }
+
+  // --- sweep ADC provisioning --------------------------------------------------
+  {
+    util::Table t({"# ADCs", "ADC area share", "VMM latency (ns)"});
+    t.set_title("Fig. 5 sweep — throughput vs ADC count (8-bit)");
+    for (const std::size_t n : {1u, 2u, 4u, 8u, 16u, 128u}) {
+      auto cfg = tile;
+      cfg.adcs = n;
+      const auto blocks = periphery::tile_breakdown(cfg);
+      t.add_row({std::to_string(n),
+                 util::Table::num(100.0 * periphery::area_share(blocks, "ADC"), 1) + "%",
+                 util::Table::num(periphery::tile_vmm_latency_ns(cfg), 1)});
+    }
+    t.print(std::cout);
+  }
+  // --- read/write voltage-domain burden (Conclusions, point 4) ---------------
+  {
+    util::Table t({"plan (vdd/read/write/program V)", "extra rails",
+                   "pump+shifter area (um^2)", "write energy multiplier"});
+    t.set_title("Voltage-domain burden — 'skewed voltage for read and write'");
+    struct Plan {
+      const char* name;
+      periphery::VoltagePlan plan;
+    };
+    const Plan plans[] = {
+        {"SRAM-like 1.0/1.0/1.0/-", {1.0, 1.0, 1.0, 0.0}},
+        {"ReRAM 1.0/0.2/2.0/-", {1.0, 0.2, 2.0, 0.0}},
+        {"PCM 1.0/0.3/3.0/-", {1.0, 0.3, 3.0, 0.0}},
+        {"FeRFET 1.0/0.2/2.0/2.5", {1.0, 0.2, 2.0, 2.5}},
+    };
+    for (const auto& p : plans) {
+      const auto rep = periphery::analyze_voltage_domains(p.plan, 128);
+      t.add_row({p.name, std::to_string(rep.rails.size()),
+                 util::Table::num(rep.total_area_um2, 0),
+                 util::Table::num(rep.write_energy_multiplier, 2) + "x"});
+    }
+    t.print(std::cout);
+  }
+
+  std::cout << "shape check (paper: ADC dominates area and >65% of power):\n"
+               "the ADC is the largest block at 8 bits, its share grows "
+               "steeply with bits,\nand buying throughput with more ADCs "
+               "pushes the area share towards 100%.\n";
+  return 0;
+}

@@ -1,0 +1,97 @@
+/// \file bench_fig6_fault_taxonomy.cpp
+/// \brief Regenerates **Fig. 6** — the hard/soft x static/dynamic fault
+///        taxonomy — and quantifies each fault kind's behavioural effect on
+///        cell conductance plus the defect->fault expansion statistics of a
+///        Monte-Carlo yield run.
+#include <iostream>
+#include <map>
+
+#include "crossbar/crossbar.hpp"
+#include "fault/defects.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+using namespace cim;
+
+int main() {
+  // --- the taxonomy itself ----------------------------------------------------
+  {
+    util::Table t({"fault", "hard/soft", "static/dynamic", "array-level"});
+    t.set_title("Fig. 6 — fault classification");
+    for (const auto k : fault::all_fault_kinds()) {
+      t.add_row({std::string(fault::fault_name(k)),
+                 fault::is_hard(k) ? "hard" : "soft",
+                 fault::is_static(k) ? "static" : "dynamic",
+                 fault::is_array_level(k) ? "yes" : "no"});
+    }
+    t.print(std::cout);
+  }
+
+  // --- behavioural effect of each cell-level fault -----------------------------
+  {
+    util::Table t({"fault", "write-8 mean level", "write-8 level sd",
+                   "responds to writes"});
+    t.set_title("Fig. 6 — behavioural effect (target level 8 of 16, 300 cells)");
+    for (const auto kind : fault::cell_fault_kinds()) {
+      crossbar::CrossbarConfig cfg;
+      cfg.rows = 1;
+      cfg.cols = 300;
+      cfg.levels = 16;
+      cfg.verified_writes = false;
+      cfg.seed = 17;
+      crossbar::Crossbar xbar(cfg);
+      fault::FaultMap map(1, 300);
+      for (std::size_t c = 0; c < 300; ++c)
+        map.add({kind, 0, c, 0, 0, 4.0});
+      xbar.apply_faults(map);
+
+      util::RunningStats levels;
+      std::size_t moved = 0;
+      for (std::size_t c = 0; c < 300; ++c) {
+        const double g0 = xbar.true_conductance(0, c);
+        xbar.program_cell(0, c, xbar.scheme().level_conductance_us(8));
+        const double g1 = xbar.true_conductance(0, c);
+        levels.add(xbar.scheme().nearest_level(g1));
+        if (g1 != g0) ++moved;
+      }
+      t.add_row({std::string(fault::fault_name(kind)),
+                 util::Table::num(levels.mean(), 2),
+                 util::Table::num(levels.stddev(), 2),
+                 util::Table::num(100.0 * moved / 300.0, 0) + "%"});
+    }
+    t.print(std::cout);
+  }
+
+  // --- defect -> fault Monte Carlo ---------------------------------------------
+  {
+    util::Rng rng(23);
+    util::Table t({"defect", "faults caused (mean over 200 draws)",
+                   "dominant fault"});
+    t.set_title("Fig. 6 — defect-to-fault mapping census (64 x 64 array)");
+    for (const auto dk : fault::all_defect_kinds()) {
+      util::RunningStats n_faults;
+      std::map<std::string, int> kinds;
+      for (int k = 0; k < 200; ++k) {
+        fault::Defect d{dk, rng.uniform_int(64), rng.uniform_int(64)};
+        const auto faults = fault::map_defect_to_faults(d, 64, 64, rng);
+        n_faults.add(static_cast<double>(faults.size()));
+        for (const auto& fd : faults)
+          ++kinds[std::string(fault::fault_name(fd.kind))];
+      }
+      std::string dominant;
+      int best = -1;
+      for (const auto& [name, n] : kinds)
+        if (n > best) {
+          best = n;
+          dominant = name;
+        }
+      t.add_row({std::string(fault::defect_name(dk)),
+                 util::Table::num(n_faults.mean(), 1), dominant});
+    }
+    t.print(std::cout);
+  }
+  std::cout << "shape check: hard faults ignore writes (0% respond), soft "
+               "faults remain tunable;\nwrite-variation widens the level "
+               "spread; line breaks fan out into many stuck cells.\n";
+  return 0;
+}

@@ -1,0 +1,55 @@
+/// \file bench_retraining_ablation.cpp
+/// \brief Ablation for the recovery half of [38] ("Fault-tolerant training
+///        with on-line fault detection"): the accuracy-vs-yield curve of
+///        `bench_accuracy_vs_yield`, before and after fault-masked
+///        retraining — the paper's proposed escape from the 35%+ drop.
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+
+#include "nn/fault_tolerant_training.hpp"
+#include "util/table.hpp"
+
+using namespace cim;
+
+int main() {
+  util::Rng rng(3);
+  const auto train = nn::generate_digits(600, rng, 0.1);
+  const auto test = nn::generate_digits(200, rng, 0.1);
+
+  util::Table t({"yield", "accuracy faulty", "accuracy retrained",
+                 "recovered", "epochs"});
+  t.set_title("Fault-tolerant retraining [38] — recovery across yields");
+
+  for (const double yield : {0.95, 0.9, 0.85, 0.8, 0.7}) {
+    // Fresh net + arrays per point so damage does not accumulate.
+    util::Rng net_rng(7);
+    nn::Mlp net({nn::kPixels, 24, nn::kClasses}, net_rng);
+    net.fit(train, 40, 0.05, net_rng);
+
+    nn::CrossbarLinearConfig cfg;
+    cfg.array.seed = static_cast<std::uint64_t>(yield * 1000);
+    cfg.array.model_ir_drop = false;
+    cfg.program_verify = true;
+    nn::CrossbarLinear l0(net.layers()[0].w, net.layers()[0].b, cfg);
+    cfg.array.seed += 1;
+    nn::CrossbarLinear l1(net.layers()[1].w, net.layers()[1].b, cfg);
+
+    util::Rng frng(static_cast<std::uint64_t>(yield * 777));
+    l0.apply_yield(yield, frng);
+    l1.apply_yield(yield, frng);
+
+    const auto res = nn::fault_tolerant_retrain(
+        net, l0, l1, train, test, {.epochs = 6, .lr = 0.01}, rng);
+    t.add_row({util::Table::num(yield, 2),
+               util::Table::num(res.accuracy_before, 3),
+               util::Table::num(res.accuracy_after, 3),
+               util::Table::num(res.accuracy_after - res.accuracy_before, 3),
+               std::to_string(res.epochs_run)});
+  }
+  t.print(std::cout);
+  std::cout << "shape check ([38]): retraining with a deterministic fault "
+               "mask recovers most of the lost accuracy down to ~80% yield; "
+               "below that the surviving cells run out of capacity.\n";
+  return 0;
+}

@@ -1,0 +1,74 @@
+#include "arch/arch_class.hpp"
+
+namespace cim::arch {
+
+std::string_view arch_class_name(ArchClass cls) {
+  switch (cls) {
+    case ArchClass::kCimArray: return "CIM-A";
+    case ArchClass::kCimPeriphery: return "CIM-P";
+    case ArchClass::kComNear: return "COM-N";
+    case ArchClass::kComFar: return "COM-F";
+  }
+  return "unknown";
+}
+
+std::vector<ArchClass> all_arch_classes() {
+  return {ArchClass::kCimArray, ArchClass::kCimPeriphery, ArchClass::kComNear,
+          ArchClass::kComFar};
+}
+
+std::string_view level_name(Level level) {
+  switch (level) {
+    case Level::kLow: return "Low";
+    case Level::kLowMedium: return "Low/medium";
+    case Level::kMedium: return "Medium";
+    case Level::kHigh: return "High";
+    case Level::kHighMax: return "High-Max";
+    case Level::kMax: return "Max";
+    case Level::kNotRequired: return "NR";
+  }
+  return "unknown";
+}
+
+ClassTraits class_traits(ArchClass cls) {
+  switch (cls) {
+    case ArchClass::kCimArray:
+      return {cls, false, true, "High latency", Level::kMax, Level::kHigh,
+              Level::kLowMedium, Level::kHigh, Level::kLow};
+    case ArchClass::kCimPeriphery:
+      return {cls, false, true, "High cost", Level::kHighMax, Level::kLowMedium,
+              Level::kHigh, Level::kMedium, Level::kMedium};
+    case ArchClass::kComNear:
+      return {cls, true, false, "Low cost", Level::kHigh, Level::kLow,
+              Level::kLow, Level::kLow, Level::kMedium};
+    case ArchClass::kComFar:
+      return {cls, true, false, "Low cost", Level::kLow, Level::kLow,
+              Level::kLow, Level::kLow, Level::kHigh};
+  }
+  return {};
+}
+
+ArchClass classify(const SystemDescription& sys) {
+  if (sys.result_in_cell_array) return ArchClass::kCimArray;
+  if (sys.result_in_periphery) return ArchClass::kCimPeriphery;
+  if (sys.logic_inside_memory_sip) return ArchClass::kComNear;
+  return ArchClass::kComFar;
+}
+
+std::vector<SystemDescription> example_systems() {
+  return {
+      {"ReVAMP (ReRAM VLIW, majority-in-array)", true, false, false},
+      {"MAGIC crossbar", true, false, false},
+      {"IMPLY stateful logic", true, false, false},
+      {"ISAAC (analog VMM + ADC periphery)", false, true, false},
+      {"Pinatubo (SA-based bulk bitwise)", false, true, false},
+      {"Scouting logic (modified SA read)", false, true, false},
+      {"DIVA PIM chip (logic near DRAM array)", false, false, true},
+      {"HBM with base-die logic", false, false, true},
+      {"CPU", false, false, false},
+      {"GPU", false, false, false},
+      {"TPU", false, false, false},
+  };
+}
+
+}  // namespace cim::arch

@@ -1,0 +1,65 @@
+/// \file arch_class.hpp
+/// \brief Computer-architecture classification of Section II.A / Fig. 2 and
+///        the qualitative comparison of Table I.
+///
+/// Architectures are classified by *where the computation result is
+/// produced* (Nguyen et al., JETC'20 — reference [16]):
+///
+///   memory core:   (1) inside the cell array            -> CIM-A
+///                  (2) inside the peripheral circuits   -> CIM-P
+///   outside core:  (3) extra logic inside the memory SiP -> COM-N
+///                  (4) traditional computational cores   -> COM-F
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+namespace cim::arch {
+
+/// The four classes of Fig. 2.
+enum class ArchClass {
+  kCimArray,      ///< CIM-A: result produced within the cell array
+  kCimPeriphery,  ///< CIM-P: result produced in the memory periphery
+  kComNear,       ///< COM-N: logic outside the core but inside the memory SiP
+  kComFar,        ///< COM-F: conventional computational cores (CPU/GPU/TPU)
+};
+
+std::string_view arch_class_name(ArchClass cls);
+std::vector<ArchClass> all_arch_classes();
+
+/// Qualitative levels used by Table I.
+enum class Level { kLow, kLowMedium, kMedium, kHigh, kHighMax, kMax, kNotRequired };
+std::string_view level_name(Level level);
+
+/// One row of Table I.
+struct ClassTraits {
+  ArchClass cls;
+  bool moves_data_outside_core;    ///< "Data movement outside memory core"
+  bool requires_data_alignment;    ///< "Computation requirements: alignment"
+  std::string_view complex_function_cost;  ///< "High latency" / "High cost" / "Low cost"
+  Level available_bandwidth;
+  Level effort_cells_array;        ///< memory design effort: cells & array
+  Level effort_periphery;
+  Level effort_controller;
+  Level scalability;
+};
+
+/// The traits Table I assigns to a class.
+ClassTraits class_traits(ArchClass cls);
+
+/// Where a system computes, for classification (Fig. 2 decision procedure).
+struct SystemDescription {
+  std::string_view name;
+  bool result_in_cell_array = false;   ///< computation completes in the array
+  bool result_in_periphery = false;    ///< completes in sense amps / ADC logic
+  bool logic_inside_memory_sip = false;///< extra logic dies inside memory package
+};
+
+/// Classifies a system description into its Fig. 2 class.
+ArchClass classify(const SystemDescription& sys);
+
+/// The example systems the paper mentions, pre-described for classification
+/// (DIVA, ReVAMP, ISAAC, Pinatubo, Scouting logic, HBM-PIM, CPU/GPU/TPU).
+std::vector<SystemDescription> example_systems();
+
+}  // namespace cim::arch

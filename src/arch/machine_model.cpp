@@ -1,0 +1,103 @@
+#include "arch/machine_model.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cim::arch {
+
+std::string_view workload_kind_name(WorkloadKind kind) {
+  switch (kind) {
+    case WorkloadKind::kVmm: return "VMM";
+    case WorkloadKind::kBulkBitwise: return "bulk-bitwise";
+    case WorkloadKind::kComplexFunction: return "complex-function";
+  }
+  return "unknown";
+}
+
+MachineParams default_params(ArchClass cls) {
+  MachineParams p;
+  p.cls = cls;
+  switch (cls) {
+    case ArchClass::kCimArray:
+      // Result forms inside the array: no boundary traffic, whole-array
+      // parallelism, but each primitive is a device *write* (~10 ns) and
+      // unsupported functions decompose into long stateful-logic sequences.
+      p.boundary_bw_gbps = 1024.0;   // array-internal (max available)
+      p.move_energy_pj_per_byte = 0.0;
+      p.boundary_traffic_fraction = 0.0;
+      p.op_latency_ns = 10.0;        // device write per logic step
+      p.op_energy_pj = 0.1;
+      p.parallelism = 65536.0;       // a 256x256 array switches concurrently
+      p.complex_decomposition_factor = 40.0;  // "High latency"
+      break;
+    case ArchClass::kCimPeriphery:
+      // Result forms in the periphery: operands stay in place, but every
+      // result crosses the ADC (energy-expensive conversions), and complex
+      // functions need many read passes ("High cost").
+      p.boundary_bw_gbps = 512.0;
+      p.move_energy_pj_per_byte = 0.5;  // S&H + mux, still on-core
+      p.boundary_traffic_fraction = 0.05;  // only results leave the array
+      p.op_latency_ns = 1.0;          // read + conversion, column-parallel
+      p.op_energy_pj = 1.8;           // dominated by the ADC share
+      p.parallelism = 2048.0;         // 16 arrays x 128 column ADCs in flight
+      p.complex_decomposition_factor = 12.0;
+      break;
+    case ArchClass::kComNear:
+      // Logic die in the memory SiP (HBM base die): all operands cross the
+      // TSVs, at high bandwidth and moderate energy.
+      p.boundary_bw_gbps = 256.0;
+      p.move_energy_pj_per_byte = 4.0;
+      p.boundary_traffic_fraction = 1.0;
+      p.op_latency_ns = 0.2;
+      p.op_energy_pj = 0.6;
+      p.parallelism = 64.0;
+      p.complex_decomposition_factor = 1.0;  // full ALUs: "Low cost"
+      break;
+    case ArchClass::kComFar:
+      // Conventional core behind a DDR bus: all operands move off-package,
+      // ~20 pJ/byte end to end, 25.6 GB/s channel.
+      p.boundary_bw_gbps = 25.6;
+      p.move_energy_pj_per_byte = 20.0;
+      p.boundary_traffic_fraction = 1.0;
+      p.op_latency_ns = 0.05;
+      p.op_energy_pj = 0.5;
+      p.parallelism = 32.0;
+      p.complex_decomposition_factor = 1.0;
+      break;
+  }
+  return p;
+}
+
+ExecutionReport execute(const MachineParams& m, const Workload& w) {
+  if (w.ops == 0) throw std::invalid_argument("execute: empty workload");
+  ExecutionReport r;
+  r.cls = m.cls;
+
+  r.bytes_moved = m.boundary_traffic_fraction *
+                      static_cast<double>(w.input_bytes) +
+                  static_cast<double>(w.output_bytes);
+  // GB/s == bytes/ns.
+  r.movement_time_ns = r.bytes_moved / m.boundary_bw_gbps;
+  r.movement_energy_pj = r.bytes_moved * m.move_energy_pj_per_byte;
+
+  double effective_ops = static_cast<double>(w.ops);
+  if (w.kind == WorkloadKind::kComplexFunction)
+    effective_ops *= m.complex_decomposition_factor;
+
+  r.compute_time_ns = effective_ops * m.op_latency_ns / m.parallelism;
+  r.compute_energy_pj = effective_ops * m.op_energy_pj;
+
+  // Roofline: movement and compute pipelines overlap.
+  r.time_ns = std::max(r.movement_time_ns, r.compute_time_ns);
+  r.energy_pj = r.movement_energy_pj + r.compute_energy_pj;
+  r.effective_bandwidth_gbps = static_cast<double>(w.input_bytes) / r.time_ns;
+  r.movement_energy_fraction =
+      r.energy_pj > 0.0 ? r.movement_energy_pj / r.energy_pj : 0.0;
+  return r;
+}
+
+ExecutionReport execute(ArchClass cls, const Workload& w) {
+  return execute(default_params(cls), w);
+}
+
+}  // namespace cim::arch

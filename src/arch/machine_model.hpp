@@ -1,0 +1,77 @@
+/// \file machine_model.hpp
+/// \brief Analytic execution models for the four architecture classes,
+///        used to *derive* Table I's qualitative comparison from numbers.
+///
+/// Each class executes an abstract workload (VMM, bulk bitwise, or a
+/// "complex function" such as division/exp that CIM fabrics must decompose)
+/// under a roofline-style model: data movement across the class's boundary,
+/// bounded bandwidth, per-op compute cost, and decomposition overhead for
+/// operations the fabric does not support natively.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+
+#include "arch/arch_class.hpp"
+
+namespace cim::arch {
+
+/// Abstract workload kinds.
+enum class WorkloadKind {
+  kVmm,          ///< vector-matrix multiply (MAC-heavy, CIM's home turf)
+  kBulkBitwise,  ///< AND/OR/XOR over long words (Pinatubo-style)
+  kComplexFunction, ///< division / exp / sort step: no native CIM support
+};
+
+std::string_view workload_kind_name(WorkloadKind kind);
+
+/// One workload instance.
+struct Workload {
+  WorkloadKind kind = WorkloadKind::kVmm;
+  std::size_t input_bytes = 1 << 20;  ///< operand data resident in memory
+  std::size_t ops = 1 << 20;          ///< primitive operations (MACs / bit-ops)
+  std::size_t output_bytes = 1 << 12;
+};
+
+/// Machine parameters of one architecture class.
+struct MachineParams {
+  ArchClass cls = ArchClass::kComFar;
+  double boundary_bw_gbps = 25.6;   ///< bandwidth across the data-movement boundary
+  double move_energy_pj_per_byte = 0.0; ///< energy to move one byte across it
+  double op_latency_ns = 0.1;       ///< amortized latency per primitive op
+  double op_energy_pj = 0.5;
+  double parallelism = 1.0;         ///< ops retired concurrently
+  /// Multiplier on op count when the fabric must decompose a complex
+  /// function into supported primitives (Table I: "complex function" cost).
+  double complex_decomposition_factor = 1.0;
+  /// Fraction of input bytes that must cross the boundary (CIM: only
+  /// operands that are not already resident / aligned).
+  double boundary_traffic_fraction = 1.0;
+};
+
+/// Representative parameters for a class (derivations documented in the cpp).
+MachineParams default_params(ArchClass cls);
+
+/// Result of executing a workload on a machine model.
+struct ExecutionReport {
+  ArchClass cls = ArchClass::kComFar;
+  double time_ns = 0.0;
+  double energy_pj = 0.0;
+  double movement_energy_pj = 0.0;
+  double compute_energy_pj = 0.0;
+  double bytes_moved = 0.0;          ///< across the class boundary
+  double movement_time_ns = 0.0;
+  double compute_time_ns = 0.0;
+  /// Achieved operand bandwidth (GB/s): input_bytes / time.
+  double effective_bandwidth_gbps = 0.0;
+  /// Fraction of energy spent on movement (the Fig. 1 bottleneck metric).
+  double movement_energy_fraction = 0.0;
+};
+
+/// Executes `w` on the model `m` (roofline: movement and compute overlap).
+ExecutionReport execute(const MachineParams& m, const Workload& w);
+
+/// Convenience: default params for the class, then execute.
+ExecutionReport execute(ArchClass cls, const Workload& w);
+
+}  // namespace cim::arch

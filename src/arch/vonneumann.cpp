@@ -1,0 +1,48 @@
+#include "arch/vonneumann.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cim::arch {
+
+VonNeumannReport run_vmm(const VonNeumannParams& p, std::size_t m,
+                         std::size_t n, std::size_t bytes_per_el) {
+  if (m == 0 || n == 0 || bytes_per_el == 0)
+    throw std::invalid_argument("run_vmm: empty problem");
+  VonNeumannReport r;
+
+  const double macs = static_cast<double>(m) * static_cast<double>(n);
+  const double weight_bytes = macs * static_cast<double>(bytes_per_el);
+  const double vec_bytes =
+      static_cast<double>(n) * static_cast<double>(bytes_per_el);
+  const double out_bytes =
+      static_cast<double>(m) * static_cast<double>(bytes_per_el);
+
+  // Weights stream from DRAM once (no reuse within a single VMM). The input
+  // vector is fetched once and then served from cache for every row; if it
+  // does not fit, each row re-streams the non-resident remainder.
+  double vector_dram_bytes = vec_bytes;
+  if (vec_bytes > p.cache_bytes) {
+    const double miss_fraction = 1.0 - p.cache_bytes / vec_bytes;
+    vector_dram_bytes += (static_cast<double>(m) - 1.0) * vec_bytes * miss_fraction;
+  }
+  r.dram_bytes = weight_bytes + vector_dram_bytes + out_bytes;
+
+  r.memory_time_ns = r.dram_bytes / p.mem_bw_bytes_per_ns;
+  r.compute_time_ns = macs / p.mac_per_ns;
+  r.time_ns = std::max(r.memory_time_ns, r.compute_time_ns);
+
+  // Every operand also passes through the cache/register hierarchy.
+  const double cache_traffic = weight_bytes + macs * static_cast<double>(bytes_per_el);
+  r.compute_energy_pj = macs * p.mac_energy_pj;
+  r.movement_energy_pj = r.dram_bytes * p.dram_energy_pj_per_byte +
+                         cache_traffic * p.cache_energy_pj_per_byte;
+  r.energy_pj = r.compute_energy_pj + r.movement_energy_pj;
+
+  r.movement_energy_fraction = r.movement_energy_pj / r.energy_pj;
+  r.movement_time_fraction =
+      r.time_ns > 0.0 ? std::min(1.0, r.memory_time_ns / r.time_ns) : 0.0;
+  return r;
+}
+
+}  // namespace cim::arch

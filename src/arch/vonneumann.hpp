@@ -1,0 +1,45 @@
+/// \file vonneumann.hpp
+/// \brief Von-Neumann baseline machine for the Fig. 1 bottleneck experiment.
+///
+/// Fig. 1a depicts the memory-processor bus as *the* bottleneck of
+/// conventional architectures. This model is a two-resource roofline
+/// machine (compute pipeline + memory channel) with a small cache to model
+/// reuse; the Fig. 1 bench sweeps VMM sizes and reports how the share of
+/// time/energy spent moving data grows, then contrasts a CIM tile
+/// (periphery::tile_vmm_*) executing the same VMM in place.
+#pragma once
+
+#include <cstddef>
+
+namespace cim::arch {
+
+/// Parameters of the baseline processor + memory system.
+struct VonNeumannParams {
+  double mac_per_ns = 64.0;         ///< MAC throughput (SIMD datapath)
+  double mac_energy_pj = 0.5;       ///< energy per MAC (ALU + register file)
+  double mem_bw_bytes_per_ns = 25.6;///< DRAM channel bandwidth (GB/s)
+  double dram_energy_pj_per_byte = 20.0;  ///< end-to-end access energy
+  double cache_bytes = 32 * 1024.0; ///< on-chip buffer for operand reuse
+  double cache_energy_pj_per_byte = 1.0;  ///< SRAM access energy
+};
+
+/// Cost report for one dense m x n VMM (y = W x), operands in `bytes_per_el`.
+struct VonNeumannReport {
+  double time_ns = 0.0;
+  double energy_pj = 0.0;
+  double compute_time_ns = 0.0;
+  double memory_time_ns = 0.0;
+  double compute_energy_pj = 0.0;
+  double movement_energy_pj = 0.0;
+  double dram_bytes = 0.0;
+  double movement_energy_fraction = 0.0;
+  double movement_time_fraction = 0.0;
+};
+
+/// Executes an (m x n) * (n) VMM: the weight matrix streams from DRAM
+/// (it exceeds the cache for all interesting sizes), the input vector is
+/// cached and reused across rows.
+VonNeumannReport run_vmm(const VonNeumannParams& p, std::size_t m,
+                         std::size_t n, std::size_t bytes_per_el = 1);
+
+}  // namespace cim::arch

@@ -1,0 +1,175 @@
+#include "core/cim_tile.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "periphery/dac.hpp"
+
+namespace cim::core {
+
+namespace {
+crossbar::CrossbarConfig make_array_cfg(const CimTileConfig& cfg, bool minus) {
+  auto a = cfg.array;
+  a.rows = cfg.tile.rows;
+  a.cols = cfg.tile.cols;
+  a.tech = cfg.tile.tech;
+  a.levels = std::min(1 << cfg.weight_bits,
+                      device::technology_params(cfg.tile.tech).max_levels);
+  a.verified_writes = true;
+  a.seed = cfg.seed ^ (minus ? 0x9e3779b9ULL : 0ULL);
+  return a;
+}
+}  // namespace
+
+CimTile::CimTile(CimTileConfig cfg)
+    : cfg_(cfg),
+      plus_(std::make_unique<crossbar::Crossbar>(make_array_cfg(cfg, false))),
+      minus_(std::make_unique<crossbar::Crossbar>(make_array_cfg(cfg, true))),
+      adc_(periphery::AdcConfig{
+          .bits = cfg.tile.adc_bits,
+          .kind = cfg.tile.adc_kind,
+          .sample_rate_gsps = 1.28,
+          .full_scale_ua = plus_->tech().v_read * plus_->tech().g_on_us() *
+                           static_cast<double>(cfg.tile.rows)}),
+      weights_(cfg.tile.cols, cfg.tile.rows) {}
+
+std::size_t CimTile::rows() const { return cfg_.tile.rows; }
+std::size_t CimTile::cols() const { return cfg_.tile.cols; }
+
+void CimTile::program_weights(const util::Matrix& w_int) {
+  if (w_int.rows() != cols() || w_int.cols() != rows())
+    throw std::invalid_argument("program_weights: shape must be (out x in)");
+  weights_ = w_int;
+
+  const auto& sch = plus_->scheme();
+  const int max_level = sch.levels() - 1;
+  util::Matrix g_plus(rows(), cols(), sch.g_min_us());
+  util::Matrix g_minus(rows(), cols(), sch.g_min_us());
+  for (std::size_t o = 0; o < cols(); ++o) {
+    for (std::size_t i = 0; i < rows(); ++i) {
+      const auto w = static_cast<long>(w_int(o, i));
+      const int level =
+          std::clamp(static_cast<int>(std::labs(w)), 0, max_level);
+      const double g = sch.level_conductance_us(level);
+      if (w >= 0)
+        g_plus(i, o) = g;
+      else
+        g_minus(i, o) = g;
+    }
+  }
+  plus_->program_conductances(g_plus);
+  minus_->program_conductances(g_minus);
+  trace_.record({OpKind::kProgramCell, 0, cycle_, 0.0, 0.0});
+}
+
+double CimTile::decode_level_sum(double current_ua,
+                                 double active_inputs) const {
+  const auto& tech = plus_->tech();
+  const auto& sch = plus_->scheme();
+  return (current_ua / tech.v_read - active_inputs * sch.g_min_us()) /
+         sch.step_us();
+}
+
+std::vector<long> CimTile::vmm_int(std::span<const std::uint32_t> inputs,
+                                   int input_bits) {
+  if (inputs.size() != rows())
+    throw std::invalid_argument("vmm_int: input size != rows");
+  if (input_bits < 1 || input_bits > 16)
+    throw std::invalid_argument("vmm_int: input_bits in [1,16]");
+
+  const auto& tech = plus_->tech();
+  const double v = tech.v_read;
+  const periphery::Dac dac({.bits = cfg_.tile.dac_bits});
+
+  std::vector<double> acc(cols(), 0.0);
+  std::vector<double> volts(rows());
+
+  const double adc_conversions_per_cycle =
+      2.0 * std::ceil(static_cast<double>(cols()) /
+                      static_cast<double>(cfg_.tile.adcs));
+
+  for (int b = 0; b < input_bits; ++b) {
+    double active = 0.0;
+    for (std::size_t r = 0; r < rows(); ++r) {
+      const bool on = (inputs[r] >> b) & 1u;
+      volts[r] = on ? v : 0.0;
+      if (on) active += 1.0;
+    }
+
+    const double e_before =
+        plus_->stats().energy_pj + minus_->stats().energy_pj;
+    auto i_plus = plus_->vmm(volts);
+    auto i_minus = minus_->vmm(volts);
+    const double e_array =
+        plus_->stats().energy_pj + minus_->stats().energy_pj - e_before;
+
+    for (std::size_t c = 0; c < cols(); ++c) {
+      const double ip = adc_.dequantize(adc_.quantize(i_plus[c]));
+      const double im = adc_.dequantize(adc_.quantize(i_minus[c]));
+      const double sum =
+          decode_level_sum(ip, active) - decode_level_sum(im, active);
+      acc[c] += std::ldexp(sum, b);
+    }
+
+    // Cost accounting for the cycle.
+    const double t_cycle =
+        tech.t_read_ns + (adc_conversions_per_cycle / 2.0) * adc_.latency_ns();
+    const double e_adc =
+        adc_conversions_per_cycle * adc_.energy_per_sample_pj();
+    const double e_dac =
+        2.0 * static_cast<double>(rows()) * dac.energy_per_conversion_pj();
+    const double e_dig = 0.2 * tech.t_read_ns;  // shift&add power * window
+
+    stats_.time_ns += t_cycle;
+    stats_.energy_pj += e_array + e_adc + e_dac + e_dig;
+    stats_.array_energy_pj += e_array;
+    stats_.adc_energy_pj += e_adc;
+    stats_.dac_energy_pj += e_dac;
+    stats_.digital_energy_pj += e_dig;
+    ++stats_.cycles;
+    ++cycle_;
+    trace_.record({OpKind::kRowActivate, 0, cycle_, tech.t_read_ns, e_dac});
+    trace_.record({OpKind::kSenseColumns, 0, cycle_,
+                   t_cycle - tech.t_read_ns, e_adc});
+    trace_.record({OpKind::kShiftAdd, 0, cycle_, 0.0, e_dig});
+  }
+
+  ++stats_.vmm_ops;
+  std::vector<long> y(cols());
+  for (std::size_t c = 0; c < cols(); ++c)
+    y[c] = std::lround(acc[c]);
+  return y;
+}
+
+std::vector<long> CimTile::ideal_vmm_int(
+    std::span<const std::uint32_t> inputs) const {
+  if (inputs.size() != rows())
+    throw std::invalid_argument("ideal_vmm_int: input size != rows");
+  std::vector<long> y(cols(), 0);
+  for (std::size_t o = 0; o < cols(); ++o) {
+    long acc = 0;
+    for (std::size_t i = 0; i < rows(); ++i)
+      acc += static_cast<long>(weights_(o, i)) *
+             static_cast<long>(inputs[i]);
+    y[o] = acc;
+  }
+  return y;
+}
+
+void CimTile::apply_faults(const fault::FaultMap& plus,
+                           const fault::FaultMap& minus) {
+  plus_->apply_faults(plus);
+  minus_->apply_faults(minus);
+}
+
+double CimTile::area_um2() const {
+  auto blocks = periphery::tile_breakdown(cfg_.tile);
+  double total = periphery::total_cost(blocks).area_um2;
+  // Differential pair: the crossbar block exists twice.
+  for (const auto& b : blocks)
+    if (b.name == "crossbar") total += b.area_um2;
+  return total;
+}
+
+}  // namespace cim::core

@@ -1,0 +1,88 @@
+/// \file cim_tile.hpp
+/// \brief One complete CIM core: crossbar array + periphery + controller
+///        (Fig. 4b). The tile executes digital-in / digital-out VMM through
+///        the full analog path — DAC-driven bit-serial inputs, crossbar
+///        currents, ADC conversion, shift-and-add accumulation — so ADC
+///        resolution, device variation and faults all shape the result.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/trace.hpp"
+#include "crossbar/crossbar.hpp"
+#include "fault/fault_map.hpp"
+#include "periphery/adc.hpp"
+#include "periphery/tile_cost.hpp"
+#include "util/matrix.hpp"
+
+namespace cim::core {
+
+/// Tile configuration: geometry + periphery provisioning + array behaviour.
+struct CimTileConfig {
+  periphery::TileConfig tile{};            ///< rows/cols/ADC/DAC provisioning
+  crossbar::CrossbarConfig array{};        ///< non-ideality knobs
+  int weight_bits = 4;                     ///< signed weight magnitude bits
+  std::uint64_t seed = 1234;
+};
+
+/// Accumulated execution statistics of one tile.
+struct CimTileStats {
+  std::uint64_t vmm_ops = 0;
+  std::uint64_t cycles = 0;
+  double time_ns = 0.0;
+  double energy_pj = 0.0;
+  double array_energy_pj = 0.0;
+  double adc_energy_pj = 0.0;
+  double dac_energy_pj = 0.0;
+  double digital_energy_pj = 0.0;
+};
+
+/// A CIM tile executing signed integer VMMs on a differential crossbar pair.
+class CimTile {
+ public:
+  explicit CimTile(CimTileConfig cfg);
+
+  std::size_t rows() const;  ///< input dimension
+  std::size_t cols() const;  ///< output dimension
+
+  /// Programs signed integer weights, shape (out x in), |w| < 2^weight_bits.
+  void program_weights(const util::Matrix& w_int);
+
+  /// Executes y = W x for unsigned integer inputs of `input_bits` bits,
+  /// streamed bit-serially. Returns signed integer outputs (subject to ADC
+  /// quantization and analog non-idealities).
+  std::vector<long> vmm_int(std::span<const std::uint32_t> inputs,
+                            int input_bits);
+
+  /// Exact reference result (oracle).
+  std::vector<long> ideal_vmm_int(std::span<const std::uint32_t> inputs) const;
+
+  /// Injects faults into the positive/negative arrays.
+  void apply_faults(const fault::FaultMap& plus, const fault::FaultMap& minus);
+
+  const CimTileStats& stats() const { return stats_; }
+  Trace& trace() { return trace_; }
+
+  /// Static area of the tile (um^2), from the periphery cost model
+  /// (doubled array for the differential pair).
+  double area_um2() const;
+
+  const CimTileConfig& config() const { return cfg_; }
+
+ private:
+  double decode_level_sum(double current_ua, double active_inputs) const;
+
+  CimTileConfig cfg_;
+  std::unique_ptr<crossbar::Crossbar> plus_;
+  std::unique_ptr<crossbar::Crossbar> minus_;
+  periphery::Adc adc_;
+  util::Matrix weights_;  ///< programmed integer weights (oracle copy)
+  CimTileStats stats_;
+  Trace trace_;
+  std::uint64_t cycle_ = 0;
+};
+
+}  // namespace cim::core

@@ -1,0 +1,149 @@
+#include "core/quantized_mlp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace cim::core {
+namespace {
+
+/// Quantizes an activation vector to unsigned codes of `bits` given the
+/// calibrated ceiling.
+std::vector<std::uint32_t> quantize_acts(std::span<const double> x,
+                                         double ceiling, int bits) {
+  const double qmax = static_cast<double>((1u << bits) - 1);
+  std::vector<std::uint32_t> q(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double v = std::clamp(x[i], 0.0, ceiling);
+    q[i] = static_cast<std::uint32_t>(std::lround(v / ceiling * qmax));
+  }
+  return q;
+}
+
+}  // namespace
+
+QuantizedMlp QuantizedMlp::from_mlp(const nn::Mlp& mlp, int weight_bits,
+                                    int act_bits, const nn::Dataset& calib) {
+  if (weight_bits < 2 || weight_bits > 8 || act_bits < 1 || act_bits > 8)
+    throw std::invalid_argument("QuantizedMlp: bits out of range");
+  QuantizedMlp q;
+  q.weight_bits = weight_bits;
+  q.act_bits = act_bits;
+
+  // Calibrate activation ceilings layer by layer on the calibration set.
+  std::vector<double> ceilings(mlp.layers().size() + 1, 1e-9);
+  for (std::size_t s = 0; s < calib.size(); ++s) {
+    std::vector<double> act(calib.features.row(s).begin(),
+                            calib.features.row(s).end());
+    for (double v : act)
+      ceilings[0] = std::max(ceilings[0], v);
+    for (std::size_t l = 0; l < mlp.layers().size(); ++l) {
+      act = mlp.layers()[l].forward(act);
+      if (l + 1 < mlp.layers().size())
+        for (double& v : act) v = std::max(0.0, v);
+      for (double v : act) ceilings[l + 1] = std::max(ceilings[l + 1], v);
+    }
+  }
+
+  const double wq_max = static_cast<double>((1 << (weight_bits - 1)) - 1);
+  const double aq_max = static_cast<double>((1u << act_bits) - 1);
+  for (std::size_t l = 0; l < mlp.layers().size(); ++l) {
+    const auto& d = mlp.layers()[l];
+    QuantizedLayer ql;
+    double wmax = 1e-12;
+    for (const double v : d.w.flat()) wmax = std::max(wmax, std::abs(v));
+    ql.w_scale = wmax / wq_max;
+    ql.w_int = util::Matrix(d.w.rows(), d.w.cols());
+    for (std::size_t r = 0; r < d.w.rows(); ++r)
+      for (std::size_t c = 0; c < d.w.cols(); ++c)
+        ql.w_int(r, c) = std::round(d.w(r, c) / ql.w_scale);
+    ql.bias = d.b;
+    ql.act_max = ceilings[l];
+    ql.in_scale = ceilings[l] / aq_max;
+    q.layers.push_back(std::move(ql));
+  }
+  return q;
+}
+
+int QuantizedMlp::predict_reference(std::span<const double> x) const {
+  std::vector<double> act(x.begin(), x.end());
+  for (std::size_t l = 0; l < layers.size(); ++l) {
+    const auto& ql = layers[l];
+    const auto q_in = quantize_acts(act, ql.act_max, act_bits);
+
+    std::vector<double> out(ql.w_int.rows());
+    for (std::size_t o = 0; o < ql.w_int.rows(); ++o) {
+      long acc = 0;
+      for (std::size_t i = 0; i < ql.w_int.cols(); ++i)
+        acc += static_cast<long>(ql.w_int(o, i)) *
+               static_cast<long>(q_in[i]);
+      out[o] = static_cast<double>(acc) * ql.w_scale * ql.in_scale +
+               ql.bias[o];
+    }
+    if (l + 1 < layers.size())
+      for (double& v : out) v = std::max(0.0, v);
+    act = std::move(out);
+  }
+  return static_cast<int>(
+      std::max_element(act.begin(), act.end()) - act.begin());
+}
+
+double QuantizedMlp::accuracy_reference(const nn::Dataset& data) const {
+  if (data.size() == 0) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < data.size(); ++i)
+    if (predict_reference(data.features.row(i)) == data.labels[i]) ++correct;
+  return static_cast<double>(correct) / static_cast<double>(data.size());
+}
+
+CimMlpRunner::CimMlpRunner(const QuantizedMlp& qmlp, CimSystemConfig cfg)
+    : qmlp_(qmlp) {
+  if (qmlp.layers.empty())
+    throw std::invalid_argument("CimMlpRunner: empty network");
+  cfg.tile.weight_bits = qmlp.weight_bits;
+  std::uint64_t seed = cfg.tile.seed;
+  for (const auto& layer : qmlp_.layers) {
+    auto layer_cfg = cfg;
+    layer_cfg.tile.seed = seed += 101;
+    systems_.push_back(std::make_unique<CimSystem>(layer.w_int, layer_cfg));
+  }
+}
+
+int CimMlpRunner::predict(std::span<const double> x) {
+  std::vector<double> act(x.begin(), x.end());
+  for (std::size_t l = 0; l < qmlp_.layers.size(); ++l) {
+    const auto& ql = qmlp_.layers[l];
+    const auto q_in = quantize_acts(act, ql.act_max, qmlp_.act_bits);
+    const auto y_int = systems_[l]->vmm_int(q_in, qmlp_.act_bits);
+    std::vector<double> out(y_int.size());
+    for (std::size_t o = 0; o < y_int.size(); ++o)
+      out[o] = static_cast<double>(y_int[o]) * ql.w_scale * ql.in_scale +
+               ql.bias[o];
+    if (l + 1 < qmlp_.layers.size())
+      for (double& v : out) v = std::max(0.0, v);
+    act = std::move(out);
+  }
+  return static_cast<int>(
+      std::max_element(act.begin(), act.end()) - act.begin());
+}
+
+double CimMlpRunner::accuracy(const nn::Dataset& data) {
+  if (data.size() == 0) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < data.size(); ++i)
+    if (predict(data.features.row(i)) == data.labels[i]) ++correct;
+  return static_cast<double>(correct) / static_cast<double>(data.size());
+}
+
+CimMlpRunner::Totals CimMlpRunner::totals() const {
+  Totals t;
+  for (const auto& sys : systems_) {
+    t.time_ns += sys->stats().time_ns;
+    t.energy_pj += sys->stats().energy_pj;
+    t.area_um2 += sys->stats().area_um2;
+    t.tiles += sys->tile_count();
+  }
+  return t;
+}
+
+}  // namespace cim::core

@@ -1,0 +1,69 @@
+/// \file quantized_mlp.hpp
+/// \brief End-to-end quantized MLP inference on the digital CIM tile path.
+///
+/// While `nn::CrossbarLinear` models the *analog* mapping, production CIM
+/// accelerators (ISAAC, PRIME) expose a digital-in/digital-out contract:
+/// integer weights in conductance levels, bit-serial integer activations,
+/// ADC + shift-add reassembly. This module quantizes a trained MLP and runs
+/// it on `CimSystem` tiles, with calibrated requantization between layers —
+/// the full accelerator story of Section II.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/cim_system.hpp"
+#include "nn/mlp.hpp"
+
+namespace cim::core {
+
+/// A layer quantized to signed integer weights + float bias/scales.
+struct QuantizedLayer {
+  util::Matrix w_int;          ///< (out x in), |w| < 2^(weight_bits-1)
+  std::vector<double> bias;    ///< float bias, applied digitally
+  double w_scale = 1.0;        ///< real_w = w_int * w_scale
+  double in_scale = 1.0;       ///< real_in = q_in * in_scale
+  double act_max = 1.0;        ///< calibrated activation ceiling (pre-quant)
+};
+
+/// A quantized two-or-more-layer MLP.
+struct QuantizedMlp {
+  int weight_bits = 4;
+  int act_bits = 4;
+  std::vector<QuantizedLayer> layers;
+
+  /// Quantizes a trained float MLP; activation ceilings are calibrated on
+  /// `calib` (per-layer max of post-ReLU activations).
+  static QuantizedMlp from_mlp(const nn::Mlp& mlp, int weight_bits,
+                               int act_bits, const nn::Dataset& calib);
+
+  /// Integer-exact software reference (same arithmetic the tiles target).
+  int predict_reference(std::span<const double> x) const;
+  double accuracy_reference(const nn::Dataset& data) const;
+};
+
+/// Runs a QuantizedMlp on CimSystem tiles.
+class CimMlpRunner {
+ public:
+  CimMlpRunner(const QuantizedMlp& qmlp, CimSystemConfig cfg);
+
+  int predict(std::span<const double> x);
+  double accuracy(const nn::Dataset& data);
+
+  /// Aggregated tile statistics across all layers.
+  struct Totals {
+    double time_ns = 0.0;
+    double energy_pj = 0.0;
+    double area_um2 = 0.0;
+    std::size_t tiles = 0;
+  };
+  Totals totals() const;
+
+ private:
+  QuantizedMlp qmlp_;
+  std::vector<std::unique_ptr<CimSystem>> systems_;
+};
+
+}  // namespace cim::core

@@ -1,0 +1,72 @@
+#include "core/simd_magic.hpp"
+
+#include <stdexcept>
+
+namespace cim::core {
+
+SimdMagicUnit::SimdMagicUnit(eda::MagicProgram program, std::size_t rows,
+                             std::uint64_t seed)
+    : program_(std::move(program)), rows_(rows) {
+  if (rows == 0) throw std::invalid_argument("SimdMagicUnit: zero rows");
+  crossbar::CrossbarConfig cfg;
+  cfg.rows = rows;
+  cfg.cols = std::max<std::size_t>(1, program_.num_cells);
+  cfg.tech = device::Technology::kSttMram;
+  cfg.levels = 2;
+  cfg.model_ir_drop = false;
+  cfg.seed = seed;
+  xbar_ = std::make_unique<crossbar::Crossbar>(cfg);
+}
+
+std::vector<std::vector<bool>> SimdMagicUnit::execute_batch(
+    std::span<const std::uint64_t> assignments) {
+  if (assignments.size() > rows_)
+    throw std::invalid_argument("execute_batch: more assignments than rows");
+  const std::size_t lanes = assignments.size();
+  const auto stats0 = xbar_->stats();
+
+  // Input load: column-parallel writes, one device cycle per input column.
+  for (std::size_t lane = 0; lane < lanes; ++lane)
+    for (std::size_t i = 0; i < program_.num_inputs; ++i)
+      xbar_->write_bit(lane, i, (assignments[lane] >> i) & 1ULL);
+
+  // Lockstep execution: each instruction fires on every lane.
+  for (const auto& ins : program_.instrs) {
+    for (std::size_t lane = 0; lane < lanes; ++lane) {
+      if (ins.kind == eda::MagicInstr::Kind::kSet)
+        xbar_->write_bit(lane, ins.out_cell, true);
+      else
+        xbar_->magic_nor(lane, ins.in_cells, ins.out_cell);
+    }
+  }
+
+  std::vector<std::vector<bool>> out(lanes);
+  for (std::size_t lane = 0; lane < lanes; ++lane) {
+    out[lane].reserve(program_.output_cells.size());
+    for (std::size_t k = 0; k < program_.output_cells.size(); ++k) {
+      if (program_.output_is_const[k])
+        out[lane].push_back(program_.const_values[k]);
+      else
+        out[lane].push_back(xbar_->read_bit(lane, program_.output_cells[k]));
+    }
+  }
+
+  const auto stats1 = xbar_->stats();
+  last_.rows = lanes;
+  last_.instructions = program_.instrs.size();
+  // Lockstep: all lanes advance together, so wall-clock latency is one
+  // program (input columns + instructions + output reads), not lanes x that.
+  const auto& tech = xbar_->tech();
+  last_.latency_ns =
+      static_cast<double>(program_.num_inputs) * tech.t_write_ns +
+      static_cast<double>(program_.instrs.size()) * tech.t_write_ns +
+      static_cast<double>(program_.output_cells.size()) * tech.t_read_ns;
+  last_.energy_pj = stats1.energy_pj - stats0.energy_pj;
+  last_.throughput_per_us =
+      last_.latency_ns > 0.0
+          ? static_cast<double>(lanes) / (last_.latency_ns / 1e3)
+          : 0.0;
+  return out;
+}
+
+}  // namespace cim::core

@@ -1,0 +1,60 @@
+/// \file simd_magic.hpp
+/// \brief SIMD execution of single-row MAGIC programs (Section IV.C,
+///        Ben-Hur et al., TCAD'19 [70]).
+///
+/// "Optimal and heuristic solutions to map Boolean functions from NOR/NOT
+/// netlist onto a single row was proposed, with the goal of optimizing
+/// throughput by Single Instruction Multiple Data (SIMD) like operations."
+///
+/// Because every instruction of a single-row MAGIC program addresses only
+/// columns, the same instruction can fire on all rows of a crossbar in one
+/// device cycle: R independent evaluations of the same function proceed in
+/// lockstep, so batch latency equals ONE program's delay while throughput
+/// scales with the row count.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "crossbar/crossbar.hpp"
+#include "eda/magic_mapper.hpp"
+
+namespace cim::core {
+
+/// Cost summary of one SIMD batch.
+struct SimdBatchStats {
+  std::size_t rows = 0;            ///< lanes executed
+  std::size_t instructions = 0;    ///< program length
+  double latency_ns = 0.0;         ///< lockstep latency (one program)
+  double energy_pj = 0.0;          ///< total array energy of the batch
+  double throughput_per_us = 0.0;  ///< evaluations per microsecond
+};
+
+/// A crossbar executing one compiled MAGIC program across many rows.
+class SimdMagicUnit {
+ public:
+  /// Builds an array of `rows` lanes wide enough for the program.
+  SimdMagicUnit(eda::MagicProgram program, std::size_t rows,
+                std::uint64_t seed = 7);
+
+  std::size_t rows() const { return rows_; }
+  const eda::MagicProgram& program() const { return program_; }
+
+  /// Executes the program on up to rows() assignments in lockstep; returns
+  /// the per-lane outputs. Fewer assignments than rows leave lanes idle.
+  std::vector<std::vector<bool>> execute_batch(
+      std::span<const std::uint64_t> assignments);
+
+  /// Stats of the most recent batch.
+  const SimdBatchStats& last_batch() const { return last_; }
+
+ private:
+  eda::MagicProgram program_;
+  std::size_t rows_;
+  std::unique_ptr<crossbar::Crossbar> xbar_;
+  SimdBatchStats last_;
+};
+
+}  // namespace cim::core

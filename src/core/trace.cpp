@@ -1,0 +1,56 @@
+#include "core/trace.hpp"
+
+#include <map>
+#include <ostream>
+
+namespace cim::core {
+
+std::string_view op_kind_name(OpKind kind) {
+  switch (kind) {
+    case OpKind::kProgramCell: return "program";
+    case OpKind::kRowActivate: return "row-activate";
+    case OpKind::kSenseColumns: return "sense";
+    case OpKind::kShiftAdd: return "shift-add";
+    case OpKind::kLogicStep: return "logic";
+    case OpKind::kTileTransfer: return "transfer";
+  }
+  return "unknown";
+}
+
+Trace::Trace(std::size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {
+  entries_.reserve(capacity_);
+}
+
+void Trace::record(TraceEntry entry) {
+  ++total_;
+  if (entries_.size() < capacity_) {
+    entries_.push_back(entry);
+    return;
+  }
+  // Ring behaviour: overwrite oldest.
+  entries_[static_cast<std::size_t>(total_ % capacity_)] = entry;
+}
+
+std::vector<std::pair<OpKind, std::size_t>> Trace::histogram() const {
+  std::map<OpKind, std::size_t> counts;
+  for (const auto& e : entries_) ++counts[e.kind];
+  return {counts.begin(), counts.end()};
+}
+
+void Trace::print(std::ostream& os, std::size_t last_n) const {
+  const std::size_t n = std::min(last_n, entries_.size());
+  os << "trace: " << total_ << " ops total, showing last " << n << "\n";
+  for (std::size_t i = entries_.size() - n; i < entries_.size(); ++i) {
+    const auto& e = entries_[i];
+    os << "  [" << e.cycle << "] tile " << e.tile << " "
+       << op_kind_name(e.kind) << " t=" << e.time_ns << "ns e=" << e.energy_pj
+       << "pJ\n";
+  }
+}
+
+void Trace::clear() {
+  entries_.clear();
+  total_ = 0;
+}
+
+}  // namespace cim::core

@@ -1,0 +1,58 @@
+/// \file trace.hpp
+/// \brief Instruction trace of a CIM core's controller (Section II.B.2:
+///        the control block "needs to deal with complex instructions such
+///        as handling intricacies of multi-operand VMM operations").
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string_view>
+#include <vector>
+
+namespace cim::core {
+
+/// Controller-level operations.
+enum class OpKind {
+  kProgramCell,
+  kRowActivate,   ///< DAC drive of a wordline set
+  kSenseColumns,  ///< ADC conversion batch
+  kShiftAdd,
+  kLogicStep,     ///< stateful-logic instruction
+  kTileTransfer,  ///< partial-sum movement between tiles
+};
+
+std::string_view op_kind_name(OpKind kind);
+
+/// One traced instruction.
+struct TraceEntry {
+  OpKind kind = OpKind::kRowActivate;
+  std::size_t tile = 0;
+  std::uint64_t cycle = 0;
+  double time_ns = 0.0;
+  double energy_pj = 0.0;
+};
+
+/// Bounded instruction trace (keeps the most recent `capacity` entries).
+class Trace {
+ public:
+  explicit Trace(std::size_t capacity = 4096);
+
+  void record(TraceEntry entry);
+  std::size_t size() const { return entries_.size(); }
+  std::uint64_t total_recorded() const { return total_; }
+  const std::vector<TraceEntry>& entries() const { return entries_; }
+
+  /// Ops per kind over the retained window.
+  std::vector<std::pair<OpKind, std::size_t>> histogram() const;
+
+  void print(std::ostream& os, std::size_t last_n = 20) const;
+  void clear();
+
+ private:
+  std::size_t capacity_;
+  std::vector<TraceEntry> entries_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace cim::core

@@ -1,0 +1,449 @@
+#include "crossbar/crossbar.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace cim::crossbar {
+
+Crossbar::Crossbar(CrossbarConfig cfg)
+    : cfg_(cfg),
+      tech_(cfg.tech_override ? *cfg.tech_override
+                              : device::technology_params(cfg.tech)),
+      rng_(cfg.seed),
+      faults_(std::max<std::size_t>(1, cfg.rows), std::max<std::size_t>(1, cfg.cols)) {
+  if (cfg_.rows == 0 || cfg_.cols == 0)
+    throw std::invalid_argument("Crossbar: empty array");
+  cells_.reserve(cfg_.rows * cfg_.cols);
+  for (std::size_t i = 0; i < cfg_.rows * cfg_.cols; ++i)
+    cells_.emplace_back(tech_, cfg_.levels, rng_);
+}
+
+void Crossbar::apply_faults(const fault::FaultMap& map) {
+  if (map.rows() != cfg_.rows || map.cols() != cfg_.cols)
+    throw std::invalid_argument("apply_faults: fault map size mismatch");
+  faults_ = map;
+  for (std::size_t r = 0; r < cfg_.rows; ++r) {
+    for (std::size_t c = 0; c < cfg_.cols; ++c) {
+      const auto fd = map.cell_fault(r, c);
+      if (!fd) continue;
+      auto& cl = cell(r, c);
+      switch (fd->kind) {
+        case fault::FaultKind::kStuckAtZero:
+          cl.force_stuck(device::StuckMode::kStuckAtZero);
+          break;
+        case fault::FaultKind::kStuckAtOne:
+        case fault::FaultKind::kOverForming:
+        case fault::FaultKind::kEnduranceWearout:
+          cl.force_stuck(device::StuckMode::kStuckAtOne);
+          break;
+        case fault::FaultKind::kTransitionUp:
+          cl.force_transition_faults({.up_fails = true, .down_fails = false});
+          break;
+        case fault::FaultKind::kTransitionDown:
+          cl.force_transition_faults({.up_fails = false, .down_fails = true});
+          break;
+        case fault::FaultKind::kWriteVariation:
+          cl.force_write_sigma_scale(fd->severity);
+          break;
+        case fault::FaultKind::kReadDisturb:
+          // Faulty cell is orders of magnitude more disturb-prone.
+          cl.force_disturb_scales(/*read=*/1e4, /*write=*/1.0);
+          break;
+        case fault::FaultKind::kWriteDisturb:
+          cl.force_disturb_scales(/*read=*/1.0, /*write=*/1e3);
+          break;
+        default:
+          break;  // array-level faults handled at addressing time
+      }
+    }
+  }
+}
+
+std::size_t Crossbar::effective_row(std::size_t r) const {
+  for (const auto& fd : faults_.decoder_faults())
+    if (fd.row == r) return fd.aux_row;
+  return r;
+}
+
+bool Crossbar::bit_of(const device::ReRamCell& cl) const {
+  const double mid = 0.5 * (tech_.g_on_us() + tech_.g_off_us());
+  return cl.true_conductance_us() >= mid;
+}
+
+double Crossbar::charge(double time_ns, double energy_pj) {
+  stats_.time_ns += time_ns;
+  stats_.energy_pj += energy_pj;
+  last_op_energy_pj_ = energy_pj;
+  return energy_pj;
+}
+
+void Crossbar::after_write(std::size_t r, std::size_t c, bool value_is_one) {
+  // Coupling faults: an up-transition on the aggressor forces the victim to 1
+  // (CFid-style idempotent coupling — the bridge conducts the SET pulse).
+  if (value_is_one) {
+    for (const auto& fd : faults_.coupling_faults()) {
+      if (fd.row == r && fd.col == c) {
+        auto& victim = cell(fd.aux_row, fd.aux_col);
+        victim.force_conductance(tech_.g_on_us());
+      }
+    }
+  }
+  // Half-select disturb on same-row / same-column neighbours.
+  if (tech_.write_disturb_prob > 0.0) {
+    for (std::size_t cc = 0; cc < cfg_.cols; ++cc)
+      if (cc != c) cell(r, cc).disturb_from_neighbour_write(rng_);
+    for (std::size_t rr = 0; rr < cfg_.rows; ++rr)
+      if (rr != r) cell(rr, c).disturb_from_neighbour_write(rng_);
+  }
+}
+
+void Crossbar::write_bit(std::size_t row, std::size_t col, bool value) {
+  if (row >= cfg_.rows || col >= cfg_.cols)
+    throw std::out_of_range("write_bit: out of range");
+  const std::size_t er = effective_row(row);
+  auto& cl = cell(er, col);
+  const int level = value ? cl.scheme().levels() - 1 : 0;
+  const auto res = cl.write_level(level, rng_, cfg_.verified_writes);
+  ++stats_.bit_writes;
+  charge(res.time_ns, res.energy_pj);
+  after_write(er, col, value);
+}
+
+bool Crossbar::read_bit(std::size_t row, std::size_t col) {
+  if (row >= cfg_.rows || col >= cfg_.cols)
+    throw std::out_of_range("read_bit: out of range");
+  const std::size_t er = effective_row(row);
+  auto& cl = cell(er, col);
+  const double g = cl.read_conductance_us(rng_);
+  ++stats_.bit_reads;
+  // Read energy: V_read^2 * G * t_read ; pJ = V^2[V] * G[uS] * t[ns] * 1e-3
+  const double e = tech_.v_read * tech_.v_read * g * tech_.t_read_ns * 1e-3 +
+                   tech_.e_read_pj;
+  charge(tech_.t_read_ns, e);
+  const double mid = 0.5 * (tech_.g_on_us() + tech_.g_off_us());
+  return g >= mid;
+}
+
+device::WriteResult Crossbar::program_cell(std::size_t row, std::size_t col,
+                                           double g_us) {
+  if (row >= cfg_.rows || col >= cfg_.cols)
+    throw std::out_of_range("program_cell: out of range");
+  auto& cl = cell(row, col);
+  const auto res = cl.write_conductance(g_us, rng_, cfg_.verified_writes);
+  ++stats_.analog_writes;
+  charge(res.time_ns, res.energy_pj);
+  const double mid = 0.5 * (tech_.g_on_us() + tech_.g_off_us());
+  after_write(row, col, g_us >= mid);
+  return res;
+}
+
+void Crossbar::program_conductances(const util::Matrix& g_us) {
+  if (g_us.rows() != cfg_.rows || g_us.cols() != cfg_.cols)
+    throw std::invalid_argument("program_conductances: shape mismatch");
+  for (std::size_t r = 0; r < cfg_.rows; ++r)
+    for (std::size_t c = 0; c < cfg_.cols; ++c) program_cell(r, c, g_us(r, c));
+}
+
+void Crossbar::program_levels(const util::Matrix& levels) {
+  if (levels.rows() != cfg_.rows || levels.cols() != cfg_.cols)
+    throw std::invalid_argument("program_levels: shape mismatch");
+  const auto& sch = scheme();
+  for (std::size_t r = 0; r < cfg_.rows; ++r)
+    for (std::size_t c = 0; c < cfg_.cols; ++c) {
+      const int lvl = static_cast<int>(levels(r, c));
+      program_cell(r, c, sch.level_conductance_us(lvl));
+    }
+}
+
+double Crossbar::read_conductance(std::size_t row, std::size_t col) {
+  if (row >= cfg_.rows || col >= cfg_.cols)
+    throw std::out_of_range("read_conductance: out of range");
+  auto& cl = cell(row, col);
+  const double g = cl.read_conductance_us(rng_);
+  ++stats_.bit_reads;
+  charge(tech_.t_read_ns,
+         tech_.v_read * tech_.v_read * g * tech_.t_read_ns * 1e-3 + tech_.e_read_pj);
+  return g;
+}
+
+double Crossbar::true_conductance(std::size_t row, std::size_t col) const {
+  if (row >= cfg_.rows || col >= cfg_.cols)
+    throw std::out_of_range("true_conductance: out of range");
+  return cell(row, col).true_conductance_us();
+}
+
+double Crossbar::effective_conductance(std::size_t r, std::size_t c,
+                                       double g_us) const {
+  if (!cfg_.model_ir_drop || g_us <= 0.0) return g_us;
+  // First-order IR-drop: the cell sees the wordline segment resistance up to
+  // its column plus the bitline segment resistance down to the sense node in
+  // series, so G_eff = 1 / (1/G + R_wire_total).
+  const double segments =
+      static_cast<double>(c + 1) + static_cast<double>(cfg_.rows - r);
+  const double r_wire_kohm = cfg_.wire_resistance_ohm * segments * 1e-6;
+  return 1.0 / (1.0 / g_us + r_wire_kohm * 1e-3);
+}
+
+std::vector<double> Crossbar::vmm(std::span<const double> v_rows) {
+  if (v_rows.size() != cfg_.rows)
+    throw std::invalid_argument("vmm: input size != rows");
+  std::vector<double> currents(cfg_.cols, 0.0);
+  std::vector<double> noise_var(cfg_.cols, 0.0);
+  double energy = 0.0;
+
+  for (std::size_t r = 0; r < cfg_.rows; ++r) {
+    const double v = v_rows[r];
+    if (v == 0.0) continue;
+    for (std::size_t c = 0; c < cfg_.cols; ++c) {
+      const double g = cell(r, c).true_conductance_us();
+      const double ge = effective_conductance(r, c, g);
+      const double i = v * ge;  // uA
+      currents[c] += i;
+      const double cell_noise = tech_.read_noise_frac * i;
+      noise_var[c] += cell_noise * cell_noise;
+      // pJ = V[V] * I[uA] * t[ns] * 1e-3
+      energy += std::abs(v * i) * tech_.t_read_ns * 1e-3;
+    }
+  }
+
+  // Passive 0T1R arrays: half-selected cells leak a sneak background whose
+  // magnitude scales with the mean conductance of the unselected matrix.
+  if (cfg_.passive_array) {
+    double g_mean = 0.0;
+    for (const auto& cl : cells_) g_mean += cl.true_conductance_us();
+    g_mean /= static_cast<double>(cells_.size());
+    double v_mean = 0.0;
+    for (double v : v_rows) v_mean += std::abs(v);
+    v_mean /= static_cast<double>(v_rows.size());
+    // One effective 3-cell series path per unselected row.
+    const double sneak_per_col =
+        v_mean * (g_mean / 3.0) * 0.1 * static_cast<double>(cfg_.rows - 1);
+    for (double& i : currents) i += sneak_per_col;
+  }
+
+  // Aggregate read noise per column.
+  for (std::size_t c = 0; c < cfg_.cols; ++c)
+    currents[c] += rng_.normal(0.0, std::sqrt(noise_var[c]));
+
+  // Read disturb: expected number of disturbed cells this cycle.
+  if (tech_.read_disturb_prob > 0.0) {
+    const double expected =
+        tech_.read_disturb_prob * static_cast<double>(cells_.size());
+    std::size_t hits = static_cast<std::size_t>(expected);
+    if (rng_.bernoulli(expected - static_cast<double>(hits))) ++hits;
+    for (std::size_t k = 0; k < hits; ++k) {
+      auto& cl = cells_[rng_.uniform_int(cells_.size())];
+      cl.force_conductance(cl.true_conductance_us() +
+                           0.5 * cl.scheme().step_us());
+    }
+  }
+
+  ++stats_.vmm_ops;
+  charge(tech_.t_read_ns, energy);
+  return currents;
+}
+
+std::vector<double> Crossbar::ideal_vmm(std::span<const double> v_rows) const {
+  if (v_rows.size() != cfg_.rows)
+    throw std::invalid_argument("ideal_vmm: input size != rows");
+  std::vector<double> currents(cfg_.cols, 0.0);
+  const auto& sch = scheme();
+  for (std::size_t r = 0; r < cfg_.rows; ++r) {
+    const double v = v_rows[r];
+    if (v == 0.0) continue;
+    for (std::size_t c = 0; c < cfg_.cols; ++c) {
+      currents[c] += v * sch.level_conductance_us(cell(r, c).target_level());
+    }
+  }
+  return currents;
+}
+
+namespace {
+bool in_window(std::size_t a, std::size_t b, std::size_t window) {
+  const std::size_t d = a > b ? a - b : b - a;
+  return d <= window;
+}
+}  // namespace
+
+double Crossbar::ideal_current_with_sneak(std::size_t row, std::size_t col,
+                                          std::size_t window) const {
+  if (row >= cfg_.rows || col >= cfg_.cols)
+    throw std::out_of_range("ideal_current_with_sneak: out of range");
+  const auto& sch = scheme();
+  const double v = tech_.v_read;
+  auto target_g = [&](std::size_t r, std::size_t c) {
+    return sch.level_conductance_us(cell(r, c).target_level());
+  };
+  double i = v * target_g(row, col);
+  for (std::size_t r2 = 0; r2 < cfg_.rows; ++r2) {
+    if (r2 == row || !in_window(r2, row, window)) continue;
+    for (std::size_t c2 = 0; c2 < cfg_.cols; ++c2) {
+      if (c2 == col || !in_window(c2, col, window)) continue;
+      const double g1 = target_g(row, c2);
+      const double g2 = target_g(r2, c2);
+      const double g3 = target_g(r2, col);
+      if (g1 <= 0.0 || g2 <= 0.0 || g3 <= 0.0) continue;
+      i += v / (1.0 / g1 + 1.0 / g2 + 1.0 / g3);
+    }
+  }
+  return i;
+}
+
+double Crossbar::read_current_with_sneak(std::size_t row, std::size_t col,
+                                         std::size_t window) {
+  if (row >= cfg_.rows || col >= cfg_.cols)
+    throw std::out_of_range("read_current_with_sneak: out of range");
+  const double v = tech_.v_read;
+  double i = v * cell(row, col).true_conductance_us();
+  // Every (r', c') with r' != row, c' != col closes a 3-cell series loop
+  // (row,c') -> (r',c') -> (r',col); its series conductance adds to the
+  // measured current. This is the region-of-detection mechanism the
+  // sneak-path test of Kannan et al. exploits; the biasing scheme limits
+  // the loops to a window around the target.
+  for (std::size_t r2 = 0; r2 < cfg_.rows; ++r2) {
+    if (r2 == row || !in_window(r2, row, window)) continue;
+    for (std::size_t c2 = 0; c2 < cfg_.cols; ++c2) {
+      if (c2 == col || !in_window(c2, col, window)) continue;
+      const double g1 = cell(row, c2).true_conductance_us();
+      const double g2 = cell(r2, c2).true_conductance_us();
+      const double g3 = cell(r2, col).true_conductance_us();
+      if (g1 <= 0.0 || g2 <= 0.0 || g3 <= 0.0) continue;
+      i += v / (1.0 / g1 + 1.0 / g2 + 1.0 / g3);
+    }
+  }
+  ++stats_.bit_reads;
+  charge(tech_.t_read_ns, v * i * tech_.t_read_ns * 1e-3);
+  // Measurement noise on the summed current.
+  return i + rng_.normal(0.0, tech_.read_noise_frac * i);
+}
+
+// --- stateful logic ---------------------------------------------------------
+
+void Crossbar::imply(std::size_t dest_row, std::size_t dest_col,
+                     std::size_t src_row, std::size_t src_col) {
+  if (dest_row >= cfg_.rows || dest_col >= cfg_.cols || src_row >= cfg_.rows ||
+      src_col >= cfg_.cols)
+    throw std::out_of_range("imply: out of range");
+  auto& dest = cell(dest_row, dest_col);
+  const bool p = bit_of(dest);
+  const bool q = bit_of(cell(src_row, src_col));
+  const bool next = !p || q;  // p -> q
+  ++stats_.logic_ops;
+  if (next != p) {
+    const auto res =
+        dest.write_level(next ? dest.scheme().levels() - 1 : 0, rng_, false);
+    charge(res.time_ns, res.energy_pj);
+  } else {
+    // Conditional write that does not fire still costs the pulse window.
+    charge(tech_.t_write_ns, 0.1 * tech_.e_write_pj);
+  }
+}
+
+void Crossbar::set_false(std::size_t row, std::size_t col) {
+  if (row >= cfg_.rows || col >= cfg_.cols)
+    throw std::out_of_range("set_false: out of range");
+  auto& cl = cell(row, col);
+  const auto res = cl.write_level(0, rng_, false);
+  ++stats_.logic_ops;
+  charge(res.time_ns, res.energy_pj);
+}
+
+void Crossbar::magic_not(std::size_t row, std::size_t in_col,
+                         std::size_t out_col) {
+  const std::size_t in[] = {in_col};
+  magic_nor(row, in, out_col);
+}
+
+void Crossbar::magic_nor(std::size_t row, std::span<const std::size_t> in_cols,
+                         std::size_t out_col) {
+  if (row >= cfg_.rows || out_col >= cfg_.cols)
+    throw std::out_of_range("magic_nor: out of range");
+  if (in_cols.empty()) throw std::invalid_argument("magic_nor: no inputs");
+  bool any_one = false;
+  for (std::size_t c : in_cols) {
+    if (c >= cfg_.cols) throw std::out_of_range("magic_nor: input out of range");
+    any_one = any_one || bit_of(cell(row, c));
+  }
+  auto& out = cell(row, out_col);
+  ++stats_.logic_ops;
+  // MAGIC: the pre-SET output is conditionally RESET when any input is LRS.
+  if (any_one) {
+    const auto res = out.write_level(0, rng_, false);
+    charge(res.time_ns, res.energy_pj);
+  } else {
+    charge(tech_.t_write_ns, 0.1 * tech_.e_write_pj);
+  }
+}
+
+void Crossbar::majority_write(std::size_t row, std::size_t col, bool v_wl,
+                              bool v_bl) {
+  if (row >= cfg_.rows || col >= cfg_.cols)
+    throw std::out_of_range("majority_write: out of range");
+  auto& cl = cell(row, col);
+  const bool s = bit_of(cl);
+  const bool b = !v_bl;
+  const int votes = static_cast<int>(s) + static_cast<int>(v_wl) +
+                    static_cast<int>(b);
+  const bool next = votes >= 2;  // MAJ3(S, V_wl, !V_bl)
+  ++stats_.logic_ops;
+  if (next != s) {
+    const auto res =
+        cl.write_level(next ? cl.scheme().levels() - 1 : 0, rng_, false);
+    charge(res.time_ns, res.energy_pj);
+  } else {
+    charge(tech_.t_write_ns, 0.1 * tech_.e_write_pj);
+  }
+}
+
+double Crossbar::wordline_sense(std::size_t row,
+                                const std::vector<bool>& bitline_mask) {
+  if (row >= cfg_.rows) throw std::out_of_range("wordline_sense: row");
+  if (bitline_mask.size() != cfg_.cols)
+    throw std::invalid_argument("wordline_sense: mask size != cols");
+  const std::size_t er = effective_row(row);
+  const double v = tech_.v_read;
+  double i = 0.0;
+  double noise_var = 0.0;
+  for (std::size_t c = 0; c < cfg_.cols; ++c) {
+    if (!bitline_mask[c]) continue;
+    const double g = cell(er, c).true_conductance_us();
+    const double ic = v * effective_conductance(er, c, g);
+    i += ic;
+    const double cell_noise = tech_.read_noise_frac * ic;
+    noise_var += cell_noise * cell_noise;
+  }
+  ++stats_.bit_reads;
+  charge(tech_.t_read_ns, v * i * tech_.t_read_ns * 1e-3 + tech_.e_read_pj);
+  return i + rng_.normal(0.0, std::sqrt(noise_var));
+}
+
+bool Crossbar::scout_read(std::size_t r1, std::size_t r2, std::size_t col,
+                          ScoutOp op) {
+  if (r1 >= cfg_.rows || r2 >= cfg_.rows || col >= cfg_.cols)
+    throw std::out_of_range("scout_read: out of range");
+  const double v = tech_.v_read;
+  auto& c1 = cell(effective_row(r1), col);
+  auto& c2 = cell(effective_row(r2), col);
+  const double i = v * (c1.read_conductance_us(rng_) + c2.read_conductance_us(rng_));
+  stats_.bit_reads += 2;
+  ++stats_.logic_ops;
+  charge(tech_.t_read_ns, v * i * tech_.t_read_ns * 1e-3 + 2 * tech_.e_read_pj);
+
+  // References sit between the three distinguishable current levels,
+  // accounting for the HRS leakage floor (critical for low on/off-ratio
+  // technologies such as STT-MRAM).
+  const double i00 = 2.0 * v * tech_.g_off_us();
+  const double i01 = v * (tech_.g_off_us() + tech_.g_on_us());
+  const double i11 = 2.0 * v * tech_.g_on_us();
+  const double ref_or = 0.5 * (i00 + i01);
+  const double ref_and = 0.5 * (i01 + i11);
+  switch (op) {
+    case ScoutOp::kOr: return i > ref_or;
+    case ScoutOp::kAnd: return i > ref_and;
+    case ScoutOp::kXor: return i > ref_or && i < ref_and;
+  }
+  return false;
+}
+
+}  // namespace cim::crossbar

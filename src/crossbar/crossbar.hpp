@@ -1,0 +1,207 @@
+/// \file crossbar.hpp
+/// \brief ReRAM crossbar array simulator (Section II.B.2, Fig. 4a).
+///
+/// The crossbar is the storage *and* compute fabric of a CIM core:
+///
+///   - **Analog VMM**: applying a voltage vector V to the wordlines produces
+///     per-bitline currents I_c = sum_r V_r * G(r,c) — n MAC operations in
+///     O(1) time (Fig. 4a). Non-idealities modelled: programming variation,
+///     read noise, read disturb, wire IR-drop, and (for passive 0T1R arrays)
+///     sneak-path currents.
+///   - **Digital bit storage** with the RAM-style fault behaviours of
+///     Section III (address-decoder aliasing, coupling, stuck-at cells) —
+///     the substrate the March-test engine runs against.
+///   - **Stateful logic** (Section IV.A): material implication (IMPLY),
+///     MAGIC NOR/NOT, ReVAMP-style majority write, and Scouting-logic reads,
+///     which the technology mappers of the EDA module target.
+///
+/// All operations account time (ns) and energy (pJ) into CrossbarStats; the
+/// per-operation dynamic energy feeds the on-line power monitor of
+/// Section III.C / Fig. 7.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+
+#include "device/reram_cell.hpp"
+#include "device/technology.hpp"
+#include "fault/fault_map.hpp"
+#include "util/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace cim::crossbar {
+
+/// Static configuration of one crossbar array.
+struct CrossbarConfig {
+  std::size_t rows = 64;
+  std::size_t cols = 64;
+  device::Technology tech = device::Technology::kReRamHfOx;
+  int levels = 16;                 ///< programmable conductance levels
+  bool model_ir_drop = true;       ///< first-order wire-resistance attenuation
+  double wire_resistance_ohm = 2.0;///< per wire segment (Ohm)
+  bool passive_array = false;      ///< 0T1R: VMM reads suffer sneak paths
+  bool verified_writes = false;    ///< program-and-verify on analog writes
+  std::uint64_t seed = 42;         ///< RNG stream for all stochastic behaviour
+  /// When set, overrides the preset parameters of `tech` — used by
+  /// reliability experiments that sweep endurance, noise or disturb rates.
+  std::optional<device::TechnologyParams> tech_override;
+};
+
+/// Operation counters and cost accumulation.
+struct CrossbarStats {
+  std::uint64_t bit_reads = 0;
+  std::uint64_t bit_writes = 0;
+  std::uint64_t analog_writes = 0;
+  std::uint64_t vmm_ops = 0;
+  std::uint64_t logic_ops = 0;
+  double time_ns = 0.0;
+  double energy_pj = 0.0;
+};
+
+/// Scouting-logic read operations (Xie et al., ISVLSI'17).
+enum class ScoutOp { kOr, kAnd, kXor };
+
+/// A ReRAM crossbar array with configurable non-idealities.
+class Crossbar {
+ public:
+  explicit Crossbar(CrossbarConfig cfg);
+
+  std::size_t rows() const { return cfg_.rows; }
+  std::size_t cols() const { return cfg_.cols; }
+  const CrossbarConfig& config() const { return cfg_; }
+  const device::TechnologyParams& tech() const { return tech_; }
+  const device::LevelScheme& scheme() const { return cells_.front().scheme(); }
+
+  /// Injects a fault map: cell faults are pushed into the cells, array-level
+  /// faults (decoder aliasing, coupling) are kept and honoured by every
+  /// subsequent addressed operation.
+  void apply_faults(const fault::FaultMap& map);
+
+  /// Currently applied fault map (empty map if none was applied).
+  const fault::FaultMap& faults() const { return faults_; }
+
+  // --- digital bit interface (logic 1 = LRS = top level) -------------------
+
+  /// Writes one bit through the (possibly faulty) row decoder; triggers
+  /// coupling faults and neighbour write-disturb.
+  void write_bit(std::size_t row, std::size_t col, bool value);
+
+  /// Reads one bit (threshold at mid conductance) through the row decoder.
+  bool read_bit(std::size_t row, std::size_t col);
+
+  // --- analog interface -----------------------------------------------------
+
+  /// Programs one cell to an analog conductance target (uS).
+  device::WriteResult program_cell(std::size_t row, std::size_t col, double g_us);
+
+  /// Programs the whole array from a matrix of conductances (uS).
+  void program_conductances(const util::Matrix& g_us);
+
+  /// Programs the whole array from a matrix of integer levels.
+  void program_levels(const util::Matrix& levels);
+
+  /// Noisy single-cell conductance read (uS).
+  double read_conductance(std::size_t row, std::size_t col);
+
+  /// True (noiseless) conductance — test oracle only.
+  double true_conductance(std::size_t row, std::size_t col) const;
+
+  /// Analog vector-matrix multiply: applies `v_rows` volts on the wordlines
+  /// and returns the bitline currents in uA. Models IR-drop, read noise,
+  /// read disturb and (for passive arrays) sneak-path background current.
+  std::vector<double> vmm(std::span<const double> v_rows);
+
+  /// Ideal VMM on the *target* conductances — the mathematical oracle.
+  std::vector<double> ideal_vmm(std::span<const double> v_rows) const;
+
+  /// Single-cell read current including 3-cell sneak-path contributions
+  /// (the mechanism exploited by the sneak-path test of Section III.B).
+  /// `window` restricts the contributing loops to cells within that many
+  /// rows/columns of the target (biasing scheme of the parallel test);
+  /// SIZE_MAX means the whole array.
+  double read_current_with_sneak(std::size_t row, std::size_t col,
+                                 std::size_t window = SIZE_MAX);
+
+  /// Oracle counterpart of read_current_with_sneak: same loop sum evaluated
+  /// on the *target* (programmed) conductances, noiseless and free.
+  double ideal_current_with_sneak(std::size_t row, std::size_t col,
+                                  std::size_t window = SIZE_MAX) const;
+
+  // --- stateful logic (Section IV.A) ---------------------------------------
+
+  /// Material implication, result into dest: S_dest <- S_dest -> S_src
+  /// (paper's convention: NS_p = S_p -> S_q).
+  void imply(std::size_t dest_row, std::size_t dest_col, std::size_t src_row,
+             std::size_t src_col);
+
+  /// Unconditional RESET to logic 0 (the FALSE operation completing the
+  /// {IMPLY, FALSE} universal set).
+  void set_false(std::size_t row, std::size_t col);
+
+  /// MAGIC NOT within a row: out <- NOT in. Precondition: out cell holds 1.
+  void magic_not(std::size_t row, std::size_t in_col, std::size_t out_col);
+
+  /// MAGIC k-input NOR within a row. Precondition: out cell holds 1; the
+  /// operation conditionally RESETs it. Input states are unchanged.
+  void magic_nor(std::size_t row, std::span<const std::size_t> in_cols,
+                 std::size_t out_col);
+
+  /// ReVAMP majority write: S <- MAJ3(S, v_wl, NOT v_bl).
+  void majority_write(std::size_t row, std::size_t col, bool v_wl, bool v_bl);
+
+  /// Wordline current sense with selective bitline activation: applies the
+  /// read voltage on the bitlines whose mask bit is set and senses the
+  /// summed current of `row` (uA). The primitive behind ESOP cube
+  /// evaluation [69]: a row of cube-mask cells conducts iff some stored-1
+  /// cell sees an active bitline.
+  double wordline_sense(std::size_t row, const std::vector<bool>& bitline_mask);
+
+  /// Scouting-logic read of two cells in one column: senses the summed
+  /// current of rows r1, r2 against the op's reference(s).
+  bool scout_read(std::size_t r1, std::size_t r2, std::size_t col, ScoutOp op);
+
+  // --- accounting ------------------------------------------------------------
+
+  const CrossbarStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = CrossbarStats{}; }
+
+  /// Energy (pJ) consumed by the most recent operation — the signal tapped by
+  /// the on-line power monitor.
+  double last_op_energy_pj() const { return last_op_energy_pj_; }
+
+  util::Rng& rng() { return rng_; }
+
+ private:
+  device::ReRamCell& cell(std::size_t r, std::size_t c) {
+    return cells_[r * cfg_.cols + c];
+  }
+  const device::ReRamCell& cell(std::size_t r, std::size_t c) const {
+    return cells_[r * cfg_.cols + c];
+  }
+
+  /// Row actually selected by the decoder (honours address-decoder faults).
+  std::size_t effective_row(std::size_t r) const;
+
+  /// Post-write side effects: coupling-fault victims and neighbour disturb.
+  void after_write(std::size_t r, std::size_t c, bool value_is_one);
+
+  /// IR-drop-attenuated effective conductance of a cell during VMM.
+  double effective_conductance(std::size_t r, std::size_t c, double g_us) const;
+
+  bool bit_of(const device::ReRamCell& cell) const;
+  double charge(double time_ns, double energy_pj);
+
+  CrossbarConfig cfg_;
+  device::TechnologyParams tech_;
+  util::Rng rng_;
+  std::vector<device::ReRamCell> cells_;
+  fault::FaultMap faults_;
+  CrossbarStats stats_;
+  double last_op_energy_pj_ = 0.0;
+};
+
+}  // namespace cim::crossbar

@@ -1,0 +1,64 @@
+#include "device/memristor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace cim::device {
+
+Memristor::Memristor(MemristorParams params) : params_(params), w_(params.w_init) {
+  if (params_.r_on_kohm <= 0.0 || params_.r_off_kohm <= params_.r_on_kohm)
+    throw std::invalid_argument("Memristor: need 0 < Ron < Roff");
+  if (params_.window_p < 1) throw std::invalid_argument("Memristor: window_p >= 1");
+  w_ = std::clamp(w_, 0.0, 1.0);
+}
+
+double Memristor::resistance_kohm() const {
+  return params_.r_on_kohm * w_ + params_.r_off_kohm * (1.0 - w_);
+}
+
+double Memristor::conductance_us() const { return 1e3 / resistance_kohm(); }
+
+double Memristor::window(double w) const {
+  const double t = 2.0 * w - 1.0;
+  double powed = 1.0;
+  for (int i = 0; i < 2 * params_.window_p; ++i) powed *= t;
+  return 1.0 - powed;
+}
+
+double Memristor::apply_voltage(double v, double dt_ns, std::size_t substeps) {
+  if (dt_ns < 0.0) throw std::invalid_argument("Memristor: negative dt");
+  if (substeps == 0) substeps = 1;
+  const double h = dt_ns / static_cast<double>(substeps);
+  double i_ua = 0.0;
+  for (std::size_t s = 0; s < substeps; ++s) {
+    const double r = resistance_kohm();
+    // I[uA] = V[V] / R[kOhm] * 1e3
+    i_ua = v / r * 1e3;
+    // Drift uses current in mA to keep the lumped constant near unity scale.
+    const double dw = params_.mobility * (i_ua * 1e-3) * window(w_) * h;
+    w_ = std::clamp(w_ + dw, 0.0, 1.0);
+  }
+  return i_ua;
+}
+
+void Memristor::set_state(double w) { w_ = std::clamp(w, 0.0, 1.0); }
+
+std::vector<IvPoint> Memristor::sweep_sinusoid(double amplitude_v, double period_ns,
+                                               std::size_t points) {
+  if (points < 2) throw std::invalid_argument("sweep_sinusoid: need >= 2 points");
+  std::vector<IvPoint> trace;
+  trace.reserve(points);
+  const double dt = period_ns / static_cast<double>(points);
+  for (std::size_t k = 0; k < points; ++k) {
+    const double t = static_cast<double>(k) * dt;
+    const double v =
+        amplitude_v * std::sin(2.0 * std::numbers::pi * t / period_ns);
+    const double i = apply_voltage(v, dt);
+    trace.push_back({t, v, i, w_, resistance_kohm()});
+  }
+  return trace;
+}
+
+}  // namespace cim::device

@@ -1,0 +1,76 @@
+/// \file memristor.hpp
+/// \brief Behavioural memristor model (linear ion drift with Joglekar
+///        window), following the HP-lab TiO2 device of Strukov et al. 2008
+///        that Section II.B/Fig. 3 of the paper introduces.
+///
+/// The device is the series combination of a doped (low resistance) and an
+/// undoped (high resistance) region; the normalized doping-front position
+/// w in [0,1] divides the two:
+///
+///     R(w)  = Ron * w + Roff * (1 - w)
+///     dw/dt = (mu_v * Ron / D^2) * i(t) * f(w)
+///
+/// with f(w) = 1 - (2w - 1)^(2p) the Joglekar window suppressing drift at
+/// the boundaries. Positive applied voltage grows the doped region (SET,
+/// towards Ron); negative voltage shrinks it (RESET, towards Roff).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace cim::device {
+
+/// Physical parameters of the linear ion-drift model.
+struct MemristorParams {
+  double r_on_kohm = 1.0;      ///< fully doped resistance (kOhm)
+  double r_off_kohm = 100.0;   ///< fully undoped resistance (kOhm)
+  double mobility = 1e-2;      ///< mu_v * Ron / D^2 lumped drift constant (1/(V*ns)) scaled
+  int window_p = 2;            ///< Joglekar window exponent p (>=1)
+  double w_init = 0.1;         ///< initial doping-front position
+};
+
+/// One trace point of a voltage sweep (for I-V hysteresis reproduction).
+struct IvPoint {
+  double time_ns = 0.0;
+  double voltage_v = 0.0;
+  double current_ua = 0.0;
+  double state_w = 0.0;
+  double resistance_kohm = 0.0;
+};
+
+/// Time-stepped linear ion-drift memristor.
+class Memristor {
+ public:
+  explicit Memristor(MemristorParams params = {});
+
+  /// Normalized state w in [0,1].
+  double state() const { return w_; }
+  /// Instantaneous resistance R(w) in kOhm.
+  double resistance_kohm() const;
+  /// Instantaneous conductance in uS.
+  double conductance_us() const;
+
+  /// Integrates the state under a constant voltage for `dt_ns` nanoseconds
+  /// using sub-stepped forward Euler; returns the current (uA) at the end of
+  /// the interval.
+  double apply_voltage(double v, double dt_ns, std::size_t substeps = 16);
+
+  /// Resets the state to w (clamped to [0,1]).
+  void set_state(double w);
+
+  const MemristorParams& params() const { return params_; }
+
+  /// Convenience: simulates a sinusoidal voltage sweep and records the I-V
+  /// trajectory — the classic pinched-hysteresis figure-of-merit of a
+  /// memristive device (Fig. 3's behavioural content).
+  std::vector<IvPoint> sweep_sinusoid(double amplitude_v, double period_ns,
+                                      std::size_t points) ;
+
+ private:
+  double window(double w) const;
+
+  MemristorParams params_;
+  double w_;
+};
+
+}  // namespace cim::device

@@ -1,0 +1,116 @@
+#include "device/technology.hpp"
+
+#include <stdexcept>
+
+namespace cim::device {
+
+std::string_view technology_name(Technology tech) {
+  switch (tech) {
+    case Technology::kReRamHfOx: return "ReRAM-HfOx";
+    case Technology::kReRamTiOx: return "ReRAM-TiOx";
+    case Technology::kPcm: return "PCM";
+    case Technology::kSttMram: return "STT-MRAM";
+    case Technology::kSram: return "SRAM";
+    case Technology::kDram: return "DRAM";
+  }
+  return "unknown";
+}
+
+TechnologyParams technology_params(Technology tech) {
+  TechnologyParams p;
+  p.tech = tech;
+  switch (tech) {
+    case Technology::kReRamHfOx:
+      // Defaults in the struct are the HfOx ReRAM preset.
+      break;
+    case Technology::kReRamTiOx:
+      p.r_on_kohm = 1.0;
+      p.r_off_kohm = 100.0;
+      p.max_levels = 8;
+      p.v_set = 1.5;
+      p.v_reset = -1.5;
+      p.t_write_ns = 20.0;
+      p.e_write_pj = 2.0;
+      p.endurance_mean = 1e7;
+      p.write_sigma_log = 0.08;
+      break;
+    case Technology::kPcm:
+      p.r_on_kohm = 20.0;
+      p.r_off_kohm = 2000.0;
+      p.max_levels = 16;
+      p.v_set = 1.2;
+      p.v_reset = -1.8;   // melt-quench modeled as negative polarity
+      p.t_write_ns = 100.0;
+      p.t_read_ns = 2.0;
+      p.e_write_pj = 10.0;
+      p.e_read_pj = 0.1;
+      p.endurance_mean = 1e9;
+      p.write_sigma_log = 0.1;   // resistance drift makes PCM noisier
+      p.read_noise_frac = 0.02;
+      break;
+    case Technology::kSttMram:
+      p.r_on_kohm = 2.0;
+      p.r_off_kohm = 5.0;        // TMR ~150%: tiny on/off window
+      p.max_levels = 2;          // binary only
+      p.v_set = 0.6;
+      p.v_reset = -0.6;
+      p.t_write_ns = 5.0;
+      p.t_read_ns = 1.0;
+      p.e_write_pj = 0.5;
+      p.e_read_pj = 0.02;
+      p.endurance_mean = 1e15;
+      p.write_sigma_log = 0.02;
+      p.read_disturb_prob = 1e-7;
+      p.write_disturb_prob = 0.0;  // STT write is cell-selective
+      p.cell_area_f2 = 20.0;
+      break;
+    case Technology::kSram:
+      p.r_on_kohm = 5.0;         // effective pull strength proxy
+      p.r_off_kohm = 50.0;
+      p.max_levels = 2;
+      p.v_set = 0.8;
+      p.v_reset = -0.8;
+      p.v_read = 0.8;
+      p.t_write_ns = 0.5;
+      p.t_read_ns = 0.5;
+      p.e_write_pj = 0.01;
+      p.e_read_pj = 0.01;
+      p.endurance_mean = 1e18;   // effectively unlimited
+      p.write_sigma_log = 0.005;
+      p.read_noise_frac = 0.001;
+      p.read_disturb_prob = 0.0;
+      p.write_disturb_prob = 0.0;
+      p.cell_area_f2 = 150.0;    // 6T cell
+      p.nonvolatile = false;
+      break;
+    case Technology::kDram:
+      p.r_on_kohm = 10.0;
+      p.r_off_kohm = 100.0;
+      p.max_levels = 2;
+      p.v_set = 1.1;
+      p.v_reset = -1.1;
+      p.v_read = 1.1;
+      p.t_write_ns = 15.0;
+      p.t_read_ns = 15.0;
+      p.e_write_pj = 0.1;
+      p.e_read_pj = 0.1;
+      p.endurance_mean = 1e18;
+      p.write_sigma_log = 0.01;
+      p.read_noise_frac = 0.005;
+      p.read_disturb_prob = 0.0;
+      p.write_disturb_prob = 1e-7;  // row-hammer-like coupling
+      p.cell_area_f2 = 8.0;
+      p.nonvolatile = false;
+      break;
+    default:
+      throw std::invalid_argument("technology_params: unknown technology");
+  }
+  return p;
+}
+
+std::vector<Technology> all_technologies() {
+  return {Technology::kReRamHfOx, Technology::kReRamTiOx, Technology::kPcm,
+          Technology::kSttMram,   Technology::kSram,      Technology::kDram};
+}
+
+}  // namespace cim::device

@@ -1,0 +1,80 @@
+/// \file technology.hpp
+/// \brief Technology parameter registry for the memory technologies the
+///        paper lists as CIM substrates (Section II.B): ReRAM (HfOx/TiOx),
+///        PCM, STT-MRAM, plus volatile SRAM/DRAM reference points.
+///
+/// Values are representative of published device literature (ISAAC, PRIME,
+/// Nguyen et al. JETC'20 survey); they parameterize behaviour and cost
+/// models, not materials physics. Canonical units per util/units.hpp.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cim::device {
+
+/// Memory technologies usable as a CIM array substrate.
+enum class Technology {
+  kReRamHfOx,
+  kReRamTiOx,
+  kPcm,
+  kSttMram,
+  kSram,
+  kDram,
+};
+
+/// Returns a short human-readable name ("ReRAM-HfOx", ...).
+std::string_view technology_name(Technology tech);
+
+/// Per-cell electrical, timing, energy, reliability and geometry parameters.
+struct TechnologyParams {
+  Technology tech = Technology::kReRamHfOx;
+
+  // Electrical.
+  double r_on_kohm = 10.0;     ///< low resistive state (LRS)
+  double r_off_kohm = 1000.0;  ///< high resistive state (HRS)
+  int max_levels = 16;         ///< max programmable conductance levels
+  double v_set = 2.0;          ///< SET voltage (V)
+  double v_reset = -2.0;       ///< RESET voltage (V)
+  double v_read = 0.2;         ///< read voltage (V)
+
+  // Timing (ns).
+  double t_write_ns = 10.0;
+  double t_read_ns = 1.0;
+
+  // Energy (pJ per operation on one cell).
+  double e_write_pj = 1.0;
+  double e_read_pj = 0.05;
+
+  // Reliability.
+  double endurance_mean = 1e8;        ///< mean write cycles to wear-out
+  double endurance_sigma_log = 0.5;   ///< lognormal spread of endurance
+  double write_sigma_log = 0.05;      ///< lognormal sigma of programmed G
+  double read_noise_frac = 0.01;      ///< Gaussian read noise (fraction of G)
+  double read_disturb_prob = 1e-6;    ///< per-read probability of disturb step
+  double write_disturb_prob = 1e-5;   ///< per-neighbour-write disturb probability
+
+  // Geometry / integration.
+  double cell_area_f2 = 4.0;     ///< cell footprint in F^2 (4F^2 crosspoint)
+  double feature_nm = 32.0;      ///< technology node F (nm)
+  bool nonvolatile = true;
+
+  /// LRS conductance in uS.
+  double g_on_us() const { return 1e3 / r_on_kohm; }
+  /// HRS conductance in uS.
+  double g_off_us() const { return 1e3 / r_off_kohm; }
+  /// Cell area in um^2 derived from F^2 footprint.
+  double cell_area_um2() const {
+    const double f_um = feature_nm * 1e-3;
+    return cell_area_f2 * f_um * f_um;
+  }
+};
+
+/// Built-in parameter preset for a technology.
+TechnologyParams technology_params(Technology tech);
+
+/// All technologies with presets (for comparison sweeps).
+std::vector<Technology> all_technologies();
+
+}  // namespace cim::device

@@ -1,0 +1,141 @@
+#include "eda/bdd.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace cim::eda {
+
+BddManager::BddManager(int vars) : vars_(vars) {
+  if (vars < 0 || vars > 20)
+    throw std::invalid_argument("BddManager: vars in [0,20]");
+  nodes_.push_back({-1, 0, 0});  // 0 terminal
+  nodes_.push_back({-1, 1, 1});  // 1 terminal
+}
+
+BddManager::Ref BddManager::make_node(int var, Ref low, Ref high) {
+  if (low == high) return low;  // reduction rule
+  const std::uint64_t key = (static_cast<std::uint64_t>(var) << 48) |
+                            (static_cast<std::uint64_t>(low) << 24) | high;
+  if (auto it = unique_.find(key); it != unique_.end()) return it->second;
+  nodes_.push_back({var, low, high});
+  const Ref id = static_cast<Ref>(nodes_.size() - 1);
+  unique_.emplace(key, id);
+  return id;
+}
+
+BddManager::Ref BddManager::var(int i) {
+  if (i < 0 || i >= vars_) throw std::invalid_argument("BddManager::var");
+  return make_node(i, zero(), one());
+}
+
+BddManager::Ref BddManager::ite(Ref f, Ref g, Ref h) {
+  // Terminal cases.
+  if (f == one()) return g;
+  if (f == zero()) return h;
+  if (g == h) return g;
+  if (g == one() && h == zero()) return f;
+
+  const std::uint64_t key = (static_cast<std::uint64_t>(f) << 42) |
+                            (static_cast<std::uint64_t>(g) << 21) | h;
+  if (auto it = computed_.find(key); it != computed_.end()) return it->second;
+
+  // Top variable among the three. The manager's variable order is
+  // *descending* index: variable vars-1 sits at the root, variable 0 just
+  // above the terminals (matching the truth-table construction, which
+  // splits the minterm range on its most significant bit first).
+  int top = -1;
+  for (const Ref r : {f, g, h})
+    if (!is_terminal(r)) top = std::max(top, nodes_[r].var);
+
+  auto cofactor = [&](Ref r, bool value) {
+    if (is_terminal(r) || nodes_[r].var != top) return r;
+    return value ? nodes_[r].high : nodes_[r].low;
+  };
+
+  const Ref hi = ite(cofactor(f, true), cofactor(g, true), cofactor(h, true));
+  const Ref lo = ite(cofactor(f, false), cofactor(g, false), cofactor(h, false));
+  const Ref res = make_node(top, lo, hi);
+  computed_.emplace(key, res);
+  return res;
+}
+
+BddManager::Ref BddManager::bnot(Ref f) { return ite(f, zero(), one()); }
+BddManager::Ref BddManager::band(Ref f, Ref g) { return ite(f, g, zero()); }
+BddManager::Ref BddManager::bor(Ref f, Ref g) { return ite(f, one(), g); }
+BddManager::Ref BddManager::bxor(Ref f, Ref g) { return ite(f, bnot(g), g); }
+
+BddManager::Ref BddManager::from_truth_table(const TruthTable& tt) {
+  if (tt.vars() != vars_)
+    throw std::invalid_argument("from_truth_table: var count mismatch");
+  // Bottom-up over minterm blocks: standard recursive construction by
+  // splitting on the highest variable.
+  struct Builder {
+    BddManager& mgr;
+    const TruthTable& tt;
+    Ref build(std::uint64_t lo, std::uint64_t hi, int var) {
+      if (var < 0) return tt.get(lo) ? mgr.one() : mgr.zero();
+      const std::uint64_t mid = lo + ((hi - lo) >> 1);
+      const Ref l = build(lo, mid, var - 1);
+      const Ref h = build(mid, hi, var - 1);
+      return mgr.make_node(var, l, h);
+    }
+  };
+  Builder b{*this, tt};
+  return b.build(0, tt.size(), vars_ - 1);
+}
+
+bool BddManager::eval(Ref f, std::uint64_t assignment) const {
+  while (!is_terminal(f)) {
+    const auto& n = nodes_[f];
+    f = ((assignment >> n.var) & 1ULL) ? n.high : n.low;
+  }
+  return f == one();
+}
+
+TruthTable BddManager::to_truth_table(Ref f) const {
+  TruthTable tt(vars_);
+  for (std::uint64_t m = 0; m < tt.size(); ++m)
+    if (eval(f, m)) tt.set(m, true);
+  return tt;
+}
+
+std::size_t BddManager::size(Ref f) const {
+  std::set<Ref> seen;
+  std::vector<Ref> stack = {f};
+  while (!stack.empty()) {
+    const Ref r = stack.back();
+    stack.pop_back();
+    if (is_terminal(r) || !seen.insert(r).second) continue;
+    stack.push_back(nodes_[r].low);
+    stack.push_back(nodes_[r].high);
+  }
+  return seen.size();
+}
+
+std::uint64_t BddManager::sat_count(Ref f) const {
+  // Memoized count of satisfying paths, scaled by skipped variables.
+  // Variable order is descending: below a node with var v live variables
+  // v-1 .. 0 (terminals act as var -1).
+  std::unordered_map<Ref, double> memo;
+  auto count = [&](auto&& self, Ref r) -> double {
+    if (r == zero()) return 0.0;
+    if (r == one()) return 1.0;
+    if (auto it = memo.find(r); it != memo.end()) return it->second;
+    const auto& n = nodes_[r];
+    auto weight = [&](Ref child) {
+      const int child_var = is_terminal(child) ? -1 : nodes_[child].var;
+      return self(self, child) *
+             static_cast<double>(1ULL << (n.var - child_var - 1));
+    };
+    const double c = weight(n.low) + weight(n.high);
+    memo.emplace(r, c);
+    return c;
+  };
+  const int top = is_terminal(f) ? -1 : nodes_[f].var;
+  const double total =
+      count(count, f) * static_cast<double>(1ULL << (vars_ - 1 - top));
+  return static_cast<std::uint64_t>(total);
+}
+
+}  // namespace cim::eda

@@ -1,0 +1,60 @@
+/// \file bench_circuits.hpp
+/// \brief Benchmark circuit generators for the EDA flow evaluation
+///        (Section IV / Fig. 8 bench): arithmetic, control and random logic
+///        in the spirit of the small ISCAS/EPFL suites the cited mapping
+///        papers evaluate on.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "eda/netlist.hpp"
+#include "util/rng.hpp"
+
+namespace cim::eda {
+
+/// A named benchmark circuit.
+struct BenchmarkCircuit {
+  std::string name;
+  Netlist netlist;
+};
+
+/// n-bit ripple-carry adder: inputs a[0..n), b[0..n), cin; outputs
+/// sum[0..n), cout.
+Netlist ripple_carry_adder(int bits);
+
+/// n x n array multiplier (small n): inputs a[0..n), b[0..n); 2n outputs.
+Netlist array_multiplier(int bits);
+
+/// n-input parity (XOR chain).
+Netlist parity(int inputs);
+
+/// 2^sel-to-1 multiplexer: inputs d[0..2^sel), s[0..sel); one output.
+Netlist mux_tree(int sel_bits);
+
+/// n-bit unsigned comparator, output = (A > B).
+Netlist comparator_gt(int bits);
+
+/// n-input majority (n odd) built from MAJ gates via a sorting-free
+/// recursive construction.
+Netlist majority_n(int inputs);
+
+/// Random single-output function of `vars` variables (seeded netlist from a
+/// random truth table's minterm cover; used as unstructured logic).
+Netlist random_function(int vars, util::Rng& rng);
+
+/// n-to-2^n one-hot address decoder.
+Netlist address_decoder(int bits);
+
+/// n-bit Gray-code to binary converter (XOR prefix chain).
+Netlist gray_to_binary(int bits);
+
+/// One-bit ALU slice: inputs a, b, cin, op[1:0]; output + cout.
+/// op = 00: AND, 01: OR, 10: XOR, 11: full add (cout valid for add).
+Netlist alu_slice();
+
+/// The standard suite used by the Fig. 8 bench and the flow tests.
+std::vector<BenchmarkCircuit> standard_suite(std::uint64_t seed = 7);
+
+}  // namespace cim::eda

@@ -1,0 +1,67 @@
+#include "eda/esop.hpp"
+
+#include <bit>
+
+namespace cim::eda {
+
+Esop Esop::from_truth_table(const TruthTable& tt) {
+  Esop e;
+  e.vars_ = tt.vars();
+  const std::uint64_t n = tt.size();
+
+  // Reed-Muller (binary Moebius) transform: butterfly over each variable.
+  std::vector<std::uint8_t> coeff(n);
+  for (std::uint64_t m = 0; m < n; ++m) coeff[m] = tt.get(m) ? 1 : 0;
+  for (std::uint64_t stride = 1; stride < n; stride <<= 1)
+    for (std::uint64_t block = 0; block < n; block += stride << 1)
+      for (std::uint64_t i = block; i < block + stride; ++i)
+        coeff[i + stride] = coeff[i + stride] ^ coeff[i];
+
+  for (std::uint64_t m = 0; m < n; ++m)
+    if (coeff[m]) e.cubes_.push_back({static_cast<std::uint32_t>(m)});
+  return e;
+}
+
+std::size_t Esop::literal_count() const {
+  std::size_t n = 0;
+  for (const auto& c : cubes_)
+    n += static_cast<std::size_t>(std::popcount(c.mask));
+  return n;
+}
+
+bool Esop::eval(std::uint64_t assignment) const {
+  bool acc = false;
+  for (const auto& c : cubes_) acc ^= c.eval(assignment);
+  return acc;
+}
+
+TruthTable Esop::to_truth_table() const {
+  TruthTable tt(vars_);
+  for (std::uint64_t m = 0; m < tt.size(); ++m)
+    if (eval(m)) tt.set(m, true);
+  return tt;
+}
+
+std::string Esop::to_string() const {
+  if (cubes_.empty()) return "0";
+  std::string s;
+  for (std::size_t k = 0; k < cubes_.size(); ++k) {
+    if (k) s += " ^ ";
+    const auto mask = cubes_[k].mask;
+    if (mask == 0) {
+      s += "1";
+      continue;
+    }
+    bool first = true;
+    for (int v = 0; v < vars_; ++v) {
+      if ((mask >> v) & 1u) {
+        if (!first) s += ".";
+        s += "x" + std::to_string(v);
+        first = false;
+      }
+    }
+  }
+  return s;
+}
+
+}  // namespace cim::eda

@@ -1,0 +1,52 @@
+/// \file esop.hpp
+/// \brief Exclusive Sum-of-Products representation (Section IV.B, [56]) via
+///        the positive-polarity Reed-Muller (PPRM) expansion.
+///
+/// ESOPs matter for ReRAM mapping because Bhattacharjee et al. [69] derive
+/// their crossbar lower bound (3 wordlines x 2 bitlines) for functions in
+/// ESOP form; the cube count drives the LUT/area-constrained mapping.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "eda/truth_table.hpp"
+
+namespace cim::eda {
+
+/// One product term: the AND of the variables whose bit is set in `mask`
+/// (PPRM: all literals positive; mask 0 = the constant-1 cube).
+struct Cube {
+  std::uint32_t mask = 0;
+
+  bool eval(std::uint64_t assignment) const {
+    return (assignment & mask) == mask;
+  }
+};
+
+/// An exclusive (XOR) sum of positive cubes.
+class Esop {
+ public:
+  /// Computes the (unique) PPRM expansion of a truth table via the
+  /// butterfly Reed-Muller transform.
+  static Esop from_truth_table(const TruthTable& tt);
+
+  int vars() const { return vars_; }
+  const std::vector<Cube>& cubes() const { return cubes_; }
+  std::size_t cube_count() const { return cubes_.size(); }
+  /// Total literal count (sum of cube sizes) — the area proxy.
+  std::size_t literal_count() const;
+
+  bool eval(std::uint64_t assignment) const;
+  TruthTable to_truth_table() const;
+
+  /// Human-readable form, e.g. "1 ^ x0 ^ x0.x2".
+  std::string to_string() const;
+
+ private:
+  int vars_ = 0;
+  std::vector<Cube> cubes_;
+};
+
+}  // namespace cim::eda

@@ -1,0 +1,106 @@
+#include "eda/esop_mapper.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace cim::eda {
+
+EsopProgram compile_esop(const Esop& esop, EsopLayout layout) {
+  EsopProgram prog;
+  prog.esop = esop;
+  prog.layout = layout;
+  const std::size_t vars = static_cast<std::size_t>(esop.vars());
+  const std::size_t cubes = esop.cube_count();
+  // Columns: one per variable plus one for the accumulator cell.
+  prog.cols = std::max<std::size_t>(vars + 1, 2);
+
+  if (layout == EsopLayout::kRowPerCube) {
+    prog.rows = std::max<std::size_t>(cubes, 1) + 1;  // + accumulator row
+    // Delay: one sense per cube, one (possible) toggle each, plus the
+    // accumulator initialization.
+    prog.delay = 1 + 2 * cubes;
+  } else {
+    prog.rows = 2;  // one mask row + one accumulator row
+    // Each cube: rewrite the mask (vars writes, worst case), sense, toggle.
+    prog.delay = 1 + cubes * (vars + 2);
+  }
+  prog.device_count = prog.rows * prog.cols;
+  return prog;
+}
+
+namespace {
+
+/// Writes cube `mask` into row `row` (cells 0..vars-1).
+void write_mask(crossbar::Crossbar& xbar, std::size_t row, std::uint32_t mask,
+                std::size_t vars) {
+  for (std::size_t j = 0; j < vars; ++j)
+    xbar.write_bit(row, j, (mask >> j) & 1u);
+}
+
+/// Cube-satisfaction check: senses the mask row with the *complement* of
+/// the assignment on the bitlines. Current flows iff some masked variable
+/// is 0, i.e. the cube is violated.
+bool cube_satisfied(crossbar::Crossbar& xbar, std::size_t row,
+                    std::uint64_t assignment, std::size_t vars) {
+  std::vector<bool> active(xbar.cols(), false);
+  for (std::size_t j = 0; j < vars; ++j)
+    active[j] = ((assignment >> j) & 1ULL) == 0;
+  const double i = xbar.wordline_sense(row, active);
+  // Any conducting LRS cell carries ~v*g_on; threshold at half of one unit.
+  const double unit = xbar.tech().v_read * xbar.tech().g_on_us();
+  return i < 0.5 * unit;
+}
+
+}  // namespace
+
+bool execute_esop(crossbar::Crossbar& xbar, const EsopProgram& prog,
+                  std::uint64_t assignment) {
+  const std::size_t vars = static_cast<std::size_t>(prog.esop.vars());
+  if (xbar.rows() < prog.rows || xbar.cols() < prog.cols)
+    throw std::invalid_argument("execute_esop: crossbar too small");
+
+  const std::size_t acc_row = prog.rows - 1;
+  const std::size_t acc_col = vars;  // accumulator cell (acc_row, acc_col)
+  xbar.write_bit(acc_row, acc_col, false);
+
+  const auto& cubes = prog.esop.cubes();
+  for (std::size_t k = 0; k < cubes.size(); ++k) {
+    std::size_t row;
+    if (prog.layout == EsopLayout::kRowPerCube) {
+      row = k;
+      write_mask(xbar, row, cubes[k].mask, vars);
+    } else {
+      row = 0;
+      write_mask(xbar, row, cubes[k].mask, vars);
+    }
+    if (cube_satisfied(xbar, row, assignment, vars)) {
+      // XOR-accumulate: controller-mediated conditional toggle.
+      const bool acc = xbar.read_bit(acc_row, acc_col);
+      xbar.write_bit(acc_row, acc_col, !acc);
+    }
+  }
+  return xbar.read_bit(acc_row, acc_col);
+}
+
+bool verify_esop(const EsopProgram& prog) {
+  // HfOx: the large on/off ratio keeps the HRS leakage of unmasked cells
+  // far below one LRS unit, which the sense threshold relies on.
+  crossbar::CrossbarConfig cfg;
+  cfg.rows = prog.rows;
+  cfg.cols = prog.cols;
+  cfg.tech = device::Technology::kReRamHfOx;
+  cfg.levels = 2;
+  cfg.model_ir_drop = false;
+  cfg.verified_writes = true;
+  cfg.seed = 11;
+
+  const auto tt = prog.esop.to_truth_table();
+  const std::uint64_t n = 1ULL << prog.esop.vars();
+  for (std::uint64_t a = 0; a < n; ++a) {
+    crossbar::Crossbar xbar(cfg);
+    if (execute_esop(xbar, prog, a) != tt.get(a)) return false;
+  }
+  return true;
+}
+
+}  // namespace cim::eda

@@ -1,0 +1,60 @@
+/// \file esop_mapper.hpp
+/// \brief ESOP-based crossbar technology mapping (Section IV.C,
+///        Bhattacharjee et al., TC'20 [69]).
+///
+/// "A lower bound on the size of crossbar array (3 wordlines and 2
+/// bitlines) required to map a Boolean function in Exclusive
+/// Sum-of-Product representation was introduced [69]. Using this bound as
+/// a building block, an LUT-based, area-constrained mapping approach was
+/// proposed."
+///
+/// Realization: the function's PPRM cubes are stored as mask rows of a
+/// crossbar (cell (k, j) = 1 iff cube k contains variable x_j). A cube is
+/// satisfied iff none of its masked variables is 0, checked in one
+/// wordline-sense step with the *complemented* input on the bitlines
+/// (current flows only through mask cells whose variable is 0). The
+/// controller XOR-accumulates satisfied cubes into an accumulator cell via
+/// conditional RESET/SET toggles. Two layouts are provided:
+///   - kRowPerCube: one row per cube — one sense per cube, maximal area;
+///   - kTimeMultiplexed: a single mask row reprogrammed per cube — the
+///     3x2-bound-style minimal-area layout, paying reprogramming writes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "crossbar/crossbar.hpp"
+#include "eda/esop.hpp"
+
+namespace cim::eda {
+
+/// Crossbar layout strategy for the ESOP mapping.
+enum class EsopLayout {
+  kRowPerCube,       ///< area = cubes+1 rows, delay = cubes senses
+  kTimeMultiplexed,  ///< area = 2 rows, delay includes mask reprogramming
+};
+
+/// A compiled ESOP crossbar program.
+struct EsopProgram {
+  Esop esop;
+  EsopLayout layout = EsopLayout::kRowPerCube;
+  std::size_t rows = 0;         ///< crossbar rows used
+  std::size_t cols = 0;         ///< crossbar columns used
+  std::size_t device_count = 0; ///< rows * cols (area metric)
+  /// Steps: cube senses + accumulator toggles (worst case) + mask writes.
+  std::size_t delay = 0;
+};
+
+/// Compiles an ESOP into a crossbar program.
+EsopProgram compile_esop(const Esop& esop,
+                         EsopLayout layout = EsopLayout::kRowPerCube);
+
+/// Executes the program on a fresh crossbar for one input assignment.
+bool execute_esop(crossbar::Crossbar& xbar, const EsopProgram& prog,
+                  std::uint64_t assignment);
+
+/// Exhaustive verification against the ESOP's truth table.
+bool verify_esop(const EsopProgram& prog);
+
+}  // namespace cim::eda

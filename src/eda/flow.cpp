@@ -1,0 +1,89 @@
+#include "eda/flow.hpp"
+
+#include "eda/aig.hpp"
+#include "eda/bdd.hpp"
+#include "eda/esop.hpp"
+#include "eda/imply_mapper.hpp"
+#include "eda/magic_mapper.hpp"
+#include "eda/majority_mapper.hpp"
+#include "eda/mig.hpp"
+
+namespace cim::eda {
+
+std::string_view logic_family_name(LogicFamily family) {
+  switch (family) {
+    case LogicFamily::kImply: return "IMPLY";
+    case LogicFamily::kMajority: return "Majority";
+    case LogicFamily::kMagic: return "MAGIC";
+  }
+  return "unknown";
+}
+
+std::vector<LogicFamily> all_logic_families() {
+  return {LogicFamily::kImply, LogicFamily::kMajority, LogicFamily::kMagic};
+}
+
+FlowReport run_flow(const std::string& name, const Netlist& circuit,
+                    LogicFamily family, const FlowOptions& opts) {
+  FlowReport rep;
+  rep.circuit = name;
+  rep.family = family;
+
+  // Phase 1: technology-independent synthesis into an AIG.
+  const Aig aig = Aig::from_netlist(circuit);
+  rep.aig_nodes = aig.num_ands();
+  rep.aig_depth = aig.depth();
+
+  // Phase 2: technology-dependent representations.
+  const Mig mig = Mig::from_aig(aig);
+  rep.mig_nodes = mig.num_majs();
+  rep.mig_depth = mig.depth();
+
+  if (circuit.num_outputs() == 1 && circuit.num_inputs() <= 12) {
+    const auto tt = circuit.truth_tables().front();
+    rep.esop_cubes = Esop::from_truth_table(tt).cube_count();
+    BddManager bdd(tt.vars());
+    rep.bdd_nodes = bdd.size(bdd.from_truth_table(tt));
+  }
+
+  // Phase 3: technology mapping.
+  switch (family) {
+    case LogicFamily::kImply: {
+      const auto prog = compile_imply(aig, opts.reuse_cells);
+      rep.devices = prog.num_cells;
+      rep.delay = prog.delay();
+      if (opts.verify) rep.verified = verify_imply(prog, aig);
+      break;
+    }
+    case LogicFamily::kMajority: {
+      const auto sched = schedule_revamp(mig);
+      rep.devices = sched.device_count;
+      rep.delay = sched.delay();
+      if (opts.verify) rep.verified = verify_revamp(mig, sched);
+      break;
+    }
+    case LogicFamily::kMagic: {
+      const auto nor = aig.to_netlist().to_nor_only();
+      const auto prog = compile_magic(nor, opts.reuse_cells);
+      rep.devices = prog.num_cells;
+      rep.delay = prog.delay();
+      if (opts.verify) rep.verified = verify_magic(prog, nor);
+      break;
+    }
+  }
+  rep.area_delay_product =
+      static_cast<double>(rep.devices) * static_cast<double>(rep.delay);
+  return rep;
+}
+
+std::vector<FlowReport> run_suite(const std::vector<BenchmarkCircuit>& suite,
+                                  const FlowOptions& opts) {
+  std::vector<FlowReport> reports;
+  reports.reserve(suite.size() * 3);
+  for (const auto& bc : suite)
+    for (const auto family : all_logic_families())
+      reports.push_back(run_flow(bc.name, bc.netlist, family, opts));
+  return reports;
+}
+
+}  // namespace cim::eda

@@ -1,0 +1,54 @@
+/// \file flow.hpp
+/// \brief The end-to-end EDA flow of Fig. 8: technology-independent
+///        synthesis -> technology-dependent optimization -> technology
+///        mapping, for each of the three ReRAM logic families of
+///        Section IV.A (IMPLY, Majority/ReVAMP, MAGIC).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "eda/bench_circuits.hpp"
+#include "eda/netlist.hpp"
+
+namespace cim::eda {
+
+/// The mapping targets (stateful logic families).
+enum class LogicFamily { kImply, kMajority, kMagic };
+std::string_view logic_family_name(LogicFamily family);
+std::vector<LogicFamily> all_logic_families();
+
+/// Result of mapping one circuit to one family.
+struct FlowReport {
+  std::string circuit;
+  LogicFamily family = LogicFamily::kImply;
+  // Synthesis statistics.
+  std::size_t aig_nodes = 0;
+  std::size_t aig_depth = 0;
+  std::size_t mig_nodes = 0;
+  std::size_t mig_depth = 0;
+  std::size_t esop_cubes = 0;   ///< single-output circuits only (else 0)
+  std::size_t bdd_nodes = 0;    ///< single-output circuits only (else 0)
+  // Mapping metrics.
+  std::size_t devices = 0;      ///< area (cells)
+  std::size_t delay = 0;        ///< steps
+  double area_delay_product = 0.0;
+  bool verified = false;        ///< mapping simulated == specification
+};
+
+/// Options for the flow.
+struct FlowOptions {
+  bool reuse_cells = true;   ///< area-constrained mapping for IMPLY/MAGIC
+  bool verify = true;        ///< exhaustively simulate each mapping
+};
+
+/// Runs the full flow for one circuit and one family.
+FlowReport run_flow(const std::string& name, const Netlist& circuit,
+                    LogicFamily family, const FlowOptions& opts = {});
+
+/// Runs every family over every circuit of a suite.
+std::vector<FlowReport> run_suite(const std::vector<BenchmarkCircuit>& suite,
+                                  const FlowOptions& opts = {});
+
+}  // namespace cim::eda

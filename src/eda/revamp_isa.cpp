@@ -1,0 +1,271 @@
+#include "eda/revamp_isa.hpp"
+
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace cim::eda {
+
+std::string RevampOperand::to_string() const {
+  std::ostringstream os;
+  switch (src) {
+    case Src::kConst0: os << "0"; break;
+    case Src::kConst1: os << "1"; break;
+    case Src::kInput: os << "PI[" << input_index << "]"; break;
+    case Src::kDmr: os << "DMR[r" << dmr_row << ",c" << dmr_col << "]"; break;
+  }
+  if (complemented) os << "'";
+  return os.str();
+}
+
+std::string RevampInstruction::to_string() const {
+  std::ostringstream os;
+  if (kind == Kind::kRead) {
+    os << "READ  r" << wordline;
+    return os.str();
+  }
+  os << "APPLY r" << wordline << ", wl=" << wl.to_string() << ", bl:";
+  for (std::size_t c = 0; c < columns.size(); ++c)
+    if (columns[c]) os << " c" << c << "=" << columns[c]->to_string();
+  return os.str();
+}
+
+std::size_t RevampProgram::read_count() const {
+  std::size_t n = 0;
+  for (const auto& ins : instrs)
+    if (ins.kind == RevampInstruction::Kind::kRead) ++n;
+  return n;
+}
+
+std::size_t RevampProgram::apply_count() const {
+  return instrs.size() - read_count();
+}
+
+std::string RevampProgram::disassemble() const {
+  std::ostringstream os;
+  os << "; ReVAMP program: " << wordlines << " wordlines x " << bitlines
+     << " bitlines, " << num_inputs << " primary inputs\n";
+  for (std::size_t k = 0; k < instrs.size(); ++k)
+    os << k << ":\t" << instrs[k].to_string() << "\n";
+  os << "; outputs:";
+  for (const auto& o : outputs) os << " " << o.to_string();
+  os << "\n";
+  return os.str();
+}
+
+namespace {
+
+/// Maps an MIG literal to a ReVAMP operand, given the node placements.
+RevampOperand operand_of(
+    const Mig& /*mig*/, Mig::Lit lit,
+    const std::map<std::uint32_t, std::pair<std::size_t, std::size_t>>& placed,
+    const std::map<std::uint32_t, std::size_t>& input_index) {
+  RevampOperand op;
+  op.complemented = Mig::is_complemented(lit);
+  const auto node = Mig::node_of(lit);
+  if (node == 0) {
+    op.src = op.complemented ? RevampOperand::Src::kConst1
+                             : RevampOperand::Src::kConst0;
+    op.complemented = false;
+    return op;
+  }
+  if (auto it = input_index.find(node); it != input_index.end()) {
+    op.src = RevampOperand::Src::kInput;
+    op.input_index = it->second;
+    return op;
+  }
+  const auto it = placed.find(node);
+  if (it == placed.end())
+    throw std::logic_error("assemble_revamp: operand not yet computed");
+  op.src = RevampOperand::Src::kDmr;
+  op.dmr_row = it->second.first;
+  op.dmr_col = it->second.second;
+  return op;
+}
+
+}  // namespace
+
+RevampProgram assemble_revamp(const Mig& mig, const MajSchedule& sched) {
+  RevampProgram prog;
+  prog.wordlines = std::max<std::size_t>(1, sched.rows);
+  prog.bitlines = std::max<std::size_t>(1, sched.max_row_width);
+  prog.num_inputs = mig.num_inputs();
+
+  std::map<std::uint32_t, std::size_t> input_index;
+  {
+    std::size_t k = 0;
+    for (const auto in : mig.input_nodes()) input_index[in] = k++;
+  }
+  std::map<std::uint32_t, std::pair<std::size_t, std::size_t>> placed;
+
+  // Group plan entries by row (the schedule emits them level by level).
+  std::map<std::size_t, std::vector<const MajNodePlan*>> by_row;
+  for (const auto& p : sched.plan) by_row[p.row].push_back(&p);
+
+
+  for (const auto& [row, nodes] : by_row) {
+    // READ every producer row this level consumes.
+    std::vector<bool> needs_read(prog.wordlines, false);
+    for (const auto* p : nodes) {
+      for (const Mig::Lit lit : {p->preload, p->shared, p->per_column}) {
+        const auto node = Mig::node_of(lit);
+        if (auto it = placed.find(node); it != placed.end())
+          needs_read[it->second.first] = true;
+      }
+    }
+    for (std::size_t r = 0; r < prog.wordlines; ++r) {
+      if (!needs_read[r]) continue;
+      RevampInstruction read;
+      read.kind = RevampInstruction::Kind::kRead;
+      read.wordline = r;
+      prog.instrs.push_back(read);
+    }
+
+    // APPLY #1: RESET the level's row (wl = 0, bl = 1 on active columns:
+    // MAJ(S, 0, !1) = 0).
+    RevampInstruction reset;
+    reset.kind = RevampInstruction::Kind::kApply;
+    reset.wordline = row;
+    reset.wl = {RevampOperand::Src::kConst0, 0, 0, 0, false};
+    reset.columns.assign(prog.bitlines, std::nullopt);
+    for (const auto* p : nodes)
+      reset.columns[p->col] = RevampOperand{RevampOperand::Src::kConst1,
+                                            0, 0, 0, false};
+    prog.instrs.push_back(reset);
+
+    // APPLY #2: PRELOAD (wl = 1, bl = !preload: MAJ(0, 1, preload)).
+    RevampInstruction preload;
+    preload.kind = RevampInstruction::Kind::kApply;
+    preload.wordline = row;
+    preload.wl = {RevampOperand::Src::kConst1, 0, 0, 0, false};
+    preload.columns.assign(prog.bitlines, std::nullopt);
+    for (const auto* p : nodes) {
+      auto op = operand_of(mig, p->preload, placed, input_index);
+      op.complemented = !op.complemented;  // drive V_bl = !preload
+      if (op.src == RevampOperand::Src::kConst0 && op.complemented) {
+        op.src = RevampOperand::Src::kConst1;
+        op.complemented = false;
+      } else if (op.src == RevampOperand::Src::kConst1 && op.complemented) {
+        op.src = RevampOperand::Src::kConst0;
+        op.complemented = false;
+      }
+      preload.columns[p->col] = op;
+    }
+    prog.instrs.push_back(preload);
+
+    // APPLY #3..: one instruction per shared-literal group.
+    std::map<Mig::Lit, std::vector<const MajNodePlan*>> groups;
+    for (const auto* p : nodes) groups[p->shared].push_back(p);
+    for (const auto& [shared, members] : groups) {
+      RevampInstruction apply;
+      apply.kind = RevampInstruction::Kind::kApply;
+      apply.wordline = row;
+      apply.wl = operand_of(mig, shared, placed, input_index);
+      apply.columns.assign(prog.bitlines, std::nullopt);
+      for (const auto* p : members) {
+        auto op = operand_of(mig, p->per_column, placed, input_index);
+        op.complemented = !op.complemented;  // V_bl carries the complement
+        if (op.src == RevampOperand::Src::kConst0 && op.complemented) {
+          op.src = RevampOperand::Src::kConst1;
+          op.complemented = false;
+        } else if (op.src == RevampOperand::Src::kConst1 && op.complemented) {
+          op.src = RevampOperand::Src::kConst0;
+          op.complemented = false;
+        }
+        apply.columns[p->col] = op;
+      }
+      prog.instrs.push_back(apply);
+    }
+
+    for (const auto* p : nodes) placed[p->node] = {p->row, p->col};
+  }
+
+  // Output taps.
+  for (const auto o : mig.outputs())
+    prog.outputs.push_back(operand_of(mig, o, placed, input_index));
+
+  // Final READs so every DMR-sourced output is latched.
+  std::vector<bool> need(prog.wordlines, false);
+  for (const auto& o : prog.outputs)
+    if (o.src == RevampOperand::Src::kDmr) need[o.dmr_row] = true;
+  for (std::size_t r = 0; r < prog.wordlines; ++r) {
+    if (!need[r]) continue;
+    RevampInstruction read;
+    read.kind = RevampInstruction::Kind::kRead;
+    read.wordline = r;
+    prog.instrs.push_back(read);
+  }
+  return prog;
+}
+
+std::vector<bool> execute_revamp_program(crossbar::Crossbar& xbar,
+                                         const RevampProgram& prog,
+                                         std::uint64_t assignment) {
+  if (xbar.rows() < prog.wordlines || xbar.cols() < prog.bitlines)
+    throw std::invalid_argument("execute_revamp_program: array too small");
+
+  std::map<std::size_t, std::vector<bool>> dmr;
+
+  auto resolve = [&](const RevampOperand& op) -> bool {
+    bool v = false;
+    switch (op.src) {
+      case RevampOperand::Src::kConst0: v = false; break;
+      case RevampOperand::Src::kConst1: v = true; break;
+      case RevampOperand::Src::kInput:
+        v = (assignment >> op.input_index) & 1ULL;
+        break;
+      case RevampOperand::Src::kDmr: {
+        const auto it = dmr.find(op.dmr_row);
+        if (it == dmr.end())
+          throw std::logic_error("execute_revamp_program: DMR row not latched");
+        v = it->second.at(op.dmr_col);
+        break;
+      }
+    }
+    return op.complemented ? !v : v;
+  };
+
+  for (const auto& ins : prog.instrs) {
+    if (ins.kind == RevampInstruction::Kind::kRead) {
+      std::vector<bool> word(prog.bitlines);
+      for (std::size_t c = 0; c < prog.bitlines; ++c)
+        word[c] = xbar.read_bit(ins.wordline, c);
+      dmr[ins.wordline] = std::move(word);
+      continue;
+    }
+    const bool v_wl = resolve(ins.wl);
+    for (std::size_t c = 0; c < ins.columns.size(); ++c) {
+      if (!ins.columns[c]) continue;
+      const bool v_bl = resolve(*ins.columns[c]);
+      xbar.majority_write(ins.wordline, c, v_wl, v_bl);
+    }
+  }
+
+  std::vector<bool> out;
+  out.reserve(prog.outputs.size());
+  for (const auto& o : prog.outputs) out.push_back(resolve(o));
+  return out;
+}
+
+bool verify_revamp_program(const Mig& mig, const MajSchedule& sched) {
+  const auto prog = assemble_revamp(mig, sched);
+  crossbar::CrossbarConfig cfg;
+  cfg.rows = prog.wordlines;
+  cfg.cols = prog.bitlines;
+  cfg.tech = device::Technology::kSttMram;
+  cfg.levels = 2;
+  cfg.model_ir_drop = false;
+  cfg.seed = 17;
+
+  const auto tts = mig.truth_tables();
+  const std::uint64_t n = 1ULL << mig.num_inputs();
+  for (std::uint64_t a = 0; a < n; ++a) {
+    crossbar::Crossbar xbar(cfg);
+    const auto out = execute_revamp_program(xbar, prog, a);
+    for (std::size_t o = 0; o < tts.size(); ++o)
+      if (out[o] != tts[o].get(a)) return false;
+  }
+  return true;
+}
+
+}  // namespace cim::eda

@@ -1,0 +1,115 @@
+#include "fault/fault_map.hpp"
+
+#include <stdexcept>
+
+namespace cim::fault {
+
+FaultMap::FaultMap(std::size_t rows, std::size_t cols) : rows_(rows), cols_(cols) {
+  if (rows == 0 || cols == 0) throw std::invalid_argument("FaultMap: empty array");
+}
+
+void FaultMap::add(const FaultDescriptor& fd) {
+  if (fd.row >= rows_ || fd.col >= cols_)
+    throw std::out_of_range("FaultMap::add: coordinates out of range");
+  if (is_array_level(fd.kind)) {
+    if (fd.kind == FaultKind::kAddressDecoder) {
+      if (fd.aux_row >= rows_)
+        throw std::out_of_range("FaultMap::add: decoder aux_row out of range");
+      decoder_.push_back(fd);
+    } else {
+      if (fd.aux_row >= rows_ || fd.aux_col >= cols_)
+        throw std::out_of_range("FaultMap::add: coupling victim out of range");
+      coupling_.push_back(fd);
+    }
+    return;
+  }
+  cells_[{fd.row, fd.col}] = fd;
+}
+
+std::optional<FaultDescriptor> FaultMap::cell_fault(std::size_t r,
+                                                    std::size_t c) const {
+  auto it = cells_.find({r, c});
+  if (it == cells_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<FaultDescriptor> FaultMap::all() const {
+  std::vector<FaultDescriptor> out;
+  out.reserve(cells_.size() + decoder_.size() + coupling_.size());
+  for (const auto& [key, fd] : cells_) out.push_back(fd);
+  out.insert(out.end(), decoder_.begin(), decoder_.end());
+  out.insert(out.end(), coupling_.begin(), coupling_.end());
+  return out;
+}
+
+std::size_t FaultMap::count(FaultKind kind) const {
+  std::size_t n = 0;
+  for (const auto& [key, fd] : cells_)
+    if (fd.kind == kind) ++n;
+  for (const auto& fd : decoder_)
+    if (fd.kind == kind) ++n;
+  for (const auto& fd : coupling_)
+    if (fd.kind == kind) ++n;
+  return n;
+}
+
+double FaultMap::faulty_cell_fraction() const {
+  return static_cast<double>(cells_.size()) /
+         static_cast<double>(rows_ * cols_);
+}
+
+FaultKind FaultMap::sample_kind(const FaultMix& mix, util::Rng& rng) {
+  const double total = mix.total();
+  if (total <= 0.0) throw std::invalid_argument("FaultMix: all-zero weights");
+  double u = rng.uniform() * total;
+  if ((u -= mix.sa0) < 0.0) return FaultKind::kStuckAtZero;
+  if ((u -= mix.sa1) < 0.0) return FaultKind::kStuckAtOne;
+  if ((u -= mix.transition) < 0.0)
+    return rng.bernoulli(0.5) ? FaultKind::kTransitionUp
+                              : FaultKind::kTransitionDown;
+  if ((u -= mix.write_variation) < 0.0) return FaultKind::kWriteVariation;
+  if ((u -= mix.read_disturb) < 0.0) return FaultKind::kReadDisturb;
+  if ((u -= mix.write_disturb) < 0.0) return FaultKind::kWriteDisturb;
+  return FaultKind::kOverForming;
+}
+
+FaultMap FaultMap::from_yield(std::size_t rows, std::size_t cols, double yield,
+                              const FaultMix& mix, util::Rng& rng) {
+  if (yield < 0.0 || yield > 1.0)
+    throw std::invalid_argument("FaultMap::from_yield: yield in [0,1]");
+  FaultMap map(rows, cols);
+  const double p_fault = 1.0 - yield;
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (!rng.bernoulli(p_fault)) continue;
+      FaultDescriptor fd;
+      fd.kind = sample_kind(mix, rng);
+      fd.row = r;
+      fd.col = c;
+      if (fd.kind == FaultKind::kWriteVariation)
+        fd.severity = rng.uniform(2.0, 6.0);
+      map.add(fd);
+    }
+  }
+  return map;
+}
+
+FaultMap FaultMap::with_fault_count(std::size_t rows, std::size_t cols,
+                                    std::size_t n_faults, const FaultMix& mix,
+                                    util::Rng& rng) {
+  if (n_faults > rows * cols)
+    throw std::invalid_argument("FaultMap: more faults than cells");
+  FaultMap map(rows, cols);
+  auto perm = rng.permutation(rows * cols);
+  for (std::size_t i = 0; i < n_faults; ++i) {
+    FaultDescriptor fd;
+    fd.kind = sample_kind(mix, rng);
+    fd.row = perm[i] / cols;
+    fd.col = perm[i] % cols;
+    if (fd.kind == FaultKind::kWriteVariation) fd.severity = rng.uniform(2.0, 6.0);
+    map.add(fd);
+  }
+  return map;
+}
+
+}  // namespace cim::fault

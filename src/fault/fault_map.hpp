@@ -1,0 +1,96 @@
+/// \file fault_map.hpp
+/// \brief A set of injected faults for one crossbar array, plus generators
+///        that realize a target yield / fault mix.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "fault/fault_model.hpp"
+#include "util/rng.hpp"
+
+namespace cim::fault {
+
+/// Relative weights for sampling fault kinds when injecting by yield.
+/// Defaults follow the literature's observation that stuck-at faults
+/// dominate fabrication fallout (Section III.A).
+struct FaultMix {
+  double sa0 = 0.40;
+  double sa1 = 0.25;
+  double transition = 0.10;       ///< split evenly between up/down
+  double write_variation = 0.15;
+  double read_disturb = 0.05;
+  double write_disturb = 0.05;
+  double over_forming = 0.0;
+
+  double total() const {
+    return sa0 + sa1 + transition + write_variation + read_disturb +
+           write_disturb + over_forming;
+  }
+
+  /// A stuck-at-only mix (used by the yield/accuracy experiment of [38]).
+  static FaultMix stuck_at_only() {
+    FaultMix m;
+    m.sa0 = 0.6;
+    m.sa1 = 0.4;
+    m.transition = m.write_variation = m.read_disturb = m.write_disturb = 0.0;
+    return m;
+  }
+};
+
+/// Sparse description of all faults injected into a rows x cols array.
+class FaultMap {
+ public:
+  FaultMap(std::size_t rows, std::size_t cols);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  /// Adds one fault (bounds-checked). Cell-level faults replace any existing
+  /// fault on the same cell; array-level faults accumulate.
+  void add(const FaultDescriptor& fd);
+
+  /// Cell-level fault at (r, c), if any.
+  std::optional<FaultDescriptor> cell_fault(std::size_t r, std::size_t c) const;
+
+  /// All faults (cell-level then array-level), deterministic order.
+  std::vector<FaultDescriptor> all() const;
+
+  /// Array-level address-decoder faults.
+  const std::vector<FaultDescriptor>& decoder_faults() const { return decoder_; }
+  /// Array-level coupling faults.
+  const std::vector<FaultDescriptor>& coupling_faults() const { return coupling_; }
+
+  std::size_t cell_fault_count() const { return cells_.size(); }
+  std::size_t count(FaultKind kind) const;
+
+  /// Fraction of cells carrying any cell-level fault.
+  double faulty_cell_fraction() const;
+
+  bool empty() const {
+    return cells_.empty() && decoder_.empty() && coupling_.empty();
+  }
+
+  /// Generates a map where each cell is independently faulty with probability
+  /// (1 - yield), with kinds sampled from `mix`.
+  static FaultMap from_yield(std::size_t rows, std::size_t cols, double yield,
+                             const FaultMix& mix, util::Rng& rng);
+
+  /// Generates exactly `n_faults` faults on distinct cells.
+  static FaultMap with_fault_count(std::size_t rows, std::size_t cols,
+                                   std::size_t n_faults, const FaultMix& mix,
+                                   util::Rng& rng);
+
+ private:
+  static FaultKind sample_kind(const FaultMix& mix, util::Rng& rng);
+
+  std::size_t rows_;
+  std::size_t cols_;
+  std::map<std::pair<std::size_t, std::size_t>, FaultDescriptor> cells_;
+  std::vector<FaultDescriptor> decoder_;
+  std::vector<FaultDescriptor> coupling_;
+};
+
+}  // namespace cim::fault

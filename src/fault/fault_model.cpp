@@ -1,0 +1,72 @@
+#include "fault/fault_model.hpp"
+
+namespace cim::fault {
+
+bool is_hard(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kStuckAtZero:
+    case FaultKind::kStuckAtOne:
+    case FaultKind::kOverForming:
+    case FaultKind::kEnduranceWearout:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_static(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kStuckAtZero:
+    case FaultKind::kStuckAtOne:
+    case FaultKind::kOverForming:
+    case FaultKind::kAddressDecoder:
+    case FaultKind::kCoupling:
+    case FaultKind::kTransitionUp:
+    case FaultKind::kTransitionDown:
+      return true;
+    case FaultKind::kReadDisturb:
+    case FaultKind::kWriteDisturb:
+    case FaultKind::kWriteVariation:
+    case FaultKind::kEnduranceWearout:
+      return false;
+  }
+  return false;
+}
+
+bool is_array_level(FaultKind kind) {
+  return kind == FaultKind::kAddressDecoder || kind == FaultKind::kCoupling;
+}
+
+std::string_view fault_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kStuckAtZero: return "SA0";
+    case FaultKind::kStuckAtOne: return "SA1";
+    case FaultKind::kTransitionUp: return "TF-up";
+    case FaultKind::kTransitionDown: return "TF-down";
+    case FaultKind::kReadDisturb: return "read-disturb";
+    case FaultKind::kWriteDisturb: return "write-disturb";
+    case FaultKind::kWriteVariation: return "write-variation";
+    case FaultKind::kOverForming: return "over-forming";
+    case FaultKind::kEnduranceWearout: return "endurance-wearout";
+    case FaultKind::kAddressDecoder: return "address-decoder";
+    case FaultKind::kCoupling: return "coupling";
+  }
+  return "unknown";
+}
+
+std::vector<FaultKind> cell_fault_kinds() {
+  return {FaultKind::kStuckAtZero,   FaultKind::kStuckAtOne,
+          FaultKind::kTransitionUp,  FaultKind::kTransitionDown,
+          FaultKind::kReadDisturb,   FaultKind::kWriteDisturb,
+          FaultKind::kWriteVariation, FaultKind::kOverForming,
+          FaultKind::kEnduranceWearout};
+}
+
+std::vector<FaultKind> all_fault_kinds() {
+  auto kinds = cell_fault_kinds();
+  kinds.push_back(FaultKind::kAddressDecoder);
+  kinds.push_back(FaultKind::kCoupling);
+  return kinds;
+}
+
+}  // namespace cim::fault

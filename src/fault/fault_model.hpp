@@ -1,0 +1,66 @@
+/// \file fault_model.hpp
+/// \brief Fault taxonomy of Section III.A / Fig. 6.
+///
+/// Fig. 6 classifies ReRAM cell faults along two axes:
+///
+///              |  Hard                 |  Soft
+///   -----------+-----------------------+--------------------------------
+///   Dynamic    |  endurance limitation |  read disturbance,
+///              |                       |  write disturbance,
+///              |                       |  write variation
+///   Static     |  fabrication defect   |  fabrication variation
+///
+/// plus the classic memory fault models reused from RAM testing (stuck-at,
+/// transition, address-decoder, coupling) and the ReRAM-specific read
+/// disturbance fault.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+namespace cim::fault {
+
+/// Every fault kind the framework can inject or detect.
+enum class FaultKind {
+  kStuckAtZero,     ///< hard: cell stuck in HRS (logic 0)
+  kStuckAtOne,      ///< hard: cell stuck in LRS (logic 1)
+  kTransitionUp,    ///< soft: 0->1 transition fails
+  kTransitionDown,  ///< soft: 1->0 transition fails
+  kReadDisturb,     ///< dynamic soft: reads bias the state towards LRS
+  kWriteDisturb,    ///< dynamic soft: neighbour writes bias the state
+  kWriteVariation,  ///< dynamic soft: abnormally wide programming spread
+  kOverForming,     ///< static hard: forming defect, behaves as SA1
+  kEnduranceWearout,///< dynamic hard: cell worn out in the field
+  kAddressDecoder,  ///< array-level: row decoder selects a wrong row
+  kCoupling,        ///< array-level: write to aggressor flips victim
+};
+
+/// Hard faults freeze the cell; soft faults deviate but remain tunable.
+bool is_hard(FaultKind kind);
+/// Static faults originate at fabrication; dynamic faults appear in the field.
+bool is_static(FaultKind kind);
+/// Array-level faults are not attached to a single cell's state.
+bool is_array_level(FaultKind kind);
+
+std::string_view fault_name(FaultKind kind);
+
+/// All cell-level (non-array) fault kinds.
+std::vector<FaultKind> cell_fault_kinds();
+/// Every fault kind.
+std::vector<FaultKind> all_fault_kinds();
+
+/// One injected fault instance.
+struct FaultDescriptor {
+  FaultKind kind = FaultKind::kStuckAtZero;
+  std::size_t row = 0;
+  std::size_t col = 0;
+  /// Secondary coordinate: for kAddressDecoder the row actually selected;
+  /// for kCoupling the victim row (victim col == col).
+  std::size_t aux_row = 0;
+  std::size_t aux_col = 0;
+  /// For kWriteVariation: multiplier on the technology's write sigma.
+  double severity = 1.0;
+};
+
+}  // namespace cim::fault

@@ -1,0 +1,52 @@
+#include "ferfet/bnn_engine.hpp"
+
+#include <stdexcept>
+
+namespace cim::ferfet {
+
+FerfetBnnEngine::FerfetBnnEngine(const util::Matrix& weight_signs,
+                                 FeRfetParams params)
+    : in_(weight_signs.cols()),
+      out_(weight_signs.rows()),
+      array_(2 * weight_signs.cols(), weight_signs.rows(), params) {
+  if (weight_signs.empty())
+    throw std::invalid_argument("FerfetBnnEngine: empty weights");
+  for (std::size_t o = 0; o < out_; ++o) {
+    for (std::size_t i = 0; i < in_; ++i) {
+      const bool w = weight_signs(o, i) >= 0.0;
+      array_.store(2 * i, o, w);
+      array_.store(2 * i + 1, o, !w);
+    }
+  }
+  // Weight programming is a one-time (non-volatile) cost; inference costs
+  // are measured from here.
+  baseline_time_ns_ = array_.stats().time_ns;
+  baseline_energy_pj_ = array_.stats().energy_pj;
+  baseline_reads_ = array_.stats().reads;
+}
+
+std::vector<int> FerfetBnnEngine::forward(const std::vector<bool>& x) {
+  if (x.size() != in_) throw std::invalid_argument("FerfetBnnEngine: dim");
+  std::vector<int> y(out_);
+  for (std::size_t o = 0; o < out_; ++o) {
+    const auto matches = array_.read_match_count(o, x);
+    y[o] = 2 * static_cast<int>(matches) - static_cast<int>(in_);
+  }
+  return y;
+}
+
+BnnEngineCosts FerfetBnnEngine::costs() const {
+  BnnEngineCosts c;
+  c.time_ns = array_.stats().time_ns - baseline_time_ns_;
+  c.energy_pj = array_.stats().energy_pj - baseline_energy_pj_;
+  c.sensing_steps = array_.stats().reads - baseline_reads_;
+  return c;
+}
+
+void FerfetBnnEngine::reset_costs() {
+  baseline_time_ns_ = array_.stats().time_ns;
+  baseline_energy_pj_ = array_.stats().energy_pj;
+  baseline_reads_ = array_.stats().reads;
+}
+
+}  // namespace cim::ferfet

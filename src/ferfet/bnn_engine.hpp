@@ -1,0 +1,62 @@
+/// \file bnn_engine.hpp
+/// \brief FeRFET binary-neural-network engine (Section V.D).
+///
+/// "One such target application are binary neural networks. Particularly
+/// the very efficient XOR and XNOR implementation enabled by the RFET base
+/// technology is suitable ... The Fe layer allows non-volatility which can
+/// be used to store weights. In contrast to memristors, which carry out
+/// computation in analog domain, FeRFETs can enable logic computation in
+/// the digital domain without the need of extensive peripheral circuits."
+///
+/// The engine stores each binary weight as a (w, !w) row pair of a NorArray
+/// column and computes a BNN dense layer as XNOR match counts:
+///     y_o = 2 * matches(col o) - in_dim.
+/// Costs are digital (no DAC/ADC); the Fig. 12 bench contrasts this with a
+/// ReRAM analog mapping whose energy is ADC-dominated.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "ferfet/lim_array.hpp"
+#include "util/matrix.hpp"
+
+namespace cim::ferfet {
+
+/// Cost summary of one inference pass.
+struct BnnEngineCosts {
+  double time_ns = 0.0;
+  double energy_pj = 0.0;
+  std::size_t sensing_steps = 0;
+};
+
+/// A binary dense layer on a FeRFET NOR array.
+class FerfetBnnEngine {
+ public:
+  /// `weight_signs` is (out x in); entry >= 0 encodes +1, < 0 encodes -1.
+  explicit FerfetBnnEngine(const util::Matrix& weight_signs,
+                           FeRfetParams params = {});
+
+  std::size_t in_dim() const { return in_; }
+  std::size_t out_dim() const { return out_; }
+
+  /// Integer layer output: y_o = 2 * popcount(XNOR(w_o, x)) - in_dim.
+  /// `x` encodes +1 as true.
+  std::vector<int> forward(const std::vector<bool>& x);
+
+  /// Costs accumulated since construction / last reset.
+  BnnEngineCosts costs() const;
+  void reset_costs();
+
+  const NorArray& array() const { return array_; }
+
+ private:
+  std::size_t in_;
+  std::size_t out_;
+  NorArray array_;
+  double baseline_time_ns_ = 0.0;
+  double baseline_energy_pj_ = 0.0;
+  std::size_t baseline_reads_ = 0;
+};
+
+}  // namespace cim::ferfet

@@ -1,0 +1,72 @@
+#include "ferfet/ferfet_device.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cim::ferfet {
+
+std::string_view polarity_name(Polarity p) {
+  return p == Polarity::kNType ? "n-type" : "p-type";
+}
+
+std::string_view vt_state_name(VtState s) {
+  return s == VtState::kLrs ? "LRS" : "HRS";
+}
+
+FeRfet::FeRfet(FeRfetParams params, Polarity polarity, VtState vt)
+    : params_(params), polarity_(polarity), vt_(vt) {}
+
+bool FeRfet::program_polarity(double v_pg) {
+  if (std::abs(v_pg) < params_.v_program) return false;
+  const Polarity target = v_pg > 0 ? Polarity::kNType : Polarity::kPType;
+  const bool switched = target != polarity_;
+  polarity_ = target;
+  return switched;
+}
+
+bool FeRfet::program_vt(double v_cg) {
+  if (std::abs(v_cg) < params_.v_program) return false;
+  const VtState target = v_cg > 0 ? VtState::kLrs : VtState::kHrs;
+  const bool switched = target != vt_;
+  vt_ = target;
+  return switched;
+}
+
+double FeRfet::effective_vt() const {
+  const double shift = (vt_ == VtState::kHrs) ? params_.fe_vt_shift : 0.0;
+  if (polarity_ == Polarity::kNType) return params_.vt_n + shift;
+  return params_.vt_p - shift;
+}
+
+double FeRfet::drain_current_ua(double v_cg, double v_ds) const {
+  const double vt = effective_vt();
+  // Overdrive in the conduction direction of the programmed polarity.
+  const double overdrive =
+      (polarity_ == Polarity::kNType) ? (v_cg - vt) : (vt - v_cg);
+  // Logistic transfer: ~swing mV/decade in weak inversion, saturating at
+  // i_on. ln(10)*kT-style slope derived from the swing parameter.
+  const double slope_v = params_.swing_mv_dec * 1e-3 / std::log(10.0) * 2.3;
+  const double x = overdrive / slope_v;
+  const double sigmoid = 1.0 / (1.0 + std::exp(-4.0 * x));
+  const double i_chan =
+      params_.i_off_na * 1e-3 +
+      (params_.i_on_ua - params_.i_off_na * 1e-3) * sigmoid;
+  // First-order drain factor: linear up to vdd/2 then saturated.
+  const double vds_eff = std::min(std::abs(v_ds), params_.vdd);
+  const double drain_factor =
+      std::min(1.0, vds_eff / (0.5 * params_.vdd));
+  return i_chan * drain_factor * (v_ds >= 0 ? 1.0 : -1.0);
+}
+
+bool FeRfet::conducts(double v_gs) const {
+  const double i = std::abs(drain_current_ua(v_gs, params_.vdd));
+  return i >= 0.1 * params_.i_on_ua;
+}
+
+bool FeRfet::conducts_at_gate(double v_gate) const {
+  const double v_gs =
+      (polarity_ == Polarity::kNType) ? v_gate : v_gate - params_.vdd;
+  return conducts(v_gs);
+}
+
+}  // namespace cim::ferfet

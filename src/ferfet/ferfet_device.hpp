@@ -1,0 +1,92 @@
+/// \file ferfet_device.hpp
+/// \brief Compact model of the Ferroelectric Reconfigurable FET (FeRFET)
+///        of Section V.A / Figs. 9-10.
+///
+/// An RFET is an ambipolar Schottky-barrier transistor with independent
+/// gates: the *program* gate selects electron or hole conduction (n- or
+/// p-type), the *control* gate modulates the current. Adding a ferroelectric
+/// HfO2 layer to the gate stack (Fig. 9) makes both selections non-volatile:
+///   - program-gate polarization  -> stored polarity (n/p)
+///   - control-gate polarization  -> Vt shift: low-Vt = LRS, high-Vt = HRS
+/// yielding the four operation states of Fig. 10(b). Programming requires
+/// 2-3x the operating voltage ("inherent to the Fe storage mechanism, where
+/// the same terminals are operated for storing a state and readout").
+///
+/// The I-V model is a logistic transfer curve (60-90 mV/dec style swing)
+/// mirrored for p-type, scaled by a triode/saturation drain factor — enough
+/// to reproduce the four separated branches of the TCAD data in Fig. 10(b).
+#pragma once
+
+#include <string_view>
+
+namespace cim::ferfet {
+
+/// Non-volatile polarity stored at the program gate.
+enum class Polarity { kNType, kPType };
+/// Non-volatile Vt state stored at the control gate.
+enum class VtState { kLrs, kHrs };
+
+std::string_view polarity_name(Polarity p);
+std::string_view vt_state_name(VtState s);
+
+/// Device parameters (24 nm gate length reference device of Fig. 10).
+struct FeRfetParams {
+  double gate_length_nm = 24.0;
+  double i_on_ua = 10.0;        ///< on current at |Vcg| = vdd (uA)
+  double i_off_na = 0.1;        ///< residual off current (nA)
+  double vt_n = 0.4;            ///< n-branch threshold, LRS (V)
+  double vt_p = -0.4;           ///< p-branch threshold, LRS (V)
+  double fe_vt_shift = 0.8;     ///< HRS adds this to |Vt| (V): HRS is off at vdd
+  double v_boost = 1.8;         ///< boosted WL read voltage that overcomes HRS
+  double swing_mv_dec = 90.0;   ///< subthreshold swing
+  double vdd = 1.0;             ///< operating voltage (V)
+  double v_program = 2.5;       ///< min |V| to flip a Fe state (2-3x vdd)
+  double t_program_ns = 10.0;
+  double e_program_pj = 0.05;
+  double t_switch_ns = 0.1;     ///< logic switching delay
+  double e_switch_pj = 0.002;
+};
+
+/// One FeRFET device with two non-volatile Fe states.
+class FeRfet {
+ public:
+  explicit FeRfet(FeRfetParams params = {}, Polarity polarity = Polarity::kNType,
+                  VtState vt = VtState::kLrs);
+
+  const FeRfetParams& params() const { return params_; }
+  Polarity polarity() const { return polarity_; }
+  VtState vt_state() const { return vt_; }
+
+  /// Programs the polarity through the program gate; the write only takes
+  /// effect when |v_pg| >= v_program (positive -> n-type, negative -> p).
+  /// Returns true if the state actually switched domains.
+  bool program_polarity(double v_pg);
+
+  /// Programs the control-gate Fe layer: |v_cg| >= v_program required
+  /// (positive -> LRS / low Vt, negative -> HRS / high Vt).
+  bool program_vt(double v_cg);
+
+  /// Effective threshold voltage of the current state (sign follows
+  /// polarity: negative for p-type).
+  double effective_vt() const;
+
+  /// Drain current (uA) for a *gate-source* voltage and drain-source
+  /// voltage: the n-branch conducts for v_gs above vt, the p-branch for
+  /// v_gs below its (negative) vt — the Fig. 10(b) sweep convention.
+  double drain_current_ua(double v_gs, double v_ds) const;
+
+  /// Logic-level view at gate-source voltage v_gs (threshold ~10% of i_on).
+  bool conducts(double v_gs) const;
+
+  /// Circuit-level view: absolute gate voltage with the conventional source
+  /// rail per polarity (n-type source at GND, p-type source at VDD), i.e.
+  /// v_gs = v_gate for n and v_gate - vdd for p.
+  bool conducts_at_gate(double v_gate) const;
+
+ private:
+  FeRfetParams params_;
+  Polarity polarity_;
+  VtState vt_;
+};
+
+}  // namespace cim::ferfet

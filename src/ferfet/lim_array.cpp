@@ -1,0 +1,141 @@
+#include "ferfet/lim_array.hpp"
+
+namespace cim::ferfet {
+
+AndArrayCell::AndArrayCell(FeRfetParams params)
+    : params_(params), device_(params, Polarity::kNType, VtState::kHrs) {}
+
+void AndArrayCell::store(bool a) {
+  device_.program_vt(a ? params_.v_program : -params_.v_program);
+  ++stats_.stores;
+  stats_.time_ns += params_.t_program_ns;
+  stats_.energy_pj += params_.e_program_pj;
+}
+
+bool AndArrayCell::read_or(bool b) {
+  // B=0 -> small read bias (between LRS and HRS thresholds); B=1 -> boosted
+  // level that overcomes HRS as well.
+  const double v_low = 0.5 * (params_.vdd + params_.fe_vt_shift);  // mid-gap
+  const double v_wl = b ? params_.v_boost : v_low;
+  const bool conducts = device_.conducts(v_wl);
+  ++stats_.reads;
+  stats_.time_ns += params_.t_switch_ns;
+  stats_.energy_pj += params_.e_switch_pj;
+  return conducts;
+}
+
+NorArray::NorArray(std::size_t rows, std::size_t cols, FeRfetParams params)
+    : rows_(rows), cols_(cols), params_(params) {
+  if (rows == 0 || cols == 0) throw std::invalid_argument("NorArray: empty");
+  cells_.assign(rows * cols, FeRfet(params, Polarity::kNType, VtState::kHrs));
+}
+
+void NorArray::store(std::size_t row, std::size_t col, bool value) {
+  cells_[index(row, col)].program_vt(value ? params_.v_program
+                                           : -params_.v_program);
+  ++stats_.stores;
+  stats_.time_ns += params_.t_program_ns;
+  stats_.energy_pj += params_.e_program_pj;
+}
+
+bool NorArray::stored(std::size_t row, std::size_t col) const {
+  return cells_[row * cols_ + col].vt_state() == VtState::kLrs;
+}
+
+bool NorArray::cell_conducts(std::size_t row, std::size_t col, bool input,
+                             bool select) {
+  // Wired-AND: the Fe-stored gate conducts only in LRS at the nominal read
+  // bias; the input and select gates must both be asserted.
+  const auto& dev = cells_[index(row, col)];
+  const double v_low = 0.5 * (params_.vdd + params_.fe_vt_shift);
+  const bool stored_ok = dev.conducts(v_low);
+  return stored_ok && input && select;
+}
+
+bool NorArray::read_aoi(std::size_t col, const std::vector<bool>& inputs,
+                        const std::vector<bool>& select) {
+  if (inputs.size() != rows_ || select.size() != rows_)
+    throw std::invalid_argument("read_aoi: need one input+select per row");
+  bool any = false;
+  std::size_t conducting = 0;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    if (cell_conducts(r, col, inputs[r], select[r])) {
+      any = true;
+      ++conducting;
+    }
+  }
+  ++stats_.reads;
+  stats_.time_ns += params_.t_switch_ns;
+  stats_.energy_pj +=
+      params_.e_switch_pj * static_cast<double>(1 + conducting);
+  return !any;  // inverting pull-up network (paper: response is inverted)
+}
+
+bool NorArray::read_xnor(std::size_t pair, std::size_t col, bool x) {
+  const std::size_t r0 = 2 * pair;
+  const std::size_t r1 = r0 + 1;
+  if (r1 >= rows_) throw std::out_of_range("read_xnor: pair out of range");
+  // Rows hold (w, !w); inputs applied as (x, !x). BL discharges iff
+  // (w & x) | (!w & !x) = XNOR(w, x); the inverting sense yields XOR, so
+  // XNOR is the complement output tap of the same sensing step.
+  const bool c0 = cell_conducts(r0, col, x, true);
+  const bool c1 = cell_conducts(r1, col, !x, true);
+  ++stats_.reads;
+  stats_.time_ns += params_.t_switch_ns;
+  stats_.energy_pj += params_.e_switch_pj * 2.0;
+  return c0 || c1;
+}
+
+std::size_t NorArray::read_match_count(std::size_t col,
+                                       const std::vector<bool>& x) {
+  if (x.size() * 2 != rows_)
+    throw std::invalid_argument("read_match_count: rows must be 2*|x|");
+  std::size_t matches = 0;
+  for (std::size_t k = 0; k < x.size(); ++k)
+    if (read_xnor(k, col, x[k])) ++matches;
+  // The per-pair reads above already accounted energy; integrating all pair
+  // currents in one sensing window collapses the time to a single step.
+  stats_.time_ns -= params_.t_switch_ns * static_cast<double>(x.size() - 1);
+  stats_.reads -= x.size() - 1;
+  return matches;
+}
+
+AdderResult in_array_half_adder(NorArray& array, bool a, bool b) {
+  AdderResult res;
+  // carry = AND(a, b): store a, apply b on the input gate, sense one cell.
+  array.store(0, 0, a);
+  res.carry = array.cell_conducts(0, 0, b, true);
+  // sum = XOR(a, b): store the (a, !a) pair, apply (b, !b), invert XNOR.
+  array.store(0, 1, a);
+  array.store(1, 1, !a);
+  res.sum = !array.read_xnor(0, 1, b);
+  res.steps = 3 /*stores*/ + 2 /*reads*/;
+  return res;
+}
+
+AdderResult in_array_full_adder(NorArray& array, bool a, bool b, bool cin) {
+  AdderResult res;
+  // Stage 1: t = XOR(a, b).
+  array.store(0, 0, a);
+  array.store(1, 0, !a);
+  const bool t = !array.read_xnor(0, 0, b);
+  // Bit-passing: write t back as a stored pair.
+  array.store(0, 1, t);
+  array.store(1, 1, !t);
+  res.sum = !array.read_xnor(0, 1, cin);
+  // carry = MAJ(a,b,cin) = (a&b) | (cin & (a^b)): two wired-AND terms
+  // sensed on one AOI bitline. Store a in row 0 and t in row 1 of col 2;
+  // inputs b and cin drive the respective input gates.
+  array.store(0, 2, a);
+  array.store(1, 2, t);
+  std::vector<bool> inputs(array.rows(), false);
+  std::vector<bool> select(array.rows(), false);
+  inputs[0] = b;
+  inputs[1] = cin;
+  select[0] = select[1] = true;
+  res.carry = !array.read_aoi(2, inputs, select);
+  res.steps = 6 /*stores*/ + 3 /*reads*/;
+  return res;
+}
+
+}  // namespace cim::ferfet

@@ -1,0 +1,119 @@
+/// \file lim_array.hpp
+/// \brief Logic-in-Memory cell topologies and arrays (Section V.C / Fig. 12).
+///
+/// Fig. 12(a) — AND-array-like cell: one FeRFET per crosspoint. Step 1: a
+/// high set voltage on the wordline programs the control-gate Fe state; the
+/// stored state is input A. Step 2: input B is applied on the same wordline
+/// "using a distinctly smaller VDD" while the program line is biased for
+/// dynamic readout. Encoding: B=0 drives the WL at a small read bias (above
+/// the LRS threshold, below the HRS one), B=1 at the boosted level that
+/// overcomes even the HRS threshold — so the cell conducts iff A OR B, and
+/// the inverting sense amp on the bitline yields NOR(A, B).
+///
+/// Fig. 12(b) — NOR-array-like cell from a wired-AND RFET [102]: the
+/// transistor conducts only when *all* its gates are asserted, so one cell
+/// computes AND(stored S, applied X, select). A bitline with an inverting
+/// pull-up across many rows then computes AND-OR-INVERT; pairs of rows
+/// holding (w, !w) driven by (x, !x) yield XOR/XNOR in one dynamic step —
+/// the primitive the FeRFET BNN engine builds on (Section V.D).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "ferfet/ferfet_device.hpp"
+
+namespace cim::ferfet {
+
+/// Operation accounting shared by the LiM structures.
+struct LimStats {
+  std::size_t stores = 0;
+  std::size_t reads = 0;
+  double time_ns = 0.0;
+  double energy_pj = 0.0;
+};
+
+/// Fig. 12(a): single-FeRFET AND-array-like cell computing (N)OR(A, B).
+class AndArrayCell {
+ public:
+  explicit AndArrayCell(FeRfetParams params = {});
+
+  /// Step 1: store A in the control-gate ferroelectric (A=1 -> LRS).
+  void store(bool a);
+  bool stored() const { return device_.vt_state() == VtState::kLrs; }
+
+  /// Step 2: dynamic OR readout — applies B on the WL and senses the BL.
+  bool read_or(bool b);
+  /// Same step through the inverting sense amplifier: NOR(A, B).
+  bool read_nor(bool b) { return !read_or(b); }
+
+  const LimStats& stats() const { return stats_; }
+  const FeRfet& device() const { return device_; }
+
+ private:
+  FeRfetParams params_;
+  FeRfet device_;
+  LimStats stats_;
+};
+
+/// Fig. 12(b): a grid of wired-AND FeRFET cells on shared bitlines.
+class NorArray {
+ public:
+  NorArray(std::size_t rows, std::size_t cols, FeRfetParams params = {});
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  /// Stores one bit (non-volatile) at a crosspoint.
+  void store(std::size_t row, std::size_t col, bool value);
+  bool stored(std::size_t row, std::size_t col) const;
+
+  /// Cell-level primitive: does the crosspoint conduct for (input, select)?
+  bool cell_conducts(std::size_t row, std::size_t col, bool input,
+                     bool select);
+
+  /// AND-OR-INVERT over a column: !(OR over rows of (S & x_r & sel_r)).
+  bool read_aoi(std::size_t col, const std::vector<bool>& inputs,
+                const std::vector<bool>& select);
+
+  /// Dynamic XNOR of the stored pair (rows 2k, 2k+1 holding w, !w) with the
+  /// applied input x (applied as x, !x) — one sensing step.
+  bool read_xnor(std::size_t pair, std::size_t col, bool x);
+
+  /// Match count of a column of pairs against an input vector: the
+  /// XNOR-popcount primitive (one integrating-sense step per column).
+  std::size_t read_match_count(std::size_t col, const std::vector<bool>& x);
+
+  const LimStats& stats() const { return stats_; }
+
+ private:
+  std::size_t index(std::size_t row, std::size_t col) const {
+    if (row >= rows_ || col >= cols_) throw std::out_of_range("NorArray");
+    return row * cols_ + col;
+  }
+
+  std::size_t rows_;
+  std::size_t cols_;
+  FeRfetParams params_;
+  std::vector<FeRfet> cells_;
+  LimStats stats_;
+};
+
+/// Result of an in-array adder sequence (Breyer et al. [103]).
+struct AdderResult {
+  bool sum = false;
+  bool carry = false;
+  std::size_t steps = 0;  ///< stores + dynamic reads used
+};
+
+/// Half adder executed in-array: carry by one wired-AND read, sum by one
+/// XNOR read plus inversion.
+AdderResult in_array_half_adder(NorArray& array, bool a, bool b);
+
+/// Full adder: two chained XOR stages ("bit-passing" of the intermediate
+/// back into the array) and a majority AOI read for the carry.
+AdderResult in_array_full_adder(NorArray& array, bool a, bool b, bool cin);
+
+}  // namespace cim::ferfet

@@ -1,0 +1,61 @@
+#include "ferfet/mil_cells.hpp"
+
+#include <stdexcept>
+
+namespace cim::ferfet {
+
+XorXnorCell::XorXnorCell(FeRfetParams params, MilFunction function)
+    : params_(params),
+      function_(function),
+      t1_(params, Polarity::kNType, VtState::kLrs),
+      t2_(params, Polarity::kPType, VtState::kLrs),
+      t3_(params, Polarity::kPType, VtState::kLrs),
+      t4_(params, Polarity::kNType, VtState::kLrs) {
+  program(function);
+  stats_.reprograms = 0;  // construction-time programming is free
+  stats_.time_ns = 0.0;
+  stats_.energy_pj = 0.0;
+}
+
+void XorXnorCell::program(MilFunction function) {
+  // P rides t1's program gate, !P rides t2's: XNOR = (n, p), XOR = (p, n).
+  const double vp = params_.v_program;
+  if (function == MilFunction::kXnor) {
+    t1_.program_polarity(+vp);
+    t2_.program_polarity(-vp);
+  } else {
+    t1_.program_polarity(-vp);
+    t2_.program_polarity(+vp);
+  }
+  function_ = function;
+  ++stats_.reprograms;
+  stats_.time_ns += params_.t_program_ns;
+  stats_.energy_pj += 2.0 * params_.e_program_pj;
+}
+
+bool XorXnorCell::eval(bool a, bool b) {
+  const double vdd = params_.vdd;
+  const double va = a ? vdd : 0.0;
+  const double vb_gate = b ? vdd : 0.0;
+
+  // Inverter T3 (p, gate B, source VDD) / T4 (n, gate B, source GND).
+  const bool t3_on = t3_.conducts_at_gate(vb_gate);  // p: conducts when B low
+  const bool t4_on = t4_.conducts_at_gate(vb_gate);  // n: conducts when B high
+  if (t3_on == t4_on)
+    throw std::logic_error("XorXnorCell: inverter contention/float");
+  const bool nb = t3_on;  // pulled to VDD when T3 conducts
+
+  // Pass branches (gate = A on both; complementary polarities).
+  const bool t1_on = t1_.conducts_at_gate(va);
+  const bool t2_on = t2_.conducts_at_gate(va);
+  if (t1_on == t2_on)
+    throw std::logic_error("XorXnorCell: pass network contention/float");
+
+  ++stats_.evaluations;
+  stats_.time_ns += params_.t_switch_ns;
+  stats_.energy_pj += 4.0 * params_.e_switch_pj;
+
+  return t1_on ? b : nb;
+}
+
+}  // namespace cim::ferfet

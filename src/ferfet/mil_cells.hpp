@@ -1,0 +1,68 @@
+/// \file mil_cells.hpp
+/// \brief Memory-in-Logic cell topologies (Section V.B / Fig. 11).
+///
+/// "FeFETs are implemented within an existing logic circuit to enhance the
+/// functionality or locally store data." The flagship cell is the
+/// programmable XOR/XNOR of Fig. 11: four FeRFETs with three gates each;
+/// the ferroelectric sits only at the program gates, and the signals P/!P
+/// configure the cell to compute XOR or XNOR of the volatile inputs A and B
+/// in a static, pass-transistor style. "The big benefit of this cell is
+/// that the data paths for programming and operation are completely
+/// separated."
+///
+/// Structural realization (switch-level, conflict-checked):
+///   T3/T4 form a complementary inverter producing NB = !B;
+///   T1 (program P)  : gate A, passes B  to OUT;
+///   T2 (program !P) : gate A, passes NB to OUT.
+/// With P = n-type on T1: A=1 -> OUT=B, A=0 -> OUT=!B  => XNOR.
+/// With P = p-type on T1 (reprogrammed): the roles swap  => XOR.
+#pragma once
+
+#include <cstddef>
+
+#include "ferfet/ferfet_device.hpp"
+
+namespace cim::ferfet {
+
+/// Which function the Fig. 11 cell is programmed to compute.
+enum class MilFunction { kXor, kXnor };
+
+/// Accounting for one cell.
+struct MilCellStats {
+  std::size_t evaluations = 0;
+  std::size_t reprograms = 0;
+  double time_ns = 0.0;
+  double energy_pj = 0.0;
+};
+
+/// The programmable XOR/XNOR Memory-in-Logic cell of Fig. 11.
+class XorXnorCell {
+ public:
+  explicit XorXnorCell(FeRfetParams params = {},
+                       MilFunction function = MilFunction::kXnor);
+
+  /// Re-programs the stored function by driving the program gates with
+  /// +/- v_program; the data path is untouched.
+  void program(MilFunction function);
+  MilFunction function() const { return function_; }
+
+  /// Static evaluation of the pass-transistor network. Throws
+  /// std::logic_error if the network would float or short (cell design
+  /// invariant: exactly one pass branch conducts).
+  bool eval(bool a, bool b);
+
+  const MilCellStats& stats() const { return stats_; }
+  /// Device count (the cell uses four transistors).
+  static constexpr std::size_t transistor_count() { return 4; }
+
+ private:
+  FeRfetParams params_;
+  MilFunction function_;
+  FeRfet t1_;  ///< pass B, program P
+  FeRfet t2_;  ///< pass NB, program !P
+  FeRfet t3_;  ///< inverter pull-up (p)
+  FeRfet t4_;  ///< inverter pull-down (n)
+  MilCellStats stats_;
+};
+
+}  // namespace cim::ferfet

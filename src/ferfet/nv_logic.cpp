@@ -1,0 +1,77 @@
+#include "ferfet/nv_logic.hpp"
+
+#include <stdexcept>
+
+namespace cim::ferfet {
+
+FerfetLut::FerfetLut(int inputs, FeRfetParams params)
+    : inputs_(inputs), params_(params) {
+  if (inputs < 1 || inputs > 6)
+    throw std::invalid_argument("FerfetLut: inputs in [1,6]");
+  cells_.assign(1ULL << inputs, FeRfet(params, Polarity::kNType, VtState::kHrs));
+}
+
+void FerfetLut::program(const eda::TruthTable& tt) {
+  if (tt.vars() != inputs_)
+    throw std::invalid_argument("FerfetLut::program: var count mismatch");
+  for (std::uint64_t m = 0; m < tt.size(); ++m) {
+    cells_[m].program_vt(tt.get(m) ? params_.v_program : -params_.v_program);
+    energy_pj_ += params_.e_program_pj;
+  }
+  ++programs_;
+}
+
+bool FerfetLut::eval(std::uint64_t assignment) {
+  if (assignment >= cells_.size())
+    throw std::out_of_range("FerfetLut::eval: assignment out of range");
+  // One-hot select: the addressed cell is read at the nominal bias; a
+  // stored 1 (LRS) conducts, a stored 0 (HRS) does not.
+  const double v_mid = 0.5 * (params_.vdd + params_.fe_vt_shift);
+  ++evals_;
+  energy_pj_ += params_.e_switch_pj;
+  return cells_[assignment].conducts(v_mid);
+}
+
+eda::TruthTable FerfetLut::stored() const {
+  eda::TruthTable tt(inputs_);
+  const double v_mid = 0.5 * (params_.vdd + params_.fe_vt_shift);
+  for (std::uint64_t m = 0; m < tt.size(); ++m)
+    if (cells_[m].conducts(v_mid)) tt.set(m, true);
+  return tt;
+}
+
+NvFlipFlop::NvFlipFlop(FeRfetParams params)
+    : params_(params), shadow_(params, Polarity::kNType, VtState::kHrs) {}
+
+void NvFlipFlop::clock(bool d) {
+  q_ = d;
+  valid_ = true;
+  energy_pj_ += params_.e_switch_pj;
+}
+
+bool NvFlipFlop::q() const {
+  if (!valid_)
+    throw std::logic_error("NvFlipFlop: latch invalid after power loss");
+  return q_;
+}
+
+void NvFlipFlop::checkpoint() {
+  if (!valid_) throw std::logic_error("NvFlipFlop: nothing to checkpoint");
+  shadow_.program_vt(q_ ? params_.v_program : -params_.v_program);
+  energy_pj_ += params_.e_program_pj;
+}
+
+void NvFlipFlop::power_cycle() {
+  // The volatile latch loses its state; the ferroelectric shadow does not.
+  q_ = false;
+  valid_ = false;
+}
+
+void NvFlipFlop::restore() {
+  const double v_mid = 0.5 * (params_.vdd + params_.fe_vt_shift);
+  q_ = shadow_.conducts(v_mid);
+  valid_ = true;
+  energy_pj_ += params_.e_switch_pj;
+}
+
+}  // namespace cim::ferfet

@@ -1,0 +1,85 @@
+/// \file nv_logic.hpp
+/// \brief Non-volatile FeFET building blocks the paper lists as already
+///        demonstrated (Section V.D): look-up tables [100, 107] and
+///        non-volatile flip-flops [106].
+///
+/// - `FerfetLut`: a 2^n-entry LUT whose truth table lives in the
+///   control-gate ferroelectric of 2^n FeRFETs; evaluation one-hot selects
+///   a single cell through its wired-AND input gates and senses it. The
+///   configuration survives power-off — the FPGA-style use case of [100].
+/// - `NvFlipFlop`: a D flip-flop with a ferroelectric shadow cell: normal
+///   clocked operation is volatile; `checkpoint()` programs the state into
+///   the Fe layer, `power_cycle()` destroys the volatile latch, `restore()`
+///   brings the checkpointed state back [106].
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "eda/truth_table.hpp"
+#include "ferfet/ferfet_device.hpp"
+
+namespace cim::ferfet {
+
+/// A FeRFET look-up table storing an n-input Boolean function (n <= 6).
+class FerfetLut {
+ public:
+  explicit FerfetLut(int inputs, FeRfetParams params = {});
+
+  int inputs() const { return inputs_; }
+  std::size_t size() const { return cells_.size(); }
+
+  /// Programs the LUT from a truth table (var count must match).
+  void program(const eda::TruthTable& tt);
+
+  /// Evaluates one input assignment (one-hot select + sense, 1 step).
+  bool eval(std::uint64_t assignment);
+
+  /// Reads the whole stored configuration back (non-volatility check).
+  eda::TruthTable stored() const;
+
+  /// Accounting.
+  std::size_t programs() const { return programs_; }
+  std::size_t evals() const { return evals_; }
+  double energy_pj() const { return energy_pj_; }
+
+ private:
+  int inputs_;
+  FeRfetParams params_;
+  std::vector<FeRfet> cells_;
+  std::size_t programs_ = 0;
+  std::size_t evals_ = 0;
+  double energy_pj_ = 0.0;
+};
+
+/// A D flip-flop with a ferroelectric shadow bit.
+class NvFlipFlop {
+ public:
+  explicit NvFlipFlop(FeRfetParams params = {});
+
+  /// Clock edge: captures d into the volatile master/slave latch.
+  void clock(bool d);
+  /// Current (volatile) output Q; throws if the latch is invalid after a
+  /// power cycle without restore.
+  bool q() const;
+  bool valid() const { return valid_; }
+
+  /// Programs the current Q into the ferroelectric shadow cell.
+  void checkpoint();
+  /// Supply loss: the volatile latch forgets; the shadow survives.
+  void power_cycle();
+  /// Recalls the shadow state into the latch.
+  void restore();
+
+  double energy_pj() const { return energy_pj_; }
+
+ private:
+  FeRfetParams params_;
+  FeRfet shadow_;
+  bool q_ = false;
+  bool valid_ = true;
+  double energy_pj_ = 0.0;
+};
+
+}  // namespace cim::ferfet

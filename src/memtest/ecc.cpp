@@ -1,0 +1,166 @@
+#include "memtest/ecc.hpp"
+
+#include <array>
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+namespace cim::memtest {
+namespace {
+
+// Codeword bit layout (1-indexed Hamming positions 1..71):
+//   positions 1,2,4,8,16,32,64 -> check bits c0..c6
+//   remaining 64 positions     -> data bits d0..d63 in ascending order
+// plus one overall parity bit outside the Hamming positions.
+
+constexpr int kPositions = 71;  // Hamming positions (check + data)
+
+constexpr bool is_power_of_two(int x) { return (x & (x - 1)) == 0; }
+
+/// Maps data bit index (0..63) to its Hamming position (1..71).
+constexpr std::array<int, 64> make_data_positions() {
+  std::array<int, 64> map{};
+  int d = 0;
+  for (int pos = 1; pos <= kPositions; ++pos) {
+    if (is_power_of_two(pos)) continue;
+    map[static_cast<std::size_t>(d++)] = pos;
+  }
+  return map;
+}
+
+constexpr std::array<int, 64> kDataPos = make_data_positions();
+
+/// Builds the 71-bit position vector from data + check bits.
+std::array<bool, kPositions + 1> expand(const Codeword72& cw) {
+  std::array<bool, kPositions + 1> bits{};  // index 1..71
+  for (int d = 0; d < 64; ++d)
+    bits[static_cast<std::size_t>(kDataPos[static_cast<std::size_t>(d)])] =
+        (cw.data >> d) & 1ULL;
+  int c = 0;
+  for (int pos = 1; pos <= kPositions; pos <<= 1)
+    bits[static_cast<std::size_t>(pos)] = (cw.check >> c++) & 1u;
+  return bits;
+}
+
+/// Computes the syndrome (XOR of set positions) of a position vector.
+int syndrome_of(const std::array<bool, kPositions + 1>& bits) {
+  int s = 0;
+  for (int pos = 1; pos <= kPositions; ++pos)
+    if (bits[static_cast<std::size_t>(pos)]) s ^= pos;
+  return s;
+}
+
+bool overall_parity_of(const std::array<bool, kPositions + 1>& bits) {
+  bool p = false;
+  for (int pos = 1; pos <= kPositions; ++pos)
+    p ^= bits[static_cast<std::size_t>(pos)];
+  return p;
+}
+
+}  // namespace
+
+Codeword72 HammingSecDed::encode(std::uint64_t data) {
+  Codeword72 cw;
+  cw.data = data;
+  cw.check = 0;
+  // Check bit for position 2^k is the XOR of data positions with bit k set.
+  auto bits = expand(cw);  // check bits zero for now
+  const int s = syndrome_of(bits);
+  int c = 0;
+  for (int pos = 1; pos <= kPositions; pos <<= 1) {
+    if (s & pos) cw.check |= static_cast<std::uint8_t>(1u << c);
+    ++c;
+  }
+  bits = expand(cw);
+  cw.parity = overall_parity_of(bits);
+  return cw;
+}
+
+HammingSecDed::DecodeResult HammingSecDed::decode(const Codeword72& received) {
+  DecodeResult res;
+  auto bits = expand(received);
+  const int s = syndrome_of(bits);
+  const bool parity_mismatch = overall_parity_of(bits) != received.parity;
+
+  if (s == 0 && !parity_mismatch) {
+    res.data = received.data;
+    res.status = EccStatus::kOk;
+    return res;
+  }
+  if (s == 0 && parity_mismatch) {
+    // Error on the parity bit itself: data is intact.
+    res.data = received.data;
+    res.status = EccStatus::kCorrected;
+    return res;
+  }
+  if (parity_mismatch) {
+    // Odd number of errors with nonzero syndrome: treat as single, correct.
+    if (s <= kPositions) bits[static_cast<std::size_t>(s)] ^= true;
+    std::uint64_t data = 0;
+    for (int d = 0; d < 64; ++d)
+      if (bits[static_cast<std::size_t>(kDataPos[static_cast<std::size_t>(d)])])
+        data |= 1ULL << d;
+    res.data = data;
+    res.status = EccStatus::kCorrected;
+    return res;
+  }
+  // Nonzero syndrome, parity matches: even error count >= 2 -> detected.
+  res.data = received.data;
+  res.status = EccStatus::kDetectedUncorrectable;
+  return res;
+}
+
+void HammingSecDed::flip_bit(Codeword72& cw, int pos) {
+  if (pos < 0 || pos > 71) throw std::out_of_range("flip_bit: pos in [0,71]");
+  if (pos < 64) {
+    cw.data ^= 1ULL << pos;
+  } else if (pos < 71) {
+    cw.check ^= static_cast<std::uint8_t>(1u << (pos - 64));
+  } else {
+    cw.parity = !cw.parity;
+  }
+}
+
+EccStatus HammingSecDed::classify(const DecodeResult& result,
+                                  std::uint64_t original, int errors_injected) {
+  if (result.data == original) {
+    if (errors_injected == 0) return EccStatus::kOk;
+    if (result.status == EccStatus::kDetectedUncorrectable)
+      return EccStatus::kDetectedUncorrectable;
+    return EccStatus::kCorrected;
+  }
+  if (result.status == EccStatus::kDetectedUncorrectable)
+    return EccStatus::kDetectedUncorrectable;
+  return EccStatus::kMiscorrected;
+}
+
+double word_uncorrectable_probability(double ber) {
+  if (ber < 0.0 || ber > 1.0)
+    throw std::invalid_argument("word_uncorrectable_probability: ber in [0,1]");
+  const double n = 72.0;
+  const double p_ok = std::pow(1.0 - ber, n);
+  const double p_one = n * ber * std::pow(1.0 - ber, n - 1.0);
+  return 1.0 - p_ok - p_one;
+}
+
+double simulate_word_failure_rate(double ber, std::size_t words,
+                                  util::Rng& rng) {
+  if (words == 0) return 0.0;
+  std::size_t failed = 0;
+  for (std::size_t w = 0; w < words; ++w) {
+    const std::uint64_t data = rng();
+    auto cw = HammingSecDed::encode(data);
+    int injected = 0;
+    for (int bit = 0; bit < 72; ++bit) {
+      if (rng.bernoulli(ber)) {
+        HammingSecDed::flip_bit(cw, bit);
+        ++injected;
+      }
+    }
+    const auto dec = HammingSecDed::decode(cw);
+    if (dec.data != data) ++failed;
+  }
+  return static_cast<double>(failed) / static_cast<double>(words);
+}
+
+}  // namespace cim::memtest

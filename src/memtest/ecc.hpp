@@ -1,0 +1,63 @@
+/// \file ecc.hpp
+/// \brief Hamming SEC-DED error-correcting code for ReRAM memory words.
+///
+/// Section III.C: "Error-correction codes (ECC) can also be used in ReRAM
+/// memory, when the bit error rate (BER) is small (e.g., < 1e-5). However,
+/// due to the limited endurance, more devices will be worn out over time and
+/// eventually the number of hard faults will exceed the ECC's correction
+/// capability." The (72,64) SEC-DED code here corrects one bit and detects
+/// two per word; the analytic + Monte-Carlo failure models show exactly the
+/// break-down the paper describes as the fault count grows.
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.hpp"
+
+namespace cim::memtest {
+
+/// A (72,64) codeword: 64 data bits + 7 Hamming check bits + overall parity.
+struct Codeword72 {
+  std::uint64_t data = 0;   ///< systematic data bits
+  std::uint8_t check = 0;   ///< 7 Hamming bits (low) — bit 7 unused
+  bool parity = false;      ///< overall parity bit
+};
+
+/// Decode outcome.
+enum class EccStatus {
+  kOk,                ///< no error detected
+  kCorrected,         ///< single-bit error corrected
+  kDetectedUncorrectable,  ///< double-bit error detected, not correctable
+  kMiscorrected,      ///< >=3 errors aliased to a "corrected" state (silent)
+};
+
+/// Hamming (72,64) SEC-DED codec.
+class HammingSecDed {
+ public:
+  static Codeword72 encode(std::uint64_t data);
+
+  struct DecodeResult {
+    std::uint64_t data = 0;
+    EccStatus status = EccStatus::kOk;
+  };
+  /// Decodes; `status` is the codec's own verdict (it cannot see kMiscorrected
+  /// — use `classify` with the ground truth for that).
+  static DecodeResult decode(const Codeword72& received);
+
+  /// Flips bit `pos` (0..71) of a codeword: 0..63 data, 64..70 check, 71 parity.
+  static void flip_bit(Codeword72& cw, int pos);
+
+  /// Ground-truth classification of a decode against the original data.
+  static EccStatus classify(const DecodeResult& result, std::uint64_t original,
+                            int errors_injected);
+};
+
+/// Analytic probability that a 72-bit word has >= 2 bit errors at raw BER p
+/// (i.e., exceeds SEC capability).
+double word_uncorrectable_probability(double ber);
+
+/// Monte-Carlo: fraction of words not correctly recovered when each of the
+/// 72 bits flips independently with probability `ber`.
+double simulate_word_failure_rate(double ber, std::size_t words, util::Rng& rng);
+
+}  // namespace cim::memtest

@@ -1,0 +1,80 @@
+/// \file ecc_memory.hpp
+/// \brief ECC-protected ReRAM memory and the endurance-lifetime experiment
+///        of Section III.C: "due to the limited endurance, more devices
+///        will be worn out over time and eventually the number of hard
+///        faults will exceed the ECC's correction capability."
+///
+/// Each 64-bit data word is stored as a Hamming (72,64) SEC-DED codeword in
+/// one crossbar row. As write cycles accumulate, cells wear out into hard
+/// stuck faults; single stuck bits per word stay correctable, but the
+/// second stuck bit in the same word defeats the code.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "crossbar/crossbar.hpp"
+#include "memtest/ecc.hpp"
+#include "util/rng.hpp"
+
+namespace cim::memtest {
+
+/// A bank of ECC-protected 64-bit words on a crossbar (one word per row).
+class EccMemory {
+ public:
+  /// `words` rows of 72 cells on the given technology. The base config's
+  /// rows/cols are overridden.
+  EccMemory(std::size_t words, crossbar::CrossbarConfig base);
+
+  std::size_t words() const { return words_; }
+
+  /// Encodes and stores `data` at `word`.
+  void write(std::size_t word, std::uint64_t data);
+
+  struct ReadResult {
+    std::uint64_t data = 0;
+    EccStatus status = EccStatus::kOk;  ///< the decoder's own verdict
+    bool data_correct = false;          ///< ground truth vs shadow copy
+  };
+  /// Reads, decodes and classifies against the shadow copy.
+  ReadResult read(std::size_t word);
+
+  /// Lifetime counters since construction.
+  struct Counters {
+    std::uint64_t writes = 0;
+    std::uint64_t reads = 0;
+    std::uint64_t corrected = 0;
+    std::uint64_t detected_uncorrectable = 0;
+    std::uint64_t silent_corruptions = 0;  ///< wrong data, not flagged
+  };
+  const Counters& counters() const { return counters_; }
+
+  const crossbar::Crossbar& array() const { return *xbar_; }
+  /// Mutable access for post-mortem probing (bypasses the ECC layer).
+  crossbar::Crossbar& array_mutable() { return *xbar_; }
+
+ private:
+  std::size_t words_;
+  std::unique_ptr<crossbar::Crossbar> xbar_;
+  std::vector<std::uint64_t> shadow_;
+  Counters counters_;
+};
+
+/// Wear-out lifetime experiment: repeatedly rewrite random data into every
+/// word of a low-endurance array and scrub-read; report when ECC first
+/// corrects, first detects an uncorrectable word, and first returns silent
+/// wrong data.
+struct LifetimeReport {
+  std::uint64_t cycles_run = 0;
+  std::uint64_t first_correction_cycle = 0;        ///< 0 = never
+  std::uint64_t first_uncorrectable_cycle = 0;     ///< 0 = never
+  std::uint64_t first_silent_corruption_cycle = 0; ///< 0 = never
+  double final_stuck_cell_fraction = 0.0;
+};
+
+LifetimeReport run_ecc_lifetime(std::size_t words, double endurance_mean,
+                                std::uint64_t max_cycles, util::Rng& rng);
+
+}  // namespace cim::memtest

@@ -1,0 +1,92 @@
+/// \file march.hpp
+/// \brief March test engine and the March C* algorithm of Section III.B.
+///
+/// "A March test algorithm, named as March C*, was proposed for ReRAM fault
+/// detection in [39]:
+///     { up(r0, w1); up(r1, r1, w0); down(r0, w1); down(r1, w0); up(r0) }
+/// By applying the test pattern in this designed order, each ReRAM cell
+/// provides a six-bit signature from the six read operations."
+///
+/// The engine executes any march algorithm on a crossbar via its digital
+/// bit interface, recording per-cell read signatures, mismatching reads,
+/// operation counts and time/energy — the data behind the coverage/test-time
+/// comparison bench.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "crossbar/crossbar.hpp"
+#include "fault/fault_map.hpp"
+
+namespace cim::memtest {
+
+/// One march operation.
+enum class MarchOp { kR0, kR1, kW0, kW1 };
+
+/// Address order of a march element.
+enum class AddressOrder { kUp, kDown };
+
+/// One march element: an address order and a burst of operations applied to
+/// each address before moving to the next.
+struct MarchElement {
+  AddressOrder order = AddressOrder::kUp;
+  std::vector<MarchOp> ops;
+};
+
+/// A complete march algorithm.
+struct MarchAlgorithm {
+  std::string name;
+  std::vector<MarchElement> elements;
+
+  /// Total operations per cell (the 10N / 14N complexity figure).
+  std::size_t ops_per_cell() const;
+  /// Number of read operations per cell (signature length).
+  std::size_t reads_per_cell() const;
+};
+
+/// March C* from the paper: 10N ops, six-bit signatures.
+MarchAlgorithm march_cstar();
+/// Classic March C- (reference point): {up(w0); up(r0,w1); up(r1,w0);
+/// down(r0,w1); down(r1,w0); down(r0)}.
+MarchAlgorithm march_cminus();
+/// Trivial MATS+ (low coverage baseline): {up(w0); up(r0,w1); down(r1,w0)}.
+MarchAlgorithm mats_plus();
+
+/// A read that returned the wrong value.
+struct MarchFailure {
+  std::size_t row = 0;
+  std::size_t col = 0;
+  std::size_t element = 0;  ///< which march element
+  std::size_t op = 0;       ///< which op within the element
+  bool expected = false;
+  bool observed = false;
+};
+
+/// Result of one march run.
+struct MarchResult {
+  bool pass = true;
+  std::vector<MarchFailure> failures;
+  /// Per-cell read signature, row-major; bit i = i-th read of the algorithm.
+  std::vector<std::vector<bool>> signatures;
+  std::size_t total_ops = 0;
+  double time_ns = 0.0;
+  double energy_pj = 0.0;
+};
+
+/// Executes the algorithm. The array is initialized to all-0 first (cost
+/// excluded from the march op count, as is conventional).
+MarchResult run_march(crossbar::Crossbar& xbar, const MarchAlgorithm& algo);
+
+/// Fraction of the map's cell-level faults whose cell shows at least one
+/// failing read; address-decoder faults count as covered when any failure
+/// lands on either the logical or the aliased row.
+double fault_coverage(const fault::FaultMap& injected, const MarchResult& result);
+
+/// Diagnosis from a March C* six-bit signature (fault-free = 011010).
+/// Returns a fault-kind name, "ok", or "unknown".
+std::string diagnose_cstar_signature(const std::vector<bool>& signature);
+
+}  // namespace cim::memtest

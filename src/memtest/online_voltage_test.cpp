@@ -1,0 +1,171 @@
+#include "memtest/online_voltage_test.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace cim::memtest {
+namespace {
+
+/// Measures the column currents with the read voltage applied to rows
+/// [lo, hi) only.
+std::vector<double> measure_rows(crossbar::Crossbar& xbar, std::size_t lo,
+                                 std::size_t hi, std::size_t* vmm_count) {
+  std::vector<double> volts(xbar.rows(), 0.0);
+  const double v = xbar.tech().v_read;
+  for (std::size_t r = lo; r < hi; ++r) volts[r] = v;
+  ++*vmm_count;
+  return xbar.vmm(volts);
+}
+
+/// Reference currents for rows [lo, hi) from target conductances `g` (uS).
+std::vector<double> reference_rows(const crossbar::Crossbar& xbar,
+                                   const std::vector<std::vector<double>>& g,
+                                   std::size_t lo, std::size_t hi) {
+  std::vector<double> ref(xbar.cols(), 0.0);
+  const double v = xbar.tech().v_read;
+  for (std::size_t r = lo; r < hi; ++r)
+    for (std::size_t c = 0; c < xbar.cols(); ++c) ref[c] += v * g[r][c];
+  return ref;
+}
+
+}  // namespace
+
+VoltageTestResult run_voltage_comparison_test(crossbar::Crossbar& xbar,
+                                              const VoltageTestConfig& cfg) {
+  if (cfg.group_rows == 0)
+    throw std::invalid_argument("voltage test: group_rows >= 1");
+  const std::size_t rows = xbar.rows();
+  const std::size_t cols = xbar.cols();
+  const auto& tech = xbar.tech();
+  const auto& sch = xbar.scheme();
+  const double delta_g = cfg.delta_levels * sch.step_us();
+
+  VoltageTestResult res;
+  const auto stats0 = xbar.stats();
+
+  // Step 1: snapshot the current targets off-chip. We read the *target*
+  // levels through noisy reads and quantize, emulating the stored copy.
+  std::vector<std::vector<double>> g0(rows, std::vector<double>(cols, 0.0));
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < cols; ++c) {
+      const int level = sch.nearest_level(xbar.read_conductance(r, c));
+      g0[r][c] = sch.level_conductance_us(level);
+    }
+
+  // Threshold: per-cell programming spread of a group plus read noise, in
+  // current. With program-and-verify each cell lands within the guard band,
+  // so the per-cell error is bounded by ~guard/2; without verify it is the
+  // technology's lognormal sigma around the mid conductance.
+  const double v = tech.v_read;
+  const double g_mid = 0.5 * (tech.g_on_us() + tech.g_off_us());
+  const double cell_sigma_g = xbar.config().verified_writes
+                                  ? 0.5 * sch.guard_band_us()
+                                  : tech.write_sigma_log * g_mid;
+  const double spread = cfg.sigma_multiplier * cell_sigma_g * v *
+                        std::sqrt(static_cast<double>(cfg.group_rows));
+  const double min_signal = 0.5 * v * delta_g;
+  const double threshold = std::max(spread, min_signal);
+
+  // One directional pass: shift all cells by +/- delta, then group-measure
+  // and locate deviating cells by recursive halving.
+  auto directional_pass = [&](bool increment) {
+    std::vector<std::vector<double>> gt(rows, std::vector<double>(cols, 0.0));
+    for (std::size_t r = 0; r < rows; ++r)
+      for (std::size_t c = 0; c < cols; ++c) {
+        const double target = increment ? g0[r][c] + delta_g : g0[r][c] - delta_g;
+        gt[r][c] = std::clamp(target, tech.g_off_us(), tech.g_on_us());
+        xbar.program_cell(r, c, gt[r][c]);
+        ++res.cell_writes;
+      }
+
+    // Recursive localization of one flagged (row range, column).
+    auto locate = [&](auto&& self, std::size_t lo, std::size_t hi,
+                      std::size_t col) -> void {
+      if (hi - lo == 1) {
+        res.located.push_back({lo, col, increment});
+        return;
+      }
+      const std::size_t mid = lo + (hi - lo) / 2;
+      for (auto [a, b] : {std::pair{lo, mid}, std::pair{mid, hi}}) {
+        const auto meas = measure_rows(xbar, a, b, &res.vmm_measurements);
+        const auto ref = reference_rows(xbar, gt, a, b);
+        if (std::abs(meas[col] - ref[col]) > threshold) self(self, a, b, col);
+      }
+    };
+
+    for (std::size_t lo = 0; lo < rows; lo += cfg.group_rows) {
+      const std::size_t hi = std::min(rows, lo + cfg.group_rows);
+      const auto meas = measure_rows(xbar, lo, hi, &res.vmm_measurements);
+      const auto ref = reference_rows(xbar, gt, lo, hi);
+      for (std::size_t c = 0; c < cols; ++c)
+        if (std::abs(meas[c] - ref[c]) > threshold) locate(locate, lo, hi, c);
+    }
+  };
+
+  // Step 2-4 for SA0 (cells that cannot increment), then SA1.
+  directional_pass(/*increment=*/true);
+  directional_pass(/*increment=*/false);
+
+  // Restore the original contents.
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < cols; ++c) {
+      xbar.program_cell(r, c, g0[r][c]);
+      ++res.cell_writes;
+    }
+
+  // De-duplicate cells located by both passes.
+  std::sort(res.located.begin(), res.located.end(),
+            [](const LocatedFault& a, const LocatedFault& b) {
+              return std::tie(a.row, a.col, a.stuck_low) <
+                     std::tie(b.row, b.col, b.stuck_low);
+            });
+  res.located.erase(std::unique(res.located.begin(), res.located.end(),
+                                [](const LocatedFault& a, const LocatedFault& b) {
+                                  return a.row == b.row && a.col == b.col;
+                                }),
+                    res.located.end());
+
+  const auto stats1 = xbar.stats();
+  res.time_ns = stats1.time_ns - stats0.time_ns;
+  res.energy_pj = stats1.energy_pj - stats0.energy_pj;
+  return res;
+}
+
+DetectionQuality voltage_test_quality(const fault::FaultMap& injected,
+                                      const VoltageTestResult& result) {
+  DetectionQuality q;
+  std::size_t stuck_total = 0;
+  std::size_t found = 0;
+  for (const auto& fd : injected.all()) {
+    const bool stuck = fd.kind == fault::FaultKind::kStuckAtZero ||
+                       fd.kind == fault::FaultKind::kStuckAtOne ||
+                       fd.kind == fault::FaultKind::kOverForming;
+    if (!stuck) continue;
+    ++stuck_total;
+    for (const auto& loc : result.located)
+      if (loc.row == fd.row && loc.col == fd.col) {
+        ++found;
+        break;
+      }
+  }
+  q.recall = stuck_total ? static_cast<double>(found) /
+                               static_cast<double>(stuck_total)
+                         : 1.0;
+
+  std::size_t true_pos = 0;
+  for (const auto& loc : result.located) {
+    const auto fd = injected.cell_fault(loc.row, loc.col);
+    if (fd && (fd->kind == fault::FaultKind::kStuckAtZero ||
+               fd->kind == fault::FaultKind::kStuckAtOne ||
+               fd->kind == fault::FaultKind::kOverForming))
+      ++true_pos;
+  }
+  q.precision = result.located.empty()
+                    ? 1.0
+                    : static_cast<double>(true_pos) /
+                          static_cast<double>(result.located.size());
+  return q;
+}
+
+}  // namespace cim::memtest

@@ -1,0 +1,62 @@
+/// \file online_voltage_test.hpp
+/// \brief On-line voltage-comparison stuck-at test (Section III.C, Xia et
+///        al., DAC'17 [38]).
+///
+/// The four steps the paper describes:
+///   1. read and store the crossbar conductances off-chip;
+///   2. write a fixed increment (decrement) to all cells — stuck-at-0
+///      (stuck-at-1) cells cannot follow;
+///   3. apply test voltages to a group of rows at a time and capture all
+///      column outputs concurrently;
+///   4. compare each output voltage with the reference computed under the
+///      assumption that every cell was tuned successfully — a discrepancy
+///      means at least one stuck cell in the selected rows/column.
+/// "By carrying out this fault-detection method bidirectionally, faults can
+/// be located" — realized here by recursive halving of a flagged row group.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "crossbar/crossbar.hpp"
+#include "fault/fault_map.hpp"
+
+namespace cim::memtest {
+
+/// Configuration of the on-line voltage-comparison test.
+struct VoltageTestConfig {
+  std::size_t group_rows = 8;   ///< rows driven concurrently in step 3
+  double delta_levels = 4.0;    ///< conductance shift in level steps (step 2)
+  double sigma_multiplier = 4.0;///< threshold in units of the expected spread
+};
+
+/// One located stuck cell.
+struct LocatedFault {
+  std::size_t row = 0;
+  std::size_t col = 0;
+  bool stuck_low = false;  ///< true: SA0-like (cannot increment)
+};
+
+/// Result of one test run.
+struct VoltageTestResult {
+  std::vector<LocatedFault> located;
+  std::size_t vmm_measurements = 0;
+  std::size_t cell_writes = 0;
+  double time_ns = 0.0;
+  double energy_pj = 0.0;
+};
+
+/// Runs the full bidirectional test and restores the original conductance
+/// targets afterwards.
+VoltageTestResult run_voltage_comparison_test(crossbar::Crossbar& xbar,
+                                              const VoltageTestConfig& cfg = {});
+
+/// Precision/recall of located faults against the injected stuck-at faults.
+struct DetectionQuality {
+  double recall = 0.0;     ///< injected stuck-at faults that were located
+  double precision = 0.0;  ///< located faults that match an injected one
+};
+DetectionQuality voltage_test_quality(const fault::FaultMap& injected,
+                                      const VoltageTestResult& result);
+
+}  // namespace cim::memtest

@@ -1,0 +1,118 @@
+/// \file power_monitor.hpp
+/// \brief On-line fault detection by monitoring dynamic power consumption
+///        (Section III.C / Fig. 7, Liu et al. ITC'20 [52]).
+///
+/// "This method exploits the fact that ReRAM faults affect the dynamic power
+/// consumption of ReRAM crossbars; it monitors the dynamic power of each
+/// crossbar and determines the occurrence of faults when a changepoint is
+/// detected in the monitored power-consumption time series. Moreover, when
+/// faults are detected, it estimates the percentage of faulty cells by
+/// training a machine-learning-based estimation model [on] the statistics of
+/// the power-consumption profile."
+///
+/// Realization: a workload stream of random VMMs runs on the crossbar; each
+/// cycle's array energy is one sample. A CUSUM detector flags the
+/// changepoint; post-change power statistics feed a ridge-regression
+/// estimator of the faulty-cell fraction, trained on synthetically faulted
+/// arrays.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "crossbar/crossbar.hpp"
+#include "fault/fault_map.hpp"
+#include "util/changepoint.hpp"
+#include "util/regression.hpp"
+#include "util/rng.hpp"
+
+namespace cim::memtest {
+
+/// Configuration of a monitored workload run.
+struct MonitorConfig {
+  std::size_t cycles = 1200;            ///< total workload cycles
+  double input_density = 0.5;           ///< probability a row is driven
+  /// The workload repeats a fixed schedule of this many input vectors, so
+  /// the power baseline is stationary and fault-induced shifts stand out
+  /// (monitoring raw random workloads would bury the shift in input-driven
+  /// variance).
+  std::size_t workload_period = 16;
+  /// Relative noise of the on-chip power sensor. Without it the simulated
+  /// power would be numerically exact and the detector would alarm on any
+  /// single disturb event — no physical sensor is that clean.
+  double sensor_noise_frac = 0.005;
+  util::CusumDetector::Config cusum{};  ///< detector tuning
+};
+
+/// Result of a monitored run.
+struct MonitorRun {
+  std::vector<double> power_mw;     ///< per-cycle dynamic power (raw)
+  /// Seasonally adjusted residuals (raw minus per-phase baseline), starting
+  /// at cycle `calibration_cycles` — the series the detector and the
+  /// fault-rate estimator actually consume.
+  std::vector<double> residual_mw;
+  std::size_t calibration_cycles = 0;
+  std::optional<std::size_t> alarm_cycle;     ///< CUSUM alarm position (cycles)
+  std::optional<std::size_t> located_changepoint;  ///< offline estimate (cycles)
+};
+
+/// Drives `cycles` random VMMs through the crossbar, sampling per-cycle
+/// dynamic power. If `inject` is set, the fault map is applied right after
+/// cycle `inject_at_cycle` (Fig. 7 inserts faults after cycle 600).
+MonitorRun run_monitored_workload(crossbar::Crossbar& xbar,
+                                  const MonitorConfig& cfg, util::Rng& rng,
+                                  const fault::FaultMap* inject = nullptr,
+                                  std::size_t inject_at_cycle = 0);
+
+/// Statistics of the power profile used as estimator features.
+struct PowerFeatures {
+  double post_mean = 0.0;
+  double post_stddev = 0.0;
+  double post_max = 0.0;
+  double delta_mean = 0.0;     ///< post-change minus pre-change mean
+  double delta_stddev = 0.0;
+  /// Standardized shift: delta_mean over the pre-change noise level (works
+  /// for zero-mean residual series where a ratio of means is meaningless).
+  double relative_shift = 0.0;
+
+  std::vector<double> to_vector() const;
+  static std::size_t dim() { return 6; }
+};
+
+/// Extracts features around a changepoint (pre = [0, cp), post = [cp, end)).
+PowerFeatures extract_features(const std::vector<double>& power,
+                               std::size_t changepoint);
+
+/// Ridge-regression estimator of the faulty-cell fraction.
+class FaultRateEstimator {
+ public:
+  /// One training example.
+  struct Example {
+    PowerFeatures features;
+    double fault_fraction = 0.0;
+  };
+
+  /// Fits on collected examples.
+  void train(const std::vector<Example>& examples, double lambda = 1e-3);
+
+  /// Estimated faulty-cell fraction, clamped to [0, 1].
+  double estimate(const PowerFeatures& features) const;
+
+  bool trained() const { return reg_.fitted(); }
+  double r2(const std::vector<Example>& examples) const;
+
+  /// Generates training data by faulting fresh arrays at random fractions,
+  /// running the monitored workload and extracting features. The fault mix
+  /// should match the field failure mode being estimated (power shifts are
+  /// signed: SA0 lowers conductance, SA1 raises it).
+  static std::vector<Example> generate_training_data(
+      const crossbar::CrossbarConfig& array_cfg, const MonitorConfig& mon_cfg,
+      std::size_t examples, util::Rng& rng,
+      const fault::FaultMix& mix = fault::FaultMix{});
+
+ private:
+  util::RidgeRegression reg_;
+};
+
+}  // namespace cim::memtest

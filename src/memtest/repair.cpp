@@ -1,0 +1,151 @@
+#include "memtest/repair.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace cim::memtest {
+
+std::vector<FaultSite> sites_from_march(const MarchResult& result) {
+  std::set<std::pair<std::size_t, std::size_t>> seen;
+  std::vector<FaultSite> sites;
+  for (const auto& f : result.failures)
+    if (seen.insert({f.row, f.col}).second) sites.push_back({f.row, f.col});
+  return sites;
+}
+
+RepairPlan allocate_redundancy(const std::vector<FaultSite>& sites,
+                               std::size_t spare_rows,
+                               std::size_t spare_cols) {
+  RepairPlan plan;
+  // Working copy of uncovered sites.
+  std::vector<FaultSite> open = sites;
+  std::size_t rows_left = spare_rows;
+  std::size_t cols_left = spare_cols;
+
+  auto count_by = [&](bool by_row) {
+    std::map<std::size_t, std::size_t> counts;
+    for (const auto& s : open) ++counts[by_row ? s.row : s.col];
+    return counts;
+  };
+  auto cover_row = [&](std::size_t r) {
+    plan.repaired_rows.push_back(r);
+    --rows_left;
+    open.erase(std::remove_if(open.begin(), open.end(),
+                              [&](const FaultSite& s) { return s.row == r; }),
+               open.end());
+  };
+  auto cover_col = [&](std::size_t c) {
+    plan.repaired_cols.push_back(c);
+    --cols_left;
+    open.erase(std::remove_if(open.begin(), open.end(),
+                              [&](const FaultSite& s) { return s.col == c; }),
+               open.end());
+  };
+
+  // Must-repair passes: a line with more faults than the other dimension's
+  // remaining spares can only be covered by its own spare.
+  bool changed = true;
+  while (changed && !open.empty()) {
+    changed = false;
+    for (const auto& [r, n] : count_by(true)) {
+      if (n > cols_left) {
+        if (rows_left == 0) return plan;  // infeasible
+        cover_row(r);
+        changed = true;
+        break;
+      }
+    }
+    if (changed) continue;
+    for (const auto& [c, n] : count_by(false)) {
+      if (n > rows_left) {
+        if (cols_left == 0) return plan;
+        cover_col(c);
+        changed = true;
+        break;
+      }
+    }
+  }
+
+  // Greedy: repeatedly cover the line with the most uncovered faults.
+  while (!open.empty()) {
+    const auto rows = count_by(true);
+    const auto cols = count_by(false);
+    std::size_t best_row = 0, best_row_n = 0;
+    for (const auto& [r, n] : rows)
+      if (n > best_row_n) {
+        best_row = r;
+        best_row_n = n;
+      }
+    std::size_t best_col = 0, best_col_n = 0;
+    for (const auto& [c, n] : cols)
+      if (n > best_col_n) {
+        best_col = c;
+        best_col_n = n;
+      }
+    const bool use_row =
+        (best_row_n >= best_col_n && rows_left > 0) || cols_left == 0;
+    if (use_row && rows_left > 0) {
+      cover_row(best_row);
+    } else if (cols_left > 0) {
+      cover_col(best_col);
+    } else {
+      return plan;  // out of spares
+    }
+  }
+
+  plan.feasible = true;
+  plan.spare_rows_used = plan.repaired_rows.size();
+  plan.spare_cols_used = plan.repaired_cols.size();
+  return plan;
+}
+
+RepairedArray::RepairedArray(std::size_t rows, std::size_t cols,
+                             std::size_t spare_rows, std::size_t spare_cols,
+                             crossbar::CrossbarConfig base)
+    : rows_(rows), cols_(cols), spare_rows_(spare_rows),
+      spare_cols_(spare_cols) {
+  if (rows == 0 || cols == 0)
+    throw std::invalid_argument("RepairedArray: empty array");
+  base.rows = rows + spare_rows;
+  base.cols = cols + spare_cols;
+  xbar_ = std::make_unique<crossbar::Crossbar>(base);
+}
+
+void RepairedArray::apply_faults(const fault::FaultMap& physical_map) {
+  xbar_->apply_faults(physical_map);
+}
+
+void RepairedArray::install(const RepairPlan& plan) {
+  if (plan.repaired_rows.size() > spare_rows_ ||
+      plan.repaired_cols.size() > spare_cols_)
+    throw std::invalid_argument("RepairedArray: plan exceeds spares");
+  row_map_.clear();
+  col_map_.clear();
+  std::size_t next_spare_row = rows_;
+  for (const auto r : plan.repaired_rows) row_map_[r] = next_spare_row++;
+  std::size_t next_spare_col = cols_;
+  for (const auto c : plan.repaired_cols) col_map_[c] = next_spare_col++;
+}
+
+std::size_t RepairedArray::physical_row(std::size_t r) const {
+  if (r >= rows_) throw std::out_of_range("RepairedArray: row");
+  const auto it = row_map_.find(r);
+  return it == row_map_.end() ? r : it->second;
+}
+
+std::size_t RepairedArray::physical_col(std::size_t c) const {
+  if (c >= cols_) throw std::out_of_range("RepairedArray: col");
+  const auto it = col_map_.find(c);
+  return it == col_map_.end() ? c : it->second;
+}
+
+void RepairedArray::write_bit(std::size_t row, std::size_t col, bool value) {
+  xbar_->write_bit(physical_row(row), physical_col(col), value);
+}
+
+bool RepairedArray::read_bit(std::size_t row, std::size_t col) {
+  return xbar_->read_bit(physical_row(row), physical_col(col));
+}
+
+}  // namespace cim::memtest

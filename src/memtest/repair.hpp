@@ -1,0 +1,83 @@
+/// \file repair.hpp
+/// \brief Redundancy repair: spare-row/column allocation from located
+///        faults. Section III motivates the pipeline "fault detection ->
+///        fault localization -> error recovery"; for hard faults the
+///        recovery step is the classic memory repair: replace failing rows
+///        and columns with spares.
+///
+/// The allocator runs must-repair analysis (a row with more faults than the
+/// remaining column spares *must* take a row spare, and vice versa) followed
+/// by a greedy most-faults-first assignment — the standard heuristic for
+/// the NP-complete spare-allocation problem.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "crossbar/crossbar.hpp"
+#include "memtest/march.hpp"
+
+namespace cim::memtest {
+
+/// A faulty cell coordinate.
+struct FaultSite {
+  std::size_t row = 0;
+  std::size_t col = 0;
+};
+
+/// Result of spare allocation.
+struct RepairPlan {
+  bool feasible = false;
+  std::vector<std::size_t> repaired_rows;  ///< logical rows mapped to spares
+  std::vector<std::size_t> repaired_cols;
+  std::size_t spare_rows_used = 0;
+  std::size_t spare_cols_used = 0;
+};
+
+/// Deduplicates march failures into fault sites.
+std::vector<FaultSite> sites_from_march(const MarchResult& result);
+
+/// Allocates spares to cover every fault site.
+RepairPlan allocate_redundancy(const std::vector<FaultSite>& sites,
+                               std::size_t spare_rows, std::size_t spare_cols);
+
+/// A logical rows x cols array backed by a physical array with spare lines;
+/// reads/writes are redirected through the repair plan.
+class RepairedArray {
+ public:
+  /// Builds the physical array (rows+spare_rows x cols+spare_cols).
+  RepairedArray(std::size_t rows, std::size_t cols, std::size_t spare_rows,
+                std::size_t spare_cols, crossbar::CrossbarConfig base);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  /// Injects faults into the physical array (logical coordinates map 1:1
+  /// onto the main region; spares can carry faults of their own).
+  void apply_faults(const fault::FaultMap& physical_map);
+
+  /// Installs a repair plan (logical rows/cols -> spare lines).
+  /// Throws if the plan needs more spares than available.
+  void install(const RepairPlan& plan);
+
+  void write_bit(std::size_t row, std::size_t col, bool value);
+  bool read_bit(std::size_t row, std::size_t col);
+
+  crossbar::Crossbar& physical() { return *xbar_; }
+
+ private:
+  std::size_t physical_row(std::size_t r) const;
+  std::size_t physical_col(std::size_t c) const;
+
+  std::size_t rows_;
+  std::size_t cols_;
+  std::size_t spare_rows_;
+  std::size_t spare_cols_;
+  std::map<std::size_t, std::size_t> row_map_;  ///< logical -> spare physical
+  std::map<std::size_t, std::size_t> col_map_;
+  std::unique_ptr<crossbar::Crossbar> xbar_;
+};
+
+}  // namespace cim::memtest

@@ -1,0 +1,74 @@
+#include "memtest/scouting_test.hpp"
+
+namespace cim::memtest {
+
+ScoutingTestResult run_scouting_test(crossbar::Crossbar& xbar,
+                                     const ScoutingTestConfig& cfg) {
+  ScoutingTestResult res;
+  const std::size_t rows = xbar.rows();
+  const std::size_t cols = xbar.cols();
+  const std::size_t stride = std::max<std::size_t>(1, cfg.pair_stride);
+  const auto stats0 = xbar.stats();
+
+  for (std::size_t r = 0; r + 1 < rows; r += stride) {
+    const std::size_t r1 = r;
+    const std::size_t r2 = r + 1;
+    for (std::size_t c = 0; c < cols; ++c) {
+      for (int pattern = 0; pattern < 4; ++pattern) {
+        const bool a = pattern & 1;
+        const bool b = pattern & 2;
+        xbar.write_bit(r1, c, a);
+        xbar.write_bit(r2, c, b);
+        res.writes += 2;
+
+        struct Check {
+          crossbar::ScoutOp op;
+          bool expected;
+        };
+        const Check checks[] = {{crossbar::ScoutOp::kOr, a || b},
+                                {crossbar::ScoutOp::kAnd, a && b},
+                                {crossbar::ScoutOp::kXor, a != b}};
+        for (const auto& chk : checks) {
+          const bool observed = xbar.scout_read(r1, r2, c, chk.op);
+          ++res.checks;
+          if (observed != chk.expected)
+            res.mismatches.push_back({r1, r2, c, chk.op, a, b, observed});
+        }
+      }
+    }
+  }
+
+  const auto stats1 = xbar.stats();
+  res.time_ns = stats1.time_ns - stats0.time_ns;
+  res.energy_pj = stats1.energy_pj - stats0.energy_pj;
+  return res;
+}
+
+double scouting_coverage(const fault::FaultMap& injected,
+                         const ScoutingTestResult& result,
+                         const ScoutingTestConfig& cfg, std::size_t rows) {
+  const std::size_t stride = std::max<std::size_t>(1, cfg.pair_stride);
+  auto tested_row = [&](std::size_t r) {
+    // Row r is tested if it is the first or second element of some pair.
+    if (r + 1 < rows && r % stride == 0) return true;
+    return r >= 1 && (r - 1) % stride == 0 && (r - 1) + 1 < rows;
+  };
+
+  std::size_t total = 0;
+  std::size_t covered = 0;
+  for (const auto& fd : injected.all()) {
+    if (fault::is_array_level(fd.kind)) continue;
+    if (!tested_row(fd.row)) continue;
+    ++total;
+    for (const auto& mm : result.mismatches) {
+      if (mm.col == fd.col && (mm.r1 == fd.row || mm.r2 == fd.row)) {
+        ++covered;
+        break;
+      }
+    }
+  }
+  if (total == 0) return 1.0;
+  return static_cast<double>(covered) / static_cast<double>(total);
+}
+
+}  // namespace cim::memtest

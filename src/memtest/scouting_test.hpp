@@ -1,0 +1,59 @@
+/// \file scouting_test.hpp
+/// \brief Testing Scouting-logic-based CIM (Section III references Fieback
+///        et al., ETS'20 [40]).
+///
+/// Scouting logic computes OR/AND/XOR by activating two rows at once and
+/// comparing the summed bitline current against references. A cell that
+/// passes normal single-cell read tests can still break scouting: its
+/// conductance may sit inside the single-read guard band yet shift the
+/// two-cell sum across a reference. This test writes all four input
+/// combinations into sampled row pairs and checks every scouting op
+/// against its Boolean expectation.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "crossbar/crossbar.hpp"
+#include "fault/fault_map.hpp"
+
+namespace cim::memtest {
+
+/// One failing scouting check.
+struct ScoutMismatch {
+  std::size_t r1 = 0;
+  std::size_t r2 = 0;
+  std::size_t col = 0;
+  crossbar::ScoutOp op = crossbar::ScoutOp::kOr;
+  bool a = false;
+  bool b = false;
+  bool observed = false;
+};
+
+/// Result of a scouting-logic test run.
+struct ScoutingTestResult {
+  std::vector<ScoutMismatch> mismatches;
+  std::size_t checks = 0;
+  std::size_t writes = 0;
+  double time_ns = 0.0;
+  double energy_pj = 0.0;
+};
+
+/// Configuration: which row pairs to exercise.
+struct ScoutingTestConfig {
+  /// Pair stride: rows (r, r+1) for r in steps of `pair_stride`.
+  std::size_t pair_stride = 2;
+};
+
+/// Runs the test: for each sampled row pair and every column, writes the
+/// four (a, b) combinations and checks OR, AND and XOR reads.
+ScoutingTestResult run_scouting_test(crossbar::Crossbar& xbar,
+                                     const ScoutingTestConfig& cfg = {});
+
+/// Fraction of injected cell faults on *tested* cells that produced at
+/// least one mismatch.
+double scouting_coverage(const fault::FaultMap& injected,
+                         const ScoutingTestResult& result,
+                         const ScoutingTestConfig& cfg, std::size_t rows);
+
+}  // namespace cim::memtest

@@ -1,0 +1,101 @@
+/// \file xabft.hpp
+/// \brief X-ABFT: checksum-based algorithmic fault tolerance for crossbar
+///        matrix operations (Section III.C, Liu et al. ITC'18 / TODAES'20).
+///
+/// "The basic idea of the X-ABFT method is to encode matrices with checksums
+/// (the sum of each row or column) and compute using both original and
+/// encoded data. Faults can be detected when discrepancies exist between the
+/// checksums and the sum of the cells. Moreover, this method periodically
+/// applies test-input vectors to extract signatures, and uses signatures for
+/// fault localization and correction."
+///
+/// Realization: the weight matrix is stored on the crossbar in the *level*
+/// domain (integer conductance levels); exact row/column checksums are kept
+/// digitally at encode time.
+///   - In-line detection: each MAC result is checked against the digital
+///     checksum product (sum of outputs vs checksum-weighted input).
+///   - Scrub: unit test-input signatures flag rows/columns; candidate cells
+///     are read precisely, corrected from the row checksum and reprogrammed.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "crossbar/crossbar.hpp"
+#include "fault/fault_map.hpp"
+#include "util/matrix.hpp"
+
+namespace cim::memtest {
+
+/// Result of one checksum-verified MAC (binary input vector).
+struct CheckedMac {
+  std::vector<double> level_sums;  ///< per-column sum of x-selected levels
+  bool checksum_ok = true;
+  double residual_levels = 0.0;    ///< |analog sum - digital checksum|
+};
+
+/// One corrected (or uncorrectable) cell from a scrub pass.
+struct CellCorrection {
+  std::size_t row = 0;
+  std::size_t col = 0;
+  int observed_level = 0;
+  int corrected_level = 0;
+  bool reprogram_succeeded = false;  ///< false: hard fault, needs remap
+};
+
+/// Scrub outcome.
+struct ScrubReport {
+  std::vector<std::size_t> suspect_rows;
+  std::vector<std::size_t> suspect_cols;
+  std::vector<CellCorrection> corrections;
+  std::size_t reads = 0;
+  std::size_t writes = 0;
+};
+
+/// A level-domain matrix protected by X-ABFT checksums on a crossbar.
+class XabftProtected {
+ public:
+  /// `levels` is (n x m) with integer entries in [0, levels-1]; the array
+  /// configuration's rows/cols are overridden to n x m.
+  XabftProtected(const util::Matrix& levels, crossbar::CrossbarConfig cfg,
+                 double detect_threshold_levels = 4.0);
+
+  std::size_t rows() const { return n_; }
+  std::size_t cols() const { return m_; }
+
+  /// MAC with binary input x (entries 0/1): per-column level sums decoded
+  /// from the analog currents, verified against the digital row checksums.
+  CheckedMac multiply(std::span<const double> x01);
+
+  /// Localizes deviations via signatures, corrects soft errors by
+  /// reprogramming the checksum-implied level, flags hard faults.
+  ScrubReport scrub();
+
+  /// Injects faults into the underlying array.
+  void apply_faults(const fault::FaultMap& map);
+
+  const crossbar::Crossbar& array() const { return xbar_; }
+  /// Mutable access for error-injection experiments (soft upsets etc.).
+  crossbar::Crossbar& array_mutable() { return xbar_; }
+  /// Digital (exact) checksums captured at encode time.
+  const std::vector<long>& row_checksums() const { return row_sums_; }
+  const std::vector<long>& col_checksums() const { return col_sums_; }
+
+  /// The ideal level-sum result for input x (test oracle).
+  std::vector<double> ideal_multiply(std::span<const double> x01) const;
+
+ private:
+  /// Decodes a column current into a sum of levels given active-input count.
+  double decode_level_sum(double current_ua, double active_inputs) const;
+
+  std::size_t n_;
+  std::size_t m_;
+  double threshold_;
+  util::Matrix stored_levels_;  ///< encode-time copy (for oracle only)
+  std::vector<long> row_sums_;
+  std::vector<long> col_sums_;
+  crossbar::Crossbar xbar_;
+};
+
+}  // namespace cim::memtest

@@ -1,0 +1,95 @@
+#include "nn/bnn.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace cim::nn {
+
+BitVector::BitVector(std::size_t n) : words((n + 63) / 64, 0), bits(n) {}
+
+void BitVector::set(std::size_t i, bool v) {
+  if (i >= bits) throw std::out_of_range("BitVector::set");
+  const std::uint64_t mask = 1ULL << (i % 64);
+  if (v)
+    words[i / 64] |= mask;
+  else
+    words[i / 64] &= ~mask;
+}
+
+bool BitVector::get(std::size_t i) const {
+  if (i >= bits) throw std::out_of_range("BitVector::get");
+  return (words[i / 64] >> (i % 64)) & 1ULL;
+}
+
+BitVector binarize(std::span<const double> x) {
+  BitVector b(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) b.set(i, x[i] >= 0.0);
+  return b;
+}
+
+std::size_t xnor_popcount(const BitVector& a, const BitVector& b) {
+  if (a.bits != b.bits) throw std::invalid_argument("xnor_popcount: size mismatch");
+  std::size_t count = 0;
+  for (std::size_t w = 0; w < a.words.size(); ++w) {
+    std::uint64_t x = ~(a.words[w] ^ b.words[w]);
+    // Mask the tail beyond `bits` in the last word.
+    if (w + 1 == a.words.size() && a.bits % 64 != 0)
+      x &= (1ULL << (a.bits % 64)) - 1;
+    count += static_cast<std::size_t>(std::popcount(x));
+  }
+  return count;
+}
+
+BinaryDense::BinaryDense(const util::Matrix& w) : in_(w.cols()) {
+  if (w.empty()) throw std::invalid_argument("BinaryDense: empty weights");
+  rows_.reserve(w.rows());
+  for (std::size_t o = 0; o < w.rows(); ++o) {
+    rows_.push_back(binarize(w.row(o)));
+  }
+}
+
+std::vector<int> BinaryDense::forward(const BitVector& x) const {
+  if (x.size() != in_) throw std::invalid_argument("BinaryDense: dim mismatch");
+  std::vector<int> y(rows_.size());
+  for (std::size_t o = 0; o < rows_.size(); ++o) {
+    const auto agree = xnor_popcount(rows_[o], x);
+    y[o] = 2 * static_cast<int>(agree) - static_cast<int>(in_);
+  }
+  return y;
+}
+
+BinaryMlp::BinaryMlp(const Mlp& mlp) {
+  for (const auto& layer : mlp.layers()) layers_.emplace_back(layer.w);
+}
+
+int BinaryMlp::predict(std::span<const double> x) const {
+  // Binarize the input against its mean so dark/bright images both work.
+  double mean = 0.0;
+  for (double v : x) mean += v;
+  mean /= static_cast<double>(x.size());
+  BitVector act(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) act.set(i, x[i] >= mean);
+
+  std::vector<int> y;
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    y = layers_[l].forward(act);
+    if (l + 1 < layers_.size()) {
+      act = BitVector(y.size());
+      for (std::size_t i = 0; i < y.size(); ++i) act.set(i, y[i] >= 0);
+    }
+  }
+  int best = 0;
+  for (std::size_t i = 1; i < y.size(); ++i)
+    if (y[i] > y[static_cast<std::size_t>(best)]) best = static_cast<int>(i);
+  return best;
+}
+
+double BinaryMlp::accuracy(const Dataset& data) const {
+  if (data.size() == 0) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < data.size(); ++i)
+    if (predict(data.features.row(i)) == data.labels[i]) ++correct;
+  return static_cast<double>(correct) / static_cast<double>(data.size());
+}
+
+}  // namespace cim::nn

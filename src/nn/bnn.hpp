@@ -1,0 +1,71 @@
+/// \file bnn.hpp
+/// \brief Binary neural network layers (XNOR-net style).
+///
+/// Section V.D singles out binary neural networks as the target application
+/// for FeRFET CIM: "the very efficient XOR and XNOR implementation enabled
+/// by the RFET base technology is suitable ... for this type of computing
+/// paradigm". A BNN dense layer with weights/activations in {-1, +1}
+/// computes  y_o = sum_i w_oi * x_i = 2 * popcount(XNOR(w_o, x)) - n,
+/// i.e. exactly the XNOR-popcount primitive the FeRFET NOR-array executes.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "nn/mlp.hpp"
+
+namespace cim::nn {
+
+/// Bit-packed binary vector: bit=1 encodes +1, bit=0 encodes -1.
+struct BitVector {
+  std::vector<std::uint64_t> words;
+  std::size_t bits = 0;
+
+  explicit BitVector(std::size_t n = 0);
+  void set(std::size_t i, bool v);
+  bool get(std::size_t i) const;
+  std::size_t size() const { return bits; }
+};
+
+/// Binarizes a real vector by sign (>= 0 -> +1).
+BitVector binarize(std::span<const double> x);
+
+/// popcount(XNOR(a, b)): the number of agreeing positions.
+std::size_t xnor_popcount(const BitVector& a, const BitVector& b);
+
+/// Binary dense layer: weight rows are bit-packed; output is the integer
+/// dot product in {-n, ..., +n}.
+class BinaryDense {
+ public:
+  /// Binarizes the sign pattern of a real weight matrix (out x in).
+  explicit BinaryDense(const util::Matrix& w);
+
+  std::size_t in_dim() const { return in_; }
+  std::size_t out_dim() const { return rows_.size(); }
+  const BitVector& weight_row(std::size_t o) const { return rows_.at(o); }
+
+  /// Integer outputs: y_o = 2*popcount(XNOR(w_o, x)) - in_dim.
+  std::vector<int> forward(const BitVector& x) const;
+
+ private:
+  std::size_t in_;
+  std::vector<BitVector> rows_;
+};
+
+/// A fully binarized MLP built from a trained float MLP: every layer's sign
+/// pattern is kept, activations binarize between layers, and the (real)
+/// first-layer input is binarized against its mean.
+class BinaryMlp {
+ public:
+  explicit BinaryMlp(const Mlp& mlp);
+
+  int predict(std::span<const double> x) const;
+  double accuracy(const Dataset& data) const;
+  const std::vector<BinaryDense>& layers() const { return layers_; }
+
+ private:
+  std::vector<BinaryDense> layers_;
+};
+
+}  // namespace cim::nn

@@ -1,0 +1,232 @@
+#include "nn/cnn.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace cim::nn {
+namespace {
+constexpr std::size_t kSide = 8;        // input image side
+constexpr std::size_t kConvOut = 6;     // valid conv output side
+constexpr std::size_t kPoolOut = 3;     // after 2x2 max pooling
+}  // namespace
+
+Conv2d::Conv2d(std::size_t channels_, std::size_t ksize_, util::Rng& rng)
+    : channels(channels_), ksize(ksize_), w(channels_, ksize_ * ksize_),
+      b(channels_, 0.0) {
+  const double scale = std::sqrt(2.0 / static_cast<double>(ksize_ * ksize_));
+  for (double& v : w.flat()) v = rng.normal(0.0, scale);
+}
+
+util::Matrix SmallCnn::im2col(std::span<const double> image, std::size_t side,
+                              std::size_t ksize) {
+  if (image.size() != side * side)
+    throw std::invalid_argument("im2col: image size mismatch");
+  const std::size_t out = side - ksize + 1;
+  util::Matrix patches(out * out, ksize * ksize);
+  for (std::size_t r = 0; r < out; ++r)
+    for (std::size_t c = 0; c < out; ++c)
+      for (std::size_t kr = 0; kr < ksize; ++kr)
+        for (std::size_t kc = 0; kc < ksize; ++kc)
+          patches(r * out + c, kr * ksize + kc) =
+              image[(r + kr) * side + (c + kc)];
+  return patches;
+}
+
+SmallCnn::SmallCnn(std::size_t channels, util::Rng& rng)
+    : conv_(channels, 3, rng),
+      fc_(kClasses, channels * kPoolOut * kPoolOut, rng) {}
+
+struct SmallCnn::ForwardState {
+  util::Matrix patches;                 // (36 x 9)
+  std::vector<double> conv_pre;         // channels * 36 (pre-ReLU)
+  std::vector<double> pooled;           // channels * 9
+  std::vector<std::size_t> pool_argmax; // index into conv grid per pooled el
+  std::vector<double> logits;
+};
+
+SmallCnn::ForwardState SmallCnn::forward_full(
+    std::span<const double> image) const {
+  ForwardState st;
+  st.patches = im2col(image, kSide, conv_.ksize);
+  const std::size_t positions = st.patches.rows();  // 36
+  st.conv_pre.assign(conv_.channels * positions, 0.0);
+  for (std::size_t ch = 0; ch < conv_.channels; ++ch) {
+    const auto wrow = conv_.w.row(ch);
+    for (std::size_t p = 0; p < positions; ++p) {
+      double acc = conv_.b[ch];
+      const auto patch = st.patches.row(p);
+      for (std::size_t k = 0; k < patch.size(); ++k) acc += wrow[k] * patch[k];
+      st.conv_pre[ch * positions + p] = acc;
+    }
+  }
+
+  // ReLU + 2x2 max pooling over the 6x6 grid per channel.
+  st.pooled.assign(conv_.channels * kPoolOut * kPoolOut, 0.0);
+  st.pool_argmax.assign(st.pooled.size(), 0);
+  for (std::size_t ch = 0; ch < conv_.channels; ++ch) {
+    for (std::size_t pr = 0; pr < kPoolOut; ++pr) {
+      for (std::size_t pc = 0; pc < kPoolOut; ++pc) {
+        double best = 0.0;  // ReLU floor
+        std::size_t best_idx = ch * 36 + (2 * pr) * kConvOut + 2 * pc;
+        for (std::size_t dr = 0; dr < 2; ++dr) {
+          for (std::size_t dc = 0; dc < 2; ++dc) {
+            const std::size_t idx =
+                ch * 36 + (2 * pr + dr) * kConvOut + (2 * pc + dc);
+            const double v = std::max(0.0, st.conv_pre[idx]);
+            if (v > best) {
+              best = v;
+              best_idx = idx;
+            }
+          }
+        }
+        const std::size_t out_idx = ch * kPoolOut * kPoolOut + pr * kPoolOut + pc;
+        st.pooled[out_idx] = best;
+        st.pool_argmax[out_idx] = best_idx;
+      }
+    }
+  }
+
+  st.logits = fc_.forward(st.pooled);
+  return st;
+}
+
+std::vector<double> SmallCnn::forward(std::span<const double> image) const {
+  return forward_full(image).logits;
+}
+
+int SmallCnn::predict(std::span<const double> image) const {
+  const auto logits = forward(image);
+  return static_cast<int>(
+      std::max_element(logits.begin(), logits.end()) - logits.begin());
+}
+
+double SmallCnn::accuracy(const Dataset& data) const {
+  if (data.size() == 0) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < data.size(); ++i)
+    if (predict(data.features.row(i)) == data.labels[i]) ++correct;
+  return static_cast<double>(correct) / static_cast<double>(data.size());
+}
+
+double SmallCnn::train_epoch(const Dataset& data, double lr, util::Rng& rng) {
+  if (data.size() == 0) throw std::invalid_argument("train_epoch: empty data");
+  double total_loss = 0.0;
+  const auto order = rng.permutation(data.size());
+
+  for (const std::size_t idx : order) {
+    const auto image = data.features.row(idx);
+    const int label = data.labels[idx];
+    auto st = forward_full(image);
+
+    auto probs = softmax(st.logits);
+    total_loss += -std::log(std::max(1e-12, probs[static_cast<std::size_t>(label)]));
+    std::vector<double> delta_fc = probs;
+    delta_fc[static_cast<std::size_t>(label)] -= 1.0;
+
+    // FC backward + update.
+    auto delta_pool = fc_.w.matvec_transposed(delta_fc);
+    for (std::size_t o = 0; o < fc_.out_dim(); ++o) {
+      fc_.b[o] -= lr * delta_fc[o];
+      auto wrow = fc_.w.row(o);
+      for (std::size_t i = 0; i < fc_.in_dim(); ++i)
+        wrow[i] -= lr * delta_fc[o] * st.pooled[i];
+    }
+
+    // Pool backward: the gradient routes to the argmax conv cell (and dies
+    // where the ReLU floored the window to zero).
+    std::vector<double> delta_conv(conv_.channels * 36, 0.0);
+    for (std::size_t k = 0; k < delta_pool.size(); ++k) {
+      if (st.pooled[k] <= 0.0) continue;  // ReLU-dead window
+      delta_conv[st.pool_argmax[k]] += delta_pool[k];
+    }
+
+    // Conv backward: dW[ch] = sum_p delta(ch, p) * patch(p).
+    for (std::size_t ch = 0; ch < conv_.channels; ++ch) {
+      auto wrow = conv_.w.row(ch);
+      for (std::size_t p = 0; p < 36; ++p) {
+        const double d = delta_conv[ch * 36 + p];
+        if (d == 0.0) continue;
+        conv_.b[ch] -= lr * d;
+        const auto patch = st.patches.row(p);
+        for (std::size_t k = 0; k < patch.size(); ++k)
+          wrow[k] -= lr * d * patch[k];
+      }
+    }
+  }
+  return total_loss / static_cast<double>(data.size());
+}
+
+void SmallCnn::fit(const Dataset& data, std::size_t epochs, double lr,
+                   util::Rng& rng, double target_acc) {
+  for (std::size_t e = 0; e < epochs; ++e) {
+    train_epoch(data, lr, rng);
+    if (accuracy(data) >= target_acc) break;
+  }
+}
+
+CrossbarCnn::CrossbarCnn(const SmallCnn& cnn, CrossbarLinearConfig array_cfg)
+    : channels_(cnn.channels()) {
+  auto cfg_conv = array_cfg;
+  cfg_conv.array.seed ^= 0xC0;
+  conv_layer_ = std::make_unique<CrossbarLinear>(cnn.conv().w, cnn.conv().b,
+                                                 cfg_conv);
+  auto cfg_fc = array_cfg;
+  cfg_fc.array.seed ^= 0xFC;
+  fc_layer_ =
+      std::make_unique<CrossbarLinear>(cnn.fc().w, cnn.fc().b, cfg_fc);
+}
+
+int CrossbarCnn::predict(std::span<const double> image) {
+  const auto patches = SmallCnn::im2col(image, kSide, 3);
+  const std::size_t positions = patches.rows();
+
+  // Conv as a crossbar VMM per patch (inputs are pixels in [0,1]).
+  conv_layer_->set_x_max(1.0);
+  std::vector<double> conv_out(channels_ * positions);
+  for (std::size_t p = 0; p < positions; ++p) {
+    const auto y = conv_layer_->forward(patches.row(p));
+    for (std::size_t ch = 0; ch < channels_; ++ch)
+      conv_out[ch * positions + p] = y[ch];
+  }
+
+  // ReLU + pool (digital periphery).
+  std::vector<double> pooled(channels_ * kPoolOut * kPoolOut, 0.0);
+  for (std::size_t ch = 0; ch < channels_; ++ch)
+    for (std::size_t pr = 0; pr < kPoolOut; ++pr)
+      for (std::size_t pc = 0; pc < kPoolOut; ++pc) {
+        double best = 0.0;
+        for (std::size_t dr = 0; dr < 2; ++dr)
+          for (std::size_t dc = 0; dc < 2; ++dc)
+            best = std::max(best,
+                            conv_out[ch * 36 + (2 * pr + dr) * kConvOut +
+                                     (2 * pc + dc)]);
+        pooled[ch * kPoolOut * kPoolOut + pr * kPoolOut + pc] = best;
+      }
+
+  double pmax = 1e-9;
+  for (const double v : pooled) pmax = std::max(pmax, v);
+  fc_layer_->set_x_max(pmax);
+  const auto logits = fc_layer_->forward(pooled);
+  return static_cast<int>(
+      std::max_element(logits.begin(), logits.end()) - logits.begin());
+}
+
+double CrossbarCnn::accuracy(const Dataset& data) {
+  if (data.size() == 0) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < data.size(); ++i)
+    if (predict(data.features.row(i)) == data.labels[i]) ++correct;
+  return static_cast<double>(correct) / static_cast<double>(data.size());
+}
+
+void CrossbarCnn::apply_yield(double yield, util::Rng& rng) {
+  conv_layer_->apply_yield(yield, rng);
+  fc_layer_->apply_yield(yield, rng);
+}
+
+double CrossbarCnn::energy_pj() const {
+  return conv_layer_->energy_pj() + fc_layer_->energy_pj();
+}
+
+}  // namespace cim::nn

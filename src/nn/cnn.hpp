@@ -1,0 +1,82 @@
+/// \file cnn.hpp
+/// \brief A small convolutional network on crossbars.
+///
+/// The accuracy-under-fault study the paper cites ([38]) evaluates CNNs;
+/// this module provides the in-repo equivalent: conv3x3 -> ReLU ->
+/// maxpool2x2 -> dense, trained with SGD. Crossbar inference lowers the
+/// convolution to im2col patches so that both the conv and the classifier
+/// run as crossbar VMMs — the standard CIM mapping (ISAAC-style).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "nn/crossbar_linear.hpp"
+#include "nn/dataset.hpp"
+#include "nn/mlp.hpp"
+
+namespace cim::nn {
+
+/// 3x3 valid convolution over a single-channel square image.
+struct Conv2d {
+  std::size_t channels = 4;  ///< output feature maps
+  std::size_t ksize = 3;
+  util::Matrix w;            ///< (channels x ksize*ksize)
+  std::vector<double> b;
+
+  Conv2d(std::size_t channels, std::size_t ksize, util::Rng& rng);
+};
+
+/// conv3x3(C) -> ReLU -> maxpool2x2 -> dense(classes), for 8x8 inputs.
+class SmallCnn {
+ public:
+  SmallCnn(std::size_t channels, util::Rng& rng);
+
+  std::size_t channels() const { return conv_.channels; }
+  const Conv2d& conv() const { return conv_; }
+  const Dense& fc() const { return fc_; }
+
+  /// Class logits for one flattened 8x8 image.
+  std::vector<double> forward(std::span<const double> image) const;
+  int predict(std::span<const double> image) const;
+  double accuracy(const Dataset& data) const;
+
+  /// One SGD epoch (backprop through pool and conv via im2col).
+  double train_epoch(const Dataset& data, double lr, util::Rng& rng);
+  void fit(const Dataset& data, std::size_t epochs, double lr, util::Rng& rng,
+           double target_acc = 0.995);
+
+  /// The im2col patch matrix of an image: (positions x ksize*ksize).
+  static util::Matrix im2col(std::span<const double> image, std::size_t side,
+                             std::size_t ksize);
+
+ private:
+  struct ForwardState;
+  ForwardState forward_full(std::span<const double> image) const;
+
+  Conv2d conv_;
+  Dense fc_;
+};
+
+/// CNN inference with both the conv and the dense layer on crossbars.
+class CrossbarCnn {
+ public:
+  CrossbarCnn(const SmallCnn& cnn, CrossbarLinearConfig array_cfg = {});
+
+  int predict(std::span<const double> image);
+  double accuracy(const Dataset& data);
+
+  /// Stuck-at fault injection on both layers' arrays.
+  void apply_yield(double yield, util::Rng& rng);
+
+  double energy_pj() const;
+
+ private:
+  std::size_t channels_;
+  std::unique_ptr<CrossbarLinear> conv_layer_;  ///< (channels x 9) weights
+  std::unique_ptr<CrossbarLinear> fc_layer_;
+};
+
+}  // namespace cim::nn

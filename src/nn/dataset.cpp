@@ -1,0 +1,146 @@
+#include "nn/dataset.hpp"
+
+#include <algorithm>
+#include <array>
+#include <stdexcept>
+#include <string_view>
+
+namespace cim::nn {
+namespace {
+
+// 8x8 glyphs; '#' = on pixel. Hand-drawn to be mutually distinguishable
+// under one pixel of jitter.
+constexpr std::array<std::array<std::string_view, 8>, 10> kGlyphs = {{
+    // 0
+    {{"..####..",
+      ".#....#.",
+      ".#....#.",
+      ".#....#.",
+      ".#....#.",
+      ".#....#.",
+      ".#....#.",
+      "..####.."}},
+    // 1
+    {{"...##...",
+      "..###...",
+      "...##...",
+      "...##...",
+      "...##...",
+      "...##...",
+      "...##...",
+      ".######."}},
+    // 2
+    {{"..####..",
+      ".#....#.",
+      "......#.",
+      ".....#..",
+      "....#...",
+      "...#....",
+      "..#.....",
+      ".######."}},
+    // 3
+    {{"..####..",
+      ".#....#.",
+      "......#.",
+      "...###..",
+      "......#.",
+      "......#.",
+      ".#....#.",
+      "..####.."}},
+    // 4
+    {{"....##..",
+      "...#.#..",
+      "..#..#..",
+      ".#...#..",
+      ".######.",
+      ".....#..",
+      ".....#..",
+      ".....#.."}},
+    // 5
+    {{".######.",
+      ".#......",
+      ".#......",
+      ".#####..",
+      "......#.",
+      "......#.",
+      ".#....#.",
+      "..####.."}},
+    // 6
+    {{"..####..",
+      ".#......",
+      ".#......",
+      ".#####..",
+      ".#....#.",
+      ".#....#.",
+      ".#....#.",
+      "..####.."}},
+    // 7
+    {{".######.",
+      "......#.",
+      ".....#..",
+      ".....#..",
+      "....#...",
+      "....#...",
+      "...#....",
+      "...#...."}},
+    // 8
+    {{"..####..",
+      ".#....#.",
+      ".#....#.",
+      "..####..",
+      ".#....#.",
+      ".#....#.",
+      ".#....#.",
+      "..####.."}},
+    // 9
+    {{"..####..",
+      ".#....#.",
+      ".#....#.",
+      ".#....#.",
+      "..#####.",
+      "......#.",
+      "......#.",
+      "..####.."}},
+}};
+
+}  // namespace
+
+std::vector<double> digit_template(int digit) {
+  if (digit < 0 || digit >= kClasses)
+    throw std::out_of_range("digit_template: digit in [0,9]");
+  std::vector<double> img(kPixels, 0.0);
+  const auto& glyph = kGlyphs[static_cast<std::size_t>(digit)];
+  for (std::size_t r = 0; r < 8; ++r)
+    for (std::size_t c = 0; c < 8; ++c)
+      if (glyph[r][c] == '#') img[r * 8 + c] = 1.0;
+  return img;
+}
+
+Dataset generate_digits(std::size_t n, util::Rng& rng, double noise) {
+  Dataset ds;
+  ds.features = util::Matrix(n, kPixels);
+  ds.labels.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const int digit = static_cast<int>(rng.uniform_int(kClasses));
+    ds.labels[i] = digit;
+    const auto tmpl = digit_template(digit);
+    // Jitter by -1, 0 or +1 pixels in each direction.
+    const int dr = static_cast<int>(rng.uniform_int(3)) - 1;
+    const int dc = static_cast<int>(rng.uniform_int(3)) - 1;
+    for (int r = 0; r < 8; ++r) {
+      for (int c = 0; c < 8; ++c) {
+        const int sr = r - dr;
+        const int sc = c - dc;
+        double v = 0.0;
+        if (sr >= 0 && sr < 8 && sc >= 0 && sc < 8)
+          v = tmpl[static_cast<std::size_t>(sr * 8 + sc)];
+        v += rng.normal(0.0, noise);
+        ds.features(i, static_cast<std::size_t>(r * 8 + c)) =
+            std::clamp(v, 0.0, 1.0);
+      }
+    }
+  }
+  return ds;
+}
+
+}  // namespace cim::nn

@@ -1,0 +1,39 @@
+/// \file dataset.hpp
+/// \brief Procedurally generated 8x8 digit-classification dataset.
+///
+/// Substitute for the ImageNet/MNIST workloads of the accuracy-under-fault
+/// studies the paper cites (Section III intro, [38]): the cited result is a
+/// *trend* — classification accuracy versus stuck-at fault density — which
+/// any trained classifier mapped onto crossbars reproduces. Samples are
+/// noisy, jittered renderings of fixed 8x8 glyph templates for digits 0-9.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace cim::nn {
+
+/// A labelled dataset: `features` is (n x 64) with pixels in [0, 1].
+struct Dataset {
+  util::Matrix features;
+  std::vector<int> labels;
+
+  std::size_t size() const { return labels.size(); }
+};
+
+/// Number of classes (digits 0..9).
+inline constexpr int kClasses = 10;
+/// Flattened image size (8 x 8).
+inline constexpr std::size_t kPixels = 64;
+
+/// The clean 8x8 template of a digit (row-major, values 0/1).
+std::vector<double> digit_template(int digit);
+
+/// Generates `n` samples: a random digit template, shifted by up to one
+/// pixel in each direction, with Gaussian pixel noise of `noise` stddev.
+Dataset generate_digits(std::size_t n, util::Rng& rng, double noise = 0.15);
+
+}  // namespace cim::nn

@@ -1,0 +1,163 @@
+#include "nn/fault_tolerant_training.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace cim::nn {
+namespace {
+
+/// One analog forward pass returning hidden (post-ReLU) and logits.
+struct AnalogForward {
+  std::vector<double> hidden;
+  std::vector<double> logits;
+};
+
+AnalogForward analog_forward(CrossbarLinear& l0, CrossbarLinear& l1,
+                             std::span<const double> x) {
+  AnalogForward f;
+  f.hidden = l0.forward(x);
+  for (double& v : f.hidden) v = std::max(0.0, v);
+  double hmax = 1e-9;
+  for (const double v : f.hidden) hmax = std::max(hmax, v);
+  l1.set_x_max(hmax);
+  f.logits = l1.forward(f.hidden);
+  return f;
+}
+
+/// The weight matrix the faulty arrays actually implement: each cell's
+/// conductance target is computed as the mapping would program it, stuck
+/// cells are pinned to their extreme, and the differential pair is decoded
+/// back into a weight. This is the deterministic fault model the
+/// fault-masked retraining of [38]/[42] trains against.
+util::Matrix effective_weights(const CrossbarLinear& layer,
+                               const util::Matrix& w) {
+  const auto& tech = layer.plus_array().tech();
+  const double g_off = tech.g_off_us();
+  const double g_on = tech.g_on_us();
+  const double g_range = g_on - g_off;
+
+  double w_max = 1e-12;
+  for (const double v : w.flat()) w_max = std::max(w_max, std::abs(v));
+
+  const auto& faults_p = layer.plus_array().faults();
+  const auto& faults_m = layer.minus_array().faults();
+
+  auto pin = [&](double g, std::optional<fault::FaultDescriptor> fd) {
+    if (!fd) return g;
+    switch (fd->kind) {
+      case fault::FaultKind::kStuckAtZero:
+        return g_off;
+      case fault::FaultKind::kStuckAtOne:
+      case fault::FaultKind::kOverForming:
+      case fault::FaultKind::kEnduranceWearout:
+        return g_on;
+      default:
+        return g;  // soft faults average out; model only the hard pins
+    }
+  };
+
+  util::Matrix w_eff(w.rows(), w.cols());
+  for (std::size_t o = 0; o < w.rows(); ++o) {
+    for (std::size_t i = 0; i < w.cols(); ++i) {
+      const double v = w(o, i);
+      const double mag = std::min(1.0, std::abs(v) / w_max);
+      double gp = g_off, gm = g_off;
+      if (v >= 0.0)
+        gp = g_off + mag * g_range;
+      else
+        gm = g_off + mag * g_range;
+      gp = pin(gp, faults_p.cell_fault(i, o));
+      gm = pin(gm, faults_m.cell_fault(i, o));
+      w_eff(o, i) = (gp - gm) * w_max / g_range;
+    }
+  }
+  return w_eff;
+}
+
+}  // namespace
+
+double crossbar_accuracy(CrossbarLinear& l0, CrossbarLinear& l1,
+                         const Dataset& data) {
+  if (data.size() == 0) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const auto f = analog_forward(l0, l1, data.features.row(i));
+    const int pred = static_cast<int>(
+        std::max_element(f.logits.begin(), f.logits.end()) - f.logits.begin());
+    if (pred == data.labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(data.size());
+}
+
+RetrainResult fault_tolerant_retrain(Mlp& net, CrossbarLinear& l0,
+                                     CrossbarLinear& l1, const Dataset& train,
+                                     const Dataset& eval,
+                                     const RetrainConfig& cfg, util::Rng& rng) {
+  if (net.layers().size() != 2)
+    throw std::invalid_argument("fault_tolerant_retrain: expects 2 layers");
+  if (net.layers()[0].in_dim() != l0.in_dim() ||
+      net.layers()[0].out_dim() != l0.out_dim() ||
+      net.layers()[1].in_dim() != l1.in_dim() ||
+      net.layers()[1].out_dim() != l1.out_dim())
+    throw std::invalid_argument("fault_tolerant_retrain: shape mismatch");
+
+  RetrainResult res;
+  res.accuracy_before = crossbar_accuracy(l0, l1, eval);
+
+  auto& d0 = net.layers()[0];
+  auto& d1 = net.layers()[1];
+
+  for (std::size_t epoch = 0; epoch < cfg.epochs; ++epoch) {
+    const auto order = rng.permutation(train.size());
+    for (const std::size_t idx : order) {
+      const auto x = train.features.row(idx);
+      const int label = train.labels[idx];
+
+      // Deterministic fault-masked model of what the hardware would
+      // implement for the *current* software weights.
+      const auto w0_eff = effective_weights(l0, d0.w);
+      const auto w1_eff = effective_weights(l1, d1.w);
+
+      // Forward through the fault-masked weights.
+      auto hidden = w0_eff.matvec(x);
+      for (std::size_t h = 0; h < hidden.size(); ++h) hidden[h] += d0.b[h];
+      for (double& v : hidden) v = std::max(0.0, v);
+      auto logits = w1_eff.matvec(hidden);
+      for (std::size_t o = 0; o < logits.size(); ++o) logits[o] += d1.b[o];
+
+      auto probs = softmax(logits);
+      std::vector<double> delta1 = probs;
+      delta1[static_cast<std::size_t>(label)] -= 1.0;
+
+      // Straight-through: gradients flow through the effective weights,
+      // updates land on the programmable (software) weights — stuck cells
+      // simply never realize their update.
+      auto delta0 = w1_eff.matvec_transposed(delta1);
+      for (std::size_t h = 0; h < delta0.size(); ++h)
+        if (hidden[h] <= 0.0) delta0[h] = 0.0;
+
+      for (std::size_t o = 0; o < d1.out_dim(); ++o) {
+        d1.b[o] -= cfg.lr * delta1[o];
+        auto wrow = d1.w.row(o);
+        for (std::size_t h = 0; h < d1.in_dim(); ++h)
+          wrow[h] -= cfg.lr * delta1[o] * hidden[h];
+      }
+      for (std::size_t h = 0; h < d0.out_dim(); ++h) {
+        d0.b[h] -= cfg.lr * delta0[h];
+        auto wrow = d0.w.row(h);
+        for (std::size_t i = 0; i < d0.in_dim(); ++i)
+          wrow[i] -= cfg.lr * delta0[h] * x[i];
+      }
+    }
+    // Chip update: re-program the arrays; stuck cells refuse the write.
+    l0.reprogram(d0.w, d0.b);
+    l1.reprogram(d1.w, d1.b);
+    ++res.epochs_run;
+  }
+
+  res.accuracy_after = crossbar_accuracy(l0, l1, eval);
+  return res;
+}
+
+}  // namespace cim::nn

@@ -1,0 +1,47 @@
+/// \file fault_tolerant_training.hpp
+/// \brief Fault-tolerant (re)training with known faults — the recovery half
+///        of Xia et al., DAC'17 [38] ("Fault-tolerant training with on-line
+///        fault detection for RRAM-based neural computing systems").
+///
+/// Chip-in-the-loop retraining for a two-layer MLP mapped onto crossbars:
+/// the forward pass runs through the *faulty analog arrays*, gradients are
+/// computed with the software weight copies (the standard approximation),
+/// and updated weights are re-programmed each epoch — stuck cells simply
+/// refuse the write, so the surviving cells learn to compensate.
+#pragma once
+
+#include <cstddef>
+
+#include "nn/crossbar_linear.hpp"
+#include "nn/mlp.hpp"
+
+namespace cim::nn {
+
+/// Retraining hyperparameters.
+struct RetrainConfig {
+  std::size_t epochs = 10;
+  double lr = 0.02;
+};
+
+/// Accuracy before/after retraining (measured through the faulty arrays).
+struct RetrainResult {
+  double accuracy_before = 0.0;
+  double accuracy_after = 0.0;
+  std::size_t epochs_run = 0;
+};
+
+/// Classification accuracy of a 2-layer crossbar-mapped network: layer0 ->
+/// ReLU -> layer1 -> argmax (hidden activations rescaled into layer1's
+/// input range).
+double crossbar_accuracy(CrossbarLinear& l0, CrossbarLinear& l1,
+                         const Dataset& data);
+
+/// Retrains `net` (must be a 2-layer MLP matching l0/l1 shapes) through the
+/// faulty arrays. `net`'s software weights are updated in place and
+/// re-programmed into the arrays each epoch.
+RetrainResult fault_tolerant_retrain(Mlp& net, CrossbarLinear& l0,
+                                     CrossbarLinear& l1, const Dataset& train,
+                                     const Dataset& eval,
+                                     const RetrainConfig& cfg, util::Rng& rng);
+
+}  // namespace cim::nn

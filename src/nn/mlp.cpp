@@ -1,0 +1,124 @@
+#include "nn/mlp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace cim::nn {
+
+Dense::Dense(std::size_t out, std::size_t in, util::Rng& rng)
+    : w(out, in), b(out, 0.0) {
+  // He initialization for ReLU networks.
+  const double scale = std::sqrt(2.0 / static_cast<double>(in));
+  for (double& v : w.flat()) v = rng.normal(0.0, scale);
+}
+
+std::vector<double> Dense::forward(std::span<const double> x) const {
+  auto y = w.matvec(x);
+  for (std::size_t i = 0; i < y.size(); ++i) y[i] += b[i];
+  return y;
+}
+
+std::vector<double> softmax(std::span<const double> logits) {
+  std::vector<double> p(logits.begin(), logits.end());
+  const double mx = *std::max_element(p.begin(), p.end());
+  double sum = 0.0;
+  for (double& v : p) {
+    v = std::exp(v - mx);
+    sum += v;
+  }
+  for (double& v : p) v /= sum;
+  return p;
+}
+
+Mlp::Mlp(std::vector<std::size_t> dims, util::Rng& rng) {
+  if (dims.size() < 2) throw std::invalid_argument("Mlp: need >= 2 dims");
+  for (std::size_t i = 0; i + 1 < dims.size(); ++i)
+    layers_.emplace_back(dims[i + 1], dims[i], rng);
+}
+
+std::vector<double> Mlp::forward(std::span<const double> x) const {
+  std::vector<double> act(x.begin(), x.end());
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    act = layers_[l].forward(act);
+    if (l + 1 < layers_.size())
+      for (double& v : act) v = std::max(0.0, v);
+  }
+  return act;
+}
+
+int Mlp::predict(std::span<const double> x) const {
+  const auto logits = forward(x);
+  return static_cast<int>(
+      std::max_element(logits.begin(), logits.end()) - logits.begin());
+}
+
+double Mlp::train_epoch(const Dataset& data, double lr, util::Rng& rng) {
+  if (data.size() == 0) throw std::invalid_argument("train_epoch: empty data");
+  double total_loss = 0.0;
+  const auto order = rng.permutation(data.size());
+
+  for (const std::size_t idx : order) {
+    const auto x = data.features.row(idx);
+    const int label = data.labels[idx];
+
+    // Forward pass, keeping per-layer activations.
+    std::vector<std::vector<double>> acts;  // acts[0] = input
+    acts.emplace_back(x.begin(), x.end());
+    for (std::size_t l = 0; l < layers_.size(); ++l) {
+      auto z = layers_[l].forward(acts.back());
+      if (l + 1 < layers_.size())
+        for (double& v : z) v = std::max(0.0, v);
+      acts.push_back(std::move(z));
+    }
+
+    // Softmax cross-entropy loss and gradient at the output.
+    auto probs = softmax(acts.back());
+    total_loss += -std::log(std::max(1e-12, probs[static_cast<std::size_t>(label)]));
+    std::vector<double> delta = probs;
+    delta[static_cast<std::size_t>(label)] -= 1.0;
+
+    // Backward pass with immediate SGD updates.
+    for (std::size_t li = layers_.size(); li > 0; --li) {
+      const std::size_t l = li - 1;
+      Dense& layer = layers_[l];
+      const auto& input = acts[l];
+
+      std::vector<double> delta_prev;
+      if (l > 0) {
+        delta_prev = layer.w.matvec_transposed(delta);
+        // ReLU derivative w.r.t. the *post-activation* values of layer l-1.
+        for (std::size_t i = 0; i < delta_prev.size(); ++i)
+          if (acts[l][i] <= 0.0) delta_prev[i] = 0.0;
+      }
+
+      for (std::size_t o = 0; o < layer.out_dim(); ++o) {
+        const double d = delta[o];
+        layer.b[o] -= lr * d;
+        auto wrow = layer.w.row(o);
+        for (std::size_t i = 0; i < layer.in_dim(); ++i)
+          wrow[i] -= lr * d * input[i];
+      }
+      delta = std::move(delta_prev);
+    }
+  }
+  return total_loss / static_cast<double>(data.size());
+}
+
+double Mlp::accuracy(const Dataset& data) const {
+  if (data.size() == 0) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < data.size(); ++i)
+    if (predict(data.features.row(i)) == data.labels[i]) ++correct;
+  return static_cast<double>(correct) / static_cast<double>(data.size());
+}
+
+void Mlp::fit(const Dataset& train, std::size_t epochs, double lr,
+              util::Rng& rng, double target_acc) {
+  for (std::size_t e = 0; e < epochs; ++e) {
+    train_epoch(train, lr, rng);
+    if (accuracy(train) >= target_acc) break;
+  }
+}
+
+}  // namespace cim::nn

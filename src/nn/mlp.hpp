@@ -1,0 +1,68 @@
+/// \file mlp.hpp
+/// \brief Small multi-layer perceptron with SGD training.
+///
+/// Provides the trained models that get mapped onto crossbars for the
+/// accuracy-versus-yield experiment (Section III) and onto FeRFET arrays
+/// (Section V.D, binary networks). Deliberately minimal: dense layers,
+/// ReLU, softmax cross-entropy, plain SGD.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "nn/dataset.hpp"
+#include "util/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace cim::nn {
+
+/// One dense layer: y = W x + b with W of shape (out x in).
+struct Dense {
+  util::Matrix w;
+  std::vector<double> b;
+
+  Dense(std::size_t out, std::size_t in, util::Rng& rng);
+
+  std::size_t in_dim() const { return w.cols(); }
+  std::size_t out_dim() const { return w.rows(); }
+
+  std::vector<double> forward(std::span<const double> x) const;
+};
+
+/// Feed-forward MLP: dense layers with ReLU between them, softmax at the end.
+class Mlp {
+ public:
+  /// `dims` = {in, hidden..., out}; at least two entries.
+  Mlp(std::vector<std::size_t> dims, util::Rng& rng);
+
+  std::size_t in_dim() const { return layers_.front().in_dim(); }
+  std::size_t out_dim() const { return layers_.back().out_dim(); }
+  const std::vector<Dense>& layers() const { return layers_; }
+  std::vector<Dense>& layers() { return layers_; }
+
+  /// Class scores (pre-softmax logits).
+  std::vector<double> forward(std::span<const double> x) const;
+
+  /// argmax class.
+  int predict(std::span<const double> x) const;
+
+  /// One SGD epoch over the dataset in shuffled order; returns mean
+  /// cross-entropy loss.
+  double train_epoch(const Dataset& data, double lr, util::Rng& rng);
+
+  /// Classification accuracy on a dataset.
+  double accuracy(const Dataset& data) const;
+
+  /// Trains until `epochs` or until train accuracy reaches `target_acc`.
+  void fit(const Dataset& train, std::size_t epochs, double lr, util::Rng& rng,
+           double target_acc = 0.999);
+
+ private:
+  std::vector<Dense> layers_;
+};
+
+/// Numerically stable softmax.
+std::vector<double> softmax(std::span<const double> logits);
+
+}  // namespace cim::nn

@@ -1,0 +1,184 @@
+#include "nn/sparse_coding.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace cim::nn {
+
+SparseProblem generate_sparse_problem(std::size_t signal_dim,
+                                      std::size_t atoms, std::size_t n,
+                                      std::size_t sparsity, double noise,
+                                      util::Rng& rng) {
+  if (sparsity > atoms)
+    throw std::invalid_argument("generate_sparse_problem: sparsity > atoms");
+  SparseProblem prob;
+  prob.dictionary = util::Matrix(signal_dim, atoms);
+  for (std::size_t a = 0; a < atoms; ++a) {
+    double norm = 0.0;
+    for (std::size_t d = 0; d < signal_dim; ++d) {
+      const double v = rng.normal(0.0, 1.0);
+      prob.dictionary(d, a) = v;
+      norm += v * v;
+    }
+    norm = std::sqrt(norm);
+    for (std::size_t d = 0; d < signal_dim; ++d) prob.dictionary(d, a) /= norm;
+  }
+
+  prob.signals = util::Matrix(n, signal_dim);
+  prob.true_codes.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<double> code(atoms, 0.0);
+    const auto perm = rng.permutation(atoms);
+    for (std::size_t k = 0; k < sparsity; ++k)
+      code[perm[k]] = rng.uniform(0.5, 1.5) * (rng.bernoulli(0.5) ? 1.0 : -1.0);
+    prob.true_codes[i] = code;
+    for (std::size_t d = 0; d < signal_dim; ++d) {
+      double acc = 0.0;
+      for (std::size_t a = 0; a < atoms; ++a)
+        acc += prob.dictionary(d, a) * code[a];
+      prob.signals(i, d) = acc + rng.normal(0.0, noise);
+    }
+  }
+  return prob;
+}
+
+CrossbarSparseCoder::CrossbarSparseCoder(const util::Matrix& dictionary,
+                                         CrossbarLinearConfig array_cfg)
+    : signal_dim_(dictionary.rows()),
+      atoms_(dictionary.cols()),
+      dict_(dictionary),
+      dict_t_(dictionary.transposed()) {
+  if (dictionary.empty())
+    throw std::invalid_argument("CrossbarSparseCoder: empty dictionary");
+  auto cfg_fwd = array_cfg;
+  cfg_fwd.array.seed ^= 0x1111;
+  forward_ = std::make_unique<CrossbarLinear>(
+      dict_, std::vector<double>{}, cfg_fwd);
+  auto cfg_bwd = array_cfg;
+  cfg_bwd.array.seed ^= 0x2222;
+  backward_ = std::make_unique<CrossbarLinear>(
+      dict_t_, std::vector<double>{}, cfg_bwd);
+}
+
+namespace {
+
+/// Signed analog matvec on a CrossbarLinear that accepts only non-negative
+/// inputs: x = x+ - x-, two passes, subtracted digitally.
+std::vector<double> signed_forward(CrossbarLinear& layer,
+                                   std::span<const double> x) {
+  double x_max = 1e-9;
+  for (const double v : x) x_max = std::max(x_max, std::abs(v));
+  layer.set_x_max(x_max);
+
+  std::vector<double> pos(x.size()), neg(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    pos[i] = std::max(0.0, x[i]);
+    neg[i] = std::max(0.0, -x[i]);
+  }
+  auto yp = layer.forward(pos);
+  const auto yn = layer.forward(neg);
+  for (std::size_t i = 0; i < yp.size(); ++i) yp[i] -= yn[i];
+  return yp;
+}
+
+double soft_threshold(double v, double t) {
+  if (v > t) return v - t;
+  if (v < -t) return v + t;
+  return 0.0;
+}
+
+}  // namespace
+
+std::vector<double> CrossbarSparseCoder::reconstruct(std::span<const double> a,
+                                                     bool analog) {
+  if (analog) return signed_forward(*forward_, a);
+  return dict_.matvec(a);
+}
+
+std::vector<double> CrossbarSparseCoder::correlate(std::span<const double> r,
+                                                   bool analog) {
+  if (analog) return signed_forward(*backward_, r);
+  return dict_t_.matvec(r);
+}
+
+namespace {
+
+SparseCode finish(std::vector<double> code, std::span<const double> x,
+                  const util::Matrix& dict) {
+  SparseCode out;
+  // Exact reconstruction error (evaluation metric, not part of the loop).
+  const auto recon = dict.matvec(code);
+  double err = 0.0, norm = 0.0;
+  for (std::size_t d = 0; d < x.size(); ++d) {
+    err += (x[d] - recon[d]) * (x[d] - recon[d]);
+    norm += x[d] * x[d];
+  }
+  out.reconstruction_error = norm > 0 ? std::sqrt(err / norm) : 0.0;
+  for (const double v : code)
+    if (v != 0.0) ++out.nonzeros;
+  out.code = std::move(code);
+  return out;
+}
+
+}  // namespace
+
+SparseCode CrossbarSparseCoder::encode(std::span<const double> x,
+                                       const IstaConfig& cfg) {
+  if (x.size() != signal_dim_)
+    throw std::invalid_argument("encode: signal dim mismatch");
+  std::vector<double> a(atoms_, 0.0);
+  for (std::size_t it = 0; it < cfg.iterations; ++it) {
+    const auto recon = reconstruct(a, /*analog=*/true);
+    std::vector<double> r(signal_dim_);
+    for (std::size_t d = 0; d < signal_dim_; ++d) r[d] = x[d] - recon[d];
+    const auto corr = correlate(r, /*analog=*/true);
+    for (std::size_t k = 0; k < atoms_; ++k)
+      a[k] = soft_threshold(a[k] + cfg.step * corr[k], cfg.step * cfg.lambda);
+  }
+  return finish(std::move(a), x, dict_);
+}
+
+SparseCode CrossbarSparseCoder::encode_reference(std::span<const double> x,
+                                                 const IstaConfig& cfg) const {
+  if (x.size() != signal_dim_)
+    throw std::invalid_argument("encode_reference: signal dim mismatch");
+  std::vector<double> a(atoms_, 0.0);
+  for (std::size_t it = 0; it < cfg.iterations; ++it) {
+    const auto recon = dict_.matvec(a);
+    std::vector<double> r(signal_dim_);
+    for (std::size_t d = 0; d < signal_dim_; ++d) r[d] = x[d] - recon[d];
+    const auto corr = dict_t_.matvec(r);
+    for (std::size_t k = 0; k < atoms_; ++k)
+      a[k] = soft_threshold(a[k] + cfg.step * corr[k], cfg.step * cfg.lambda);
+  }
+  return finish(std::move(a), x, dict_);
+}
+
+double CrossbarSparseCoder::energy_pj() const {
+  return forward_->energy_pj() + backward_->energy_pj();
+}
+
+double support_recovery(std::span<const double> estimated,
+                        std::span<const double> truth, std::size_t k) {
+  if (estimated.size() != truth.size())
+    throw std::invalid_argument("support_recovery: size mismatch");
+  // Top-k of |estimated| vs the true support.
+  std::vector<std::size_t> idx(estimated.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  std::partial_sort(idx.begin(), idx.begin() + static_cast<long>(std::min(k, idx.size())),
+                    idx.end(), [&](std::size_t a, std::size_t b) {
+                      return std::abs(estimated[a]) > std::abs(estimated[b]);
+                    });
+  std::size_t truth_support = 0;
+  for (const double v : truth)
+    if (v != 0.0) ++truth_support;
+  if (truth_support == 0) return 1.0;
+
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < std::min(k, idx.size()); ++i)
+    if (truth[idx[i]] != 0.0) ++hits;
+  return static_cast<double>(hits) / static_cast<double>(truth_support);
+}
+
+}  // namespace cim::nn

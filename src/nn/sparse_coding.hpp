@@ -1,0 +1,89 @@
+/// \file sparse_coding.hpp
+/// \brief Sparse coding on crossbars (Section II.D.2).
+///
+/// "Sparse coding of information is a powerful mean to perform feature
+/// extraction on high dimensional data ... Since sparse coding mainly
+/// relies on bulky matrix-vector multiplication, it can directly benefit
+/// from CIM to accelerate the matrix-vector multiplication."
+///
+/// Realization: ISTA (iterative shrinkage-thresholding) for
+///     min_a 0.5 ||x - D a||^2 + lambda ||a||_1
+/// with the two dominant matrix-vector products — D a (reconstruction) and
+/// D^T r (correlation) — executed on crossbar pairs holding D and D^T.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "nn/crossbar_linear.hpp"
+#include "util/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace cim::nn {
+
+/// A sparse-coding problem instance: dictionary + synthetic sparse signals.
+struct SparseProblem {
+  util::Matrix dictionary;           ///< (signal_dim x atoms), unit columns
+  util::Matrix signals;              ///< (n x signal_dim)
+  std::vector<std::vector<double>> true_codes;  ///< ground-truth sparse codes
+};
+
+/// Generates a random unit-norm dictionary and `n` signals, each a sparse
+/// combination of `sparsity` atoms plus Gaussian noise.
+SparseProblem generate_sparse_problem(std::size_t signal_dim,
+                                      std::size_t atoms, std::size_t n,
+                                      std::size_t sparsity, double noise,
+                                      util::Rng& rng);
+
+/// ISTA configuration.
+struct IstaConfig {
+  std::size_t iterations = 40;
+  double step = 0.2;      ///< gradient step eta
+  double lambda = 0.05;   ///< l1 weight (soft threshold = step * lambda)
+};
+
+/// Result of encoding one signal.
+struct SparseCode {
+  std::vector<double> code;
+  double reconstruction_error = 0.0;  ///< ||x - D a|| / ||x||
+  std::size_t nonzeros = 0;
+};
+
+/// Sparse coder executing ISTA's matrix products on crossbars.
+class CrossbarSparseCoder {
+ public:
+  CrossbarSparseCoder(const util::Matrix& dictionary,
+                      CrossbarLinearConfig array_cfg = {});
+
+  std::size_t signal_dim() const { return signal_dim_; }
+  std::size_t atoms() const { return atoms_; }
+
+  /// Runs ISTA on the crossbars.
+  SparseCode encode(std::span<const double> x, const IstaConfig& cfg = {});
+
+  /// Software float reference (same algorithm, exact arithmetic).
+  SparseCode encode_reference(std::span<const double> x,
+                              const IstaConfig& cfg = {}) const;
+
+  /// Energy consumed by the arrays so far (pJ).
+  double energy_pj() const;
+
+ private:
+  std::vector<double> reconstruct(std::span<const double> a, bool analog);
+  std::vector<double> correlate(std::span<const double> r, bool analog);
+
+  std::size_t signal_dim_;
+  std::size_t atoms_;
+  util::Matrix dict_;      ///< (signal_dim x atoms)
+  util::Matrix dict_t_;    ///< (atoms x signal_dim)
+  std::unique_ptr<CrossbarLinear> forward_;   ///< computes D a
+  std::unique_ptr<CrossbarLinear> backward_;  ///< computes D^T r
+};
+
+/// Fraction of the true support recovered in the estimated code's top-k.
+double support_recovery(std::span<const double> estimated,
+                        std::span<const double> truth, std::size_t k);
+
+}  // namespace cim::nn

@@ -1,0 +1,118 @@
+#include "nn/threshold_logic.hpp"
+
+#include <stdexcept>
+
+namespace cim::nn {
+
+bool ThresholdGate::eval(const std::vector<bool>& x) const {
+  if (x.size() != weights.size())
+    throw std::invalid_argument("ThresholdGate: input size mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i)
+    if (x[i]) acc += weights[i];
+  return acc >= theta;
+}
+
+ThresholdGate threshold_and(std::size_t n) {
+  return {std::vector<double>(n, 1.0), static_cast<double>(n)};
+}
+
+ThresholdGate threshold_or(std::size_t n) {
+  return {std::vector<double>(n, 1.0), 1.0};
+}
+
+ThresholdGate threshold_majority(std::size_t n) {
+  return {std::vector<double>(n, 1.0),
+          static_cast<double>(n / 2) + 1.0};
+}
+
+ThresholdGate threshold_at_least(std::size_t n, std::size_t k) {
+  return {std::vector<double>(n, 1.0), static_cast<double>(k)};
+}
+
+CrossbarThresholdLayer::CrossbarThresholdLayer(
+    std::vector<ThresholdGate> gates, CrossbarLinearConfig array_cfg)
+    : gates_(std::move(gates)) {
+  if (gates_.empty())
+    throw std::invalid_argument("CrossbarThresholdLayer: no gates");
+  inputs_ = gates_.front().weights.size();
+  for (const auto& g : gates_)
+    if (g.weights.size() != inputs_)
+      throw std::invalid_argument("CrossbarThresholdLayer: ragged gates");
+
+  // Weight matrix (gates x inputs); the VMM computes all weighted sums.
+  util::Matrix w(gates_.size(), inputs_);
+  for (std::size_t g = 0; g < gates_.size(); ++g)
+    for (std::size_t i = 0; i < inputs_; ++i) w(g, i) = gates_[g].weights[i];
+  layer_ = std::make_unique<CrossbarLinear>(w, std::vector<double>{},
+                                            array_cfg);
+  layer_->set_x_max(1.0);
+}
+
+std::vector<bool> CrossbarThresholdLayer::eval(const std::vector<bool>& x) {
+  if (x.size() != inputs_)
+    throw std::invalid_argument("CrossbarThresholdLayer: input size");
+  std::vector<double> xv(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) xv[i] = x[i] ? 1.0 : 0.0;
+  const auto sums = layer_->forward(xv);
+  std::vector<bool> y(gates_.size());
+  // Sense-amp comparison: reference midway between theta-1 and theta keeps
+  // the margin symmetric for integer-weight gates.
+  for (std::size_t g = 0; g < gates_.size(); ++g)
+    y[g] = sums[g] >= gates_[g].theta - 0.5;
+  return y;
+}
+
+std::vector<bool> CrossbarThresholdLayer::eval_reference(
+    const std::vector<bool>& x) const {
+  std::vector<bool> y(gates_.size());
+  for (std::size_t g = 0; g < gates_.size(); ++g) y[g] = gates_[g].eval(x);
+  return y;
+}
+
+void ThresholdNetwork::add_layer(std::vector<ThresholdGate> gates,
+                                 CrossbarLinearConfig array_cfg) {
+  if (!layers_.empty() && gates.front().weights.size() != layers_.back().gates())
+    throw std::invalid_argument("ThresholdNetwork: layer width mismatch");
+  array_cfg.array.seed ^= 0x9e37 * (layers_.size() + 1);
+  layers_.emplace_back(std::move(gates), array_cfg);
+}
+
+std::vector<bool> ThresholdNetwork::eval(const std::vector<bool>& x) {
+  std::vector<bool> act = x;
+  for (auto& layer : layers_) act = layer.eval(act);
+  return act;
+}
+
+std::vector<bool> ThresholdNetwork::eval_reference(
+    const std::vector<bool>& x) const {
+  std::vector<bool> act = x;
+  for (const auto& layer : layers_) act = layer.eval_reference(act);
+  return act;
+}
+
+double ThresholdNetwork::energy_pj() const {
+  double e = 0.0;
+  for (const auto& layer : layers_) e += layer.energy_pj();
+  return e;
+}
+
+ThresholdNetwork ThresholdNetwork::parity(std::size_t n,
+                                          CrossbarLinearConfig array_cfg) {
+  if (n == 0) throw std::invalid_argument("parity: n >= 1");
+  ThresholdNetwork net;
+  // Layer 1: gates "at least k of n" for k = 1..n.
+  std::vector<ThresholdGate> first;
+  for (std::size_t k = 1; k <= n; ++k) first.push_back(threshold_at_least(n, k));
+  net.add_layer(std::move(first), array_cfg);
+  // Layer 2: parity = sum_k (-1)^(k+1) [at-least-k] >= 1.
+  ThresholdGate out;
+  out.weights.resize(n);
+  for (std::size_t k = 1; k <= n; ++k)
+    out.weights[k - 1] = (k % 2 == 1) ? 1.0 : -1.0;
+  out.theta = 1.0;
+  net.add_layer({out}, array_cfg);
+  return net;
+}
+
+}  // namespace cim::nn

@@ -1,0 +1,88 @@
+/// \file threshold_logic.hpp
+/// \brief Threshold logic on crossbars (Section II.D.3).
+///
+/// "A threshold gate takes n inputs (x1..xn) and generates a single output
+/// y. A threshold logic has a threshold theta and each input x_i is
+/// associated with a weight w_i. Since weighted sum operation is the core
+/// operation involved in threshold logic, it can be easily accelerated
+/// using CIM."
+///
+/// A gate fires iff sum_i w_i x_i >= theta. Weighted sums are evaluated on
+/// a differential crossbar pair; the comparison against theta is the sense
+/// amplifier's reference current. Gates compose into feed-forward threshold
+/// networks (e.g. the two-level parity network in the tests).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/crossbar_linear.hpp"
+
+namespace cim::nn {
+
+/// One threshold gate: fires iff w . x >= theta.
+struct ThresholdGate {
+  std::vector<double> weights;
+  double theta = 0.0;
+
+  bool eval(const std::vector<bool>& x) const;
+};
+
+/// Named constructors for the classic gates.
+ThresholdGate threshold_and(std::size_t n);
+ThresholdGate threshold_or(std::size_t n);
+ThresholdGate threshold_majority(std::size_t n);
+/// Fires iff at least k of n inputs are 1.
+ThresholdGate threshold_at_least(std::size_t n, std::size_t k);
+
+/// A layer of threshold gates over a shared input, evaluated on a crossbar:
+/// the weighted sums of all gates are one analog VMM; each column's sense
+/// amplifier compares against that gate's theta.
+class CrossbarThresholdLayer {
+ public:
+  explicit CrossbarThresholdLayer(std::vector<ThresholdGate> gates,
+                                  CrossbarLinearConfig array_cfg = {});
+
+  std::size_t inputs() const { return inputs_; }
+  std::size_t gates() const { return gates_.size(); }
+
+  /// Analog evaluation: VMM + per-column threshold comparison.
+  std::vector<bool> eval(const std::vector<bool>& x);
+
+  /// Exact reference.
+  std::vector<bool> eval_reference(const std::vector<bool>& x) const;
+
+  double energy_pj() const { return layer_->energy_pj(); }
+
+ private:
+  std::size_t inputs_;
+  std::vector<ThresholdGate> gates_;
+  std::unique_ptr<CrossbarLinear> layer_;
+};
+
+/// A feed-forward network of threshold layers (a threshold circuit).
+class ThresholdNetwork {
+ public:
+  void add_layer(std::vector<ThresholdGate> gates,
+                 CrossbarLinearConfig array_cfg = {});
+
+  std::size_t layers() const { return layers_.size(); }
+
+  std::vector<bool> eval(const std::vector<bool>& x);
+  std::vector<bool> eval_reference(const std::vector<bool>& x) const;
+  double energy_pj() const;
+
+  /// The classic depth-2 threshold circuit for n-input parity:
+  /// first layer computes "at least k" for k = 1..n, the output gate
+  /// combines them with alternating +/- weights.
+  static ThresholdNetwork parity(std::size_t n,
+                                 CrossbarLinearConfig array_cfg = {});
+
+ private:
+  std::vector<CrossbarThresholdLayer> layers_;
+};
+
+}  // namespace cim::nn

@@ -1,0 +1,46 @@
+#include "periphery/dac.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cim::periphery {
+
+Dac::Dac(DacConfig cfg) : cfg_(cfg) {
+  if (cfg_.bits < 1 || cfg_.bits > 12)
+    throw std::invalid_argument("Dac: bits in [1,12]");
+  if (cfg_.v_max <= 0.0) throw std::invalid_argument("Dac: v_max > 0");
+}
+
+double Dac::to_voltage(std::uint32_t code) const {
+  if (code > max_code()) code = max_code();
+  if (cfg_.bits == 1) return code ? cfg_.v_max : 0.0;
+  return cfg_.v_max * static_cast<double>(code) /
+         static_cast<double>(max_code());
+}
+
+std::vector<double> Dac::bit_serial_pulses(std::uint32_t value, int bits,
+                                           double v_on) {
+  if (bits < 1 || bits > 32)
+    throw std::invalid_argument("bit_serial_pulses: bits in [1,32]");
+  std::vector<double> pulses(static_cast<std::size_t>(bits));
+  for (int b = 0; b < bits; ++b)
+    pulses[static_cast<std::size_t>(b)] = ((value >> b) & 1u) ? v_on : 0.0;
+  return pulses;
+}
+
+double Dac::area_um2() const {
+  // 1-bit driver ~1.7 um^2 (ISAAC: 0.00017 mm^2 for a tile's 128 drivers is
+  // of this order); resistor-string DACs double per added bit.
+  return 1.7 * std::pow(2.0, cfg_.bits - 1);
+}
+
+double Dac::power_mw() const {
+  return 0.0039 * std::pow(2.0, cfg_.bits - 1);
+}
+
+double Dac::energy_per_conversion_pj() const {
+  // One conversion per array read cycle (~1 ns window).
+  return power_mw() * 1.0;
+}
+
+}  // namespace cim::periphery

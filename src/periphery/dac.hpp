@@ -1,0 +1,48 @@
+/// \file dac.hpp
+/// \brief Digital-to-analog converter / wordline driver model.
+///
+/// "1-bit row or word-line drivers are now replaced by digital-to-analog
+/// converters (DACs) that convert multi-bit VMM operands into an array of
+/// analog voltages" (Section II.B.2). In practice most CIM designs (ISAAC,
+/// PRIME) keep 1-bit drivers and stream operands bit-serially; both modes
+/// are supported here.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace cim::periphery {
+
+/// Configuration of one row DAC / driver.
+struct DacConfig {
+  int bits = 1;             ///< 1 = bit-serial wordline driver
+  double v_max = 1.0;       ///< full-scale output voltage (V)
+};
+
+/// Behavioural + cost model of a row driver DAC.
+class Dac {
+ public:
+  explicit Dac(DacConfig cfg);
+
+  const DacConfig& config() const { return cfg_; }
+  int bits() const { return cfg_.bits; }
+  std::uint32_t max_code() const { return (1u << cfg_.bits) - 1; }
+
+  /// Converts a digital code to the output voltage (V).
+  double to_voltage(std::uint32_t code) const;
+
+  /// Decomposes a multi-bit operand into the bit-serial voltage pulses a
+  /// 1-bit driver would apply, LSB first (used by bit-serial VMM).
+  static std::vector<double> bit_serial_pulses(std::uint32_t value, int bits,
+                                               double v_on);
+
+  // --- cost model (per driver; ISAAC-like constants) ------------------------
+  double area_um2() const;
+  double power_mw() const;
+  double energy_per_conversion_pj() const;
+
+ private:
+  DacConfig cfg_;
+};
+
+}  // namespace cim::periphery

@@ -1,0 +1,137 @@
+#include "periphery/tile_cost.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cim::periphery {
+namespace {
+
+// ISAAC-flavoured constants for the digital helper blocks (per tile).
+constexpr double kSampleHoldAreaUm2PerCol = 0.31;   // S&H capacitor + switch
+constexpr double kSampleHoldPowerMwPerCol = 0.00008;
+constexpr double kShiftAddAreaUm2 = 240.0;          // accumulator register file
+constexpr double kShiftAddPowerMw = 0.2;
+constexpr double kControlAreaUm2 = 400.0;           // FSM + instruction buffer
+constexpr double kControlPowerMw = 0.25;
+// Multi-row-capable decoder: cost per row, with a CIM complexity factor
+// (Section II.B.2: "row-decoder becomes complex as it involves enabling
+// several rows in parallel").
+constexpr double kDecoderAreaUm2PerRow = 0.9;
+constexpr double kDecoderPowerMwPerRow = 0.0006;
+
+}  // namespace
+
+std::vector<BlockCost> tile_breakdown(const TileConfig& cfg) {
+  if (cfg.rows == 0 || cfg.cols == 0)
+    throw std::invalid_argument("tile_breakdown: empty tile");
+  if (cfg.adcs == 0) throw std::invalid_argument("tile_breakdown: adcs >= 1");
+
+  const auto tech = device::technology_params(cfg.tech);
+  const Adc adc({.bits = cfg.adc_bits, .kind = cfg.adc_kind});
+  const Dac dac({.bits = cfg.dac_bits});
+
+  std::vector<BlockCost> blocks;
+
+  // Crossbar array: cells are tiny (4F^2 crosspoints).
+  {
+    BlockCost b{"crossbar", 0.0, 0.0};
+    b.area_um2 = tech.cell_area_um2() *
+                 static_cast<double>(cfg.rows) * static_cast<double>(cfg.cols);
+    // Array read power: all cells conducting at v_read for the duty cycle;
+    // assume half the cells at mean conductance.
+    const double g_mean = 0.5 * (tech.g_on_us() + tech.g_off_us());
+    const double i_total_ua = 0.5 * static_cast<double>(cfg.rows) *
+                              static_cast<double>(cfg.cols) * tech.v_read *
+                              g_mean * 1e-3;  // scaled duty
+    b.power_mw = tech.v_read * i_total_ua * 1e-3;  // V * uA = uW -> mW
+    blocks.push_back(b);
+  }
+
+  // Row drivers / DACs: one per row.
+  blocks.push_back({"DAC drivers",
+                    dac.area_um2() * static_cast<double>(cfg.rows),
+                    dac.power_mw() * static_cast<double>(cfg.rows)});
+
+  // ADCs: cfg.adcs physical converters.
+  blocks.push_back({"ADC", adc.area_um2() * static_cast<double>(cfg.adcs),
+                    adc.power_mw() * static_cast<double>(cfg.adcs)});
+
+  // Sample & hold: one per column (parks the column current while the
+  // shared ADC scans).
+  blocks.push_back({"sample&hold",
+                    kSampleHoldAreaUm2PerCol * static_cast<double>(cfg.cols),
+                    kSampleHoldPowerMwPerCol * static_cast<double>(cfg.cols)});
+
+  // Shift & add for bit-serial input accumulation.
+  blocks.push_back({"shift&add", kShiftAddAreaUm2, kShiftAddPowerMw});
+
+  // Multi-row decoder.
+  blocks.push_back({"decoder",
+                    kDecoderAreaUm2PerRow * static_cast<double>(cfg.rows),
+                    kDecoderPowerMwPerRow * static_cast<double>(cfg.rows)});
+
+  // Controller.
+  blocks.push_back({"control", kControlAreaUm2, kControlPowerMw});
+
+  return blocks;
+}
+
+BlockCost total_cost(const std::vector<BlockCost>& blocks) {
+  BlockCost t{"total", 0.0, 0.0};
+  for (const auto& b : blocks) {
+    t.area_um2 += b.area_um2;
+    t.power_mw += b.power_mw;
+  }
+  return t;
+}
+
+double area_share(const std::vector<BlockCost>& blocks, const std::string& name) {
+  const auto t = total_cost(blocks);
+  if (t.area_um2 <= 0.0) return 0.0;
+  for (const auto& b : blocks)
+    if (b.name == name) return b.area_um2 / t.area_um2;
+  return 0.0;
+}
+
+double power_share(const std::vector<BlockCost>& blocks, const std::string& name) {
+  const auto t = total_cost(blocks);
+  if (t.power_mw <= 0.0) return 0.0;
+  for (const auto& b : blocks)
+    if (b.name == name) return b.power_mw / t.power_mw;
+  return 0.0;
+}
+
+double tile_vmm_latency_ns(const TileConfig& cfg) {
+  const auto tech = device::technology_params(cfg.tech);
+  const Adc adc({.bits = cfg.adc_bits, .kind = cfg.adc_kind});
+  // Bit-serial input: input_bits array read cycles; after each cycle every
+  // column must be digitized through the shared ADCs.
+  const double cycles = static_cast<double>(cfg.input_bits) /
+                        static_cast<double>(std::max(1, cfg.dac_bits));
+  const double conversions_per_cycle =
+      std::ceil(static_cast<double>(cfg.cols) / static_cast<double>(cfg.adcs));
+  return cycles * (tech.t_read_ns + conversions_per_cycle * adc.latency_ns());
+}
+
+double tile_vmm_energy_pj(const TileConfig& cfg) {
+  const auto tech = device::technology_params(cfg.tech);
+  const Adc adc({.bits = cfg.adc_bits, .kind = cfg.adc_kind});
+  const Dac dac({.bits = cfg.dac_bits});
+  const double cycles = static_cast<double>(cfg.input_bits) /
+                        static_cast<double>(std::max(1, cfg.dac_bits));
+  // Array: half the cells at mean conductance conducting during each cycle.
+  const double g_mean = 0.5 * (tech.g_on_us() + tech.g_off_us());
+  const double e_array_per_cycle = 0.5 * static_cast<double>(cfg.rows) *
+                                   static_cast<double>(cfg.cols) *
+                                   tech.v_read * tech.v_read * g_mean *
+                                   tech.t_read_ns * 1e-3;
+  const double e_dac_per_cycle =
+      dac.energy_per_conversion_pj() * static_cast<double>(cfg.rows);
+  const double e_adc_per_cycle =
+      adc.energy_per_sample_pj() * static_cast<double>(cfg.cols);
+  const double e_digital_per_cycle = kShiftAddPowerMw * tech.t_read_ns;
+  return cycles *
+         (e_array_per_cycle + e_dac_per_cycle + e_adc_per_cycle + e_digital_per_cycle);
+}
+
+}  // namespace cim::periphery

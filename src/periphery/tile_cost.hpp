@@ -1,0 +1,59 @@
+/// \file tile_cost.hpp
+/// \brief Area/power aggregation of a CIM tile's design blocks — the model
+///        behind Fig. 5 ("Area and Power share of CIM design blocks"),
+///        which shows the ADC dominating die area and power.
+///
+/// A tile = crossbar array + row drivers (DACs) + column ADCs (possibly
+/// shared across columns) + sample-and-hold + shift-and-add + row decoder +
+/// control. Constants are anchored to the ISAAC tile (Shafiee et al.,
+/// ISCA'16 — reference [32] of the paper).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "device/technology.hpp"
+#include "periphery/adc.hpp"
+#include "periphery/dac.hpp"
+
+namespace cim::periphery {
+
+/// Geometry and periphery provisioning of one CIM tile.
+struct TileConfig {
+  std::size_t rows = 128;
+  std::size_t cols = 128;
+  device::Technology tech = device::Technology::kReRamHfOx;
+  int adc_bits = 8;
+  AdcKind adc_kind = AdcKind::kSar;
+  /// Number of physical ADCs in the tile; columns time-multiplex onto them.
+  std::size_t adcs = 1;
+  int dac_bits = 1;        ///< per-row driver resolution
+  int input_bits = 8;      ///< operand precision streamed bit-serially
+};
+
+/// Area/power of one named design block.
+struct BlockCost {
+  std::string name;
+  double area_um2 = 0.0;
+  double power_mw = 0.0;
+};
+
+/// Full per-block breakdown of a tile. Blocks: "crossbar", "DAC drivers",
+/// "ADC", "sample&hold", "shift&add", "decoder", "control".
+std::vector<BlockCost> tile_breakdown(const TileConfig& cfg);
+
+/// Sums a breakdown.
+BlockCost total_cost(const std::vector<BlockCost>& blocks);
+
+/// Share (0..1) of the named block in total area / power.
+double area_share(const std::vector<BlockCost>& blocks, const std::string& name);
+double power_share(const std::vector<BlockCost>& blocks, const std::string& name);
+
+/// VMM latency of the tile (ns): bit-serial input streaming plus
+/// time-multiplexed ADC conversion of all columns.
+double tile_vmm_latency_ns(const TileConfig& cfg);
+
+/// Energy of one full VMM on the tile (pJ): array + DAC + ADC + digital.
+double tile_vmm_energy_pj(const TileConfig& cfg);
+
+}  // namespace cim::periphery

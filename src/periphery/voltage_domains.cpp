@@ -1,0 +1,49 @@
+#include "periphery/voltage_domains.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace cim::periphery {
+namespace {
+// A Dickson-style charge pump needs ceil(boost) - 1 stages; each stage
+// costs flying-capacitor area and loses efficiency.
+constexpr double kPumpStageAreaUm2 = 180.0;
+constexpr double kPumpStageEfficiency = 0.88;
+constexpr double kLevelShifterAreaUm2 = 0.6;  // per driven line per domain
+}  // namespace
+
+VoltageDomainReport analyze_voltage_domains(const VoltagePlan& plan,
+                                            std::size_t rows) {
+  if (plan.vdd <= 0.0)
+    throw std::invalid_argument("analyze_voltage_domains: vdd > 0");
+  VoltageDomainReport rep;
+
+  auto add_rail = [&](double v) {
+    if (v <= plan.vdd) return;  // served by the core supply
+    RailCost rail;
+    rail.voltage = v;
+    const int stages =
+        std::max(1, static_cast<int>(std::ceil(v / plan.vdd)) - 1);
+    rail.pump_area_um2 = kPumpStageAreaUm2 * stages;
+    rail.pump_efficiency = std::pow(kPumpStageEfficiency, stages);
+    rail.shifter_area_um2 =
+        kLevelShifterAreaUm2 * static_cast<double>(rows);
+    rep.rails.push_back(rail);
+  };
+
+  add_rail(std::abs(plan.v_write));
+  if (plan.v_program > 0.0) add_rail(plan.v_program);
+  // Read voltages below vdd need no pump (resistive divider/reference).
+
+  for (const auto& rail : rep.rails)
+    rep.total_area_um2 += rail.pump_area_um2 + rail.shifter_area_um2;
+
+  // Write pulses draw through the pump: energy multiplies by 1/efficiency
+  // of the write rail (the first one added).
+  if (!rep.rails.empty())
+    rep.write_energy_multiplier = 1.0 / rep.rails.front().pump_efficiency;
+  return rep;
+}
+
+}  // namespace cim::periphery

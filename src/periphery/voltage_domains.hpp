@@ -1,0 +1,47 @@
+/// \file voltage_domains.hpp
+/// \brief Read/write voltage-domain overhead (Conclusions, point 4):
+///        "the unavoidable requirement of different voltages for read and
+///        write can lead to excessive power requirements. Further, this
+///        skewed voltage for read and write also requires different voltage
+///        drivers and can put extra burden on the physical resources."
+///
+/// Model: each distinct supply rail above the core VDD needs a charge pump
+/// (area and conversion loss grow with the boost ratio) and every wordline
+/// needs a level shifter per extra domain. The analysis yields the per-tile
+/// area/power burden as a function of the read/write/program voltage split.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace cim::periphery {
+
+/// The voltage rails a CIM tile must provide.
+struct VoltagePlan {
+  double vdd = 1.0;        ///< core logic supply (V)
+  double v_read = 0.2;     ///< array read voltage
+  double v_write = 2.0;    ///< SET/RESET magnitude
+  double v_program = 0.0;  ///< optional third rail (e.g. FeRFET 2-3x vdd)
+};
+
+/// Cost of supporting one extra rail.
+struct RailCost {
+  double voltage = 0.0;
+  double pump_area_um2 = 0.0;
+  double pump_efficiency = 1.0;  ///< fraction of input power delivered
+  double shifter_area_um2 = 0.0; ///< total level shifters for `rows` lines
+};
+
+/// Full voltage-domain overhead report for a tile.
+struct VoltageDomainReport {
+  std::vector<RailCost> rails;        ///< rails above vdd needing pumps
+  double total_area_um2 = 0.0;
+  /// Effective multiplier on write energy due to conversion losses.
+  double write_energy_multiplier = 1.0;
+};
+
+/// Analyzes a voltage plan for a tile with `rows` driven lines.
+VoltageDomainReport analyze_voltage_domains(const VoltagePlan& plan,
+                                            std::size_t rows);
+
+}  // namespace cim::periphery

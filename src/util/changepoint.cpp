@@ -1,0 +1,91 @@
+#include "util/changepoint.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace cim::util {
+
+CusumDetector::CusumDetector() : CusumDetector(Config{}) {}
+
+CusumDetector::CusumDetector(Config cfg) : cfg_(cfg) {
+  if (cfg_.warmup < 2) cfg_.warmup = 2;
+}
+
+bool CusumDetector::update(double x) {
+  ++n_;
+  if (n_ <= cfg_.warmup) {
+    sum_ += x;
+    sumsq_ += x * x;
+    if (n_ == cfg_.warmup) {
+      const double n = static_cast<double>(cfg_.warmup);
+      mu0_ = sum_ / n;
+      const double var = std::max(0.0, sumsq_ / n - mu0_ * mu0_);
+      sigma0_ = std::sqrt(var);
+      // A perfectly constant warmup would make every later deviation an
+      // infinite z-score; use a tiny floor relative to the mean instead.
+      if (sigma0_ <= 0.0) sigma0_ = std::max(1e-12, std::abs(mu0_) * 1e-9);
+    }
+    return false;
+  }
+  if (alarmed_) return false;
+
+  const double z = (x - mu0_) / sigma0_;
+  s_pos_ = std::max(0.0, s_pos_ + z - cfg_.k);
+  s_neg_ = std::max(0.0, s_neg_ - z - cfg_.k);
+  if (s_pos_ > cfg_.h || s_neg_ > cfg_.h) {
+    alarmed_ = true;
+    alarm_index_ = n_ - 1;
+    return true;
+  }
+  return false;
+}
+
+void CusumDetector::reset() {
+  n_ = 0;
+  sum_ = sumsq_ = 0.0;
+  mu0_ = sigma0_ = 0.0;
+  s_pos_ = s_neg_ = 0.0;
+  alarmed_ = false;
+  alarm_index_.reset();
+}
+
+std::optional<std::size_t> locate_mean_shift(std::span<const double> xs) {
+  const std::size_t n = xs.size();
+  if (n < 4) return std::nullopt;
+
+  // Prefix sums for O(n) scan over split points.
+  std::vector<double> prefix(n + 1, 0.0);
+  for (std::size_t i = 0; i < n; ++i) prefix[i + 1] = prefix[i] + xs[i];
+  const double total = prefix[n];
+
+  // Total sum of squares: the gain is compared against it so numerically
+  // constant series do not report spurious changepoints.
+  double sst = 0.0;
+  {
+    const double grand = total / static_cast<double>(n);
+    for (const double x : xs) sst += (x - grand) * (x - grand);
+  }
+  if (sst <= 1e-12 * std::abs(total)) return std::nullopt;
+
+  double best_gain = 0.0;
+  std::optional<std::size_t> best_t;
+  for (std::size_t t = 1; t < n; ++t) {
+    const double nl = static_cast<double>(t);
+    const double nr = static_cast<double>(n - t);
+    const double ml = prefix[t] / nl;
+    const double mr = (total - prefix[t]) / nr;
+    const double grand = total / static_cast<double>(n);
+    // Between-segment sum of squares: the likelihood-ratio statistic for a
+    // Gaussian mean shift is monotone in this quantity.
+    const double gain =
+        nl * (ml - grand) * (ml - grand) + nr * (mr - grand) * (mr - grand);
+    if (gain > best_gain) {
+      best_gain = gain;
+      best_t = t;
+    }
+  }
+  return best_gain > 0.0 ? best_t : std::nullopt;
+}
+
+}  // namespace cim::util

@@ -1,0 +1,74 @@
+/// \file changepoint.hpp
+/// \brief Changepoint detection on streaming time series.
+///
+/// The on-line fault-detection method of Liu et al. (ITC'20), summarized in
+/// Section III.C / Fig. 7 of the paper, monitors the dynamic power
+/// consumption of every ReRAM crossbar and flags a fault event when a
+/// *changepoint* appears in the monitored series. We provide:
+///   - a two-sided CUSUM detector (the classic low-cost streaming choice),
+///   - an offline single-changepoint locator (max mean-shift likelihood)
+///     used to post-hoc estimate where the change actually happened.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+
+namespace cim::util {
+
+/// Streaming two-sided CUSUM detector for mean shifts.
+///
+/// The detector is calibrated on the first `warmup` samples (assumed
+/// in-control), estimating mu0/sigma0. Afterwards it accumulates
+///   S+ = max(0, S+ + (z - k)),   S- = max(0, S- - (z + k))
+/// with z the standardized observation, slack `k` (in sigmas) and alarm
+/// threshold `h` (in sigmas). An alarm latches until reset().
+class CusumDetector {
+ public:
+  struct Config {
+    std::size_t warmup = 200;  ///< samples used to estimate the in-control mean/sd
+    double k = 0.75;           ///< slack, in units of sigma
+    double h = 10.0;           ///< decision threshold, in units of sigma
+  };
+
+  CusumDetector();
+  explicit CusumDetector(Config cfg);
+
+  /// Feeds one observation; returns true iff this sample *triggers* the alarm
+  /// (transitions the detector into the alarmed state).
+  bool update(double x);
+
+  bool alarmed() const { return alarmed_; }
+  /// Index (0-based sample number) at which the alarm fired, if any.
+  std::optional<std::size_t> alarm_index() const { return alarm_index_; }
+  /// Number of samples consumed so far.
+  std::size_t samples() const { return n_; }
+  /// In-control mean estimated during warmup (0 before warmup completes).
+  double mu0() const { return mu0_; }
+  double sigma0() const { return sigma0_; }
+
+  /// Clears alarm and statistics; keeps configuration.
+  void reset();
+
+ private:
+  Config cfg_;
+  std::size_t n_ = 0;
+  // Warmup accumulation.
+  double sum_ = 0.0;
+  double sumsq_ = 0.0;
+  double mu0_ = 0.0;
+  double sigma0_ = 0.0;
+  // CUSUM state.
+  double s_pos_ = 0.0;
+  double s_neg_ = 0.0;
+  bool alarmed_ = false;
+  std::optional<std::size_t> alarm_index_;
+};
+
+/// Offline maximum-likelihood single changepoint locator for a mean shift.
+///
+/// Returns the index t (1 <= t < n) that maximizes the between-segment
+/// variance reduction, or nullopt when n < 4 or the series is constant.
+std::optional<std::size_t> locate_mean_shift(std::span<const double> xs);
+
+}  // namespace cim::util

@@ -1,0 +1,118 @@
+/// \file matrix.hpp
+/// \brief Minimal dense row-major matrix used by the crossbar simulator and
+///        the neural-network substrate. Header-only, value semantics.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace cim::util {
+
+/// Dense row-major matrix of doubles with bounds-checked element access.
+class Matrix {
+ public:
+  Matrix() = default;
+
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Builds from nested initializer lists; all rows must have equal length.
+  Matrix(std::initializer_list<std::initializer_list<double>> init) {
+    rows_ = init.size();
+    cols_ = rows_ ? init.begin()->size() : 0;
+    data_.reserve(rows_ * cols_);
+    for (const auto& row : init) {
+      if (row.size() != cols_) throw std::invalid_argument("Matrix: ragged init");
+      data_.insert(data_.end(), row.begin(), row.end());
+    }
+  }
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    check(r, c);
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    check(r, c);
+    return data_[r * cols_ + c];
+  }
+
+  std::span<double> row(std::size_t r) {
+    check(r, 0);
+    return {data_.data() + r * cols_, cols_};
+  }
+  std::span<const double> row(std::size_t r) const {
+    check(r, 0);
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  std::span<double> flat() { return data_; }
+  std::span<const double> flat() const { return data_; }
+
+  /// y = A x   (x.size() == cols, result has rows entries)
+  std::vector<double> matvec(std::span<const double> x) const {
+    if (x.size() != cols_) throw std::invalid_argument("matvec: dim mismatch");
+    std::vector<double> y(rows_, 0.0);
+    for (std::size_t r = 0; r < rows_; ++r) {
+      double acc = 0.0;
+      const double* a = data_.data() + r * cols_;
+      for (std::size_t c = 0; c < cols_; ++c) acc += a[c] * x[c];
+      y[r] = acc;
+    }
+    return y;
+  }
+
+  /// y = A^T x   (x.size() == rows, result has cols entries)
+  std::vector<double> matvec_transposed(std::span<const double> x) const {
+    if (x.size() != rows_) throw std::invalid_argument("matvec_transposed: dim mismatch");
+    std::vector<double> y(cols_, 0.0);
+    for (std::size_t r = 0; r < rows_; ++r) {
+      const double* a = data_.data() + r * cols_;
+      const double xr = x[r];
+      for (std::size_t c = 0; c < cols_; ++c) y[c] += a[c] * xr;
+    }
+    return y;
+  }
+
+  Matrix transposed() const {
+    Matrix t(cols_, rows_);
+    for (std::size_t r = 0; r < rows_; ++r)
+      for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+    return t;
+  }
+
+  Matrix multiply(const Matrix& other) const {
+    if (cols_ != other.rows_) throw std::invalid_argument("multiply: dim mismatch");
+    Matrix out(rows_, other.cols_);
+    for (std::size_t r = 0; r < rows_; ++r)
+      for (std::size_t k = 0; k < cols_; ++k) {
+        const double a = (*this)(r, k);
+        if (a == 0.0) continue;
+        for (std::size_t c = 0; c < other.cols_; ++c)
+          out(r, c) += a * other(k, c);
+      }
+    return out;
+  }
+
+  friend bool operator==(const Matrix& a, const Matrix& b) {
+    return a.rows_ == b.rows_ && a.cols_ == b.cols_ && a.data_ == b.data_;
+  }
+
+ private:
+  void check(std::size_t r, std::size_t c) const {
+    if (r >= rows_ || c >= cols_) throw std::out_of_range("Matrix index");
+  }
+
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace cim::util

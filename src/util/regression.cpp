@@ -1,0 +1,133 @@
+#include "util/regression.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cim::util {
+namespace {
+
+/// In-place Cholesky factorization A = L L^T for a symmetric positive
+/// definite matrix stored row-major; returns false if not SPD.
+bool cholesky(std::vector<double>& a, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double sum = a[i * n + j];
+      for (std::size_t k = 0; k < j; ++k) sum -= a[i * n + k] * a[j * n + k];
+      if (i == j) {
+        if (sum <= 0.0) return false;
+        a[i * n + j] = std::sqrt(sum);
+      } else {
+        a[i * n + j] = sum / a[j * n + j];
+      }
+    }
+  }
+  return true;
+}
+
+/// Solves L L^T x = b given the Cholesky factor in `a`'s lower triangle.
+void cholesky_solve(const std::vector<double>& a, std::size_t n,
+                    std::vector<double>& b) {
+  // Forward: L y = b
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum = b[i];
+    for (std::size_t k = 0; k < i; ++k) sum -= a[i * n + k] * b[k];
+    b[i] = sum / a[i * n + i];
+  }
+  // Backward: L^T x = y
+  for (std::size_t ii = n; ii > 0; --ii) {
+    const std::size_t i = ii - 1;
+    double sum = b[i];
+    for (std::size_t k = i + 1; k < n; ++k) sum -= a[k * n + i] * b[k];
+    b[i] = sum / a[i * n + i];
+  }
+}
+
+}  // namespace
+
+void RidgeRegression::fit(std::span<const double> features,
+                          std::span<const double> targets, std::size_t dim) {
+  if (dim == 0) throw std::invalid_argument("RidgeRegression: dim == 0");
+  if (features.size() % dim != 0)
+    throw std::invalid_argument("RidgeRegression: features not a multiple of dim");
+  const std::size_t n = features.size() / dim;
+  if (n != targets.size() || n < 2)
+    throw std::invalid_argument("RidgeRegression: bad sample count");
+
+  // Standardize features.
+  mean_.assign(dim, 0.0);
+  scale_.assign(dim, 0.0);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < dim; ++c) mean_[c] += features[r * dim + c];
+  for (double& m : mean_) m /= static_cast<double>(n);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < dim; ++c) {
+      const double d = features[r * dim + c] - mean_[c];
+      scale_[c] += d * d;
+    }
+  for (double& s : scale_) {
+    s = std::sqrt(s / static_cast<double>(n));
+    if (s <= 0.0) s = 1.0;  // constant feature: standardizes to zero
+  }
+
+  const double ymean = [&] {
+    double acc = 0.0;
+    for (double y : targets) acc += y;
+    return acc / static_cast<double>(n);
+  }();
+
+  // Normal equations on standardized features and centered targets:
+  // (X^T X + lambda n I) w = X^T (y - ymean)
+  std::vector<double> xtx(dim * dim, 0.0);
+  std::vector<double> xty(dim, 0.0);
+  std::vector<double> z(dim);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < dim; ++c)
+      z[c] = (features[r * dim + c] - mean_[c]) / scale_[c];
+    const double yc = targets[r] - ymean;
+    for (std::size_t i = 0; i < dim; ++i) {
+      xty[i] += z[i] * yc;
+      for (std::size_t j = 0; j <= i; ++j) xtx[i * dim + j] += z[i] * z[j];
+    }
+  }
+  // Symmetrize and regularize.
+  for (std::size_t i = 0; i < dim; ++i) {
+    for (std::size_t j = i + 1; j < dim; ++j) xtx[i * dim + j] = xtx[j * dim + i];
+    xtx[i * dim + i] += lambda_ * static_cast<double>(n);
+  }
+
+  if (!cholesky(xtx, dim))
+    throw std::runtime_error("RidgeRegression: normal equations not SPD");
+  cholesky_solve(xtx, dim, xty);
+  weights_ = std::move(xty);
+  bias_ = ymean;
+}
+
+double RidgeRegression::predict(std::span<const double> row) const {
+  if (row.size() != weights_.size())
+    throw std::invalid_argument("RidgeRegression::predict: dim mismatch");
+  double acc = bias_;
+  for (std::size_t c = 0; c < row.size(); ++c)
+    acc += weights_[c] * (row[c] - mean_[c]) / scale_[c];
+  return acc;
+}
+
+double RidgeRegression::r2(std::span<const double> features,
+                           std::span<const double> targets) const {
+  const std::size_t dim = weights_.size();
+  const std::size_t n = targets.size();
+  if (dim == 0 || n == 0 || features.size() != n * dim) return 0.0;
+  double ymean = 0.0;
+  for (double y : targets) ymean += y;
+  ymean /= static_cast<double>(n);
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  for (std::size_t r = 0; r < n; ++r) {
+    const double pred = predict(features.subspan(r * dim, dim));
+    ss_res += (targets[r] - pred) * (targets[r] - pred);
+    ss_tot += (targets[r] - ymean) * (targets[r] - ymean);
+  }
+  if (ss_tot <= 0.0) return 0.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+}  // namespace cim::util

@@ -1,0 +1,41 @@
+/// \file regression.hpp
+/// \brief Small dense ridge regression used to train the ML-based fault-rate
+///        estimator of Section III.C (power-profile statistics -> estimated
+///        fraction of faulty cells).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace cim::util {
+
+/// Ridge (L2-regularized) linear regression solved by normal equations with
+/// Cholesky factorization. Features are standardized internally so lambda is
+/// scale-free; a bias term is always included (and not regularized).
+class RidgeRegression {
+ public:
+  explicit RidgeRegression(double lambda = 1e-3) : lambda_(lambda) {}
+
+  /// Fits on `n` rows of `dim`-dimensional features. `features` is row-major
+  /// with n*dim entries; `targets` has n entries.
+  void fit(std::span<const double> features, std::span<const double> targets,
+           std::size_t dim);
+
+  /// Predicts a single row of `dim` features (dim must match fit()).
+  double predict(std::span<const double> row) const;
+
+  bool fitted() const { return !weights_.empty(); }
+  std::size_t dim() const { return weights_.size(); }
+  /// Coefficient of determination on a dataset (row-major features).
+  double r2(std::span<const double> features, std::span<const double> targets) const;
+
+ private:
+  double lambda_;
+  std::vector<double> weights_;  // in standardized feature space
+  std::vector<double> mean_;
+  std::vector<double> scale_;
+  double bias_ = 0.0;
+};
+
+}  // namespace cim::util

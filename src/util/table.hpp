@@ -1,0 +1,45 @@
+/// \file table.hpp
+/// \brief ASCII table / CSV emission for benchmark reports.
+///
+/// Every bench binary regenerating one of the paper's tables or figures
+/// prints its rows through this formatter so outputs are uniform and easy to
+/// diff against EXPERIMENTS.md.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace cim::util {
+
+/// Column-aligned text table with an optional title, plus CSV export.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Adds a row; must have exactly as many cells as the header.
+  void add_row(std::vector<std::string> cells);
+
+  void set_title(std::string title) { title_ = std::move(title); }
+  std::size_t rows() const { return rows_.size(); }
+  std::size_t cols() const { return header_.size(); }
+  const std::vector<std::string>& row(std::size_t i) const { return rows_.at(i); }
+
+  /// Renders the aligned ASCII table (with separators) to `os`.
+  void print(std::ostream& os) const;
+
+  /// Renders RFC-4180-ish CSV (quotes cells containing comma/quote/newline).
+  void print_csv(std::ostream& os) const;
+
+  /// Formats a double with `prec` significant-looking decimals, trimming
+  /// trailing zeros ("3.25", "12", "0.001").
+  static std::string num(double v, int prec = 3);
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace cim::util

@@ -1,0 +1,64 @@
+/// \file units.hpp
+/// \brief Unit conventions and conversion helpers used across cimlib.
+///
+/// All analog quantities are carried as plain `double` with a documented
+/// canonical unit; helper constants make the unit explicit at the call site
+/// (e.g. `0.5 * units::kV` reads as 0.5 volts).
+///
+/// Canonical units:
+///   time    : nanoseconds  (ns)
+///   energy  : picojoules   (pJ)
+///   power   : milliwatts   (mW)   [pJ / ns]
+///   area    : square micrometres (um^2)
+///   voltage : volts        (V)
+///   current : microamperes (uA)
+///   resistance  : kiloohms (kOhm)  [V / mA; with uA pairs to mV — see note]
+///   conductance : microsiemens (uS) so that  I[uA] = G[uS] * V[V]
+#pragma once
+
+namespace cim::units {
+
+// --- time (canonical: ns) ---
+inline constexpr double kPs = 1e-3;  ///< picosecond in ns
+inline constexpr double kNs = 1.0;   ///< nanosecond (canonical)
+inline constexpr double kUs = 1e3;   ///< microsecond in ns
+inline constexpr double kMs = 1e6;   ///< millisecond in ns
+
+// --- energy (canonical: pJ) ---
+inline constexpr double kFJ = 1e-3;  ///< femtojoule in pJ
+inline constexpr double kPJ = 1.0;   ///< picojoule (canonical)
+inline constexpr double kNJ = 1e3;   ///< nanojoule in pJ
+inline constexpr double kUJ = 1e6;   ///< microjoule in pJ
+
+// --- power (canonical: mW == pJ/ns) ---
+inline constexpr double kUW = 1e-3;  ///< microwatt in mW
+inline constexpr double kMW = 1.0;   ///< milliwatt (canonical)
+inline constexpr double kW = 1e3;    ///< watt in mW
+
+// --- area (canonical: um^2) ---
+inline constexpr double kUm2 = 1.0;   ///< square micrometre (canonical)
+inline constexpr double kMm2 = 1e6;   ///< square millimetre in um^2
+
+// --- voltage (canonical: V) ---
+inline constexpr double kMV = 1e-3;  ///< millivolt in V
+inline constexpr double kV = 1.0;    ///< volt (canonical)
+
+// --- current (canonical: uA) ---
+inline constexpr double kNA = 1e-3;  ///< nanoampere in uA
+inline constexpr double kUA = 1.0;   ///< microampere (canonical)
+inline constexpr double kMA = 1e3;   ///< milliampere in uA
+
+// --- conductance (canonical: uS; I[uA] = G[uS] * V[V]) ---
+inline constexpr double kUS = 1.0;   ///< microsiemens (canonical)
+inline constexpr double kMS = 1e3;   ///< millisiemens in uS
+
+// --- resistance (canonical: kOhm; G[uS] = 1e3 / R[kOhm]) ---
+inline constexpr double kKOhm = 1.0;  ///< kiloohm (canonical)
+inline constexpr double kMOhm = 1e3;  ///< megaohm in kOhm
+
+/// Conductance (uS) of a resistance given in kOhm.
+constexpr double conductance_us(double r_kohm) { return 1e3 / r_kohm; }
+/// Resistance (kOhm) of a conductance given in uS.
+constexpr double resistance_kohm(double g_us) { return 1e3 / g_us; }
+
+}  // namespace cim::units

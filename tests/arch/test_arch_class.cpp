@@ -1,0 +1,91 @@
+#include "arch/arch_class.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string_view>
+
+namespace cim::arch {
+namespace {
+
+TEST(ArchClass, ClassificationDecisionProcedure) {
+  // Fig. 2: where the result is produced decides the class.
+  EXPECT_EQ(classify({"x", true, false, false}), ArchClass::kCimArray);
+  EXPECT_EQ(classify({"x", false, true, false}), ArchClass::kCimPeriphery);
+  EXPECT_EQ(classify({"x", false, false, true}), ArchClass::kComNear);
+  EXPECT_EQ(classify({"x", false, false, false}), ArchClass::kComFar);
+}
+
+TEST(ArchClass, ArrayWinsOverPeriphery) {
+  // If the result forms in the array, peripheral helpers don't demote it.
+  EXPECT_EQ(classify({"x", true, true, true}), ArchClass::kCimArray);
+}
+
+TEST(ArchClass, ExampleSystemsClassifyAsInPaper) {
+  for (const auto& sys : example_systems()) {
+    const auto cls = classify(sys);
+    if (sys.name.find("ReVAMP") != std::string_view::npos ||
+        sys.name.find("MAGIC") != std::string_view::npos ||
+        sys.name.find("IMPLY") != std::string_view::npos) {
+      EXPECT_EQ(cls, ArchClass::kCimArray) << sys.name;
+    }
+    if (sys.name.find("ISAAC") != std::string_view::npos ||
+        sys.name.find("Pinatubo") != std::string_view::npos ||
+        sys.name.find("Scouting") != std::string_view::npos) {
+      EXPECT_EQ(cls, ArchClass::kCimPeriphery) << sys.name;
+    }
+    if (sys.name.find("DIVA") != std::string_view::npos ||
+        sys.name.find("HBM") != std::string_view::npos) {
+      EXPECT_EQ(cls, ArchClass::kComNear) << sys.name;
+    }
+    if (sys.name == "CPU" || sys.name == "GPU" || sys.name == "TPU") {
+      EXPECT_EQ(cls, ArchClass::kComFar) << sys.name;
+    }
+  }
+}
+
+TEST(ArchClass, TableOneDataMovementColumn) {
+  // Table I: CIM classes do not move data outside the memory core.
+  EXPECT_FALSE(class_traits(ArchClass::kCimArray).moves_data_outside_core);
+  EXPECT_FALSE(class_traits(ArchClass::kCimPeriphery).moves_data_outside_core);
+  EXPECT_TRUE(class_traits(ArchClass::kComNear).moves_data_outside_core);
+  EXPECT_TRUE(class_traits(ArchClass::kComFar).moves_data_outside_core);
+}
+
+TEST(ArchClass, TableOneAlignmentColumn) {
+  EXPECT_TRUE(class_traits(ArchClass::kCimArray).requires_data_alignment);
+  EXPECT_TRUE(class_traits(ArchClass::kCimPeriphery).requires_data_alignment);
+  EXPECT_FALSE(class_traits(ArchClass::kComNear).requires_data_alignment);
+  EXPECT_FALSE(class_traits(ArchClass::kComFar).requires_data_alignment);
+}
+
+TEST(ArchClass, TableOneBandwidthOrdering) {
+  // Max (CIM-A) > High-Max (CIM-P) > High (COM-N) > Low (COM-F).
+  EXPECT_EQ(class_traits(ArchClass::kCimArray).available_bandwidth, Level::kMax);
+  EXPECT_EQ(class_traits(ArchClass::kCimPeriphery).available_bandwidth,
+            Level::kHighMax);
+  EXPECT_EQ(class_traits(ArchClass::kComNear).available_bandwidth, Level::kHigh);
+  EXPECT_EQ(class_traits(ArchClass::kComFar).available_bandwidth, Level::kLow);
+}
+
+TEST(ArchClass, TableOneScalability) {
+  EXPECT_EQ(class_traits(ArchClass::kCimArray).scalability, Level::kLow);
+  EXPECT_EQ(class_traits(ArchClass::kComFar).scalability, Level::kHigh);
+}
+
+TEST(ArchClass, TableOneComplexFunctionCosts) {
+  EXPECT_EQ(class_traits(ArchClass::kCimArray).complex_function_cost,
+            "High latency");
+  EXPECT_EQ(class_traits(ArchClass::kCimPeriphery).complex_function_cost,
+            "High cost");
+  EXPECT_EQ(class_traits(ArchClass::kComFar).complex_function_cost, "Low cost");
+}
+
+TEST(ArchClass, NamesDistinct) {
+  std::set<std::string_view> names;
+  for (const auto c : all_arch_classes()) names.insert(arch_class_name(c));
+  EXPECT_EQ(names.size(), 4u);
+}
+
+}  // namespace
+}  // namespace cim::arch

@@ -1,0 +1,109 @@
+#include "arch/machine_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cim::arch {
+namespace {
+
+Workload vmm_1mb() {
+  Workload w;
+  w.kind = WorkloadKind::kVmm;
+  w.input_bytes = 1 << 20;
+  w.ops = 1 << 20;
+  w.output_bytes = 1 << 10;
+  return w;
+}
+
+TEST(MachineModel, CimClassesMoveLessData) {
+  const auto w = vmm_1mb();
+  const auto cim_a = execute(ArchClass::kCimArray, w);
+  const auto cim_p = execute(ArchClass::kCimPeriphery, w);
+  const auto com_n = execute(ArchClass::kComNear, w);
+  const auto com_f = execute(ArchClass::kComFar, w);
+  EXPECT_LT(cim_a.bytes_moved, 0.01 * com_f.bytes_moved);
+  EXPECT_LT(cim_p.bytes_moved, 0.1 * com_f.bytes_moved);
+  EXPECT_DOUBLE_EQ(com_n.bytes_moved, com_f.bytes_moved);
+}
+
+TEST(MachineModel, MovementEnergyDominatesComF) {
+  // Fig. 1's bottleneck: on a conventional machine most energy is movement.
+  const auto r = execute(ArchClass::kComFar, vmm_1mb());
+  EXPECT_GT(r.movement_energy_fraction, 0.8);
+}
+
+TEST(MachineModel, CimEnergyMostlyCompute) {
+  const auto r = execute(ArchClass::kCimPeriphery, vmm_1mb());
+  EXPECT_LT(r.movement_energy_fraction, 0.2);
+}
+
+TEST(MachineModel, EffectiveBandwidthOrdering) {
+  // Table I bandwidth column, derived quantitatively.
+  const auto w = vmm_1mb();
+  const auto bw = [&](ArchClass c) {
+    return execute(c, w).effective_bandwidth_gbps;
+  };
+  EXPECT_GT(bw(ArchClass::kCimArray), bw(ArchClass::kComNear));
+  EXPECT_GT(bw(ArchClass::kCimPeriphery), bw(ArchClass::kComNear));
+  EXPECT_GT(bw(ArchClass::kComNear), bw(ArchClass::kComFar));
+}
+
+TEST(MachineModel, ComplexFunctionsPenalizeCim) {
+  Workload w = vmm_1mb();
+  w.kind = WorkloadKind::kComplexFunction;
+  const auto vmm = execute(ArchClass::kCimArray, vmm_1mb());
+  const auto complex = execute(ArchClass::kCimArray, w);
+  EXPECT_GT(complex.compute_time_ns, 10.0 * vmm.compute_time_ns);
+  // COM-F executes complex functions natively at no extra per-op cost.
+  const auto f_vmm = execute(ArchClass::kComFar, vmm_1mb());
+  const auto f_cx = execute(ArchClass::kComFar, w);
+  EXPECT_DOUBLE_EQ(f_cx.compute_time_ns, f_vmm.compute_time_ns);
+}
+
+TEST(MachineModel, ComFarIsMemoryBound) {
+  const auto r = execute(ArchClass::kComFar, vmm_1mb());
+  EXPECT_GT(r.movement_time_ns, r.compute_time_ns);
+  EXPECT_DOUBLE_EQ(r.time_ns, r.movement_time_ns);
+}
+
+TEST(MachineModel, EnergyIsSumOfParts) {
+  for (const auto cls : all_arch_classes()) {
+    const auto r = execute(cls, vmm_1mb());
+    EXPECT_NEAR(r.energy_pj, r.movement_energy_pj + r.compute_energy_pj, 1e-6)
+        << arch_class_name(cls);
+  }
+}
+
+TEST(MachineModel, BulkBitwiseFavoursCimP) {
+  Workload w;
+  w.kind = WorkloadKind::kBulkBitwise;
+  w.input_bytes = 1 << 22;  // streaming scans are movement-dominated
+  w.ops = 1 << 22;
+  w.output_bytes = 1 << 10;
+  const auto cim_p = execute(ArchClass::kCimPeriphery, w);
+  const auto com_f = execute(ArchClass::kComFar, w);
+  EXPECT_LT(cim_p.energy_pj, com_f.energy_pj);
+  EXPECT_LT(cim_p.time_ns, com_f.time_ns);
+}
+
+TEST(MachineModel, CustomParametersRespected) {
+  auto p = default_params(ArchClass::kComFar);
+  p.boundary_bw_gbps *= 4.0;  // a faster channel shortens movement time
+  Workload w = vmm_1mb();
+  const auto fast = execute(p, w);
+  const auto stock = execute(ArchClass::kComFar, w);
+  EXPECT_LT(fast.movement_time_ns, stock.movement_time_ns);
+}
+
+TEST(MachineModel, EmptyWorkloadThrows) {
+  Workload w;
+  w.ops = 0;
+  EXPECT_THROW((void)execute(ArchClass::kComFar, w), std::invalid_argument);
+}
+
+TEST(MachineModel, WorkloadKindNames) {
+  EXPECT_EQ(workload_kind_name(WorkloadKind::kVmm), "VMM");
+  EXPECT_EQ(workload_kind_name(WorkloadKind::kBulkBitwise), "bulk-bitwise");
+}
+
+}  // namespace
+}  // namespace cim::arch

@@ -1,0 +1,67 @@
+#include "arch/vonneumann.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cim::arch {
+namespace {
+
+TEST(VonNeumann, MovementEnergyDominatesAcrossSizes) {
+  // Fig. 1's bottleneck: a streaming VMM has no weight reuse, so movement
+  // dominates the energy at every size.
+  VonNeumannParams p;
+  for (const std::size_t n : {32u, 128u, 512u, 1024u}) {
+    const auto r = run_vmm(p, n, n);
+    EXPECT_GT(r.movement_energy_fraction, 0.8) << "n=" << n;
+  }
+}
+
+TEST(VonNeumann, LargeVmmIsMemoryBound) {
+  VonNeumannParams p;
+  const auto r = run_vmm(p, 512, 512);
+  EXPECT_DOUBLE_EQ(r.time_ns, r.memory_time_ns);
+  EXPECT_GT(r.memory_time_ns, r.compute_time_ns);
+}
+
+TEST(VonNeumann, DramBytesAtLeastWeightTraffic) {
+  VonNeumannParams p;
+  const auto r = run_vmm(p, 128, 128, 1);
+  EXPECT_GE(r.dram_bytes, 128.0 * 128.0);
+}
+
+TEST(VonNeumann, CacheOverflowAddsVectorRestreaming) {
+  VonNeumannParams p;
+  p.cache_bytes = 64.0;  // tiny cache: the input vector no longer fits
+  const auto small_cache = run_vmm(p, 256, 256);
+  VonNeumannParams big;
+  big.cache_bytes = 1 << 20;
+  const auto big_cache = run_vmm(big, 256, 256);
+  EXPECT_GT(small_cache.dram_bytes, big_cache.dram_bytes);
+}
+
+TEST(VonNeumann, ComputeEnergyScalesWithMacs) {
+  VonNeumannParams p;
+  const auto a = run_vmm(p, 64, 64);
+  const auto b = run_vmm(p, 128, 128);
+  EXPECT_NEAR(b.compute_energy_pj / a.compute_energy_pj, 4.0, 0.01);
+}
+
+TEST(VonNeumann, FasterBusShiftsBottleneck) {
+  VonNeumannParams slow;
+  slow.mem_bw_bytes_per_ns = 1.0;
+  VonNeumannParams fast;
+  fast.mem_bw_bytes_per_ns = 10000.0;
+  const auto r_slow = run_vmm(slow, 256, 256);
+  const auto r_fast = run_vmm(fast, 256, 256);
+  EXPECT_GT(r_slow.movement_time_fraction, 0.99);
+  EXPECT_LT(r_fast.memory_time_ns, r_fast.compute_time_ns);
+}
+
+TEST(VonNeumann, EmptyProblemThrows) {
+  VonNeumannParams p;
+  EXPECT_THROW((void)run_vmm(p, 0, 8), std::invalid_argument);
+  EXPECT_THROW((void)run_vmm(p, 8, 0), std::invalid_argument);
+  EXPECT_THROW((void)run_vmm(p, 8, 8, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cim::arch

@@ -1,0 +1,78 @@
+#include "core/bulk_bitwise.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace cim::core {
+namespace {
+
+TEST(BulkBitwise, StoreLoadRoundTrip) {
+  BulkBitwiseEngine eng(4, 32);
+  eng.store(0, 0xDEADBEEFu);
+  eng.store(3, 0x12345678u);
+  EXPECT_EQ(eng.load(0), 0xDEADBEEFu);
+  EXPECT_EQ(eng.load(3), 0x12345678u);
+}
+
+class BulkOps : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BulkOps, AndOrXorMatchSoftware) {
+  util::Rng rng(GetParam());
+  BulkBitwiseEngine eng(8, 32, GetParam() + 1);
+  const std::uint64_t a = rng() & 0xFFFFFFFFu;
+  const std::uint64_t b = rng() & 0xFFFFFFFFu;
+  eng.store(0, a);
+  eng.store(1, b);
+  eng.op_rows(2, 0, 1, crossbar::ScoutOp::kAnd);
+  eng.op_rows(3, 0, 1, crossbar::ScoutOp::kOr);
+  eng.op_rows(4, 0, 1, crossbar::ScoutOp::kXor);
+  EXPECT_EQ(eng.load(2), a & b);
+  EXPECT_EQ(eng.load(3), a | b);
+  EXPECT_EQ(eng.load(4), a ^ b);
+  // Operands unchanged (computation in the periphery, not the cells).
+  EXPECT_EQ(eng.load(0), a);
+  EXPECT_EQ(eng.load(1), b);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BulkOps, ::testing::Range<std::uint64_t>(0, 6));
+
+TEST(BulkBitwise, LockstepTimeIndependentOfWidth) {
+  BulkBitwiseEngine narrow(4, 8), wide(4, 64);
+  narrow.store(0, 0xA5);
+  narrow.store(1, 0x5A);
+  wide.store(0, 0xA5A5A5A5A5A5A5A5ull);
+  wide.store(1, 0x5A5A5A5A5A5A5A5Aull);
+  narrow.op_rows(2, 0, 1, crossbar::ScoutOp::kAnd);
+  wide.op_rows(2, 0, 1, crossbar::ScoutOp::kAnd);
+  // One sense + one write cycle regardless of word width.
+  EXPECT_DOUBLE_EQ(narrow.stats().lockstep_time_ns,
+                   wide.stats().lockstep_time_ns);
+}
+
+TEST(BulkBitwise, BeatsComFBaselineOnEnergy) {
+  BulkBitwiseEngine eng(8, 64);
+  util::Rng rng(3);
+  eng.store(0, rng());
+  eng.store(1, rng());
+  eng.reset_stats();
+  for (int k = 0; k < 16; ++k)
+    eng.op_rows(2, 0, 1, crossbar::ScoutOp::kXor);
+  const auto base = eng.com_f_baseline(16);
+  // CIM-P: no operand ever crosses the bus — the energy win holds at any
+  // word width. (The latency win additionally needs the full memory-row
+  // width, which the 64-bit word interface cannot express; see the
+  // lockstep-time-vs-width test above.)
+  EXPECT_LT(eng.stats().energy_pj, base.energy_pj);
+}
+
+TEST(BulkBitwise, Validation) {
+  EXPECT_THROW(BulkBitwiseEngine(0, 8), std::invalid_argument);
+  EXPECT_THROW(BulkBitwiseEngine(2, 65), std::invalid_argument);
+  BulkBitwiseEngine eng(2, 8);
+  EXPECT_THROW(eng.store(2, 0), std::out_of_range);
+  EXPECT_THROW(eng.op_rows(0, 0, 2, crossbar::ScoutOp::kOr), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace cim::core

@@ -1,0 +1,86 @@
+#include "core/quantized_mlp.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cim::core {
+namespace {
+
+struct Trained {
+  nn::Dataset train;
+  nn::Dataset test;
+  nn::Mlp net;
+};
+
+Trained make_trained() {
+  util::Rng rng(3);
+  Trained t{nn::generate_digits(500, rng, 0.1),
+            nn::generate_digits(150, rng, 0.1),
+            nn::Mlp({nn::kPixels, 16, nn::kClasses}, rng)};
+  t.net.fit(t.train, 40, 0.05, rng);
+  return t;
+}
+
+TEST(QuantizedMlp, ReferenceKeepsAccuracy) {
+  auto t = make_trained();
+  ASSERT_GT(t.net.accuracy(t.test), 0.85);
+  const auto q = QuantizedMlp::from_mlp(t.net, 4, 4, t.train);
+  // INT4 weights/activations cost little on this task.
+  EXPECT_GT(q.accuracy_reference(t.test), t.net.accuracy(t.test) - 0.1);
+}
+
+TEST(QuantizedMlp, MoreBitsNeverHurt) {
+  auto t = make_trained();
+  const auto q2 = QuantizedMlp::from_mlp(t.net, 2, 2, t.train);
+  const auto q6 = QuantizedMlp::from_mlp(t.net, 6, 6, t.train);
+  EXPECT_GE(q6.accuracy_reference(t.test) + 0.02,
+            q2.accuracy_reference(t.test));
+}
+
+TEST(QuantizedMlp, WeightsWithinRange) {
+  auto t = make_trained();
+  const auto q = QuantizedMlp::from_mlp(t.net, 4, 4, t.train);
+  for (const auto& layer : q.layers)
+    for (const double w : layer.w_int.flat()) {
+      EXPECT_LE(std::abs(w), 7.0);  // 2^(4-1) - 1
+    }
+}
+
+TEST(QuantizedMlp, BitValidation) {
+  auto t = make_trained();
+  EXPECT_THROW((void)QuantizedMlp::from_mlp(t.net, 1, 4, t.train),
+               std::invalid_argument);
+  EXPECT_THROW((void)QuantizedMlp::from_mlp(t.net, 4, 9, t.train),
+               std::invalid_argument);
+}
+
+TEST(CimMlpRunner, TileInferenceTracksReference) {
+  auto t = make_trained();
+  const auto q = QuantizedMlp::from_mlp(t.net, 4, 4, t.train);
+  const double ref_acc = q.accuracy_reference(t.test);
+  ASSERT_GT(ref_acc, 0.8);
+
+  CimSystemConfig cfg;
+  cfg.tile.tile.rows = 32;
+  cfg.tile.tile.cols = 16;
+  cfg.tile.tile.adc_bits = 10;
+  cfg.tile.array.model_ir_drop = false;
+  cfg.tile.seed = 5;
+  CimMlpRunner runner(q, cfg);
+  // The analog path adds device/ADC noise on top of quantization.
+  EXPECT_GT(runner.accuracy(t.test), ref_acc - 0.15);
+
+  const auto totals = runner.totals();
+  EXPECT_GT(totals.tiles, 1u);
+  EXPECT_GT(totals.energy_pj, 0.0);
+  EXPECT_GT(totals.time_ns, 0.0);
+  EXPECT_GT(totals.area_um2, 0.0);
+}
+
+TEST(CimMlpRunner, EmptyNetworkThrows) {
+  QuantizedMlp empty;
+  CimSystemConfig cfg;
+  EXPECT_THROW(CimMlpRunner(empty, cfg), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cim::core

@@ -1,0 +1,75 @@
+#include "core/simd_magic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "eda/aig.hpp"
+#include "eda/bench_circuits.hpp"
+
+namespace cim::core {
+namespace {
+
+eda::MagicProgram program_of(const eda::Netlist& nl) {
+  return eda::compile_magic(
+      eda::Aig::from_netlist(nl).to_netlist().to_nor_only(), true);
+}
+
+TEST(SimdMagic, BatchMatchesTruthTablesOnEveryLane) {
+  const auto nl = eda::ripple_carry_adder(2);
+  const auto tts = nl.truth_tables();
+  SimdMagicUnit unit(program_of(nl), /*rows=*/16);
+
+  std::vector<std::uint64_t> batch;
+  for (std::uint64_t a = 0; a < 16; ++a) batch.push_back(a);
+  const auto out = unit.execute_batch(batch);
+  ASSERT_EQ(out.size(), 16u);
+  for (std::size_t lane = 0; lane < 16; ++lane)
+    for (std::size_t o = 0; o < tts.size(); ++o)
+      EXPECT_EQ(out[lane][o], tts[o].get(batch[lane]))
+          << "lane " << lane << " out " << o;
+}
+
+TEST(SimdMagic, LatencyIndependentOfLaneCount) {
+  const auto prog = program_of(eda::parity(4));
+  SimdMagicUnit small(prog, 4);
+  SimdMagicUnit large(prog, 64);
+  std::vector<std::uint64_t> a4(4, 5), a64(64, 5);
+  (void)small.execute_batch(a4);
+  (void)large.execute_batch(a64);
+  EXPECT_DOUBLE_EQ(small.last_batch().latency_ns,
+                   large.last_batch().latency_ns);
+  // Throughput scales with rows (the [70] SIMD claim).
+  EXPECT_NEAR(large.last_batch().throughput_per_us /
+                  small.last_batch().throughput_per_us,
+              16.0, 0.01);
+}
+
+TEST(SimdMagic, EnergyScalesWithLanes) {
+  const auto prog = program_of(eda::parity(4));
+  SimdMagicUnit unit(prog, 32);
+  std::vector<std::uint64_t> a8(8, 3), a32(32, 3);
+  (void)unit.execute_batch(a8);
+  const double e8 = unit.last_batch().energy_pj;
+  (void)unit.execute_batch(a32);
+  const double e32 = unit.last_batch().energy_pj;
+  EXPECT_GT(e32, 2.0 * e8);
+}
+
+TEST(SimdMagic, PartialBatchLeavesLanesIdle) {
+  const auto prog = program_of(eda::parity(3));
+  SimdMagicUnit unit(prog, 8);
+  std::vector<std::uint64_t> three = {1, 2, 3};
+  const auto out = unit.execute_batch(three);
+  EXPECT_EQ(out.size(), 3u);
+  EXPECT_EQ(unit.last_batch().rows, 3u);
+}
+
+TEST(SimdMagic, Validation) {
+  const auto prog = program_of(eda::parity(3));
+  EXPECT_THROW(SimdMagicUnit(prog, 0), std::invalid_argument);
+  SimdMagicUnit unit(prog, 2);
+  std::vector<std::uint64_t> too_many(3, 0);
+  EXPECT_THROW((void)unit.execute_batch(too_many), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cim::core

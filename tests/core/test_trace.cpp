@@ -1,0 +1,64 @@
+#include "core/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace cim::core {
+namespace {
+
+TEST(Trace, RecordsEntries) {
+  Trace trace(16);
+  trace.record({OpKind::kRowActivate, 0, 1, 1.0, 0.5});
+  trace.record({OpKind::kSenseColumns, 0, 1, 2.0, 1.5});
+  EXPECT_EQ(trace.size(), 2u);
+  EXPECT_EQ(trace.total_recorded(), 2u);
+}
+
+TEST(Trace, RingBufferKeepsRecentWindow) {
+  Trace trace(4);
+  for (std::uint64_t i = 0; i < 10; ++i)
+    trace.record({OpKind::kShiftAdd, 0, i, 0.0, 0.0});
+  EXPECT_EQ(trace.size(), 4u);
+  EXPECT_EQ(trace.total_recorded(), 10u);
+}
+
+TEST(Trace, HistogramCountsKinds) {
+  Trace trace(16);
+  trace.record({OpKind::kRowActivate, 0, 0, 0, 0});
+  trace.record({OpKind::kRowActivate, 0, 1, 0, 0});
+  trace.record({OpKind::kSenseColumns, 0, 2, 0, 0});
+  const auto hist = trace.histogram();
+  std::size_t activates = 0;
+  for (const auto& [kind, n] : hist)
+    if (kind == OpKind::kRowActivate) activates = n;
+  EXPECT_EQ(activates, 2u);
+}
+
+TEST(Trace, PrintProducesReadableOutput) {
+  Trace trace(8);
+  trace.record({OpKind::kProgramCell, 3, 7, 1.5, 2.5});
+  std::ostringstream os;
+  trace.print(os);
+  const auto s = os.str();
+  EXPECT_NE(s.find("program"), std::string::npos);
+  EXPECT_NE(s.find("tile 3"), std::string::npos);
+}
+
+TEST(Trace, ClearResets) {
+  Trace trace(8);
+  trace.record({OpKind::kLogicStep, 0, 0, 0, 0});
+  trace.clear();
+  EXPECT_EQ(trace.size(), 0u);
+  EXPECT_EQ(trace.total_recorded(), 0u);
+}
+
+TEST(Trace, OpKindNamesKnown) {
+  for (const auto k :
+       {OpKind::kProgramCell, OpKind::kRowActivate, OpKind::kSenseColumns,
+        OpKind::kShiftAdd, OpKind::kLogicStep, OpKind::kTileTransfer})
+    EXPECT_NE(op_kind_name(k), "unknown");
+}
+
+}  // namespace
+}  // namespace cim::core

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "crossbar/crossbar.hpp"
+
+namespace cim::crossbar {
+namespace {
+
+// Stateful logic is exercised on a low-noise binary technology so logic
+// thresholds are unambiguous.
+CrossbarConfig logic_cfg() {
+  CrossbarConfig cfg;
+  cfg.rows = 2;
+  cfg.cols = 16;
+  cfg.tech = device::Technology::kSttMram;
+  cfg.levels = 2;
+  cfg.model_ir_drop = false;
+  cfg.seed = 5;
+  return cfg;
+}
+
+class ImplyTruth : public ::testing::TestWithParam<std::pair<bool, bool>> {};
+
+TEST_P(ImplyTruth, PaperConventionDestGetsDestImpliesSrc) {
+  const auto [p, q] = GetParam();
+  Crossbar xbar(logic_cfg());
+  xbar.write_bit(0, 0, p);
+  xbar.write_bit(0, 1, q);
+  xbar.imply(0, 0, 0, 1);  // NS_p = S_p -> S_q
+  EXPECT_EQ(xbar.read_bit(0, 0), !p || q);
+  EXPECT_EQ(xbar.read_bit(0, 1), q);  // source unchanged
+}
+
+INSTANTIATE_TEST_SUITE_P(AllInputs, ImplyTruth,
+                         ::testing::Values(std::pair{false, false},
+                                           std::pair{false, true},
+                                           std::pair{true, false},
+                                           std::pair{true, true}));
+
+TEST(CrossbarLogic, SetFalseResets) {
+  Crossbar xbar(logic_cfg());
+  xbar.write_bit(0, 0, true);
+  xbar.set_false(0, 0);
+  EXPECT_FALSE(xbar.read_bit(0, 0));
+}
+
+class MagicNorTruth
+    : public ::testing::TestWithParam<std::tuple<bool, bool, bool>> {};
+
+TEST_P(MagicNorTruth, ThreeInputNor) {
+  const auto [a, b, c] = GetParam();
+  Crossbar xbar(logic_cfg());
+  xbar.write_bit(0, 0, a);
+  xbar.write_bit(0, 1, b);
+  xbar.write_bit(0, 2, c);
+  xbar.write_bit(0, 3, true);  // MAGIC precondition: output pre-SET
+  const std::size_t ins[] = {0, 1, 2};
+  xbar.magic_nor(0, ins, 3);
+  EXPECT_EQ(xbar.read_bit(0, 3), !(a || b || c));
+  // Inputs unchanged.
+  EXPECT_EQ(xbar.read_bit(0, 0), a);
+  EXPECT_EQ(xbar.read_bit(0, 1), b);
+  EXPECT_EQ(xbar.read_bit(0, 2), c);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllInputs, MagicNorTruth,
+    ::testing::Combine(::testing::Bool(), ::testing::Bool(), ::testing::Bool()));
+
+TEST(CrossbarLogic, MagicNotInverts) {
+  Crossbar xbar(logic_cfg());
+  for (const bool in : {false, true}) {
+    xbar.write_bit(0, 0, in);
+    xbar.write_bit(0, 1, true);
+    xbar.magic_not(0, 0, 1);
+    EXPECT_EQ(xbar.read_bit(0, 1), !in);
+  }
+}
+
+TEST(CrossbarLogic, MagicNorRequiresInputs) {
+  Crossbar xbar(logic_cfg());
+  EXPECT_THROW(xbar.magic_nor(0, {}, 3), std::invalid_argument);
+}
+
+class MajorityTruth
+    : public ::testing::TestWithParam<std::tuple<bool, bool, bool>> {};
+
+TEST_P(MajorityTruth, RevampSemantics) {
+  const auto [s, wl, bl] = GetParam();
+  Crossbar xbar(logic_cfg());
+  xbar.write_bit(0, 0, s);
+  xbar.majority_write(0, 0, wl, bl);
+  const int votes = int(s) + int(wl) + int(!bl);
+  EXPECT_EQ(xbar.read_bit(0, 0), votes >= 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllInputs, MajorityTruth,
+    ::testing::Combine(::testing::Bool(), ::testing::Bool(), ::testing::Bool()));
+
+TEST(CrossbarLogic, MajorityImplementsSetAndReset) {
+  Crossbar xbar(logic_cfg());
+  // SET: V_wl=1, V_bl=0 -> MAJ(S, 1, 1) = 1.
+  xbar.write_bit(0, 0, false);
+  xbar.majority_write(0, 0, true, false);
+  EXPECT_TRUE(xbar.read_bit(0, 0));
+  // RESET: V_wl=0, V_bl=1 -> MAJ(S, 0, 0) = 0.
+  xbar.majority_write(0, 0, false, true);
+  EXPECT_FALSE(xbar.read_bit(0, 0));
+}
+
+class ScoutTruth : public ::testing::TestWithParam<std::pair<bool, bool>> {};
+
+TEST_P(ScoutTruth, OrAndXorReads) {
+  const auto [a, b] = GetParam();
+  Crossbar xbar(logic_cfg());
+  xbar.write_bit(0, 0, a);
+  xbar.write_bit(1, 0, b);
+  EXPECT_EQ(xbar.scout_read(0, 1, 0, ScoutOp::kOr), a || b);
+  EXPECT_EQ(xbar.scout_read(0, 1, 0, ScoutOp::kAnd), a && b);
+  EXPECT_EQ(xbar.scout_read(0, 1, 0, ScoutOp::kXor), a != b);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllInputs, ScoutTruth,
+                         ::testing::Values(std::pair{false, false},
+                                           std::pair{false, true},
+                                           std::pair{true, false},
+                                           std::pair{true, true}));
+
+TEST(CrossbarLogic, LogicOpsCountAndCharge) {
+  Crossbar xbar(logic_cfg());
+  xbar.write_bit(0, 0, true);
+  xbar.write_bit(0, 1, false);
+  const auto before = xbar.stats().logic_ops;
+  xbar.imply(0, 0, 0, 1);
+  xbar.set_false(0, 1);
+  xbar.majority_write(0, 0, true, false);
+  EXPECT_EQ(xbar.stats().logic_ops, before + 3);
+}
+
+}  // namespace
+}  // namespace cim::crossbar

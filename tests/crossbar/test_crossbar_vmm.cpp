@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "crossbar/crossbar.hpp"
+#include "util/stats.hpp"
+
+namespace cim::crossbar {
+namespace {
+
+CrossbarConfig vmm_cfg(std::size_t n = 16) {
+  CrossbarConfig cfg;
+  cfg.rows = n;
+  cfg.cols = n;
+  cfg.levels = 16;
+  cfg.verified_writes = true;
+  cfg.seed = 7;
+  return cfg;
+}
+
+util::Matrix random_levels(std::size_t n, int levels, std::uint64_t seed) {
+  util::Rng rng(seed);
+  util::Matrix m(n, n);
+  for (auto& v : m.flat())
+    v = static_cast<double>(rng.uniform_int(static_cast<std::uint64_t>(levels)));
+  return m;
+}
+
+TEST(CrossbarVmm, MatchesIdealWithinTolerance) {
+  Crossbar xbar(vmm_cfg());
+  xbar.program_levels(random_levels(16, 16, 3));
+  std::vector<double> v(16, 0.2);
+  const auto ideal = xbar.ideal_vmm(v);
+  const auto meas = xbar.vmm(v);
+  for (std::size_t c = 0; c < 16; ++c) {
+    EXPECT_NEAR(meas[c], ideal[c], 0.12 * std::abs(ideal[c]) + 2.0)
+        << "col " << c;
+  }
+}
+
+TEST(CrossbarVmm, ZeroInputGivesNearZeroCurrent) {
+  Crossbar xbar(vmm_cfg());
+  xbar.program_levels(random_levels(16, 16, 5));
+  std::vector<double> v(16, 0.0);
+  for (const double i : xbar.vmm(v)) EXPECT_NEAR(i, 0.0, 1e-9);
+}
+
+TEST(CrossbarVmm, CurrentScalesLinearlyWithVoltage) {
+  auto cfg = vmm_cfg();
+  cfg.model_ir_drop = false;
+  Crossbar xbar(cfg);
+  xbar.program_levels(random_levels(16, 16, 9));
+  std::vector<double> v1(16, 0.1), v2(16, 0.2);
+  const auto i1 = xbar.ideal_vmm(v1);
+  const auto i2 = xbar.ideal_vmm(v2);
+  for (std::size_t c = 0; c < 16; ++c) EXPECT_NEAR(i2[c], 2.0 * i1[c], 1e-9);
+}
+
+TEST(CrossbarVmm, SingleRowSelectsMatrixRow) {
+  auto cfg = vmm_cfg(8);
+  cfg.model_ir_drop = false;
+  Crossbar xbar(cfg);
+  util::Matrix lv(8, 8, 0.0);
+  for (std::size_t c = 0; c < 8; ++c) lv(3, c) = static_cast<double>(c % 16);
+  xbar.program_levels(lv);
+  std::vector<double> v(8, 0.0);
+  v[3] = xbar.tech().v_read;
+  const auto ideal = xbar.ideal_vmm(v);
+  for (std::size_t c = 0; c < 8; ++c) {
+    const double expected =
+        xbar.tech().v_read *
+        xbar.scheme().level_conductance_us(static_cast<int>(c % 16));
+    EXPECT_NEAR(ideal[c], expected, 1e-9);
+  }
+}
+
+TEST(CrossbarVmm, IrDropReducesCurrents) {
+  auto ideal_cfg = vmm_cfg();
+  ideal_cfg.model_ir_drop = false;
+  auto drop_cfg = vmm_cfg();
+  drop_cfg.model_ir_drop = true;
+  drop_cfg.wire_resistance_ohm = 500.0;  // exaggerated to dominate noise
+
+  Crossbar a(ideal_cfg), b(drop_cfg);
+  const auto lv = random_levels(16, 16, 11);
+  a.program_levels(lv);
+  b.program_levels(lv);
+  std::vector<double> v(16, 0.2);
+  const double sum_a = [&] {
+    const auto i = a.vmm(v);
+    return std::accumulate(i.begin(), i.end(), 0.0);
+  }();
+  const double sum_b = [&] {
+    const auto i = b.vmm(v);
+    return std::accumulate(i.begin(), i.end(), 0.0);
+  }();
+  EXPECT_LT(sum_b, sum_a);
+}
+
+TEST(CrossbarVmm, PassiveArrayAddsSneakBackground) {
+  auto active = vmm_cfg();
+  auto passive = vmm_cfg();
+  passive.passive_array = true;
+  Crossbar a(active), b(passive);
+  const auto lv = random_levels(16, 16, 13);
+  a.program_levels(lv);
+  b.program_levels(lv);
+  std::vector<double> v(16, 0.0);
+  v[0] = 0.2;
+  // Average many reads so read noise washes out; the sneak background is a
+  // deterministic positive offset on the passive array.
+  double sa = 0.0, sb = 0.0;
+  for (int k = 0; k < 50; ++k) {
+    const auto ia = a.vmm(v);
+    const auto ib = b.vmm(v);
+    sa += std::accumulate(ia.begin(), ia.end(), 0.0);
+    sb += std::accumulate(ib.begin(), ib.end(), 0.0);
+  }
+  EXPECT_GT(sb / 50.0, sa / 50.0 + 1.0);
+}
+
+TEST(CrossbarVmm, EnergyGrowsWithActivity) {
+  Crossbar xbar(vmm_cfg());
+  xbar.program_levels(random_levels(16, 16, 15));
+  std::vector<double> quiet(16, 0.0), busy(16, 0.2);
+  quiet[0] = 0.2;
+  (void)xbar.vmm(quiet);
+  const double e_quiet = xbar.last_op_energy_pj();
+  (void)xbar.vmm(busy);
+  const double e_busy = xbar.last_op_energy_pj();
+  EXPECT_GT(e_busy, 4.0 * e_quiet);
+}
+
+TEST(CrossbarVmm, WrongInputSizeThrows) {
+  Crossbar xbar(vmm_cfg());
+  std::vector<double> bad(8, 0.1);
+  EXPECT_THROW((void)xbar.vmm(bad), std::invalid_argument);
+  EXPECT_THROW((void)xbar.ideal_vmm(bad), std::invalid_argument);
+}
+
+TEST(CrossbarVmm, VmmIsO1InArrayReads) {
+  // One VMM op regardless of size: the op counter increments once.
+  for (const std::size_t n : {8u, 16u, 32u}) {
+    Crossbar xbar(vmm_cfg(n));
+    std::vector<double> v(n, 0.1);
+    (void)xbar.vmm(v);
+    EXPECT_EQ(xbar.stats().vmm_ops, 1u);
+  }
+}
+
+TEST(CrossbarVmm, WordlineSenseSumsActiveBitlines) {
+  auto cfg = vmm_cfg(8);
+  cfg.model_ir_drop = false;
+  Crossbar xbar(cfg);
+  util::Matrix lv(8, 8, 0.0);
+  lv(2, 1) = 15;
+  lv(2, 5) = 15;
+  xbar.program_levels(lv);
+
+  std::vector<bool> mask(8, false);
+  mask[1] = true;
+  const double i_one = xbar.wordline_sense(2, mask);
+  mask[5] = true;
+  const double i_two = xbar.wordline_sense(2, mask);
+  const double unit = xbar.tech().v_read * xbar.scheme().level_conductance_us(15);
+  EXPECT_NEAR(i_one, unit, 0.15 * unit);
+  EXPECT_NEAR(i_two, 2.0 * unit, 0.15 * 2.0 * unit);
+
+  // Inactive bitlines contribute nothing beyond HRS leakage.
+  std::vector<bool> off(8, false);
+  EXPECT_NEAR(xbar.wordline_sense(2, off), 0.0, 1e-9);
+}
+
+TEST(CrossbarVmm, WordlineSenseValidation) {
+  Crossbar xbar(vmm_cfg(8));
+  std::vector<bool> wrong(4, true);
+  EXPECT_THROW((void)xbar.wordline_sense(0, wrong), std::invalid_argument);
+  std::vector<bool> ok(8, true);
+  EXPECT_THROW((void)xbar.wordline_sense(8, ok), std::out_of_range);
+}
+
+TEST(CrossbarVmm, TechOverrideTakesEffect) {
+  auto cfg = vmm_cfg(4);
+  auto tech = device::technology_params(cfg.tech);
+  tech.r_on_kohm = 2.0;  // different LRS conductance than the preset
+  cfg.tech_override = tech;
+  Crossbar xbar(cfg);
+  EXPECT_DOUBLE_EQ(xbar.tech().g_on_us(), 500.0);
+}
+
+TEST(CrossbarVmm, SneakWindowedReadConsistentWithIdeal) {
+  Crossbar xbar(vmm_cfg(8));
+  xbar.program_levels(random_levels(8, 16, 17));
+  const double ideal = xbar.ideal_current_with_sneak(4, 4, 2);
+  const double meas = xbar.read_current_with_sneak(4, 4, 2);
+  EXPECT_NEAR(meas, ideal, 0.25 * ideal);
+  // Larger window -> more sneak loops -> strictly more current.
+  const double wide = xbar.ideal_current_with_sneak(4, 4, 7);
+  EXPECT_GT(wide, ideal);
+}
+
+}  // namespace
+}  // namespace cim::crossbar

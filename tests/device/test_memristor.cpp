@@ -1,0 +1,102 @@
+#include "device/memristor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace cim::device {
+namespace {
+
+TEST(Memristor, ResistanceInterpolatesBetweenRonRoff) {
+  MemristorParams p;
+  p.w_init = 0.0;
+  Memristor m(p);
+  EXPECT_DOUBLE_EQ(m.resistance_kohm(), p.r_off_kohm);
+  m.set_state(1.0);
+  EXPECT_DOUBLE_EQ(m.resistance_kohm(), p.r_on_kohm);
+  m.set_state(0.5);
+  EXPECT_DOUBLE_EQ(m.resistance_kohm(), 0.5 * (p.r_on_kohm + p.r_off_kohm));
+}
+
+TEST(Memristor, PositiveVoltageSets) {
+  Memristor m({.w_init = 0.2});
+  const double w0 = m.state();
+  m.apply_voltage(2.0, 100.0);
+  EXPECT_GT(m.state(), w0);
+}
+
+TEST(Memristor, NegativeVoltageResets) {
+  Memristor m({.w_init = 0.8});
+  const double w0 = m.state();
+  m.apply_voltage(-2.0, 100.0);
+  EXPECT_LT(m.state(), w0);
+}
+
+TEST(Memristor, StateStaysBounded) {
+  Memristor m({.w_init = 0.5});
+  m.apply_voltage(5.0, 100000.0);
+  EXPECT_LE(m.state(), 1.0);
+  m.apply_voltage(-5.0, 100000.0);
+  EXPECT_GE(m.state(), 0.0);
+}
+
+TEST(Memristor, ZeroVoltageRetainsState) {
+  Memristor m({.w_init = 0.37});
+  m.apply_voltage(0.0, 1000.0);
+  EXPECT_DOUBLE_EQ(m.state(), 0.37);  // non-volatility
+}
+
+TEST(Memristor, CurrentFollowsOhm) {
+  Memristor m({.w_init = 0.0});
+  // Tiny pulse so the state barely moves: I = V/R * 1e3 uA.
+  const double i = m.apply_voltage(1.0, 1e-6);
+  EXPECT_NEAR(i, 1.0 / m.resistance_kohm() * 1e3, 1.0);
+}
+
+TEST(Memristor, SweepProducesPinchedHysteresis) {
+  Memristor m({.mobility = 5e-2, .w_init = 0.1});
+  const auto trace = m.sweep_sinusoid(1.5, 2000.0, 400);
+  ASSERT_EQ(trace.size(), 400u);
+  // Current near zero whenever voltage is near zero (pinched at origin).
+  for (const auto& pt : trace) {
+    if (std::abs(pt.voltage_v) < 1e-3) {
+      EXPECT_LT(std::abs(pt.current_ua), 5.0);
+    }
+  }
+  // The state must actually move during the sweep (hysteresis exists).
+  double wmin = 1.0, wmax = 0.0;
+  for (const auto& pt : trace) {
+    wmin = std::min(wmin, pt.state_w);
+    wmax = std::max(wmax, pt.state_w);
+  }
+  EXPECT_GT(wmax - wmin, 0.05);
+}
+
+TEST(Memristor, WindowSuppressesDriftAtBoundaries) {
+  Memristor at_edge({.w_init = 1.0});
+  Memristor mid({.w_init = 0.5});
+  at_edge.apply_voltage(1.0, 1.0);
+  const double w_mid_before = mid.state();
+  mid.apply_voltage(1.0, 1.0);
+  // The mid-state device moves; the boundary device cannot exceed 1.
+  EXPECT_GT(mid.state(), w_mid_before);
+  EXPECT_DOUBLE_EQ(at_edge.state(), 1.0);
+}
+
+TEST(Memristor, InvalidParamsThrow) {
+  MemristorParams bad;
+  bad.r_on_kohm = 10.0;
+  bad.r_off_kohm = 5.0;  // off < on
+  EXPECT_THROW(Memristor{bad}, std::invalid_argument);
+  MemristorParams bad2;
+  bad2.window_p = 0;
+  EXPECT_THROW(Memristor{bad2}, std::invalid_argument);
+}
+
+TEST(Memristor, NegativeDtThrows) {
+  Memristor m;
+  EXPECT_THROW(m.apply_voltage(1.0, -1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cim::device

@@ -1,0 +1,175 @@
+#include "device/reram_cell.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace cim::device {
+namespace {
+
+class ReRamCellTest : public ::testing::Test {
+ protected:
+  TechnologyParams tech_ = technology_params(Technology::kReRamHfOx);
+  util::Rng rng_{42};
+};
+
+TEST_F(ReRamCellTest, LevelSchemeSpacing) {
+  LevelScheme sch(16, 1.0, 100.0);
+  EXPECT_EQ(sch.levels(), 16);
+  EXPECT_DOUBLE_EQ(sch.level_conductance_us(0), 1.0);
+  EXPECT_DOUBLE_EQ(sch.level_conductance_us(15), 100.0);
+  EXPECT_NEAR(sch.step_us(), 99.0 / 15.0, 1e-12);
+}
+
+TEST_F(ReRamCellTest, NearestLevelRoundsAndClamps) {
+  LevelScheme sch(4, 0.0 + 1.0, 4.0);  // levels at 1, 2, 3, 4
+  EXPECT_EQ(sch.nearest_level(1.1), 0);
+  EXPECT_EQ(sch.nearest_level(2.4), 1);
+  EXPECT_EQ(sch.nearest_level(2.6), 2);
+  EXPECT_EQ(sch.nearest_level(-5.0), 0);
+  EXPECT_EQ(sch.nearest_level(50.0), 3);
+}
+
+TEST_F(ReRamCellTest, LevelSchemeValidation) {
+  EXPECT_THROW(LevelScheme(1, 1.0, 2.0), std::invalid_argument);
+  EXPECT_THROW(LevelScheme(4, 2.0, 1.0), std::invalid_argument);
+  LevelScheme ok(4, 1.0, 4.0);
+  EXPECT_THROW((void)ok.level_conductance_us(4), std::out_of_range);
+}
+
+TEST_F(ReRamCellTest, UnverifiedWriteLandsNearTarget) {
+  ReRamCell cell(tech_, 16, rng_);
+  const double target = cell.scheme().level_conductance_us(8);
+  cell.write_conductance(target, rng_);
+  // Within a few write-sigma multiples of the target.
+  EXPECT_NEAR(cell.true_conductance_us(), target,
+              4.0 * tech_.write_sigma_log * target);
+}
+
+TEST_F(ReRamCellTest, VerifiedWriteLandsWithinGuardBand) {
+  ReRamCell cell(tech_, 16, rng_);
+  int success = 0;
+  for (int lvl = 0; lvl < 16; ++lvl) {
+    const auto res = cell.write_level(lvl, rng_, /*verify=*/true, 16);
+    if (res.success) ++success;
+  }
+  EXPECT_GE(success, 14);  // the overwhelming majority converge
+}
+
+TEST_F(ReRamCellTest, VerifyUsesMultipleAttemptsWhenNeeded) {
+  util::Rng rng(1);
+  int multi = 0;
+  for (int t = 0; t < 50; ++t) {
+    ReRamCell cell(tech_, 16, rng);
+    const auto res = cell.write_level(8, rng, true, 16);
+    if (res.attempts > 1) ++multi;
+  }
+  EXPECT_GT(multi, 0);
+}
+
+TEST_F(ReRamCellTest, WriteCostAccumulates) {
+  ReRamCell cell(tech_, 16, rng_);
+  const auto res = cell.write_level(5, rng_, true, 8);
+  EXPECT_GE(res.attempts, 1);
+  EXPECT_GE(res.time_ns, tech_.t_write_ns);
+  EXPECT_GE(res.energy_pj, tech_.e_write_pj);
+}
+
+TEST_F(ReRamCellTest, ReadNoiseHasConfiguredSpread) {
+  ReRamCell cell(tech_, 16, rng_);
+  cell.force_conductance(50.0);
+  double sum = 0.0, sumsq = 0.0;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    const double g = cell.read_conductance_us(rng_);
+    sum += g;
+    sumsq += g * g;
+  }
+  const double mean = sum / n;
+  const double sd = std::sqrt(sumsq / n - mean * mean);
+  EXPECT_NEAR(mean, 50.0, 0.5);
+  EXPECT_NEAR(sd, tech_.read_noise_frac * 50.0, 0.15);
+}
+
+TEST_F(ReRamCellTest, StuckAtZeroIgnoresWrites) {
+  ReRamCell cell(tech_, 16, rng_);
+  cell.force_stuck(StuckMode::kStuckAtZero);
+  cell.write_level(15, rng_, true, 8);
+  EXPECT_DOUBLE_EQ(cell.true_conductance_us(), tech_.g_off_us());
+  EXPECT_EQ(cell.stuck(), StuckMode::kStuckAtZero);
+}
+
+TEST_F(ReRamCellTest, StuckAtOneIgnoresWrites) {
+  ReRamCell cell(tech_, 16, rng_);
+  cell.force_stuck(StuckMode::kStuckAtOne);
+  cell.write_level(0, rng_, true, 8);
+  EXPECT_DOUBLE_EQ(cell.true_conductance_us(), tech_.g_on_us());
+}
+
+TEST_F(ReRamCellTest, TransitionUpFaultBlocksSetOnly) {
+  ReRamCell cell(tech_, 16, rng_);
+  cell.write_level(15, rng_, true, 8);
+  cell.force_transition_faults({.up_fails = true, .down_fails = false});
+  // Down transition still works.
+  cell.write_level(0, rng_, true, 8);
+  EXPECT_EQ(cell.scheme().nearest_level(cell.true_conductance_us()), 0);
+  // Up transition is blocked.
+  cell.write_level(15, rng_, true, 8);
+  EXPECT_LT(cell.true_conductance_us(), 0.5 * tech_.g_on_us());
+}
+
+TEST_F(ReRamCellTest, TransitionDownFaultBlocksResetOnly) {
+  ReRamCell cell(tech_, 16, rng_);
+  cell.write_level(15, rng_, true, 8);
+  cell.force_transition_faults({.up_fails = false, .down_fails = true});
+  cell.write_level(0, rng_, true, 8);
+  EXPECT_GT(cell.true_conductance_us(), 0.5 * tech_.g_on_us());
+}
+
+TEST_F(ReRamCellTest, EnduranceWearoutEventuallySticks) {
+  auto tech = tech_;
+  tech.endurance_mean = 50.0;
+  tech.endurance_sigma_log = 0.1;
+  util::Rng rng(7);
+  ReRamCell cell(tech, 4, rng);
+  for (int i = 0; i < 500 && cell.stuck() == StuckMode::kNone; ++i)
+    cell.write_level(i % 2 ? 3 : 0, rng);
+  EXPECT_NE(cell.stuck(), StuckMode::kNone);
+  EXPECT_TRUE(cell.worn_out());
+}
+
+TEST_F(ReRamCellTest, WriteSigmaScaleWidensDistribution) {
+  util::Rng rng(9);
+  auto spread = [&](double scale) {
+    double sum = 0.0, sumsq = 0.0;
+    const int n = 400;
+    for (int i = 0; i < n; ++i) {
+      ReRamCell cell(tech_, 16, rng);
+      cell.force_write_sigma_scale(scale);
+      cell.write_level(8, rng);
+      const double g = cell.true_conductance_us();
+      sum += g;
+      sumsq += g * g;
+    }
+    const double mean = sum / n;
+    return std::sqrt(sumsq / n - mean * mean);
+  };
+  EXPECT_GT(spread(5.0), 2.0 * spread(1.0));
+}
+
+TEST_F(ReRamCellTest, ReadDisturbScaleMovesState) {
+  auto tech = tech_;
+  tech.read_disturb_prob = 1e-4;
+  util::Rng rng(11);
+  ReRamCell cell(tech, 16, rng);
+  cell.write_level(0, rng, true, 8);
+  cell.force_disturb_scales(1e4, 1.0);  // read-disturb fault
+  const double g0 = cell.true_conductance_us();
+  for (int i = 0; i < 200; ++i) (void)cell.read_conductance_us(rng);
+  EXPECT_GT(cell.true_conductance_us(), g0);
+}
+
+}  // namespace
+}  // namespace cim::device

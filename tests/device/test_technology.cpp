@@ -1,0 +1,79 @@
+#include "device/technology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace cim::device {
+namespace {
+
+class TechnologyParamTest : public ::testing::TestWithParam<Technology> {};
+
+TEST_P(TechnologyParamTest, ParametersAreWellFormed) {
+  const auto p = technology_params(GetParam());
+  EXPECT_EQ(p.tech, GetParam());
+  EXPECT_GT(p.r_on_kohm, 0.0);
+  EXPECT_GT(p.r_off_kohm, p.r_on_kohm);
+  EXPECT_GE(p.max_levels, 2);
+  EXPECT_GT(p.v_set, 0.0);
+  EXPECT_LT(p.v_reset, 0.0);
+  EXPECT_GT(p.v_read, 0.0);
+  EXPECT_GT(p.t_write_ns, 0.0);
+  EXPECT_GT(p.t_read_ns, 0.0);
+  EXPECT_GT(p.e_write_pj, 0.0);
+  EXPECT_GT(p.e_read_pj, 0.0);
+  EXPECT_GT(p.endurance_mean, 0.0);
+  EXPECT_GE(p.write_sigma_log, 0.0);
+  EXPECT_GE(p.read_noise_frac, 0.0);
+  EXPECT_GT(p.cell_area_f2, 0.0);
+}
+
+TEST_P(TechnologyParamTest, ConductanceConsistency) {
+  const auto p = technology_params(GetParam());
+  EXPECT_GT(p.g_on_us(), p.g_off_us());
+  EXPECT_NEAR(p.g_on_us() * p.r_on_kohm, 1e3, 1e-6);
+}
+
+TEST_P(TechnologyParamTest, NameIsKnown) {
+  EXPECT_NE(technology_name(GetParam()), "unknown");
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTechnologies, TechnologyParamTest,
+                         ::testing::ValuesIn(all_technologies()),
+                         [](const auto& info) {
+                           std::string name(technology_name(info.param));
+                           for (char& c : name)
+                             if (c == '-') c = '_';
+                           return name;
+                         });
+
+TEST(Technology, ReRamIsDenserThanSram) {
+  const auto reram = technology_params(Technology::kReRamHfOx);
+  const auto sram = technology_params(Technology::kSram);
+  EXPECT_LT(reram.cell_area_um2(), sram.cell_area_um2());
+}
+
+TEST(Technology, VolatilityFlags) {
+  EXPECT_TRUE(technology_params(Technology::kReRamHfOx).nonvolatile);
+  EXPECT_TRUE(technology_params(Technology::kPcm).nonvolatile);
+  EXPECT_FALSE(technology_params(Technology::kSram).nonvolatile);
+  EXPECT_FALSE(technology_params(Technology::kDram).nonvolatile);
+}
+
+TEST(Technology, MramIsBinary) {
+  EXPECT_EQ(technology_params(Technology::kSttMram).max_levels, 2);
+}
+
+TEST(Technology, CellAreaScalesWithNode) {
+  auto p = technology_params(Technology::kReRamHfOx);
+  const double a32 = p.cell_area_um2();
+  p.feature_nm = 16.0;
+  EXPECT_NEAR(p.cell_area_um2(), a32 / 4.0, 1e-9);
+}
+
+TEST(Technology, AllTechnologiesListIsComplete) {
+  EXPECT_EQ(all_technologies().size(), 6u);
+}
+
+}  // namespace
+}  // namespace cim::device

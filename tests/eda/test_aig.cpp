@@ -1,0 +1,109 @@
+#include "eda/aig.hpp"
+
+#include <gtest/gtest.h>
+
+#include "eda/bench_circuits.hpp"
+
+namespace cim::eda {
+namespace {
+
+TEST(Aig, TrivialSimplifications) {
+  Aig aig;
+  const auto a = aig.add_input();
+  EXPECT_EQ(aig.land(a, aig.const0()), aig.const0());
+  EXPECT_EQ(aig.land(a, aig.const1()), a);
+  EXPECT_EQ(aig.land(a, a), a);
+  EXPECT_EQ(aig.land(a, Aig::lnot(a)), aig.const0());
+  EXPECT_EQ(aig.num_ands(), 0u);
+}
+
+TEST(Aig, StructuralHashingShares) {
+  Aig aig;
+  const auto a = aig.add_input();
+  const auto b = aig.add_input();
+  const auto g1 = aig.land(a, b);
+  const auto g2 = aig.land(b, a);  // commuted
+  EXPECT_EQ(g1, g2);
+  EXPECT_EQ(aig.num_ands(), 1u);
+}
+
+TEST(Aig, XorTruth) {
+  Aig aig;
+  const auto a = aig.add_input();
+  const auto b = aig.add_input();
+  aig.mark_output(aig.lxor(a, b));
+  EXPECT_EQ(aig.truth_tables()[0].to_binary_string(), "0110");
+}
+
+TEST(Aig, MuxTruth) {
+  Aig aig;
+  const auto s = aig.add_input();
+  const auto t = aig.add_input();
+  const auto e = aig.add_input();
+  aig.mark_output(aig.lmux(s, t, e));
+  const auto tt = aig.truth_tables()[0];
+  for (std::uint64_t m = 0; m < 8; ++m) {
+    const bool vs = m & 1, vt = (m >> 1) & 1, ve = (m >> 2) & 1;
+    EXPECT_EQ(tt.get(m), vs ? vt : ve);
+  }
+}
+
+TEST(Aig, MajTruth) {
+  Aig aig;
+  const auto a = aig.add_input();
+  const auto b = aig.add_input();
+  const auto c = aig.add_input();
+  aig.mark_output(aig.lmaj(a, b, c));
+  const auto tt = aig.truth_tables()[0];
+  for (std::uint64_t m = 0; m < 8; ++m) {
+    const int votes = int(m & 1) + int((m >> 1) & 1) + int((m >> 2) & 1);
+    EXPECT_EQ(tt.get(m), votes >= 2);
+  }
+}
+
+TEST(Aig, DepthOfChain) {
+  Aig aig;
+  auto acc = aig.add_input();
+  for (int i = 0; i < 5; ++i) acc = aig.land(acc, aig.add_input());
+  aig.mark_output(acc);
+  EXPECT_EQ(aig.depth(), 5u);
+}
+
+class AigFromTruthTable : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(AigFromTruthTable, SynthesisRoundTrip) {
+  const auto tt = TruthTable::from_binary_string(GetParam());
+  const auto aig = Aig::from_truth_table(tt);
+  EXPECT_TRUE(aig.truth_tables()[0] == tt);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Functions, AigFromTruthTable,
+    ::testing::Values("0110", "1000", "1110", "0000", "1111", "10010110",
+                      "0110100110010110", "1011000111010010"),
+    [](const auto& info) { return "f" + info.param; });
+
+TEST(Aig, FromNetlistEquivalence) {
+  for (const auto& bc : standard_suite()) {
+    const auto aig = Aig::from_netlist(bc.netlist);
+    EXPECT_TRUE(aig.truth_tables() == bc.netlist.truth_tables()) << bc.name;
+  }
+}
+
+TEST(Aig, ToNetlistEquivalence) {
+  const auto tt = TruthTable::from_binary_string("0110100110010110");
+  const auto aig = Aig::from_truth_table(tt);
+  const auto nl = aig.to_netlist();
+  EXPECT_TRUE(nl.truth_tables()[0] == tt);
+}
+
+TEST(Aig, SynthesisSkipsIrrelevantVariables) {
+  // f = x2 of 4 vars: the AIG must not blow up on the other variables.
+  TruthTable tt = TruthTable::var(2, 4);
+  const auto aig = Aig::from_truth_table(tt);
+  EXPECT_EQ(aig.num_ands(), 0u);  // pure projection needs no gates
+  EXPECT_TRUE(aig.truth_tables()[0] == tt);
+}
+
+}  // namespace
+}  // namespace cim::eda

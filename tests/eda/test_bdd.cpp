@@ -1,0 +1,108 @@
+#include "eda/bdd.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cim::eda {
+namespace {
+
+TEST(Bdd, TerminalsAndVars) {
+  BddManager mgr(3);
+  EXPECT_TRUE(mgr.is_terminal(mgr.zero()));
+  EXPECT_TRUE(mgr.is_terminal(mgr.one()));
+  const auto x0 = mgr.var(0);
+  EXPECT_FALSE(mgr.is_terminal(x0));
+  EXPECT_EQ(mgr.size(x0), 1u);
+}
+
+TEST(Bdd, VarIsCanonical) {
+  BddManager mgr(3);
+  EXPECT_EQ(mgr.var(1), mgr.var(1));
+}
+
+TEST(Bdd, BasicOperations) {
+  BddManager mgr(2);
+  const auto a = mgr.var(0);
+  const auto b = mgr.var(1);
+  EXPECT_EQ(mgr.to_truth_table(mgr.band(a, b)).to_binary_string(), "1000");
+  EXPECT_EQ(mgr.to_truth_table(mgr.bor(a, b)).to_binary_string(), "1110");
+  EXPECT_EQ(mgr.to_truth_table(mgr.bxor(a, b)).to_binary_string(), "0110");
+  EXPECT_EQ(mgr.to_truth_table(mgr.bnot(a)).to_binary_string(), "0101");
+}
+
+TEST(Bdd, CanonicityAcrossConstructions) {
+  BddManager mgr(3);
+  const auto a = mgr.var(0);
+  const auto b = mgr.var(1);
+  // De Morgan: !(a & b) == !a | !b — identical node refs in a canonical BDD.
+  EXPECT_EQ(mgr.bnot(mgr.band(a, b)), mgr.bor(mgr.bnot(a), mgr.bnot(b)));
+  // a ^ b == (a|b) & !(a&b)
+  EXPECT_EQ(mgr.bxor(a, b),
+            mgr.band(mgr.bor(a, b), mgr.bnot(mgr.band(a, b))));
+}
+
+TEST(Bdd, FromTruthTableRoundTrip) {
+  BddManager mgr(4);
+  const auto tt = TruthTable::from_binary_string("0110100110010110");
+  const auto f = mgr.from_truth_table(tt);
+  EXPECT_TRUE(mgr.to_truth_table(f) == tt);
+}
+
+TEST(Bdd, ParityHasLinearSize) {
+  // XOR chains are the BDD sweet spot: n internal levels, 2 nodes per level.
+  BddManager mgr(8);
+  auto f = mgr.var(0);
+  for (int i = 1; i < 8; ++i) f = mgr.bxor(f, mgr.var(i));
+  EXPECT_LE(mgr.size(f), 2u * 8u);
+  EXPECT_EQ(mgr.sat_count(f), 128u);  // half of 2^8
+}
+
+TEST(Bdd, SatCount) {
+  BddManager mgr(3);
+  const auto a = mgr.var(0);
+  const auto b = mgr.var(1);
+  EXPECT_EQ(mgr.sat_count(mgr.band(a, b)), 2u);  // 2 of 8 (x2 free)
+  EXPECT_EQ(mgr.sat_count(mgr.bor(a, b)), 6u);
+  EXPECT_EQ(mgr.sat_count(mgr.one()), 8u);
+  EXPECT_EQ(mgr.sat_count(mgr.zero()), 0u);
+}
+
+TEST(Bdd, ReductionEliminatesRedundantTests) {
+  BddManager mgr(2);
+  const auto a = mgr.var(0);
+  // ite(a, b, b) == b: the test on a must vanish.
+  const auto b = mgr.var(1);
+  EXPECT_EQ(mgr.ite(a, b, b), b);
+}
+
+TEST(Bdd, ConstantTruthTables) {
+  BddManager mgr(2);
+  const auto t0 = mgr.from_truth_table(TruthTable::constant(false, 2));
+  const auto t1 = mgr.from_truth_table(TruthTable::constant(true, 2));
+  EXPECT_EQ(t0, mgr.zero());
+  EXPECT_EQ(t1, mgr.one());
+}
+
+TEST(Bdd, TruthTableAndIteConstructionsShareCanonicalForm) {
+  // The same function built via from_truth_table and via ITE operations
+  // must hash to the identical node (one shared variable order).
+  BddManager mgr(3);
+  const auto via_tt = mgr.from_truth_table(TruthTable::var(0, 3) &
+                                           TruthTable::var(2, 3));
+  const auto via_ite = mgr.band(mgr.var(0), mgr.var(2));
+  EXPECT_EQ(via_tt, via_ite);
+  // And mixing them in further operations behaves.
+  EXPECT_EQ(mgr.band(via_tt, mgr.var(1)),
+            mgr.band(via_ite, mgr.var(1)));
+}
+
+TEST(Bdd, Validation) {
+  EXPECT_THROW(BddManager(-1), std::invalid_argument);
+  EXPECT_THROW(BddManager(21), std::invalid_argument);
+  BddManager mgr(2);
+  EXPECT_THROW((void)mgr.var(2), std::invalid_argument);
+  EXPECT_THROW((void)mgr.from_truth_table(TruthTable::constant(false, 3)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cim::eda

@@ -1,0 +1,153 @@
+#include "eda/aig.hpp"
+#include "eda/bench_circuits.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cim::eda {
+namespace {
+
+TEST(BenchCircuits, RippleCarryAdderAddsCorrectly) {
+  const int bits = 3;
+  const auto nl = ripple_carry_adder(bits);
+  ASSERT_EQ(nl.num_inputs(), 2u * bits + 1);
+  ASSERT_EQ(nl.num_outputs(), static_cast<std::size_t>(bits) + 1);
+  for (std::uint64_t a = 0; a < 8; ++a) {
+    for (std::uint64_t b = 0; b < 8; ++b) {
+      for (std::uint64_t cin = 0; cin < 2; ++cin) {
+        const std::uint64_t assignment = a | (b << bits) | (cin << (2 * bits));
+        const auto out = nl.simulate(assignment);
+        std::uint64_t sum = 0;
+        for (int i = 0; i <= bits; ++i)
+          sum |= static_cast<std::uint64_t>(out[static_cast<std::size_t>(i)]) << i;
+        EXPECT_EQ(sum, a + b + cin) << a << "+" << b << "+" << cin;
+      }
+    }
+  }
+}
+
+TEST(BenchCircuits, ArrayMultiplierMultiplies) {
+  const int bits = 3;
+  const auto nl = array_multiplier(bits);
+  ASSERT_EQ(nl.num_outputs(), 2u * bits);
+  for (std::uint64_t a = 0; a < 8; ++a) {
+    for (std::uint64_t b = 0; b < 8; ++b) {
+      const auto out = nl.simulate(a | (b << bits));
+      std::uint64_t prod = 0;
+      for (std::size_t i = 0; i < out.size(); ++i)
+        prod |= static_cast<std::uint64_t>(out[i]) << i;
+      EXPECT_EQ(prod, a * b) << a << "*" << b;
+    }
+  }
+}
+
+TEST(BenchCircuits, ParityIsXorOfInputs) {
+  const auto nl = parity(5);
+  for (std::uint64_t m = 0; m < 32; ++m) {
+    const auto out = nl.simulate(m);
+    EXPECT_EQ(out[0], (__builtin_popcountll(m) & 1) != 0);
+  }
+}
+
+TEST(BenchCircuits, MuxSelectsCorrectInput) {
+  const auto nl = mux_tree(2);  // 4 data + 2 select
+  for (std::uint64_t d = 0; d < 16; ++d) {
+    for (std::uint64_t s = 0; s < 4; ++s) {
+      const auto out = nl.simulate(d | (s << 4));
+      EXPECT_EQ(out[0], ((d >> s) & 1) != 0) << "d=" << d << " s=" << s;
+    }
+  }
+}
+
+TEST(BenchCircuits, ComparatorComputesGreaterThan) {
+  const auto nl = comparator_gt(3);
+  for (std::uint64_t a = 0; a < 8; ++a)
+    for (std::uint64_t b = 0; b < 8; ++b)
+      EXPECT_EQ(nl.simulate(a | (b << 3))[0], a > b) << a << ">" << b;
+}
+
+TEST(BenchCircuits, MajorityNThresholds) {
+  const auto nl = majority_n(5);
+  for (std::uint64_t m = 0; m < 32; ++m)
+    EXPECT_EQ(nl.simulate(m)[0], __builtin_popcountll(m) >= 3);
+}
+
+TEST(BenchCircuits, RandomFunctionIsNonConstant) {
+  util::Rng rng(3);
+  const auto nl = random_function(5, rng);
+  const auto tt = nl.truth_tables()[0];
+  EXPECT_FALSE(tt.is_constant());
+}
+
+TEST(BenchCircuits, StandardSuiteIsWellFormed) {
+  const auto suite = standard_suite();
+  EXPECT_GE(suite.size(), 10u);
+  for (const auto& bc : suite) {
+    EXPECT_FALSE(bc.name.empty());
+    EXPECT_GE(bc.netlist.num_outputs(), 1u);
+    EXPECT_LE(bc.netlist.num_inputs(), 16u);
+    EXPECT_GT(bc.netlist.gate_count(), 0u) << bc.name;
+  }
+}
+
+TEST(BenchCircuits, AddressDecoderIsOneHot) {
+  const auto nl = address_decoder(3);
+  ASSERT_EQ(nl.num_outputs(), 8u);
+  for (std::uint64_t a = 0; a < 8; ++a) {
+    const auto out = nl.simulate(a);
+    for (std::size_t line = 0; line < 8; ++line)
+      EXPECT_EQ(out[line], line == a) << "a=" << a << " line=" << line;
+  }
+}
+
+TEST(BenchCircuits, GrayToBinaryInvertsEncoding) {
+  const auto nl = gray_to_binary(5);
+  for (std::uint64_t v = 0; v < 32; ++v) {
+    const std::uint64_t gray = v ^ (v >> 1);
+    const auto out = nl.simulate(gray);
+    std::uint64_t decoded = 0;
+    for (std::size_t b = 0; b < 5; ++b)
+      decoded |= static_cast<std::uint64_t>(out[b]) << b;
+    EXPECT_EQ(decoded, v);
+  }
+}
+
+TEST(BenchCircuits, AluSliceAllOps) {
+  const auto nl = alu_slice();
+  for (std::uint64_t m = 0; m < 32; ++m) {
+    const bool a = m & 1, b = (m >> 1) & 1, cin = (m >> 2) & 1;
+    const bool op0 = (m >> 3) & 1, op1 = (m >> 4) & 1;
+    const auto out = nl.simulate(m);
+    bool expected;
+    if (!op1 && !op0) expected = a && b;
+    else if (!op1 && op0) expected = a || b;
+    else if (op1 && !op0) expected = a != b;
+    else expected = (a != b) != cin;  // sum
+    EXPECT_EQ(out[0], expected) << "m=" << m;
+    EXPECT_EQ(out[1], (int(a) + int(b) + int(cin)) >= 2);  // cout
+  }
+}
+
+TEST(BenchCircuits, ExtendedSuiteStillVerifiesThroughFlows) {
+  // The appended circuits must pass all three mapping flows too.
+  const auto suite = standard_suite();
+  ASSERT_GE(suite.size(), 15u);
+  for (std::size_t k = 12; k < 15; ++k) {
+    const auto aig = Aig::from_netlist(suite[k].netlist);
+    EXPECT_TRUE(aig.truth_tables() == suite[k].netlist.truth_tables())
+        << suite[k].name;
+  }
+}
+
+TEST(BenchCircuits, ParameterValidation) {
+  EXPECT_THROW((void)ripple_carry_adder(0), std::invalid_argument);
+  EXPECT_THROW((void)ripple_carry_adder(9), std::invalid_argument);
+  EXPECT_THROW((void)array_multiplier(5), std::invalid_argument);
+  EXPECT_THROW((void)parity(1), std::invalid_argument);
+  EXPECT_THROW((void)mux_tree(5), std::invalid_argument);
+  EXPECT_THROW((void)majority_n(4), std::invalid_argument);
+  util::Rng rng(5);
+  EXPECT_THROW((void)random_function(1, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cim::eda

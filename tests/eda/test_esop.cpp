@@ -1,0 +1,79 @@
+#include "eda/esop.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace cim::eda {
+namespace {
+
+TEST(Esop, XorIsTwoCubes) {
+  const auto tt = TruthTable::from_binary_string("0110");
+  const auto e = Esop::from_truth_table(tt);
+  EXPECT_EQ(e.cube_count(), 2u);  // x0 ^ x1
+  EXPECT_TRUE(e.to_truth_table() == tt);
+}
+
+TEST(Esop, AndIsOneCube) {
+  const auto tt = TruthTable::from_binary_string("1000");
+  const auto e = Esop::from_truth_table(tt);
+  EXPECT_EQ(e.cube_count(), 1u);  // x0.x1
+  EXPECT_EQ(e.literal_count(), 2u);
+}
+
+TEST(Esop, OrNeedsThreeCubes) {
+  // a | b = a ^ b ^ ab in PPRM.
+  const auto tt = TruthTable::from_binary_string("1110");
+  const auto e = Esop::from_truth_table(tt);
+  EXPECT_EQ(e.cube_count(), 3u);
+  EXPECT_TRUE(e.to_truth_table() == tt);
+}
+
+TEST(Esop, ConstantFunctions) {
+  EXPECT_EQ(Esop::from_truth_table(TruthTable::constant(false, 3)).cube_count(),
+            0u);
+  const auto one = Esop::from_truth_table(TruthTable::constant(true, 3));
+  EXPECT_EQ(one.cube_count(), 1u);
+  EXPECT_EQ(one.cubes()[0].mask, 0u);  // the constant-1 cube
+}
+
+class EsopRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EsopRoundTrip, RandomFunctionsRoundTrip) {
+  util::Rng rng(GetParam());
+  TruthTable tt(6);
+  for (std::uint64_t m = 0; m < tt.size(); ++m)
+    if (rng.bernoulli(0.5)) tt.set(m, true);
+  const auto e = Esop::from_truth_table(tt);
+  EXPECT_TRUE(e.to_truth_table() == tt);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EsopRoundTrip, ::testing::Range<std::uint64_t>(0, 10));
+
+TEST(Esop, EvalMatchesTruthTable) {
+  const auto tt = TruthTable::from_binary_string("10010110");
+  const auto e = Esop::from_truth_table(tt);
+  for (std::uint64_t m = 0; m < 8; ++m) EXPECT_EQ(e.eval(m), tt.get(m));
+}
+
+TEST(Esop, ToStringReadable) {
+  const auto e =
+      Esop::from_truth_table(TruthTable::from_binary_string("0110"));
+  EXPECT_EQ(e.to_string(), "x0 ^ x1");
+  const auto zero =
+      Esop::from_truth_table(TruthTable::constant(false, 2));
+  EXPECT_EQ(zero.to_string(), "0");
+}
+
+TEST(Esop, PprmIsUnique) {
+  // The PPRM of a function is unique: recomputing gives identical cubes.
+  const auto tt = TruthTable::from_binary_string("0110100110010110");
+  const auto a = Esop::from_truth_table(tt);
+  const auto b = Esop::from_truth_table(tt);
+  ASSERT_EQ(a.cube_count(), b.cube_count());
+  for (std::size_t i = 0; i < a.cube_count(); ++i)
+    EXPECT_EQ(a.cubes()[i].mask, b.cubes()[i].mask);
+}
+
+}  // namespace
+}  // namespace cim::eda

@@ -1,0 +1,73 @@
+#include "eda/esop_mapper.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace cim::eda {
+namespace {
+
+Esop esop_of(const std::string& bits) {
+  return Esop::from_truth_table(TruthTable::from_binary_string(bits));
+}
+
+TEST(EsopMapper, XorMapsAndVerifies) {
+  const auto prog = compile_esop(esop_of("0110"));
+  EXPECT_EQ(prog.rows, 3u);  // 2 cubes + accumulator
+  EXPECT_TRUE(verify_esop(prog));
+}
+
+TEST(EsopMapper, AndOrConstants) {
+  EXPECT_TRUE(verify_esop(compile_esop(esop_of("1000"))));   // AND
+  EXPECT_TRUE(verify_esop(compile_esop(esop_of("1110"))));   // OR
+  EXPECT_TRUE(verify_esop(compile_esop(esop_of("1111"))));   // const 1
+  EXPECT_TRUE(verify_esop(compile_esop(esop_of("0000"))));   // const 0
+}
+
+class EsopMapperRandom : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EsopMapperRandom, RandomFunctionsVerify) {
+  util::Rng rng(GetParam());
+  TruthTable tt(5);
+  for (std::uint64_t m = 0; m < tt.size(); ++m)
+    if (rng.bernoulli(0.5)) tt.set(m, true);
+  const auto prog = compile_esop(Esop::from_truth_table(tt));
+  EXPECT_TRUE(verify_esop(prog));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EsopMapperRandom,
+                         ::testing::Range<std::uint64_t>(0, 8));
+
+TEST(EsopMapper, TimeMultiplexedLayoutVerifies) {
+  const auto prog =
+      compile_esop(esop_of("10010110"), EsopLayout::kTimeMultiplexed);
+  EXPECT_EQ(prog.rows, 2u);  // the 3x2-style minimal-area layout
+  EXPECT_TRUE(verify_esop(prog));
+}
+
+TEST(EsopMapper, AreaDelayTradeoffBetweenLayouts) {
+  const auto esop = esop_of("0110100110010110");
+  const auto parallel = compile_esop(esop, EsopLayout::kRowPerCube);
+  const auto mux = compile_esop(esop, EsopLayout::kTimeMultiplexed);
+  EXPECT_LT(mux.device_count, parallel.device_count);
+  EXPECT_GT(mux.delay, parallel.delay);
+}
+
+TEST(EsopMapper, DelayScalesWithCubes) {
+  const auto small = compile_esop(esop_of("0110"));
+  const auto big = compile_esop(esop_of("0110100110010110"));
+  EXPECT_GT(big.esop.cube_count(), small.esop.cube_count());
+  EXPECT_GT(big.delay, small.delay);
+}
+
+TEST(EsopMapper, TooSmallCrossbarThrows) {
+  const auto prog = compile_esop(esop_of("0110"));
+  crossbar::CrossbarConfig cfg;
+  cfg.rows = 1;
+  cfg.cols = 2;
+  crossbar::Crossbar xbar(cfg);
+  EXPECT_THROW((void)execute_esop(xbar, prog, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cim::eda

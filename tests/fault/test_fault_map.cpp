@@ -1,0 +1,129 @@
+#include "fault/fault_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace cim::fault {
+namespace {
+
+TEST(FaultMap, EmptyByDefault) {
+  FaultMap map(8, 8);
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.cell_fault_count(), 0u);
+  EXPECT_DOUBLE_EQ(map.faulty_cell_fraction(), 0.0);
+}
+
+TEST(FaultMap, AddAndQueryCellFault) {
+  FaultMap map(4, 4);
+  map.add({FaultKind::kStuckAtOne, 2, 3, 0, 0, 1.0});
+  const auto fd = map.cell_fault(2, 3);
+  ASSERT_TRUE(fd.has_value());
+  EXPECT_EQ(fd->kind, FaultKind::kStuckAtOne);
+  EXPECT_FALSE(map.cell_fault(3, 2).has_value());
+}
+
+TEST(FaultMap, CellFaultReplacesExisting) {
+  FaultMap map(4, 4);
+  map.add({FaultKind::kStuckAtOne, 1, 1, 0, 0, 1.0});
+  map.add({FaultKind::kStuckAtZero, 1, 1, 0, 0, 1.0});
+  EXPECT_EQ(map.cell_fault(1, 1)->kind, FaultKind::kStuckAtZero);
+  EXPECT_EQ(map.cell_fault_count(), 1u);
+}
+
+TEST(FaultMap, OutOfRangeThrows) {
+  FaultMap map(4, 4);
+  EXPECT_THROW(map.add({FaultKind::kStuckAtZero, 4, 0, 0, 0, 1.0}),
+               std::out_of_range);
+  EXPECT_THROW(map.add({FaultKind::kAddressDecoder, 0, 0, 9, 0, 1.0}),
+               std::out_of_range);
+}
+
+TEST(FaultMap, ArrayLevelFaultsAccumulate) {
+  FaultMap map(4, 4);
+  map.add({FaultKind::kAddressDecoder, 0, 0, 1, 0, 1.0});
+  map.add({FaultKind::kAddressDecoder, 2, 0, 3, 0, 1.0});
+  map.add({FaultKind::kCoupling, 1, 1, 1, 2, 1.0});
+  EXPECT_EQ(map.decoder_faults().size(), 2u);
+  EXPECT_EQ(map.coupling_faults().size(), 1u);
+  EXPECT_EQ(map.all().size(), 3u);
+}
+
+TEST(FaultMap, FromYieldHitsTargetFraction) {
+  util::Rng rng(3);
+  const auto map = FaultMap::from_yield(64, 64, 0.9, FaultMix{}, rng);
+  EXPECT_NEAR(map.faulty_cell_fraction(), 0.1, 0.03);
+}
+
+TEST(FaultMap, PerfectYieldMeansNoFaults) {
+  util::Rng rng(5);
+  const auto map = FaultMap::from_yield(32, 32, 1.0, FaultMix{}, rng);
+  EXPECT_TRUE(map.empty());
+}
+
+TEST(FaultMap, ZeroYieldFaultsEverything) {
+  util::Rng rng(7);
+  const auto map = FaultMap::from_yield(16, 16, 0.0, FaultMix{}, rng);
+  EXPECT_EQ(map.cell_fault_count(), 256u);
+}
+
+TEST(FaultMap, InvalidYieldThrows) {
+  util::Rng rng(9);
+  EXPECT_THROW((void)FaultMap::from_yield(8, 8, 1.5, FaultMix{}, rng),
+               std::invalid_argument);
+}
+
+TEST(FaultMap, WithFaultCountExact) {
+  util::Rng rng(11);
+  const auto map =
+      FaultMap::with_fault_count(32, 32, 100, FaultMix::stuck_at_only(), rng);
+  EXPECT_EQ(map.cell_fault_count(), 100u);
+}
+
+TEST(FaultMap, WithFaultCountTooManyThrows) {
+  util::Rng rng(13);
+  EXPECT_THROW((void)FaultMap::with_fault_count(4, 4, 17, FaultMix{}, rng),
+               std::invalid_argument);
+}
+
+TEST(FaultMap, StuckAtOnlyMixProducesOnlyStuckFaults) {
+  util::Rng rng(15);
+  const auto map =
+      FaultMap::with_fault_count(32, 32, 200, FaultMix::stuck_at_only(), rng);
+  EXPECT_EQ(map.count(FaultKind::kStuckAtZero) +
+                map.count(FaultKind::kStuckAtOne),
+            200u);
+}
+
+TEST(FaultMap, MixProportionsApproximatelyRespected) {
+  util::Rng rng(17);
+  FaultMix mix;  // default: 40% SA0, 25% SA1, ...
+  const auto map = FaultMap::with_fault_count(64, 64, 2000, mix, rng);
+  const double sa0 = static_cast<double>(map.count(FaultKind::kStuckAtZero));
+  EXPECT_NEAR(sa0 / 2000.0, 0.40, 0.05);
+}
+
+TEST(FaultMap, AllZeroMixThrows) {
+  util::Rng rng(19);
+  FaultMix mix;
+  mix.sa0 = mix.sa1 = mix.transition = mix.write_variation = 0.0;
+  mix.read_disturb = mix.write_disturb = mix.over_forming = 0.0;
+  EXPECT_THROW((void)FaultMap::with_fault_count(8, 8, 2, mix, rng),
+               std::invalid_argument);
+}
+
+TEST(FaultMap, WriteVariationCarriesSeverity) {
+  util::Rng rng(21);
+  FaultMix mix;
+  mix.sa0 = mix.sa1 = mix.transition = 0.0;
+  mix.write_variation = 1.0;
+  mix.read_disturb = mix.write_disturb = mix.over_forming = 0.0;
+  const auto map = FaultMap::with_fault_count(8, 8, 10, mix, rng);
+  for (const auto& fd : map.all()) {
+    EXPECT_EQ(fd.kind, FaultKind::kWriteVariation);
+    EXPECT_GE(fd.severity, 2.0);
+  }
+}
+
+}  // namespace
+}  // namespace cim::fault

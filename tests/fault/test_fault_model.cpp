@@ -1,0 +1,71 @@
+#include "fault/fault_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string_view>
+
+namespace cim::fault {
+namespace {
+
+TEST(FaultModel, HardSoftClassificationMatchesFig6) {
+  // Hard faults freeze the cell.
+  EXPECT_TRUE(is_hard(FaultKind::kStuckAtZero));
+  EXPECT_TRUE(is_hard(FaultKind::kStuckAtOne));
+  EXPECT_TRUE(is_hard(FaultKind::kOverForming));
+  EXPECT_TRUE(is_hard(FaultKind::kEnduranceWearout));
+  // Soft faults deviate but remain tunable.
+  EXPECT_FALSE(is_hard(FaultKind::kReadDisturb));
+  EXPECT_FALSE(is_hard(FaultKind::kWriteDisturb));
+  EXPECT_FALSE(is_hard(FaultKind::kWriteVariation));
+  EXPECT_FALSE(is_hard(FaultKind::kTransitionUp));
+}
+
+TEST(FaultModel, StaticDynamicClassificationMatchesFig6) {
+  // Static: fabrication-time.
+  EXPECT_TRUE(is_static(FaultKind::kStuckAtZero));
+  EXPECT_TRUE(is_static(FaultKind::kOverForming));
+  // Dynamic: field operation.
+  EXPECT_FALSE(is_static(FaultKind::kReadDisturb));
+  EXPECT_FALSE(is_static(FaultKind::kWriteDisturb));
+  EXPECT_FALSE(is_static(FaultKind::kWriteVariation));
+  EXPECT_FALSE(is_static(FaultKind::kEnduranceWearout));
+}
+
+TEST(FaultModel, Fig6QuadrantsAreAllPopulated) {
+  // The four quadrants of Fig. 6 must each contain at least one fault kind.
+  bool hard_static = false, hard_dynamic = false;
+  bool soft_static = false, soft_dynamic = false;
+  for (const auto k : cell_fault_kinds()) {
+    if (is_hard(k) && is_static(k)) hard_static = true;
+    if (is_hard(k) && !is_static(k)) hard_dynamic = true;
+    if (!is_hard(k) && is_static(k)) soft_static = true;
+    if (!is_hard(k) && !is_static(k)) soft_dynamic = true;
+  }
+  EXPECT_TRUE(hard_static);    // fabrication defect
+  EXPECT_TRUE(hard_dynamic);   // endurance limitation
+  EXPECT_TRUE(soft_static);    // fabrication variation (via transition)
+  EXPECT_TRUE(soft_dynamic);   // read/write disturbance, write variation
+}
+
+TEST(FaultModel, ArrayLevelKinds) {
+  EXPECT_TRUE(is_array_level(FaultKind::kAddressDecoder));
+  EXPECT_TRUE(is_array_level(FaultKind::kCoupling));
+  EXPECT_FALSE(is_array_level(FaultKind::kStuckAtZero));
+}
+
+TEST(FaultModel, NamesAreUniqueAndKnown) {
+  std::set<std::string_view> names;
+  for (const auto k : all_fault_kinds()) {
+    const auto n = fault_name(k);
+    EXPECT_NE(n, "unknown");
+    EXPECT_TRUE(names.insert(n).second) << "duplicate name " << n;
+  }
+}
+
+TEST(FaultModel, KindListsConsistent) {
+  EXPECT_EQ(all_fault_kinds().size(), cell_fault_kinds().size() + 2);
+}
+
+}  // namespace
+}  // namespace cim::fault

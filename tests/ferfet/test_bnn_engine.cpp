@@ -1,0 +1,91 @@
+#include "ferfet/bnn_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace cim::ferfet {
+namespace {
+
+TEST(BnnEngine, MatchesSignDotProduct) {
+  util::Matrix w = {{1.0, -1.0, 1.0}, {-1.0, -1.0, -1.0}};
+  FerfetBnnEngine engine(w);
+  const std::vector<bool> x = {true, false, true};  // +1, -1, +1
+  const auto y = engine.forward(x);
+  // Row 0: (+1)(+1) + (-1)(-1) + (+1)(+1) = 3.
+  EXPECT_EQ(y[0], 3);
+  // Row 1: -1 + 1 - 1 = -1.
+  EXPECT_EQ(y[1], -1);
+}
+
+TEST(BnnEngine, AgreesWithSoftwareXnorPopcount) {
+  util::Rng rng(3);
+  util::Matrix w(8, 32);
+  for (auto& v : w.flat()) v = rng.normal(0.0, 1.0);
+  FerfetBnnEngine engine(w);
+
+  for (int t = 0; t < 20; ++t) {
+    std::vector<bool> x(32);
+    for (std::size_t i = 0; i < 32; ++i) x[i] = rng.bernoulli(0.5);
+    const auto y = engine.forward(x);
+    for (std::size_t o = 0; o < 8; ++o) {
+      int ref = 0;
+      for (std::size_t i = 0; i < 32; ++i) {
+        const int wi = w(o, i) >= 0 ? 1 : -1;
+        const int xi = x[i] ? 1 : -1;
+        ref += wi * xi;
+      }
+      EXPECT_EQ(y[o], ref) << "output " << o;
+    }
+  }
+}
+
+TEST(BnnEngine, Dimensions) {
+  util::Matrix w(4, 16, 1.0);
+  FerfetBnnEngine engine(w);
+  EXPECT_EQ(engine.in_dim(), 16u);
+  EXPECT_EQ(engine.out_dim(), 4u);
+  EXPECT_EQ(engine.array().rows(), 32u);  // 2 rows per weight bit
+  EXPECT_EQ(engine.array().cols(), 4u);
+}
+
+TEST(BnnEngine, InferenceCostsAreTracked) {
+  util::Matrix w(4, 8, 1.0);
+  FerfetBnnEngine engine(w);
+  EXPECT_EQ(engine.costs().sensing_steps, 0u);  // programming excluded
+  std::vector<bool> x(8, true);
+  (void)engine.forward(x);
+  const auto c = engine.costs();
+  EXPECT_EQ(c.sensing_steps, 4u);  // one integrating sense per column
+  EXPECT_GT(c.energy_pj, 0.0);
+  EXPECT_GT(c.time_ns, 0.0);
+  engine.reset_costs();
+  EXPECT_EQ(engine.costs().sensing_steps, 0u);
+}
+
+TEST(BnnEngine, DigitalCostBeatsAnalogAdcPath) {
+  // Section V.D: FeRFETs compute in the digital domain "without the need of
+  // an extensive peripheral circuits" — per-output energy is far below one
+  // 8-bit ADC conversion (~1.5 pJ).
+  util::Matrix w(8, 64, 1.0);
+  FerfetBnnEngine engine(w);
+  std::vector<bool> x(64, true);
+  (void)engine.forward(x);
+  const double per_output = engine.costs().energy_pj / 8.0;
+  EXPECT_LT(per_output, 1.5);
+}
+
+TEST(BnnEngine, DimMismatchThrows) {
+  util::Matrix w(2, 4, 1.0);
+  FerfetBnnEngine engine(w);
+  std::vector<bool> bad(3, true);
+  EXPECT_THROW((void)engine.forward(bad), std::invalid_argument);
+}
+
+TEST(BnnEngine, EmptyWeightsThrow) {
+  util::Matrix w;
+  EXPECT_THROW(FerfetBnnEngine{w}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cim::ferfet

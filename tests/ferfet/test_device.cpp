@@ -1,0 +1,124 @@
+#include "ferfet/ferfet_device.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace cim::ferfet {
+namespace {
+
+TEST(FeRfet, DefaultStateIsNTypeLrs) {
+  FeRfet dev;
+  EXPECT_EQ(dev.polarity(), Polarity::kNType);
+  EXPECT_EQ(dev.vt_state(), VtState::kLrs);
+}
+
+TEST(FeRfet, ProgrammingRequiresHighVoltage) {
+  // "the voltage for programming has to be two to three times larger than
+  // the typical operation voltage" (Section V.A).
+  FeRfet dev;
+  EXPECT_FALSE(dev.program_polarity(-1.0));  // vdd-level: no switch
+  EXPECT_EQ(dev.polarity(), Polarity::kNType);
+  EXPECT_TRUE(dev.program_polarity(-2.5));
+  EXPECT_EQ(dev.polarity(), Polarity::kPType);
+}
+
+TEST(FeRfet, PolarityProgrammingIsNonVolatileAndIdempotent) {
+  FeRfet dev;
+  dev.program_polarity(-3.0);
+  EXPECT_FALSE(dev.program_polarity(-3.0));  // already p-type
+  EXPECT_EQ(dev.polarity(), Polarity::kPType);
+}
+
+TEST(FeRfet, VtProgramming) {
+  FeRfet dev;
+  EXPECT_TRUE(dev.program_vt(-2.5));
+  EXPECT_EQ(dev.vt_state(), VtState::kHrs);
+  EXPECT_TRUE(dev.program_vt(2.5));
+  EXPECT_EQ(dev.vt_state(), VtState::kLrs);
+}
+
+TEST(FeRfet, FourStatesHaveDistinctThresholds) {
+  const FeRfetParams p;
+  const double vts[] = {
+      FeRfet(p, Polarity::kNType, VtState::kLrs).effective_vt(),
+      FeRfet(p, Polarity::kNType, VtState::kHrs).effective_vt(),
+      FeRfet(p, Polarity::kPType, VtState::kLrs).effective_vt(),
+      FeRfet(p, Polarity::kPType, VtState::kHrs).effective_vt()};
+  for (int i = 0; i < 4; ++i)
+    for (int j = i + 1; j < 4; ++j) EXPECT_NE(vts[i], vts[j]);
+}
+
+TEST(FeRfet, NTypeLrsConductsAtVdd) {
+  FeRfet dev;
+  EXPECT_TRUE(dev.conducts(dev.params().vdd));
+  EXPECT_FALSE(dev.conducts(0.0));
+}
+
+TEST(FeRfet, NTypeHrsIsOffAtVddButOnWhenBoosted) {
+  FeRfet dev({}, Polarity::kNType, VtState::kHrs);
+  EXPECT_FALSE(dev.conducts(dev.params().vdd));
+  EXPECT_TRUE(dev.conducts(dev.params().v_boost));
+}
+
+TEST(FeRfet, PTypeConductsForNegativeGate) {
+  FeRfet dev({}, Polarity::kPType, VtState::kLrs);
+  EXPECT_TRUE(dev.conducts(-dev.params().vdd));
+  EXPECT_FALSE(dev.conducts(dev.params().vdd));
+}
+
+TEST(FeRfet, ConductsAtGateRespectsSourceRails) {
+  // Circuit-level view: p-type with source at VDD conducts when the gate is
+  // at ground, n-type when the gate is at VDD.
+  FeRfet n({}, Polarity::kNType, VtState::kLrs);
+  FeRfet p({}, Polarity::kPType, VtState::kLrs);
+  EXPECT_TRUE(n.conducts_at_gate(1.0));
+  EXPECT_FALSE(n.conducts_at_gate(0.0));
+  EXPECT_TRUE(p.conducts_at_gate(0.0));
+  EXPECT_FALSE(p.conducts_at_gate(1.0));
+}
+
+TEST(FeRfet, Fig10FourBranchesAreSeparated) {
+  // Sweep Vgs like Fig. 10(b): each state's transfer curve is distinct and
+  // the on/off ratio exceeds 10^2.
+  const FeRfetParams p;
+  const FeRfet n_lrs(p, Polarity::kNType, VtState::kLrs);
+  const FeRfet n_hrs(p, Polarity::kNType, VtState::kHrs);
+  const FeRfet p_lrs(p, Polarity::kPType, VtState::kLrs);
+  const FeRfet p_hrs(p, Polarity::kPType, VtState::kHrs);
+
+  const double i_on_n = n_lrs.drain_current_ua(p.vdd, p.vdd);
+  const double i_off_n = n_lrs.drain_current_ua(-p.vdd, p.vdd);
+  EXPECT_GT(i_on_n / std::max(1e-9, i_off_n), 100.0);
+
+  // At Vgs = vdd: LRS conducts far more than HRS (the memory window).
+  EXPECT_GT(n_lrs.drain_current_ua(p.vdd, p.vdd),
+            10.0 * n_hrs.drain_current_ua(p.vdd, p.vdd));
+  // p branches mirror: conduct at negative Vgs.
+  EXPECT_GT(std::abs(p_lrs.drain_current_ua(-p.vdd, p.vdd)),
+            10.0 * std::abs(p_hrs.drain_current_ua(-p.vdd, p.vdd)));
+}
+
+TEST(FeRfet, DrainCurrentSignFollowsVds) {
+  FeRfet dev;
+  EXPECT_GT(dev.drain_current_ua(1.0, 1.0), 0.0);
+  EXPECT_LT(dev.drain_current_ua(1.0, -1.0), 0.0);
+}
+
+TEST(FeRfet, CurrentMonotoneInOverdrive) {
+  FeRfet dev;
+  double prev = -1.0;
+  for (double v = -1.0; v <= 2.0; v += 0.1) {
+    const double i = dev.drain_current_ua(v, dev.params().vdd);
+    EXPECT_GE(i, prev);
+    prev = i;
+  }
+}
+
+TEST(FeRfet, NamesAreHuman) {
+  EXPECT_EQ(polarity_name(Polarity::kNType), "n-type");
+  EXPECT_EQ(vt_state_name(VtState::kHrs), "HRS");
+}
+
+}  // namespace
+}  // namespace cim::ferfet

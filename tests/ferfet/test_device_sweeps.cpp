@@ -1,0 +1,69 @@
+/// Parameter sweeps over the FeRFET compact model: the memory window and
+/// boost requirements must follow the ferroelectric Vt shift.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ferfet/ferfet_device.hpp"
+
+namespace cim::ferfet {
+namespace {
+
+class VtShiftSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(VtShiftSweep, MemoryWindowTracksShift) {
+  FeRfetParams p;
+  p.fe_vt_shift = GetParam();
+  const FeRfet lrs(p, Polarity::kNType, VtState::kLrs);
+  const FeRfet hrs(p, Polarity::kNType, VtState::kHrs);
+  EXPECT_NEAR(hrs.effective_vt() - lrs.effective_vt(), GetParam(), 1e-12);
+  // The LRS/HRS current ratio at the mid-gap bias grows with the shift.
+  const double v_mid = 0.5 * (p.vdd + p.fe_vt_shift);
+  const double ratio = lrs.drain_current_ua(v_mid, p.vdd) /
+                       std::max(1e-12, hrs.drain_current_ua(v_mid, p.vdd));
+  EXPECT_GT(ratio, 10.0);
+}
+
+TEST_P(VtShiftSweep, BoostAlwaysOvercomesHrs) {
+  FeRfetParams p;
+  p.fe_vt_shift = GetParam();
+  p.v_boost = p.vdd + GetParam() + 0.6;  // boosted read level
+  const FeRfet hrs(p, Polarity::kNType, VtState::kHrs);
+  EXPECT_FALSE(hrs.conducts(p.vdd));
+  EXPECT_TRUE(hrs.conducts(p.v_boost));
+}
+
+// Shifts below ~vdd - vt_n (0.6 V) leave the HRS branch conducting at the
+// operating point — the design constraint the defaults respect; the sweep
+// covers the usable region.
+INSTANTIATE_TEST_SUITE_P(Shifts, VtShiftSweep,
+                         ::testing::Values(0.8, 1.0, 1.4));
+
+class ProgramVoltageSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ProgramVoltageSweep, ProgrammingThresholdRespected) {
+  FeRfetParams p;
+  p.v_program = GetParam();
+  FeRfet dev(p);
+  EXPECT_FALSE(dev.program_vt(-(GetParam() - 0.1)));
+  EXPECT_EQ(dev.vt_state(), VtState::kLrs);
+  EXPECT_TRUE(dev.program_vt(-GetParam()));
+  EXPECT_EQ(dev.vt_state(), VtState::kHrs);
+}
+
+INSTANTIATE_TEST_SUITE_P(Voltages, ProgramVoltageSweep,
+                         ::testing::Values(2.0, 2.5, 3.0));
+
+TEST(FeRfetSweep, SwingShapesSubthresholdSlope) {
+  FeRfetParams steep;
+  steep.swing_mv_dec = 60.0;
+  FeRfetParams shallow;
+  shallow.swing_mv_dec = 120.0;
+  const FeRfet a(steep), b(shallow);
+  // Just below threshold the steeper device is further off.
+  const double v = steep.vt_n - 0.2;
+  EXPECT_LT(a.drain_current_ua(v, 1.0), b.drain_current_ua(v, 1.0));
+}
+
+}  // namespace
+}  // namespace cim::ferfet

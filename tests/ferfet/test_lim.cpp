@@ -1,0 +1,155 @@
+#include "ferfet/lim_array.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cim::ferfet {
+namespace {
+
+class AndCellTruth : public ::testing::TestWithParam<std::pair<bool, bool>> {};
+
+TEST_P(AndCellTruth, Fig12aComputesOrAndNor) {
+  const auto [a, b] = GetParam();
+  AndArrayCell cell;
+  cell.store(a);
+  EXPECT_EQ(cell.read_or(b), a || b);
+  EXPECT_EQ(cell.read_nor(b), !(a || b));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllInputs, AndCellTruth,
+                         ::testing::Values(std::pair{false, false},
+                                           std::pair{false, true},
+                                           std::pair{true, false},
+                                           std::pair{true, true}));
+
+TEST(AndArrayCell, StoredStateIsNonVolatile) {
+  AndArrayCell cell;
+  cell.store(true);
+  for (int i = 0; i < 50; ++i) (void)cell.read_or(false);
+  EXPECT_TRUE(cell.stored());
+  EXPECT_TRUE(cell.read_or(false));  // A=1 still read back
+}
+
+TEST(NorArray, StoreAndRecall) {
+  NorArray arr(4, 4);
+  arr.store(1, 2, true);
+  arr.store(3, 0, false);
+  EXPECT_TRUE(arr.stored(1, 2));
+  EXPECT_FALSE(arr.stored(3, 0));
+  EXPECT_FALSE(arr.stored(0, 0));
+}
+
+class WiredAndTruth
+    : public ::testing::TestWithParam<std::tuple<bool, bool, bool>> {};
+
+TEST_P(WiredAndTruth, CellConductsOnlyWhenAllGatesAssert) {
+  const auto [s, x, sel] = GetParam();
+  NorArray arr(2, 2);
+  arr.store(0, 0, s);
+  EXPECT_EQ(arr.cell_conducts(0, 0, x, sel), s && x && sel);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllInputs, WiredAndTruth,
+    ::testing::Combine(::testing::Bool(), ::testing::Bool(), ::testing::Bool()));
+
+TEST(NorArray, AoiComputesAndOrInvert) {
+  NorArray arr(3, 2);
+  arr.store(0, 0, true);
+  arr.store(1, 0, true);
+  arr.store(2, 0, false);
+  // Column 0: !(S0&x0 | S1&x1 | S2&x2)
+  std::vector<bool> sel(3, true);
+  EXPECT_FALSE(arr.read_aoi(0, {true, false, true}, sel));   // S0&x0 fires
+  EXPECT_TRUE(arr.read_aoi(0, {false, false, true}, sel));   // S2 is 0
+  EXPECT_FALSE(arr.read_aoi(0, {false, true, false}, sel));  // S1&x1 fires
+}
+
+TEST(NorArray, SelectMasksRows) {
+  NorArray arr(2, 1);
+  arr.store(0, 0, true);
+  arr.store(1, 0, true);
+  EXPECT_TRUE(arr.read_aoi(0, {true, true}, {false, false}));  // all deselected
+}
+
+class XnorPairTruth : public ::testing::TestWithParam<std::pair<bool, bool>> {};
+
+TEST_P(XnorPairTruth, DynamicXnorMatchesLogic) {
+  const auto [w, x] = GetParam();
+  NorArray arr(2, 1);
+  arr.store(0, 0, w);
+  arr.store(1, 0, !w);
+  EXPECT_EQ(arr.read_xnor(0, 0, x), w == x);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllInputs, XnorPairTruth,
+                         ::testing::Values(std::pair{false, false},
+                                           std::pair{false, true},
+                                           std::pair{true, false},
+                                           std::pair{true, true}));
+
+TEST(NorArray, MatchCountCountsXnors) {
+  NorArray arr(8, 1);  // 4 weight pairs
+  const bool w[4] = {true, false, true, true};
+  for (std::size_t k = 0; k < 4; ++k) {
+    arr.store(2 * k, 0, w[k]);
+    arr.store(2 * k + 1, 0, !w[k]);
+  }
+  const std::vector<bool> x = {true, true, false, true};
+  // Matches: w0==x0 (1), w1!=x1 (0), w2!=x2 (0), w3==x3 (1) -> 2.
+  EXPECT_EQ(arr.read_match_count(0, x), 2u);
+}
+
+TEST(NorArray, Validation) {
+  EXPECT_THROW(NorArray(0, 2), std::invalid_argument);
+  NorArray arr(4, 4);
+  EXPECT_THROW(arr.store(4, 0, true), std::out_of_range);
+  EXPECT_THROW((void)arr.read_xnor(2, 0, true), std::out_of_range);
+  std::vector<bool> wrong(3, true);
+  EXPECT_THROW((void)arr.read_aoi(0, wrong, wrong), std::invalid_argument);
+  EXPECT_THROW((void)arr.read_match_count(0, wrong), std::invalid_argument);
+}
+
+class HalfAdderTruth : public ::testing::TestWithParam<std::pair<bool, bool>> {};
+
+TEST_P(HalfAdderTruth, InArrayHalfAdder) {
+  const auto [a, b] = GetParam();
+  NorArray arr(4, 4);
+  const auto res = in_array_half_adder(arr, a, b);
+  EXPECT_EQ(res.sum, a != b);
+  EXPECT_EQ(res.carry, a && b);
+  EXPECT_GT(res.steps, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllInputs, HalfAdderTruth,
+                         ::testing::Values(std::pair{false, false},
+                                           std::pair{false, true},
+                                           std::pair{true, false},
+                                           std::pair{true, true}));
+
+class FullAdderTruth
+    : public ::testing::TestWithParam<std::tuple<bool, bool, bool>> {};
+
+TEST_P(FullAdderTruth, InArrayFullAdder) {
+  const auto [a, b, cin] = GetParam();
+  NorArray arr(4, 4);
+  const auto res = in_array_full_adder(arr, a, b, cin);
+  const int total = int(a) + int(b) + int(cin);
+  EXPECT_EQ(res.sum, (total & 1) != 0);
+  EXPECT_EQ(res.carry, total >= 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllInputs, FullAdderTruth,
+    ::testing::Combine(::testing::Bool(), ::testing::Bool(), ::testing::Bool()));
+
+TEST(NorArray, StatsAccumulate) {
+  NorArray arr(2, 2);
+  arr.store(0, 0, true);
+  (void)arr.read_xnor(0, 0, true);
+  EXPECT_EQ(arr.stats().stores, 1u);
+  EXPECT_EQ(arr.stats().reads, 1u);
+  EXPECT_GT(arr.stats().energy_pj, 0.0);
+}
+
+}  // namespace
+}  // namespace cim::ferfet

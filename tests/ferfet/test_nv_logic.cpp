@@ -1,0 +1,105 @@
+#include "ferfet/nv_logic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace cim::ferfet {
+namespace {
+
+TEST(FerfetLut, ProgramsAndEvaluatesExhaustively) {
+  const auto tt = eda::TruthTable::from_binary_string("10010110");
+  FerfetLut lut(3);
+  lut.program(tt);
+  for (std::uint64_t m = 0; m < 8; ++m) EXPECT_EQ(lut.eval(m), tt.get(m));
+  EXPECT_TRUE(lut.stored() == tt);
+}
+
+TEST(FerfetLut, ReprogrammingReplacesFunction) {
+  FerfetLut lut(2);
+  lut.program(eda::TruthTable::from_binary_string("0110"));  // XOR
+  EXPECT_TRUE(lut.eval(1));
+  lut.program(eda::TruthTable::from_binary_string("1000"));  // AND
+  EXPECT_FALSE(lut.eval(1));
+  EXPECT_TRUE(lut.eval(3));
+  EXPECT_EQ(lut.programs(), 2u);
+}
+
+TEST(FerfetLut, RandomFunctionsRoundTrip) {
+  util::Rng rng(7);
+  for (int t = 0; t < 10; ++t) {
+    eda::TruthTable tt(4);
+    for (std::uint64_t m = 0; m < 16; ++m)
+      if (rng.bernoulli(0.5)) tt.set(m, true);
+    FerfetLut lut(4);
+    lut.program(tt);
+    EXPECT_TRUE(lut.stored() == tt);
+  }
+}
+
+TEST(FerfetLut, Validation) {
+  EXPECT_THROW(FerfetLut(0), std::invalid_argument);
+  EXPECT_THROW(FerfetLut(7), std::invalid_argument);
+  FerfetLut lut(2);
+  EXPECT_THROW(lut.program(eda::TruthTable::constant(false, 3)),
+               std::invalid_argument);
+  EXPECT_THROW((void)lut.eval(4), std::out_of_range);
+}
+
+TEST(FerfetLut, CostAccounting) {
+  FerfetLut lut(3);
+  lut.program(eda::TruthTable::constant(true, 3));
+  const double e_prog = lut.energy_pj();
+  (void)lut.eval(0);
+  EXPECT_GT(lut.energy_pj(), e_prog);
+  EXPECT_EQ(lut.evals(), 1u);
+}
+
+TEST(NvFlipFlop, ClockedOperation) {
+  NvFlipFlop ff;
+  ff.clock(true);
+  EXPECT_TRUE(ff.q());
+  ff.clock(false);
+  EXPECT_FALSE(ff.q());
+}
+
+TEST(NvFlipFlop, CheckpointSurvivesPowerCycle) {
+  for (const bool state : {false, true}) {
+    NvFlipFlop ff;
+    ff.clock(state);
+    ff.checkpoint();
+    ff.power_cycle();
+    EXPECT_FALSE(ff.valid());
+    EXPECT_THROW((void)ff.q(), std::logic_error);
+    ff.restore();
+    EXPECT_TRUE(ff.valid());
+    EXPECT_EQ(ff.q(), state);  // the Fe shadow brought the state back
+  }
+}
+
+TEST(NvFlipFlop, UncheckpointedStateIsLost) {
+  NvFlipFlop ff;
+  ff.clock(false);
+  ff.checkpoint();   // shadow = 0
+  ff.clock(true);    // volatile update, no checkpoint
+  ff.power_cycle();
+  ff.restore();
+  EXPECT_FALSE(ff.q());  // only the checkpointed state survived
+}
+
+TEST(NvFlipFlop, CheckpointRequiresValidLatch) {
+  NvFlipFlop ff;
+  ff.power_cycle();
+  EXPECT_THROW(ff.checkpoint(), std::logic_error);
+}
+
+TEST(NvFlipFlop, EnergyTracksCheckpointCost) {
+  NvFlipFlop a, b;
+  a.clock(true);
+  b.clock(true);
+  b.checkpoint();
+  EXPECT_GT(b.energy_pj(), a.energy_pj());
+}
+
+}  // namespace
+}  // namespace cim::ferfet

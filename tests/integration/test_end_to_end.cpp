@@ -1,0 +1,203 @@
+/// End-to-end integration tests crossing module boundaries: the scenarios
+/// the example applications script, checked automatically.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/cim_system.hpp"
+#include "eda/flow.hpp"
+#include "ferfet/bnn_engine.hpp"
+#include "memtest/march.hpp"
+#include "memtest/power_monitor.hpp"
+#include "memtest/xabft.hpp"
+#include "nn/bnn.hpp"
+#include "nn/crossbar_linear.hpp"
+#include "nn/mlp.hpp"
+
+namespace cim {
+namespace {
+
+/// Train -> map to crossbars -> infer: accuracy survives the analog path.
+TEST(EndToEnd, MlpOnCrossbarsKeepsAccuracy) {
+  util::Rng rng(3);
+  const auto train = nn::generate_digits(500, rng, 0.1);
+  const auto test = nn::generate_digits(150, rng, 0.1);
+  nn::Mlp net({nn::kPixels, 24, nn::kClasses}, rng);
+  net.fit(train, 40, 0.05, rng);
+  const double float_acc = net.accuracy(test);
+  ASSERT_GT(float_acc, 0.8);
+
+  // Map both layers onto crossbar pairs.
+  nn::CrossbarLinearConfig cfg;
+  cfg.array.seed = 7;
+  cfg.program_verify = true;
+  nn::CrossbarLinear l0(net.layers()[0].w, net.layers()[0].b, cfg);
+  cfg.array.seed = 8;
+  nn::CrossbarLinear l1(net.layers()[1].w, net.layers()[1].b, cfg);
+
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    auto h = l0.forward(test.features.row(i));
+    for (double& v : h) v = std::max(0.0, v);
+    // Rescale hidden activations into the second layer's input range.
+    double hmax = 1e-9;
+    for (const double v : h) hmax = std::max(hmax, v);
+    l1.set_x_max(hmax);
+    const auto logits = l1.forward(h);
+    const int pred = static_cast<int>(
+        std::max_element(logits.begin(), logits.end()) - logits.begin());
+    if (pred == test.labels[i]) ++correct;
+  }
+  const double analog_acc =
+      static_cast<double>(correct) / static_cast<double>(test.size());
+  EXPECT_GT(analog_acc, float_acc - 0.25);
+}
+
+/// Accuracy-vs-yield trend of [38]: lower yield -> lower accuracy.
+TEST(EndToEnd, AccuracyDegradesMonotonicallyWithYield) {
+  util::Rng rng(5);
+  const auto train = nn::generate_digits(500, rng, 0.1);
+  const auto test = nn::generate_digits(120, rng, 0.1);
+  nn::Mlp net({nn::kPixels, 24, nn::kClasses}, rng);
+  net.fit(train, 40, 0.05, rng);
+
+  auto accuracy_at_yield = [&](double yield, std::uint64_t seed) {
+    nn::CrossbarLinearConfig cfg;
+    cfg.array.seed = seed;
+    nn::CrossbarLinear l0(net.layers()[0].w, net.layers()[0].b, cfg);
+    cfg.array.seed = seed + 1;
+    nn::CrossbarLinear l1(net.layers()[1].w, net.layers()[1].b, cfg);
+    util::Rng frng(seed);
+    if (yield < 1.0) {
+      l0.apply_yield(yield, frng);
+      l1.apply_yield(yield, frng);
+    }
+    std::size_t correct = 0;
+    for (std::size_t i = 0; i < test.size(); ++i) {
+      auto h = l0.forward(test.features.row(i));
+      for (double& v : h) v = std::max(0.0, v);
+      double hmax = 1e-9;
+      for (const double v : h) hmax = std::max(hmax, v);
+      l1.set_x_max(hmax);
+      const auto logits = l1.forward(h);
+      const int pred = static_cast<int>(
+          std::max_element(logits.begin(), logits.end()) - logits.begin());
+      if (pred == test.labels[i]) ++correct;
+    }
+    return static_cast<double>(correct) / static_cast<double>(test.size());
+  };
+
+  const double acc_clean = accuracy_at_yield(1.0, 11);
+  const double acc_80 = accuracy_at_yield(0.8, 13);
+  const double acc_50 = accuracy_at_yield(0.5, 17);
+  EXPECT_GT(acc_clean, acc_80);
+  EXPECT_GT(acc_80, acc_50);
+  // The cited result: a massive drop by 80% yield.
+  EXPECT_LT(acc_80, acc_clean - 0.15);
+}
+
+/// Synthesis -> MAGIC mapping -> crossbar execution == specification.
+TEST(EndToEnd, LogicFlowExecutesOnCrossbar) {
+  const auto rep = eda::run_flow("rca3", eda::ripple_carry_adder(3),
+                                 eda::LogicFamily::kMagic);
+  EXPECT_TRUE(rep.verified);
+}
+
+/// Wear-out -> power changepoint -> March confirmation.
+TEST(EndToEnd, MonitorThenMarchPipeline) {
+  crossbar::CrossbarConfig cfg;
+  cfg.rows = cfg.cols = 16;
+  cfg.tech = device::Technology::kSttMram;
+  cfg.levels = 2;
+  cfg.seed = 21;
+  crossbar::Crossbar xbar(cfg);
+
+  util::Rng rng(23);
+  const auto map = fault::FaultMap::with_fault_count(
+      16, 16, 30, fault::FaultMix::stuck_at_only(), rng);
+
+  memtest::MonitorConfig mon;
+  mon.cycles = 900;
+  const auto run = memtest::run_monitored_workload(xbar, mon, rng, &map, 500);
+  ASSERT_TRUE(run.alarm_cycle.has_value());
+
+  // The alarm triggers a pause-and-test March which locates the faults.
+  const auto march = memtest::run_march(xbar, memtest::march_cstar());
+  EXPECT_FALSE(march.pass);
+  EXPECT_GT(memtest::fault_coverage(map, march), 0.9);
+}
+
+/// X-ABFT protects a matrix against a stuck fault end to end.
+TEST(EndToEnd, XabftDetectsWhatMarchWouldFind) {
+  util::Rng rng(29);
+  util::Matrix lv(8, 8);
+  for (auto& v : lv.flat()) v = 8.0 + static_cast<double>(rng.uniform_int(8));
+
+  crossbar::CrossbarConfig cfg;
+  cfg.model_ir_drop = false;
+  cfg.seed = 31;
+  memtest::XabftProtected prot(lv, cfg);
+  fault::FaultMap map(8, 8);
+  map.add({fault::FaultKind::kStuckAtZero, 4, 4, 0, 0, 1.0});
+  prot.apply_faults(map);
+
+  const auto rep = prot.scrub();
+  bool located = false;
+  for (const auto& fix : rep.corrections)
+    if (fix.row == 4 && fix.col == 4) located = true;
+  EXPECT_TRUE(located);
+}
+
+/// Software BNN and the FeRFET engine agree exactly, layer by layer.
+TEST(EndToEnd, FerfetEngineMatchesSoftwareBnn) {
+  util::Rng rng(37);
+  nn::Mlp net({16, 12, 4}, rng);
+  const nn::BinaryDense soft(net.layers()[0].w);
+  ferfet::FerfetBnnEngine hard(net.layers()[0].w);
+
+  for (int t = 0; t < 10; ++t) {
+    nn::BitVector xb(16);
+    std::vector<bool> xv(16);
+    for (std::size_t i = 0; i < 16; ++i) {
+      const bool bit = rng.bernoulli(0.5);
+      xb.set(i, bit);
+      xv[i] = bit;
+    }
+    EXPECT_EQ(soft.forward(xb), hard.forward(xv));
+  }
+}
+
+/// Large signed VMM through the multi-tile CIM system.
+TEST(EndToEnd, CimSystemRunsMlpLayer) {
+  util::Rng rng(41);
+  nn::Mlp net({nn::kPixels, 16, nn::kClasses}, rng);
+  // Quantize the first layer to signed ints.
+  const auto& w = net.layers()[0].w;
+  double wmax = 1e-9;
+  for (const double v : w.flat()) wmax = std::max(wmax, std::abs(v));
+  util::Matrix w_int(w.rows(), w.cols());
+  for (std::size_t r = 0; r < w.rows(); ++r)
+    for (std::size_t c = 0; c < w.cols(); ++c)
+      w_int(r, c) = std::round(w(r, c) / wmax * 7.0);
+
+  core::CimSystemConfig cfg;
+  cfg.tile.tile.rows = 32;
+  cfg.tile.tile.cols = 8;
+  cfg.tile.tile.adc_bits = 10;
+  cfg.tile.array.model_ir_drop = false;
+  core::CimSystem sys(w_int, cfg);
+  EXPECT_EQ(sys.tile_count(), 4u);  // 64/32 x 16/8
+
+  std::vector<std::uint32_t> x(nn::kPixels);
+  for (auto& v : x) v = static_cast<std::uint32_t>(rng.uniform_int(16));
+  const auto y = sys.vmm_int(x, 4);
+  const auto ref = sys.ideal_vmm_int(x);
+  for (std::size_t o = 0; o < y.size(); ++o) {
+    const double scale = std::max(64.0, std::abs(double(ref[o])));
+    EXPECT_LT(std::abs(double(y[o] - ref[o])) / scale, 0.35) << o;
+  }
+}
+
+}  // namespace
+}  // namespace cim

@@ -1,0 +1,118 @@
+#include "memtest/ecc.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cim::memtest {
+namespace {
+
+TEST(Ecc, CleanCodewordDecodesOk) {
+  util::Rng rng(3);
+  for (int t = 0; t < 100; ++t) {
+    const std::uint64_t data = rng();
+    const auto cw = HammingSecDed::encode(data);
+    const auto dec = HammingSecDed::decode(cw);
+    EXPECT_EQ(dec.data, data);
+    EXPECT_EQ(dec.status, EccStatus::kOk);
+  }
+}
+
+class EccSingleBit : public ::testing::TestWithParam<int> {};
+
+TEST_P(EccSingleBit, AnySingleBitErrorCorrected) {
+  const int pos = GetParam();
+  util::Rng rng(5);
+  const std::uint64_t data = rng();
+  auto cw = HammingSecDed::encode(data);
+  HammingSecDed::flip_bit(cw, pos);
+  const auto dec = HammingSecDed::decode(cw);
+  EXPECT_EQ(dec.data, data) << "bit " << pos;
+  EXPECT_EQ(dec.status, EccStatus::kCorrected) << "bit " << pos;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPositions, EccSingleBit, ::testing::Range(0, 72));
+
+TEST(Ecc, DoubleBitErrorsDetectedNotMiscorrected) {
+  util::Rng rng(7);
+  int detected = 0;
+  const int trials = 300;
+  for (int t = 0; t < trials; ++t) {
+    const std::uint64_t data = rng();
+    auto cw = HammingSecDed::encode(data);
+    const int a = static_cast<int>(rng.uniform_int(72));
+    int b = static_cast<int>(rng.uniform_int(72));
+    while (b == a) b = static_cast<int>(rng.uniform_int(72));
+    HammingSecDed::flip_bit(cw, a);
+    HammingSecDed::flip_bit(cw, b);
+    const auto dec = HammingSecDed::decode(cw);
+    if (dec.status == EccStatus::kDetectedUncorrectable) ++detected;
+    // SEC-DED guarantee: never silently return wrong data as "Ok/Corrected"
+    // for exactly two errors.
+    if (dec.data != data) {
+      EXPECT_EQ(dec.status, EccStatus::kDetectedUncorrectable);
+    }
+  }
+  EXPECT_EQ(detected, trials);
+}
+
+TEST(Ecc, FlipBitValidation) {
+  auto cw = HammingSecDed::encode(42);
+  EXPECT_THROW(HammingSecDed::flip_bit(cw, -1), std::out_of_range);
+  EXPECT_THROW(HammingSecDed::flip_bit(cw, 72), std::out_of_range);
+}
+
+TEST(Ecc, FlipIsInvolution) {
+  auto cw = HammingSecDed::encode(0xDEADBEEFCAFEBABEULL);
+  const auto orig = cw;
+  HammingSecDed::flip_bit(cw, 17);
+  HammingSecDed::flip_bit(cw, 17);
+  EXPECT_EQ(cw.data, orig.data);
+  EXPECT_EQ(cw.check, orig.check);
+  EXPECT_EQ(cw.parity, orig.parity);
+}
+
+TEST(Ecc, AnalyticUncorrectableProbabilityMonotone) {
+  EXPECT_LT(word_uncorrectable_probability(1e-6),
+            word_uncorrectable_probability(1e-4));
+  EXPECT_LT(word_uncorrectable_probability(1e-4),
+            word_uncorrectable_probability(1e-2));
+  EXPECT_NEAR(word_uncorrectable_probability(0.0), 0.0, 1e-15);
+}
+
+TEST(Ecc, PaperBerThresholdIsComfortable) {
+  // Section III.C: ECC works when BER < 1e-5. At that BER the word
+  // failure probability is tiny; at 1e-2 (worn-out array) it is large.
+  EXPECT_LT(word_uncorrectable_probability(1e-5), 1e-6);
+  EXPECT_GT(word_uncorrectable_probability(1e-2), 0.1);
+}
+
+TEST(Ecc, SimulationTracksAnalyticModel) {
+  util::Rng rng(11);
+  const double ber = 5e-3;
+  const double sim = simulate_word_failure_rate(ber, 20000, rng);
+  const double analytic = word_uncorrectable_probability(ber);
+  // The simulated *wrong-data* rate is below the >=2-errors rate because
+  // detected-uncorrectable words keep the (possibly correct) raw data and
+  // some double errors leave data bits intact; it must not exceed it.
+  EXPECT_LE(sim, analytic * 1.1);
+  EXPECT_GT(sim, 0.0);
+}
+
+TEST(Ecc, InvalidBerThrows) {
+  EXPECT_THROW((void)word_uncorrectable_probability(-0.1),
+               std::invalid_argument);
+  EXPECT_THROW((void)word_uncorrectable_probability(1.1),
+               std::invalid_argument);
+}
+
+TEST(Ecc, ClassifyGroundTruth) {
+  const std::uint64_t data = 1234567;
+  HammingSecDed::DecodeResult ok{data, EccStatus::kOk};
+  EXPECT_EQ(HammingSecDed::classify(ok, data, 0), EccStatus::kOk);
+  HammingSecDed::DecodeResult corrected{data, EccStatus::kCorrected};
+  EXPECT_EQ(HammingSecDed::classify(corrected, data, 1), EccStatus::kCorrected);
+  HammingSecDed::DecodeResult wrong{data ^ 1, EccStatus::kCorrected};
+  EXPECT_EQ(HammingSecDed::classify(wrong, data, 3), EccStatus::kMiscorrected);
+}
+
+}  // namespace
+}  // namespace cim::memtest

@@ -1,0 +1,151 @@
+#include "memtest/march.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cim::memtest {
+namespace {
+
+crossbar::CrossbarConfig test_cfg(std::size_t n = 8) {
+  crossbar::CrossbarConfig cfg;
+  cfg.rows = n;
+  cfg.cols = n;
+  cfg.tech = device::Technology::kSttMram;  // crisp binary behaviour
+  cfg.levels = 2;
+  cfg.model_ir_drop = false;
+  cfg.seed = 77;
+  return cfg;
+}
+
+TEST(March, CstarStructureMatchesPaper) {
+  // { up(r0,w1); up(r1,r1,w0); down(r0,w1); down(r1,w0); up(r0) }
+  const auto algo = march_cstar();
+  ASSERT_EQ(algo.elements.size(), 5u);
+  EXPECT_EQ(algo.elements[0].order, AddressOrder::kUp);
+  EXPECT_EQ(algo.elements[1].ops.size(), 3u);
+  EXPECT_EQ(algo.elements[2].order, AddressOrder::kDown);
+  EXPECT_EQ(algo.elements[4].ops.size(), 1u);
+  EXPECT_EQ(algo.ops_per_cell(), 10u);   // 10N complexity
+  EXPECT_EQ(algo.reads_per_cell(), 6u);  // six-bit signature
+}
+
+TEST(March, FaultFreeArrayPasses) {
+  crossbar::Crossbar xbar(test_cfg());
+  const auto res = run_march(xbar, march_cstar());
+  EXPECT_TRUE(res.pass);
+  EXPECT_TRUE(res.failures.empty());
+  EXPECT_EQ(res.total_ops, 10u * 64u);
+  EXPECT_GT(res.time_ns, 0.0);
+}
+
+TEST(March, FaultFreeSignaturesAreCanonical) {
+  crossbar::Crossbar xbar(test_cfg());
+  const auto res = run_march(xbar, march_cstar());
+  const std::vector<bool> expected = {false, true, true, false, true, false};
+  for (const auto& sig : res.signatures) EXPECT_EQ(sig, expected);
+}
+
+class MarchStuckAt : public ::testing::TestWithParam<fault::FaultKind> {};
+
+TEST_P(MarchStuckAt, DetectsAndLocatesFault) {
+  crossbar::Crossbar xbar(test_cfg());
+  fault::FaultMap map(8, 8);
+  map.add({GetParam(), 3, 5, 0, 0, 1.0});
+  xbar.apply_faults(map);
+  const auto res = run_march(xbar, march_cstar());
+  EXPECT_FALSE(res.pass);
+  bool located = false;
+  for (const auto& f : res.failures)
+    if (f.row == 3 && f.col == 5) located = true;
+  EXPECT_TRUE(located);
+  EXPECT_DOUBLE_EQ(fault_coverage(map, res), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, MarchStuckAt,
+                         ::testing::Values(fault::FaultKind::kStuckAtZero,
+                                           fault::FaultKind::kStuckAtOne,
+                                           fault::FaultKind::kTransitionUp,
+                                           fault::FaultKind::kTransitionDown));
+
+TEST(March, CstarCoversMixedStuckFaults) {
+  crossbar::Crossbar xbar(test_cfg(16));
+  util::Rng rng(5);
+  const auto map = fault::FaultMap::with_fault_count(
+      16, 16, 12, fault::FaultMix::stuck_at_only(), rng);
+  xbar.apply_faults(map);
+  const auto res = run_march(xbar, march_cstar());
+  EXPECT_DOUBLE_EQ(fault_coverage(map, res), 1.0);
+}
+
+TEST(March, DetectsAddressDecoderFault) {
+  crossbar::Crossbar xbar(test_cfg());
+  fault::FaultMap map(8, 8);
+  map.add({fault::FaultKind::kAddressDecoder, 2, 0, /*aux=*/6, 0, 1.0});
+  xbar.apply_faults(map);
+  const auto res = run_march(xbar, march_cstar());
+  EXPECT_FALSE(res.pass);
+  EXPECT_DOUBLE_EQ(fault_coverage(map, res), 1.0);
+}
+
+TEST(March, DetectsCouplingFault) {
+  crossbar::Crossbar xbar(test_cfg());
+  fault::FaultMap map(8, 8);
+  // Aggressor written after the victim in up order -> classic CFid pattern.
+  map.add({fault::FaultKind::kCoupling, 4, 4, /*victim=*/2, 2, 1.0});
+  xbar.apply_faults(map);
+  const auto res = run_march(xbar, march_cstar());
+  EXPECT_FALSE(res.pass);
+}
+
+TEST(March, SignatureDiagnosis) {
+  EXPECT_EQ(diagnose_cstar_signature({false, true, true, false, true, false}),
+            "ok");
+  EXPECT_EQ(
+      diagnose_cstar_signature({false, false, false, false, false, false}),
+      "SA0/TF-up");
+  EXPECT_EQ(diagnose_cstar_signature({true, true, true, true, true, true}),
+            "SA1");
+  EXPECT_EQ(diagnose_cstar_signature({false, true, true, true, true, true}),
+            "TF-down");
+  EXPECT_EQ(diagnose_cstar_signature({true, false}), "unknown");
+}
+
+TEST(March, DiagnosisMatchesInjectedFaults) {
+  crossbar::Crossbar xbar(test_cfg());
+  fault::FaultMap map(8, 8);
+  map.add({fault::FaultKind::kStuckAtOne, 1, 1, 0, 0, 1.0});
+  map.add({fault::FaultKind::kStuckAtZero, 2, 2, 0, 0, 1.0});
+  xbar.apply_faults(map);
+  const auto res = run_march(xbar, march_cstar());
+  EXPECT_EQ(diagnose_cstar_signature(res.signatures[1 * 8 + 1]), "SA1");
+  EXPECT_EQ(diagnose_cstar_signature(res.signatures[2 * 8 + 2]), "SA0/TF-up");
+}
+
+TEST(March, CminusAlsoCoversStuckAt) {
+  crossbar::Crossbar xbar(test_cfg());
+  fault::FaultMap map(8, 8);
+  map.add({fault::FaultKind::kStuckAtZero, 0, 7, 0, 0, 1.0});
+  xbar.apply_faults(map);
+  const auto res = run_march(xbar, march_cminus());
+  EXPECT_DOUBLE_EQ(fault_coverage(map, res), 1.0);
+}
+
+TEST(March, MatsPlusIsShorterButWeaker) {
+  EXPECT_LT(mats_plus().ops_per_cell(), march_cstar().ops_per_cell());
+}
+
+TEST(March, TestTimeScalesLinearlyWithCells) {
+  crossbar::Crossbar small(test_cfg(8));
+  crossbar::Crossbar large(test_cfg(16));
+  const auto rs = run_march(small, march_cstar());
+  const auto rl = run_march(large, march_cstar());
+  EXPECT_NEAR(static_cast<double>(rl.total_ops) / rs.total_ops, 4.0, 0.01);
+}
+
+TEST(March, CoverageWithNoFaultsIsOne) {
+  fault::FaultMap empty(8, 8);
+  MarchResult res;
+  EXPECT_DOUBLE_EQ(fault_coverage(empty, res), 1.0);
+}
+
+}  // namespace
+}  // namespace cim::memtest

@@ -1,0 +1,50 @@
+/// Property-based fuzzing of the March C* coverage guarantee: for random
+/// stuck-at/transition fault populations across random seeds, coverage must
+/// be complete — the Section III.B claim ("very high fault coverage").
+#include <gtest/gtest.h>
+
+#include "memtest/march.hpp"
+
+namespace cim::memtest {
+namespace {
+
+class MarchFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MarchFuzz, CstarAlwaysCoversStuckAndTransition) {
+  util::Rng rng(GetParam() * 1337 + 11);
+  crossbar::CrossbarConfig cfg;
+  cfg.rows = cfg.cols = 12;
+  cfg.tech = device::Technology::kSttMram;
+  cfg.levels = 2;
+  cfg.model_ir_drop = false;
+  cfg.seed = GetParam() + 500;
+  crossbar::Crossbar xbar(cfg);
+
+  fault::FaultMix mix = fault::FaultMix::stuck_at_only();
+  mix.transition = 0.4;
+  const std::size_t n_faults = 1 + rng.uniform_int(20);
+  const auto map =
+      fault::FaultMap::with_fault_count(12, 12, n_faults, mix, rng);
+  xbar.apply_faults(map);
+
+  const auto res = run_march(xbar, march_cstar());
+  EXPECT_DOUBLE_EQ(fault_coverage(map, res), 1.0)
+      << "seed " << GetParam() << " with " << n_faults << " faults";
+}
+
+TEST_P(MarchFuzz, FaultFreeNeverFails) {
+  crossbar::CrossbarConfig cfg;
+  cfg.rows = cfg.cols = 12;
+  cfg.tech = device::Technology::kSttMram;
+  cfg.levels = 2;
+  cfg.model_ir_drop = false;
+  cfg.seed = GetParam() * 7 + 3;
+  crossbar::Crossbar xbar(cfg);
+  EXPECT_TRUE(run_march(xbar, march_cstar()).pass) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MarchFuzz,
+                         ::testing::Range<std::uint64_t>(0, 12));
+
+}  // namespace
+}  // namespace cim::memtest

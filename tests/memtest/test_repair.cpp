@@ -1,0 +1,124 @@
+#include "memtest/repair.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cim::memtest {
+namespace {
+
+TEST(RepairAllocation, SingleFaultUsesOneSpare) {
+  const std::vector<FaultSite> sites = {{2, 3}};
+  const auto plan = allocate_redundancy(sites, 1, 1);
+  EXPECT_TRUE(plan.feasible);
+  EXPECT_EQ(plan.spare_rows_used + plan.spare_cols_used, 1u);
+}
+
+TEST(RepairAllocation, RowClusterForcesRowSpare) {
+  // Four faults on one row but only one spare column: must-repair analysis
+  // has to take the row spare.
+  const std::vector<FaultSite> sites = {{5, 0}, {5, 1}, {5, 2}, {5, 3}};
+  const auto plan = allocate_redundancy(sites, 1, 1);
+  ASSERT_TRUE(plan.feasible);
+  ASSERT_EQ(plan.repaired_rows.size(), 1u);
+  EXPECT_EQ(plan.repaired_rows[0], 5u);
+  EXPECT_TRUE(plan.repaired_cols.empty());
+}
+
+TEST(RepairAllocation, InfeasibleWhenSpareStarved) {
+  // Diagonal faults need one spare each; two spares cannot cover three.
+  const std::vector<FaultSite> sites = {{0, 0}, {1, 1}, {2, 2}};
+  const auto plan = allocate_redundancy(sites, 1, 1);
+  EXPECT_FALSE(plan.feasible);
+}
+
+TEST(RepairAllocation, GreedyCoversCross) {
+  // A row cluster and a column cluster sharing one cell.
+  const std::vector<FaultSite> sites = {{1, 0}, {1, 2}, {1, 4},
+                                        {0, 3}, {2, 3}, {4, 3}};
+  const auto plan = allocate_redundancy(sites, 1, 1);
+  ASSERT_TRUE(plan.feasible);
+  EXPECT_EQ(plan.repaired_rows.size(), 1u);
+  EXPECT_EQ(plan.repaired_cols.size(), 1u);
+}
+
+TEST(RepairAllocation, NoFaultsNoSpares) {
+  const auto plan = allocate_redundancy({}, 0, 0);
+  EXPECT_TRUE(plan.feasible);
+  EXPECT_EQ(plan.spare_rows_used, 0u);
+}
+
+crossbar::CrossbarConfig binary_cfg(std::uint64_t seed) {
+  crossbar::CrossbarConfig cfg;
+  cfg.tech = device::Technology::kSttMram;
+  cfg.levels = 2;
+  cfg.model_ir_drop = false;
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(RepairedArray, RedirectsThroughSpares) {
+  RepairedArray arr(4, 4, 1, 1, binary_cfg(3));
+  RepairPlan plan;
+  plan.feasible = true;
+  plan.repaired_rows = {2};
+  plan.repaired_cols = {1};
+  arr.install(plan);
+  arr.write_bit(2, 0, true);
+  EXPECT_TRUE(arr.read_bit(2, 0));
+  // The physical main-region row 2 is untouched by the logical write.
+  EXPECT_LT(arr.physical().true_conductance(2, 0),
+            0.5 * arr.physical().tech().g_on_us());
+}
+
+TEST(RepairedArray, MarchRepairMarchPipeline) {
+  // The Section III recovery loop: test -> localize -> repair -> retest.
+  RepairedArray arr(8, 8, 2, 2, binary_cfg(7));
+
+  // Physical faults: a bad row and a bad cell.
+  fault::FaultMap map(10, 10);
+  for (std::size_t c = 0; c < 8; ++c)
+    map.add({fault::FaultKind::kStuckAtOne, 3, c, 0, 0, 1.0});
+  map.add({fault::FaultKind::kStuckAtZero, 6, 2, 0, 0, 1.0});
+  arr.apply_faults(map);
+
+  // March on the logical view (manual walk over logical addresses).
+  auto march_logical = [&]() {
+    std::vector<FaultSite> fails;
+    for (std::size_t r = 0; r < 8; ++r)
+      for (std::size_t c = 0; c < 8; ++c) {
+        arr.write_bit(r, c, false);
+        if (arr.read_bit(r, c)) fails.push_back({r, c});
+        arr.write_bit(r, c, true);
+        if (!arr.read_bit(r, c)) fails.push_back({r, c});
+      }
+    return fails;
+  };
+
+  const auto before = march_logical();
+  ASSERT_FALSE(before.empty());
+
+  const auto plan = allocate_redundancy(before, 2, 2);
+  ASSERT_TRUE(plan.feasible);
+  arr.install(plan);
+
+  const auto after = march_logical();
+  EXPECT_TRUE(after.empty());  // the repaired array tests clean
+}
+
+TEST(RepairedArray, InstallValidatesSpareBudget) {
+  RepairedArray arr(4, 4, 1, 0, binary_cfg(9));
+  RepairPlan plan;
+  plan.repaired_rows = {0, 1};  // needs two row spares
+  EXPECT_THROW(arr.install(plan), std::invalid_argument);
+}
+
+TEST(RepairedArray, SitesFromMarchDeduplicates) {
+  MarchResult res;
+  res.failures.push_back({1, 1, 0, 0, false, true});
+  res.failures.push_back({1, 1, 2, 0, true, false});
+  res.failures.push_back({2, 2, 0, 0, false, true});
+  const auto sites = sites_from_march(res);
+  EXPECT_EQ(sites.size(), 2u);
+}
+
+}  // namespace
+}  // namespace cim::memtest

@@ -1,0 +1,75 @@
+#include "memtest/scouting_test.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cim::memtest {
+namespace {
+
+crossbar::CrossbarConfig cfg16(std::uint64_t seed) {
+  crossbar::CrossbarConfig cfg;
+  cfg.rows = cfg.cols = 16;
+  cfg.tech = device::Technology::kReRamHfOx;
+  cfg.levels = 2;
+  cfg.model_ir_drop = false;
+  cfg.verified_writes = true;
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(ScoutingTest, CleanArrayHasNoMismatches) {
+  crossbar::Crossbar xbar(cfg16(3));
+  const auto res = run_scouting_test(xbar);
+  EXPECT_TRUE(res.mismatches.empty());
+  EXPECT_GT(res.checks, 0u);
+  // 3 ops x 4 patterns per (pair, column).
+  EXPECT_EQ(res.checks % 12u, 0u);
+}
+
+TEST(ScoutingTest, DetectsStuckCellInTestedPair) {
+  crossbar::Crossbar xbar(cfg16(5));
+  fault::FaultMap map(16, 16);
+  map.add({fault::FaultKind::kStuckAtOne, 0, 4, 0, 0, 1.0});
+  map.add({fault::FaultKind::kStuckAtZero, 1, 9, 0, 0, 1.0});
+  xbar.apply_faults(map);
+  const ScoutingTestConfig cfg{.pair_stride = 2};
+  const auto res = run_scouting_test(xbar, cfg);
+  EXPECT_FALSE(res.mismatches.empty());
+  EXPECT_DOUBLE_EQ(scouting_coverage(map, res, cfg, 16), 1.0);
+}
+
+TEST(ScoutingTest, CoverageOfScatteredStuckFaults) {
+  crossbar::Crossbar xbar(cfg16(7));
+  util::Rng rng(9);
+  const auto map = fault::FaultMap::with_fault_count(
+      16, 16, 10, fault::FaultMix::stuck_at_only(), rng);
+  xbar.apply_faults(map);
+  const ScoutingTestConfig cfg{.pair_stride = 1};  // every adjacent pair
+  const auto res = run_scouting_test(xbar, cfg);
+  EXPECT_GT(scouting_coverage(map, res, cfg, 16), 0.9);
+}
+
+TEST(ScoutingTest, StrideTradesTimeForCoverage) {
+  crossbar::Crossbar a(cfg16(11)), b(cfg16(11));
+  const auto dense = run_scouting_test(a, {.pair_stride = 1});
+  const auto sparse = run_scouting_test(b, {.pair_stride = 4});
+  EXPECT_GT(dense.checks, sparse.checks);
+}
+
+TEST(ScoutingTest, UntestedRowsExcludedFromCoverage) {
+  fault::FaultMap map(16, 16);
+  map.add({fault::FaultKind::kStuckAtOne, 15, 0, 0, 0, 1.0});  // last row
+  ScoutingTestResult res;  // nothing found
+  // With stride 4, row 15 is not part of any pair -> coverage vacuously 1.
+  EXPECT_DOUBLE_EQ(scouting_coverage(map, res, {.pair_stride = 4}, 16), 1.0);
+}
+
+TEST(ScoutingTest, CostAccounting) {
+  crossbar::Crossbar xbar(cfg16(13));
+  const auto res = run_scouting_test(xbar);
+  EXPECT_GT(res.writes, 0u);
+  EXPECT_GT(res.time_ns, 0.0);
+  EXPECT_GT(res.energy_pj, 0.0);
+}
+
+}  // namespace
+}  // namespace cim::memtest

@@ -1,0 +1,119 @@
+#include "memtest/online_voltage_test.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cim::memtest {
+namespace {
+
+crossbar::CrossbarConfig cfg16() {
+  crossbar::CrossbarConfig cfg;
+  cfg.rows = 16;
+  cfg.cols = 16;
+  cfg.tech = device::Technology::kReRamHfOx;
+  cfg.levels = 16;
+  cfg.model_ir_drop = false;
+  cfg.verified_writes = true;
+  cfg.seed = 101;
+  return cfg;
+}
+
+void program_random(crossbar::Crossbar& xbar, std::uint64_t seed) {
+  util::Rng rng(seed);
+  util::Matrix lv(xbar.rows(), xbar.cols());
+  // Mid-range levels so both increments and decrements have headroom.
+  for (auto& v : lv.flat())
+    v = 4.0 + static_cast<double>(rng.uniform_int(8));
+  xbar.program_levels(lv);
+}
+
+TEST(VoltageTest, CleanArrayHasNoFalsePositives) {
+  crossbar::Crossbar xbar(cfg16());
+  program_random(xbar, 3);
+  const auto res = run_voltage_comparison_test(xbar);
+  EXPECT_TRUE(res.located.empty());
+  EXPECT_GT(res.vmm_measurements, 0u);
+}
+
+TEST(VoltageTest, LocatesSa0Fault) {
+  crossbar::Crossbar xbar(cfg16());
+  fault::FaultMap map(16, 16);
+  map.add({fault::FaultKind::kStuckAtZero, 5, 9, 0, 0, 1.0});
+  xbar.apply_faults(map);
+  program_random(xbar, 5);
+  const auto res = run_voltage_comparison_test(xbar);
+  bool found = false;
+  for (const auto& loc : res.located)
+    if (loc.row == 5 && loc.col == 9) found = true;
+  EXPECT_TRUE(found);
+}
+
+TEST(VoltageTest, LocatesSa1Fault) {
+  crossbar::Crossbar xbar(cfg16());
+  fault::FaultMap map(16, 16);
+  map.add({fault::FaultKind::kStuckAtOne, 2, 14, 0, 0, 1.0});
+  xbar.apply_faults(map);
+  program_random(xbar, 7);
+  const auto res = run_voltage_comparison_test(xbar);
+  bool found = false;
+  for (const auto& loc : res.located)
+    if (loc.row == 2 && loc.col == 14) found = true;
+  EXPECT_TRUE(found);
+}
+
+TEST(VoltageTest, QualityOnScatteredStuckFaults) {
+  crossbar::Crossbar xbar(cfg16());
+  util::Rng rng(9);
+  const auto map = fault::FaultMap::with_fault_count(
+      16, 16, 8, fault::FaultMix::stuck_at_only(), rng);
+  xbar.apply_faults(map);
+  program_random(xbar, 9);
+  const auto res = run_voltage_comparison_test(xbar);
+  const auto q = voltage_test_quality(map, res);
+  EXPECT_GT(q.recall, 0.7);
+  EXPECT_GT(q.precision, 0.5);
+}
+
+TEST(VoltageTest, RestoresContentsAfterwards) {
+  crossbar::Crossbar xbar(cfg16());
+  program_random(xbar, 11);
+  std::vector<int> before(16 * 16);
+  for (std::size_t r = 0; r < 16; ++r)
+    for (std::size_t c = 0; c < 16; ++c)
+      before[r * 16 + c] =
+          xbar.scheme().nearest_level(xbar.true_conductance(r, c));
+  (void)run_voltage_comparison_test(xbar);
+  std::size_t preserved = 0;
+  for (std::size_t r = 0; r < 16; ++r)
+    for (std::size_t c = 0; c < 16; ++c)
+      if (xbar.scheme().nearest_level(xbar.true_conductance(r, c)) ==
+          before[r * 16 + c])
+        ++preserved;
+  // Verified restore writes recover nearly every cell.
+  EXPECT_GT(preserved, 240u);
+}
+
+TEST(VoltageTest, GroupSizeTradesMeasurementsForLocalization) {
+  crossbar::Crossbar a(cfg16()), b(cfg16());
+  program_random(a, 13);
+  program_random(b, 13);
+  const auto fine = run_voltage_comparison_test(a, {.group_rows = 2});
+  const auto coarse = run_voltage_comparison_test(b, {.group_rows = 16});
+  EXPECT_GT(fine.vmm_measurements, coarse.vmm_measurements);
+}
+
+TEST(VoltageTest, InvalidConfigThrows) {
+  crossbar::Crossbar xbar(cfg16());
+  EXPECT_THROW((void)run_voltage_comparison_test(xbar, {.group_rows = 0}),
+               std::invalid_argument);
+}
+
+TEST(VoltageTest, QualityDefaultsWhenNothingInjected) {
+  fault::FaultMap empty(4, 4);
+  VoltageTestResult res;
+  const auto q = voltage_test_quality(empty, res);
+  EXPECT_DOUBLE_EQ(q.recall, 1.0);
+  EXPECT_DOUBLE_EQ(q.precision, 1.0);
+}
+
+}  // namespace
+}  // namespace cim::memtest

@@ -1,0 +1,103 @@
+#include "nn/cnn.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cim::nn {
+namespace {
+
+TEST(Cnn, Im2colExtractsPatches) {
+  std::vector<double> image(64);
+  for (std::size_t i = 0; i < 64; ++i) image[i] = static_cast<double>(i);
+  const auto patches = SmallCnn::im2col(image, 8, 3);
+  EXPECT_EQ(patches.rows(), 36u);
+  EXPECT_EQ(patches.cols(), 9u);
+  // Patch (0,0) = rows 0..2, cols 0..2.
+  EXPECT_DOUBLE_EQ(patches(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(patches(0, 4), 9.0);   // (1,1)
+  EXPECT_DOUBLE_EQ(patches(0, 8), 18.0);  // (2,2)
+  // Patch (5,5) = rows 5..7, cols 5..7; last entry = pixel (7,7) = 63.
+  EXPECT_DOUBLE_EQ(patches(35, 8), 63.0);
+}
+
+TEST(Cnn, Im2colValidation) {
+  std::vector<double> bad(10);
+  EXPECT_THROW((void)SmallCnn::im2col(bad, 8, 3), std::invalid_argument);
+}
+
+TEST(Cnn, ForwardShapes) {
+  util::Rng rng(3);
+  SmallCnn cnn(4, rng);
+  std::vector<double> image(64, 0.5);
+  const auto logits = cnn.forward(image);
+  EXPECT_EQ(logits.size(), static_cast<std::size_t>(kClasses));
+  const int p = cnn.predict(image);
+  EXPECT_GE(p, 0);
+  EXPECT_LT(p, kClasses);
+}
+
+TEST(Cnn, TrainsToHighAccuracy) {
+  util::Rng rng(5);
+  const auto train = generate_digits(600, rng, 0.1);
+  const auto test = generate_digits(200, rng, 0.1);
+  SmallCnn cnn(4, rng);
+  cnn.fit(train, 30, 0.03, rng);
+  EXPECT_GT(cnn.accuracy(train), 0.93);
+  EXPECT_GT(cnn.accuracy(test), 0.85);
+}
+
+TEST(Cnn, TrainingReducesLoss) {
+  util::Rng rng(7);
+  const auto data = generate_digits(300, rng, 0.1);
+  SmallCnn cnn(4, rng);
+  const double l0 = cnn.train_epoch(data, 0.03, rng);
+  double l_last = l0;
+  for (int e = 0; e < 8; ++e) l_last = cnn.train_epoch(data, 0.03, rng);
+  EXPECT_LT(l_last, 0.6 * l0);
+}
+
+TEST(Cnn, CrossbarInferenceTracksSoftware) {
+  util::Rng rng(9);
+  const auto train = generate_digits(600, rng, 0.1);
+  const auto test = generate_digits(150, rng, 0.1);
+  SmallCnn cnn(4, rng);
+  cnn.fit(train, 30, 0.03, rng);
+  const double sw = cnn.accuracy(test);
+  ASSERT_GT(sw, 0.85);
+
+  CrossbarLinearConfig cfg;
+  cfg.array.seed = 11;
+  cfg.array.model_ir_drop = false;
+  cfg.program_verify = true;
+  CrossbarCnn xcnn(cnn, cfg);
+  EXPECT_GT(xcnn.accuracy(test), sw - 0.15);
+  EXPECT_GT(xcnn.energy_pj(), 0.0);
+}
+
+TEST(Cnn, YieldFaultsDegradeCnnToo) {
+  util::Rng rng(11);
+  const auto train = generate_digits(500, rng, 0.1);
+  const auto test = generate_digits(120, rng, 0.1);
+  SmallCnn cnn(4, rng);
+  cnn.fit(train, 30, 0.03, rng);
+
+  CrossbarLinearConfig cfg;
+  cfg.array.seed = 13;
+  cfg.array.model_ir_drop = false;
+  cfg.program_verify = true;
+  CrossbarCnn clean(cnn, cfg);
+  CrossbarCnn faulty(cnn, cfg);
+  util::Rng frng(15);
+  faulty.apply_yield(0.7, frng);
+  EXPECT_LT(faulty.accuracy(test), clean.accuracy(test));
+}
+
+TEST(Cnn, EmptyDatasetThrows) {
+  util::Rng rng(17);
+  SmallCnn cnn(2, rng);
+  Dataset empty;
+  EXPECT_THROW((void)cnn.train_epoch(empty, 0.01, rng), std::invalid_argument);
+  EXPECT_EQ(cnn.accuracy(empty), 0.0);
+}
+
+}  // namespace
+}  // namespace cim::nn

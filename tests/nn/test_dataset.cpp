@@ -1,0 +1,77 @@
+#include "nn/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace cim::nn {
+namespace {
+
+TEST(Dataset, TemplatesAreDistinct) {
+  std::set<std::vector<double>> seen;
+  for (int d = 0; d < kClasses; ++d) {
+    const auto t = digit_template(d);
+    EXPECT_EQ(t.size(), kPixels);
+    EXPECT_TRUE(seen.insert(t).second) << "duplicate template for " << d;
+  }
+}
+
+TEST(Dataset, TemplatesAreBinary) {
+  for (int d = 0; d < kClasses; ++d)
+    for (const double v : digit_template(d)) EXPECT_TRUE(v == 0.0 || v == 1.0);
+}
+
+TEST(Dataset, TemplatesHaveInk) {
+  for (int d = 0; d < kClasses; ++d) {
+    double ink = 0.0;
+    for (const double v : digit_template(d)) ink += v;
+    EXPECT_GE(ink, 8.0) << "digit " << d;
+    EXPECT_LE(ink, 40.0) << "digit " << d;
+  }
+}
+
+TEST(Dataset, BadDigitThrows) {
+  EXPECT_THROW((void)digit_template(-1), std::out_of_range);
+  EXPECT_THROW((void)digit_template(10), std::out_of_range);
+}
+
+TEST(Dataset, GenerateShapesAndRanges) {
+  util::Rng rng(3);
+  const auto ds = generate_digits(100, rng);
+  EXPECT_EQ(ds.size(), 100u);
+  EXPECT_EQ(ds.features.rows(), 100u);
+  EXPECT_EQ(ds.features.cols(), kPixels);
+  for (const double v : ds.features.flat()) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+  for (const int label : ds.labels) {
+    EXPECT_GE(label, 0);
+    EXPECT_LT(label, kClasses);
+  }
+}
+
+TEST(Dataset, AllClassesAppear) {
+  util::Rng rng(5);
+  const auto ds = generate_digits(500, rng);
+  std::set<int> classes(ds.labels.begin(), ds.labels.end());
+  EXPECT_EQ(classes.size(), static_cast<std::size_t>(kClasses));
+}
+
+TEST(Dataset, NoiseZeroSamplesMatchShiftedTemplates) {
+  util::Rng rng(7);
+  const auto ds = generate_digits(50, rng, 0.0);
+  // Each noise-free sample has only 0/1 pixels.
+  for (const double v : ds.features.flat()) EXPECT_TRUE(v == 0.0 || v == 1.0);
+}
+
+TEST(Dataset, DeterministicGivenSeed) {
+  util::Rng a(11), b(11);
+  const auto da = generate_digits(20, a);
+  const auto db = generate_digits(20, b);
+  EXPECT_EQ(da.labels, db.labels);
+  EXPECT_TRUE(da.features == db.features);
+}
+
+}  // namespace
+}  // namespace cim::nn

@@ -1,0 +1,96 @@
+#include "nn/fault_tolerant_training.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cim::nn {
+namespace {
+
+CrossbarLinearConfig quiet_cfg(std::uint64_t seed) {
+  CrossbarLinearConfig cfg;
+  cfg.array.seed = seed;
+  cfg.array.model_ir_drop = false;
+  cfg.program_verify = true;
+  return cfg;
+}
+
+TEST(FaultTolerantTraining, RecoversAccuracyAfterFaults) {
+  util::Rng rng(3);
+  const auto train = generate_digits(500, rng, 0.1);
+  const auto test = generate_digits(150, rng, 0.1);
+  Mlp net({kPixels, 24, kClasses}, rng);
+  net.fit(train, 40, 0.05, rng);
+
+  CrossbarLinear l0(net.layers()[0].w, net.layers()[0].b, quiet_cfg(11));
+  CrossbarLinear l1(net.layers()[1].w, net.layers()[1].b, quiet_cfg(12));
+  const double clean = crossbar_accuracy(l0, l1, test);
+  ASSERT_GT(clean, 0.8);
+
+  util::Rng frng(13);
+  l0.apply_yield(0.88, frng);
+  l1.apply_yield(0.88, frng);
+
+  const auto res =
+      fault_tolerant_retrain(net, l0, l1, train, test, {.epochs = 6, .lr = 0.02}, rng);
+  EXPECT_LT(res.accuracy_before, clean - 0.1);  // faults hurt
+  EXPECT_GT(res.accuracy_after, res.accuracy_before + 0.1);  // retraining heals
+  EXPECT_EQ(res.epochs_run, 6u);
+}
+
+TEST(FaultTolerantTraining, NoFaultsNoHarm) {
+  util::Rng rng(5);
+  const auto train = generate_digits(300, rng, 0.1);
+  Mlp net({kPixels, 16, kClasses}, rng);
+  net.fit(train, 30, 0.05, rng);
+
+  CrossbarLinear l0(net.layers()[0].w, net.layers()[0].b, quiet_cfg(21));
+  CrossbarLinear l1(net.layers()[1].w, net.layers()[1].b, quiet_cfg(22));
+  const auto res =
+      fault_tolerant_retrain(net, l0, l1, train, train, {.epochs = 2, .lr = 0.01}, rng);
+  EXPECT_GE(res.accuracy_after, res.accuracy_before - 0.05);
+}
+
+TEST(FaultTolerantTraining, ShapeValidation) {
+  util::Rng rng(7);
+  Mlp small({4, 3, 2}, rng);
+  Mlp deep({4, 3, 3, 2}, rng);
+  CrossbarLinear l0(small.layers()[0].w, small.layers()[0].b, quiet_cfg(31));
+  CrossbarLinear l1(small.layers()[1].w, small.layers()[1].b, quiet_cfg(32));
+  Dataset empty;
+  EXPECT_THROW((void)fault_tolerant_retrain(deep, l0, l1, empty, empty, {}, rng),
+               std::invalid_argument);
+}
+
+TEST(CrossbarLinearReprogram, UpdatesWeights) {
+  util::Matrix w1 = {{1.0, 0.0}, {0.0, 1.0}};
+  util::Matrix w2 = {{0.0, 1.0}, {1.0, 0.0}};
+  CrossbarLinear layer(w1, {}, quiet_cfg(41));
+  layer.set_x_max(1.0);
+
+  auto mean_forward = [&](const std::vector<double>& x) {
+    std::vector<double> acc(2, 0.0);
+    for (int k = 0; k < 32; ++k) {
+      const auto y = layer.forward(x);
+      for (std::size_t i = 0; i < 2; ++i) acc[i] += y[i] / 32.0;
+    }
+    return acc;
+  };
+
+  const std::vector<double> x = {1.0, 0.0};
+  const auto before = mean_forward(x);
+  EXPECT_GT(before[0], before[1]);
+  layer.reprogram(w2, {});
+  const auto after = mean_forward(x);
+  EXPECT_GT(after[1], after[0]);  // the swap took effect
+}
+
+TEST(CrossbarLinearReprogram, ShapeMismatchThrows) {
+  util::Matrix w(2, 2, 1.0);
+  CrossbarLinear layer(w, {}, quiet_cfg(51));
+  util::Matrix wrong(3, 2, 1.0);
+  EXPECT_THROW(layer.reprogram(wrong, {}), std::invalid_argument);
+  std::vector<double> bad_bias(3, 0.0);
+  EXPECT_THROW(layer.reprogram(w, bad_bias), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cim::nn

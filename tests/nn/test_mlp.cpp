@@ -1,0 +1,96 @@
+#include "nn/mlp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace cim::nn {
+namespace {
+
+TEST(Mlp, ForwardShapes) {
+  util::Rng rng(3);
+  Mlp net({8, 16, 4}, rng);
+  EXPECT_EQ(net.in_dim(), 8u);
+  EXPECT_EQ(net.out_dim(), 4u);
+  std::vector<double> x(8, 0.5);
+  EXPECT_EQ(net.forward(x).size(), 4u);
+}
+
+TEST(Mlp, TooFewDimsThrows) {
+  util::Rng rng(5);
+  EXPECT_THROW(Mlp({8}, rng), std::invalid_argument);
+}
+
+TEST(Mlp, SoftmaxIsDistribution) {
+  std::vector<double> logits = {1.0, 2.0, 3.0};
+  const auto p = softmax(logits);
+  double sum = 0.0;
+  for (const double v : p) {
+    EXPECT_GT(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  EXPECT_GT(p[2], p[1]);
+  EXPECT_GT(p[1], p[0]);
+}
+
+TEST(Mlp, SoftmaxNumericallyStable) {
+  std::vector<double> logits = {1000.0, 1001.0};
+  const auto p = softmax(logits);
+  EXPECT_TRUE(std::isfinite(p[0]));
+  EXPECT_NEAR(p[0] + p[1], 1.0, 1e-12);
+}
+
+TEST(Mlp, TrainingReducesLoss) {
+  util::Rng rng(7);
+  const auto data = generate_digits(300, rng);
+  Mlp net({kPixels, 24, kClasses}, rng);
+  const double l0 = net.train_epoch(data, 0.05, rng);
+  double l_last = l0;
+  for (int e = 0; e < 10; ++e) l_last = net.train_epoch(data, 0.05, rng);
+  EXPECT_LT(l_last, 0.5 * l0);
+}
+
+TEST(Mlp, LearnsDigitsToHighAccuracy) {
+  util::Rng rng(9);
+  const auto train = generate_digits(600, rng);
+  const auto test = generate_digits(200, rng);
+  Mlp net({kPixels, 32, kClasses}, rng);
+  net.fit(train, 40, 0.05, rng);
+  EXPECT_GT(net.accuracy(train), 0.95);
+  EXPECT_GT(net.accuracy(test), 0.85);
+}
+
+TEST(Mlp, PredictIsArgmaxOfForward) {
+  util::Rng rng(11);
+  Mlp net({4, 3}, rng);
+  std::vector<double> x = {0.1, 0.9, 0.3, 0.7};
+  const auto logits = net.forward(x);
+  int best = 0;
+  for (std::size_t i = 1; i < logits.size(); ++i)
+    if (logits[i] > logits[static_cast<std::size_t>(best)])
+      best = static_cast<int>(i);
+  EXPECT_EQ(net.predict(x), best);
+}
+
+TEST(Mlp, EmptyDatasetThrows) {
+  util::Rng rng(13);
+  Mlp net({4, 2}, rng);
+  Dataset empty;
+  EXPECT_THROW((void)net.train_epoch(empty, 0.1, rng), std::invalid_argument);
+  EXPECT_EQ(net.accuracy(empty), 0.0);
+}
+
+TEST(Dense, ForwardComputesAffine) {
+  util::Rng rng(15);
+  Dense layer(2, 3, rng);
+  layer.w = util::Matrix{{1, 0, -1}, {2, 1, 0}};
+  layer.b = {0.5, -0.5};
+  std::vector<double> x = {1.0, 2.0, 3.0};
+  const auto y = layer.forward(x);
+  EXPECT_DOUBLE_EQ(y[0], 1.0 - 3.0 + 0.5);
+  EXPECT_DOUBLE_EQ(y[1], 2.0 + 2.0 - 0.5);
+}
+
+}  // namespace
+}  // namespace cim::nn

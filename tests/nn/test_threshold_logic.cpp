@@ -1,0 +1,108 @@
+#include "nn/threshold_logic.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cim::nn {
+namespace {
+
+std::vector<bool> bits_of(std::uint64_t m, std::size_t n) {
+  std::vector<bool> x(n);
+  for (std::size_t i = 0; i < n; ++i) x[i] = (m >> i) & 1ULL;
+  return x;
+}
+
+CrossbarLinearConfig quiet_cfg() {
+  CrossbarLinearConfig cfg;
+  cfg.array.seed = 3;
+  cfg.array.model_ir_drop = false;
+  cfg.program_verify = true;
+  return cfg;
+}
+
+TEST(ThresholdGate, ClassicGates) {
+  const std::size_t n = 4;
+  const auto g_and = threshold_and(n);
+  const auto g_or = threshold_or(n);
+  const auto g_maj = threshold_majority(5);
+  for (std::uint64_t m = 0; m < 16; ++m) {
+    const auto x = bits_of(m, n);
+    const int ones = __builtin_popcountll(m);
+    EXPECT_EQ(g_and.eval(x), ones == 4);
+    EXPECT_EQ(g_or.eval(x), ones >= 1);
+  }
+  for (std::uint64_t m = 0; m < 32; ++m) {
+    EXPECT_EQ(g_maj.eval(bits_of(m, 5)), __builtin_popcountll(m) >= 3);
+  }
+}
+
+TEST(ThresholdGate, AtLeastK) {
+  for (std::size_t k = 1; k <= 5; ++k) {
+    const auto g = threshold_at_least(5, k);
+    for (std::uint64_t m = 0; m < 32; ++m)
+      EXPECT_EQ(g.eval(bits_of(m, 5)),
+                static_cast<std::size_t>(__builtin_popcountll(m)) >= k);
+  }
+}
+
+TEST(ThresholdGate, InputSizeMismatchThrows) {
+  const auto g = threshold_and(3);
+  EXPECT_THROW((void)g.eval({true, false}), std::invalid_argument);
+}
+
+TEST(CrossbarThresholdLayer, MatchesReferenceExhaustively) {
+  std::vector<ThresholdGate> gates = {threshold_and(5), threshold_or(5),
+                                      threshold_majority(5),
+                                      threshold_at_least(5, 2)};
+  CrossbarThresholdLayer layer(gates, quiet_cfg());
+  for (std::uint64_t m = 0; m < 32; ++m) {
+    const auto x = bits_of(m, 5);
+    EXPECT_EQ(layer.eval(x), layer.eval_reference(x)) << "m=" << m;
+  }
+}
+
+TEST(CrossbarThresholdLayer, SignedWeightsWork) {
+  // Fires iff x0 - x1 >= 1 (i.e. x0 and not x1).
+  ThresholdGate g{{1.0, -1.0}, 1.0};
+  CrossbarThresholdLayer layer({g}, quiet_cfg());
+  EXPECT_FALSE(layer.eval({false, false})[0]);
+  EXPECT_TRUE(layer.eval({true, false})[0]);
+  EXPECT_FALSE(layer.eval({false, true})[0]);
+  EXPECT_FALSE(layer.eval({true, true})[0]);
+}
+
+TEST(CrossbarThresholdLayer, Validation) {
+  EXPECT_THROW(CrossbarThresholdLayer({}, quiet_cfg()), std::invalid_argument);
+  std::vector<ThresholdGate> ragged = {threshold_and(2), threshold_and(3)};
+  EXPECT_THROW(CrossbarThresholdLayer(std::move(ragged), quiet_cfg()),
+               std::invalid_argument);
+}
+
+TEST(ThresholdNetwork, ParityDepthTwoCircuit) {
+  for (const std::size_t n : {2u, 3u, 4u, 5u}) {
+    auto net = ThresholdNetwork::parity(n, quiet_cfg());
+    EXPECT_EQ(net.layers(), 2u);
+    for (std::uint64_t m = 0; m < (1ULL << n); ++m) {
+      const auto x = bits_of(m, n);
+      const bool expected = __builtin_popcountll(m) & 1;
+      EXPECT_EQ(net.eval_reference(x)[0], expected) << "n=" << n << " m=" << m;
+      EXPECT_EQ(net.eval(x)[0], expected) << "n=" << n << " m=" << m;
+    }
+  }
+}
+
+TEST(ThresholdNetwork, EnergyAccumulates) {
+  auto net = ThresholdNetwork::parity(4, quiet_cfg());
+  const double e0 = net.energy_pj();
+  (void)net.eval(bits_of(5, 4));
+  EXPECT_GT(net.energy_pj(), e0);
+}
+
+TEST(ThresholdNetwork, LayerWidthMismatchThrows) {
+  ThresholdNetwork net;
+  net.add_layer({threshold_and(3)}, quiet_cfg());
+  EXPECT_THROW(net.add_layer({threshold_and(3)}, quiet_cfg()),
+               std::invalid_argument);  // previous layer has width 1
+}
+
+}  // namespace
+}  // namespace cim::nn

@@ -1,0 +1,59 @@
+#include "periphery/dac.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cim::periphery {
+namespace {
+
+TEST(Dac, OneBitDriverIsBinary) {
+  Dac dac({.bits = 1, .v_max = 1.2});
+  EXPECT_DOUBLE_EQ(dac.to_voltage(0), 0.0);
+  EXPECT_DOUBLE_EQ(dac.to_voltage(1), 1.2);
+}
+
+TEST(Dac, MultiBitLinearRamp) {
+  Dac dac({.bits = 3, .v_max = 7.0});
+  for (std::uint32_t c = 0; c <= 7; ++c)
+    EXPECT_NEAR(dac.to_voltage(c), static_cast<double>(c), 1e-12);
+}
+
+TEST(Dac, CodeClamped) {
+  Dac dac({.bits = 2, .v_max = 3.0});
+  EXPECT_DOUBLE_EQ(dac.to_voltage(99), 3.0);
+}
+
+TEST(Dac, BitSerialPulsesLsbFirst) {
+  const auto pulses = Dac::bit_serial_pulses(0b1011u, 4, 0.5);
+  ASSERT_EQ(pulses.size(), 4u);
+  EXPECT_DOUBLE_EQ(pulses[0], 0.5);  // bit 0
+  EXPECT_DOUBLE_EQ(pulses[1], 0.5);  // bit 1
+  EXPECT_DOUBLE_EQ(pulses[2], 0.0);  // bit 2
+  EXPECT_DOUBLE_EQ(pulses[3], 0.5);  // bit 3
+}
+
+TEST(Dac, BitSerialValidation) {
+  EXPECT_THROW((void)Dac::bit_serial_pulses(1, 0, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)Dac::bit_serial_pulses(1, 33, 1.0), std::invalid_argument);
+}
+
+TEST(Dac, CostGrowsWithBits) {
+  Dac d1({.bits = 1});
+  Dac d4({.bits = 4});
+  EXPECT_GT(d4.area_um2(), d1.area_um2());
+  EXPECT_GT(d4.power_mw(), d1.power_mw());
+}
+
+TEST(Dac, DriverIsFarCheaperThanAdc) {
+  // Fig. 5's premise: the ADC dominates; drivers are comparatively free.
+  Dac dac({.bits = 1});
+  EXPECT_LT(dac.area_um2() * 128, 1200.0);  // 128 drivers < one 8-bit ADC
+}
+
+TEST(Dac, InvalidConfigThrows) {
+  EXPECT_THROW(Dac({.bits = 0}), std::invalid_argument);
+  EXPECT_THROW(Dac({.bits = 13}), std::invalid_argument);
+  EXPECT_THROW(Dac({.bits = 1, .v_max = 0.0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cim::periphery

@@ -1,0 +1,109 @@
+#include "periphery/tile_cost.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cim::periphery {
+namespace {
+
+TileConfig isaac_like() {
+  TileConfig cfg;
+  cfg.rows = 128;
+  cfg.cols = 128;
+  cfg.adc_bits = 8;
+  cfg.adcs = 1;
+  cfg.dac_bits = 1;
+  cfg.input_bits = 8;
+  return cfg;
+}
+
+TEST(TileCost, AllBlocksPresent) {
+  const auto blocks = tile_breakdown(isaac_like());
+  ASSERT_EQ(blocks.size(), 7u);
+  for (const auto& b : blocks) {
+    EXPECT_GT(b.area_um2, 0.0) << b.name;
+    EXPECT_GT(b.power_mw, 0.0) << b.name;
+  }
+}
+
+TEST(TileCost, AdcDominatesAreaAtEightBits) {
+  // Fig. 5: ADC dominates CIM die area and power.
+  const auto blocks = tile_breakdown(isaac_like());
+  EXPECT_GT(area_share(blocks, "ADC"), 0.5);
+  EXPECT_GT(power_share(blocks, "ADC"), 0.5);
+}
+
+TEST(TileCost, CrossbarItselfIsTiny) {
+  const auto blocks = tile_breakdown(isaac_like());
+  EXPECT_LT(area_share(blocks, "crossbar"), 0.1);
+}
+
+TEST(TileCost, AdcShareGrowsWithResolution) {
+  auto lo = isaac_like();
+  lo.adc_bits = 4;
+  auto hi = isaac_like();
+  hi.adc_bits = 8;
+  EXPECT_GT(area_share(tile_breakdown(hi), "ADC"),
+            area_share(tile_breakdown(lo), "ADC"));
+}
+
+TEST(TileCost, MoreAdcsMoreAreaLessLatency) {
+  auto one = isaac_like();
+  auto eight = isaac_like();
+  eight.adcs = 8;
+  EXPECT_GT(total_cost(tile_breakdown(eight)).area_um2,
+            total_cost(tile_breakdown(one)).area_um2);
+  EXPECT_LT(tile_vmm_latency_ns(eight), tile_vmm_latency_ns(one));
+}
+
+TEST(TileCost, TotalsAreSums) {
+  const auto blocks = tile_breakdown(isaac_like());
+  const auto t = total_cost(blocks);
+  double area = 0.0, power = 0.0;
+  for (const auto& b : blocks) {
+    area += b.area_um2;
+    power += b.power_mw;
+  }
+  EXPECT_DOUBLE_EQ(t.area_um2, area);
+  EXPECT_DOUBLE_EQ(t.power_mw, power);
+}
+
+TEST(TileCost, SharesSumToOne) {
+  const auto blocks = tile_breakdown(isaac_like());
+  double share = 0.0;
+  for (const auto& b : blocks) share += area_share(blocks, b.name);
+  EXPECT_NEAR(share, 1.0, 1e-9);
+}
+
+TEST(TileCost, LatencyScalesWithInputBits) {
+  auto cfg = isaac_like();
+  cfg.input_bits = 8;
+  const double t8 = tile_vmm_latency_ns(cfg);
+  cfg.input_bits = 4;
+  EXPECT_NEAR(tile_vmm_latency_ns(cfg), t8 / 2.0, 1e-9);
+}
+
+TEST(TileCost, EnergyScalesWithInputBits) {
+  auto cfg = isaac_like();
+  cfg.input_bits = 8;
+  const double e8 = tile_vmm_energy_pj(cfg);
+  cfg.input_bits = 4;
+  EXPECT_NEAR(tile_vmm_energy_pj(cfg), e8 / 2.0, 1e-9);
+}
+
+TEST(TileCost, InvalidConfigThrows) {
+  auto cfg = isaac_like();
+  cfg.rows = 0;
+  EXPECT_THROW((void)tile_breakdown(cfg), std::invalid_argument);
+  cfg = isaac_like();
+  cfg.adcs = 0;
+  EXPECT_THROW((void)tile_breakdown(cfg), std::invalid_argument);
+}
+
+TEST(TileCost, UnknownBlockShareIsZero) {
+  const auto blocks = tile_breakdown(isaac_like());
+  EXPECT_DOUBLE_EQ(area_share(blocks, "no-such-block"), 0.0);
+  EXPECT_DOUBLE_EQ(power_share(blocks, "no-such-block"), 0.0);
+}
+
+}  // namespace
+}  // namespace cim::periphery

@@ -1,0 +1,56 @@
+#include "periphery/voltage_domains.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cim::periphery {
+namespace {
+
+TEST(VoltageDomains, ReadRailIsFree) {
+  // v_read below vdd needs no pump; a same-rail write plan has no overhead.
+  VoltagePlan plan{1.0, 0.2, 1.0, 0.0};
+  const auto rep = analyze_voltage_domains(plan, 128);
+  EXPECT_TRUE(rep.rails.empty());
+  EXPECT_DOUBLE_EQ(rep.total_area_um2, 0.0);
+  EXPECT_DOUBLE_EQ(rep.write_energy_multiplier, 1.0);
+}
+
+TEST(VoltageDomains, WriteRailNeedsPumpAndShifters) {
+  VoltagePlan plan{1.0, 0.2, 2.0, 0.0};
+  const auto rep = analyze_voltage_domains(plan, 128);
+  ASSERT_EQ(rep.rails.size(), 1u);
+  EXPECT_GT(rep.rails[0].pump_area_um2, 0.0);
+  EXPECT_GT(rep.rails[0].shifter_area_um2, 0.0);
+  EXPECT_LT(rep.rails[0].pump_efficiency, 1.0);
+  EXPECT_GT(rep.write_energy_multiplier, 1.0);
+}
+
+TEST(VoltageDomains, HigherBoostCostsMore) {
+  VoltagePlan low{1.0, 0.2, 2.0, 0.0};
+  VoltagePlan high{1.0, 0.2, 3.0, 0.0};
+  const auto rl = analyze_voltage_domains(low, 128);
+  const auto rh = analyze_voltage_domains(high, 128);
+  EXPECT_GT(rh.total_area_um2, rl.total_area_um2);
+  EXPECT_GT(rh.write_energy_multiplier, rl.write_energy_multiplier);
+}
+
+TEST(VoltageDomains, ProgramRailAddsSecondDomain) {
+  // FeRFET-style plan: operation at vdd, programming at 2.5x (Section V.A).
+  VoltagePlan plan{1.0, 0.2, 2.0, 2.5};
+  const auto rep = analyze_voltage_domains(plan, 64);
+  EXPECT_EQ(rep.rails.size(), 2u);
+}
+
+TEST(VoltageDomains, ShifterAreaScalesWithRows) {
+  VoltagePlan plan{1.0, 0.2, 2.0, 0.0};
+  const auto small = analyze_voltage_domains(plan, 32);
+  const auto large = analyze_voltage_domains(plan, 256);
+  EXPECT_GT(large.total_area_um2, small.total_area_um2);
+}
+
+TEST(VoltageDomains, Validation) {
+  VoltagePlan bad{0.0, 0.2, 2.0, 0.0};
+  EXPECT_THROW((void)analyze_voltage_domains(bad, 8), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cim::periphery

@@ -1,0 +1,114 @@
+#include "util/changepoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace cim::util {
+namespace {
+
+std::vector<double> shifted_series(std::size_t n, std::size_t shift_at,
+                                   double mu0, double mu1, double sigma,
+                                   std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> xs(n);
+  for (std::size_t i = 0; i < n; ++i)
+    xs[i] = rng.normal(i < shift_at ? mu0 : mu1, sigma);
+  return xs;
+}
+
+TEST(Cusum, NoAlarmOnStationarySeries) {
+  Rng rng(3);
+  CusumDetector det;
+  for (int i = 0; i < 2000; ++i) det.update(rng.normal(10.0, 1.0));
+  EXPECT_FALSE(det.alarmed());
+}
+
+TEST(Cusum, FalseAlarmRateLowAcrossSeeds) {
+  int false_alarms = 0;
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    Rng rng(seed);
+    CusumDetector det;
+    for (int i = 0; i < 1500; ++i) det.update(rng.normal(5.0, 0.7));
+    if (det.alarmed()) ++false_alarms;
+  }
+  EXPECT_LE(false_alarms, 1);
+}
+
+TEST(Cusum, DetectsUpwardShift) {
+  const auto xs = shifted_series(1200, 600, 10.0, 12.0, 1.0, 7);
+  CusumDetector det;
+  for (const double x : xs) det.update(x);
+  ASSERT_TRUE(det.alarmed());
+  // Alarm fires after the true changepoint but within a reasonable delay.
+  EXPECT_GE(*det.alarm_index(), 600u);
+  EXPECT_LE(*det.alarm_index(), 660u);
+}
+
+TEST(Cusum, DetectsDownwardShift) {
+  const auto xs = shifted_series(1200, 600, 10.0, 8.0, 1.0, 11);
+  CusumDetector det;
+  for (const double x : xs) det.update(x);
+  ASSERT_TRUE(det.alarmed());
+  EXPECT_GE(*det.alarm_index(), 600u);
+}
+
+TEST(Cusum, SmallerShiftDetectedSlower) {
+  const auto big = shifted_series(3000, 600, 10.0, 13.0, 1.0, 13);
+  const auto small = shifted_series(3000, 600, 10.0, 11.2, 1.0, 13);
+  CusumDetector d1, d2;
+  for (const double x : big) d1.update(x);
+  for (const double x : small) d2.update(x);
+  ASSERT_TRUE(d1.alarmed());
+  ASSERT_TRUE(d2.alarmed());
+  EXPECT_LT(*d1.alarm_index(), *d2.alarm_index());
+}
+
+TEST(Cusum, ResetClearsState) {
+  const auto xs = shifted_series(1200, 600, 10.0, 14.0, 1.0, 17);
+  CusumDetector det;
+  for (const double x : xs) det.update(x);
+  ASSERT_TRUE(det.alarmed());
+  det.reset();
+  EXPECT_FALSE(det.alarmed());
+  EXPECT_EQ(det.samples(), 0u);
+}
+
+TEST(Cusum, WarmupEstimatesBaseline) {
+  Rng rng(19);
+  CusumDetector det({.warmup = 500, .k = 0.5, .h = 8.0});
+  for (int i = 0; i < 500; ++i) det.update(rng.normal(42.0, 2.0));
+  EXPECT_NEAR(det.mu0(), 42.0, 0.3);
+  EXPECT_NEAR(det.sigma0(), 2.0, 0.3);
+}
+
+TEST(Cusum, ConstantWarmupDoesNotDivideByZero) {
+  CusumDetector det({.warmup = 10, .k = 0.5, .h = 8.0});
+  for (int i = 0; i < 10; ++i) det.update(5.0);
+  // A later deviation should alarm rather than crash.
+  bool alarmed = false;
+  for (int i = 0; i < 5 && !alarmed; ++i) alarmed = det.update(6.0);
+  EXPECT_TRUE(alarmed);
+}
+
+TEST(LocateMeanShift, FindsTrueChangepoint) {
+  const auto xs = shifted_series(1000, 600, 5.0, 7.0, 0.5, 23);
+  const auto cp = locate_mean_shift(xs);
+  ASSERT_TRUE(cp.has_value());
+  EXPECT_NEAR(static_cast<double>(*cp), 600.0, 15.0);
+}
+
+TEST(LocateMeanShift, TooShortReturnsNullopt) {
+  std::vector<double> xs = {1.0, 2.0, 3.0};
+  EXPECT_FALSE(locate_mean_shift(xs).has_value());
+}
+
+TEST(LocateMeanShift, ConstantSeriesReturnsNullopt) {
+  std::vector<double> xs(100, 3.14);
+  EXPECT_FALSE(locate_mean_shift(xs).has_value());
+}
+
+}  // namespace
+}  // namespace cim::util

@@ -1,0 +1,85 @@
+#include "util/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cim::util {
+namespace {
+
+TEST(Matrix, ConstructAndIndex) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m(1, 2), 1.5);
+  m(0, 0) = 7.0;
+  EXPECT_EQ(m(0, 0), 7.0);
+}
+
+TEST(Matrix, InitializerList) {
+  Matrix m = {{1, 2}, {3, 4}};
+  EXPECT_EQ(m(0, 1), 2.0);
+  EXPECT_EQ(m(1, 0), 3.0);
+}
+
+TEST(Matrix, RaggedInitThrows) {
+  EXPECT_THROW((Matrix{{1, 2}, {3}}), std::invalid_argument);
+}
+
+TEST(Matrix, OutOfRangeThrows) {
+  Matrix m(2, 2);
+  EXPECT_THROW((void)m(2, 0), std::out_of_range);
+  EXPECT_THROW((void)m(0, 2), std::out_of_range);
+}
+
+TEST(Matrix, Matvec) {
+  Matrix m = {{1, 2}, {3, 4}, {5, 6}};
+  const std::vector<double> x = {1.0, -1.0};
+  const auto y = m.matvec(x);
+  ASSERT_EQ(y.size(), 3u);
+  EXPECT_DOUBLE_EQ(y[0], -1.0);
+  EXPECT_DOUBLE_EQ(y[1], -1.0);
+  EXPECT_DOUBLE_EQ(y[2], -1.0);
+}
+
+TEST(Matrix, MatvecTransposed) {
+  Matrix m = {{1, 2}, {3, 4}};
+  const std::vector<double> x = {1.0, 1.0};
+  const auto y = m.matvec_transposed(x);
+  ASSERT_EQ(y.size(), 2u);
+  EXPECT_DOUBLE_EQ(y[0], 4.0);
+  EXPECT_DOUBLE_EQ(y[1], 6.0);
+}
+
+TEST(Matrix, MatvecDimMismatchThrows) {
+  Matrix m(2, 3);
+  const std::vector<double> bad = {1.0, 2.0};
+  EXPECT_THROW((void)m.matvec(bad), std::invalid_argument);
+}
+
+TEST(Matrix, TransposeRoundTrip) {
+  Matrix m = {{1, 2, 3}, {4, 5, 6}};
+  const auto t = m.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_EQ(t(2, 1), 6.0);
+  EXPECT_TRUE(t.transposed() == m);
+}
+
+TEST(Matrix, Multiply) {
+  Matrix a = {{1, 2}, {3, 4}};
+  Matrix b = {{5, 6}, {7, 8}};
+  const auto c = a.multiply(b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(Matrix, RowSpanMutates) {
+  Matrix m(2, 2, 0.0);
+  auto r = m.row(1);
+  r[0] = 9.0;
+  EXPECT_EQ(m(1, 0), 9.0);
+}
+
+}  // namespace
+}  // namespace cim::util

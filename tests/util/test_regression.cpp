@@ -1,0 +1,94 @@
+#include "util/regression.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace cim::util {
+namespace {
+
+TEST(Ridge, RecoversLinearModel) {
+  Rng rng(3);
+  const std::size_t n = 200, d = 3;
+  std::vector<double> x(n * d), y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < d; ++j) x[i * d + j] = rng.normal(0.0, 1.0);
+    y[i] = 2.0 * x[i * d] - 1.0 * x[i * d + 1] + 0.5 * x[i * d + 2] + 3.0;
+  }
+  RidgeRegression reg(1e-6);
+  reg.fit(x, y, d);
+  const std::vector<double> probe = {1.0, 1.0, 1.0};
+  EXPECT_NEAR(reg.predict(probe), 2.0 - 1.0 + 0.5 + 3.0, 1e-3);
+  EXPECT_GT(reg.r2(x, y), 0.999);
+}
+
+TEST(Ridge, NoisyFitStillGood) {
+  Rng rng(5);
+  const std::size_t n = 500, d = 2;
+  std::vector<double> x(n * d), y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i * d] = rng.uniform(0, 10);
+    x[i * d + 1] = rng.uniform(-5, 5);
+    y[i] = 1.5 * x[i * d] + 0.2 * x[i * d + 1] + rng.normal(0.0, 0.5);
+  }
+  RidgeRegression reg(1e-3);
+  reg.fit(x, y, d);
+  EXPECT_GT(reg.r2(x, y), 0.98);
+}
+
+TEST(Ridge, ConstantFeatureIsHarmless) {
+  Rng rng(7);
+  const std::size_t n = 100, d = 2;
+  std::vector<double> x(n * d), y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i * d] = 5.0;  // constant
+    x[i * d + 1] = rng.uniform(0, 1);
+    y[i] = 4.0 * x[i * d + 1];
+  }
+  RidgeRegression reg;
+  reg.fit(x, y, d);
+  const std::vector<double> probe = {5.0, 0.5};
+  EXPECT_NEAR(reg.predict(probe), 2.0, 0.05);
+}
+
+TEST(Ridge, StrongRegularizationShrinksTowardMean) {
+  Rng rng(9);
+  const std::size_t n = 100, d = 1;
+  std::vector<double> x(n), y(n);
+  double ymean = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = rng.uniform(-1, 1);
+    y[i] = 10.0 * x[i];
+    ymean += y[i];
+  }
+  ymean /= n;
+  RidgeRegression reg(1e6);
+  reg.fit(x, y, d);
+  const std::vector<double> probe = {0.8};
+  EXPECT_NEAR(reg.predict(probe), ymean, 0.5);
+}
+
+TEST(Ridge, InvalidArgumentsThrow) {
+  RidgeRegression reg;
+  std::vector<double> x = {1, 2, 3};
+  std::vector<double> y = {1};
+  EXPECT_THROW(reg.fit(x, y, 0), std::invalid_argument);
+  EXPECT_THROW(reg.fit(x, y, 2), std::invalid_argument);
+  std::vector<double> probe = {1.0};
+  EXPECT_THROW((void)reg.predict(probe), std::invalid_argument);
+}
+
+TEST(Ridge, PredictDimMismatchThrows) {
+  Rng rng(11);
+  std::vector<double> x = {1, 2, 3, 4};
+  std::vector<double> y = {1, 2};
+  RidgeRegression reg;
+  reg.fit(x, y, 2);
+  std::vector<double> bad = {1.0};
+  EXPECT_THROW((void)reg.predict(bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cim::util

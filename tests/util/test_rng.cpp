@@ -1,0 +1,124 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <set>
+
+namespace cim::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a() == b()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntCoversRangeUniformly) {
+  Rng rng(13);
+  std::array<int, 7> counts{};
+  const int n = 70000;
+  for (int i = 0; i < n; ++i) ++counts[rng.uniform_int(7)];
+  for (const int c : counts) EXPECT_NEAR(c, n / 7, 600);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng rng(17);
+  double sum = 0.0, sumsq = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(2.0, 3.0);
+    sum += x;
+    sumsq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sumsq / n - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.05);
+  EXPECT_NEAR(var, 9.0, 0.3);
+}
+
+TEST(Rng, LognormalIsPositive) {
+  Rng rng(19);
+  for (int i = 0; i < 1000; ++i) EXPECT_GT(rng.lognormal(0.0, 0.5), 0.0);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(23);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i)
+    if (rng.bernoulli(0.3)) ++hits;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, BernoulliDegenerateProbabilities) {
+  Rng rng(29);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, PermutationIsAPermutation) {
+  Rng rng(31);
+  const auto p = rng.permutation(100);
+  std::set<std::size_t> seen(p.begin(), p.end());
+  EXPECT_EQ(seen.size(), 100u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 99u);
+}
+
+TEST(Rng, PermutationEmptyAndSingle) {
+  Rng rng(37);
+  EXPECT_TRUE(rng.permutation(0).empty());
+  const auto p = rng.permutation(1);
+  ASSERT_EQ(p.size(), 1u);
+  EXPECT_EQ(p[0], 0u);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a(41);
+  Rng child = a.split();
+  // The child's output should differ from the parent's next outputs.
+  int same = 0;
+  for (int i = 0; i < 50; ++i)
+    if (a() == child()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+}  // namespace
+}  // namespace cim::util

@@ -1,0 +1,71 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <sstream>
+
+namespace cim::util {
+namespace {
+
+TEST(Table, PrintsAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer", "22"});
+  std::ostringstream os;
+  t.print(os);
+  const auto s = os.str();
+  EXPECT_NE(s.find("| name   | value |"), std::string::npos);
+  EXPECT_NE(s.find("| longer | 22    |"), std::string::npos);
+}
+
+TEST(Table, TitleAppears) {
+  Table t({"a"});
+  t.set_title("My Table");
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("== My Table =="), std::string::npos);
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, EmptyHeaderThrows) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, CsvEscapesSpecialCharacters) {
+  Table t({"a", "b"});
+  t.add_row({"hello, world", "quote\"inside"});
+  std::ostringstream os;
+  t.print_csv(os);
+  const auto s = os.str();
+  EXPECT_NE(s.find("\"hello, world\""), std::string::npos);
+  EXPECT_NE(s.find("\"quote\"\"inside\""), std::string::npos);
+}
+
+TEST(Table, NumFormatsTrimTrailingZeros) {
+  EXPECT_EQ(Table::num(3.25, 3), "3.25");
+  EXPECT_EQ(Table::num(12.0, 3), "12");
+  EXPECT_EQ(Table::num(0.5, 1), "0.5");
+  EXPECT_EQ(Table::num(-0.0001, 2), "0");
+}
+
+TEST(Table, NumHandlesNonFinite) {
+  EXPECT_EQ(Table::num(std::numeric_limits<double>::quiet_NaN()), "nan");
+  EXPECT_EQ(Table::num(std::numeric_limits<double>::infinity()), "inf");
+  EXPECT_EQ(Table::num(-std::numeric_limits<double>::infinity()), "-inf");
+}
+
+TEST(Table, RowAccess) {
+  Table t({"a"});
+  t.add_row({"v"});
+  EXPECT_EQ(t.rows(), 1u);
+  EXPECT_EQ(t.cols(), 1u);
+  EXPECT_EQ(t.row(0)[0], "v");
+}
+
+}  // namespace
+}  // namespace cim::util
