@@ -65,6 +65,18 @@ struct CrossbarStats {
 /// Scouting-logic read operations (Xie et al., ISVLSI'17).
 enum class ScoutOp { kOr, kAnd, kXor };
 
+/// Physical array geometry (rows x cols) — the footprint query compiled
+/// micro-op programs are checked against by the EDA static verifier.
+struct Geometry {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+
+  bool contains(std::size_t row, std::size_t col) const {
+    return row < rows && col < cols;
+  }
+  std::size_t cell_count() const { return rows * cols; }
+};
+
 /// A ReRAM crossbar array with configurable non-idealities.
 class Crossbar {
  public:
@@ -72,6 +84,7 @@ class Crossbar {
 
   std::size_t rows() const { return cfg_.rows; }
   std::size_t cols() const { return cfg_.cols; }
+  Geometry geometry() const { return {cfg_.rows, cfg_.cols}; }
   const CrossbarConfig& config() const { return cfg_; }
   const device::TechnologyParams& tech() const { return tech_; }
   const device::LevelScheme& scheme() const { return cells_.front().scheme(); }

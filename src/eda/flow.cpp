@@ -7,8 +7,22 @@
 #include "eda/magic_mapper.hpp"
 #include "eda/majority_mapper.hpp"
 #include "eda/mig.hpp"
+#include "eda/revamp_isa.hpp"
+#include "eda/verify/verify.hpp"
 
 namespace cim::eda {
+namespace {
+
+/// Folds a static-verification report into the flow report.
+void absorb_lint(FlowReport& rep, verify::VerifyReport&& lint) {
+  rep.lint_errors = lint.errors();
+  rep.lint_warnings = lint.warnings();
+  rep.lint_clean = lint.clean();
+  rep.max_writes_per_cell = lint.max_writes_per_cell;
+  rep.lint_diagnostics = std::move(lint.diagnostics);
+}
+
+}  // namespace
 
 std::string_view logic_family_name(LogicFamily family) {
   switch (family) {
@@ -53,6 +67,7 @@ FlowReport run_flow(const std::string& name, const Netlist& circuit,
       rep.devices = prog.num_cells;
       rep.delay = prog.delay();
       if (opts.verify) rep.verified = verify_imply(prog, aig);
+      if (opts.lint) absorb_lint(rep, verify::lint_imply(prog, &aig));
       break;
     }
     case LogicFamily::kMajority: {
@@ -60,6 +75,8 @@ FlowReport run_flow(const std::string& name, const Netlist& circuit,
       rep.devices = sched.device_count;
       rep.delay = sched.delay();
       if (opts.verify) rep.verified = verify_revamp(mig, sched);
+      if (opts.lint)
+        absorb_lint(rep, verify::lint_revamp(assemble_revamp(mig, sched)));
       break;
     }
     case LogicFamily::kMagic: {
@@ -68,6 +85,7 @@ FlowReport run_flow(const std::string& name, const Netlist& circuit,
       rep.devices = prog.num_cells;
       rep.delay = prog.delay();
       if (opts.verify) rep.verified = verify_magic(prog, nor);
+      if (opts.lint) absorb_lint(rep, verify::lint_magic(prog, &nor));
       break;
     }
   }
@@ -84,6 +102,19 @@ std::vector<FlowReport> run_suite(const std::vector<BenchmarkCircuit>& suite,
     for (const auto family : all_logic_families())
       reports.push_back(run_flow(bc.name, bc.netlist, family, opts));
   return reports;
+}
+
+util::Table lint_summary(const std::vector<FlowReport>& reports) {
+  std::vector<verify::LintEntry> entries;
+  entries.reserve(reports.size());
+  for (const auto& r : reports) {
+    verify::VerifyReport vr;
+    vr.diagnostics = r.lint_diagnostics;
+    vr.max_writes_per_cell = r.max_writes_per_cell;
+    entries.push_back(
+        {r.circuit, std::string(logic_family_name(r.family)), std::move(vr)});
+  }
+  return verify::lint_table(entries);
 }
 
 }  // namespace cim::eda

@@ -11,6 +11,8 @@
 
 #include "eda/bench_circuits.hpp"
 #include "eda/netlist.hpp"
+#include "eda/verify/diagnostics.hpp"
+#include "util/table.hpp"
 
 namespace cim::eda {
 
@@ -35,12 +37,19 @@ struct FlowReport {
   std::size_t delay = 0;        ///< steps
   double area_delay_product = 0.0;
   bool verified = false;        ///< mapping simulated == specification
+  // Static verification (the `cim-lint` pass; see eda/verify/verify.hpp).
+  bool lint_clean = true;       ///< no static-analysis errors
+  std::size_t lint_errors = 0;
+  std::size_t lint_warnings = 0;
+  std::size_t max_writes_per_cell = 0;
+  std::vector<verify::Diagnostic> lint_diagnostics;
 };
 
 /// Options for the flow.
 struct FlowOptions {
   bool reuse_cells = true;   ///< area-constrained mapping for IMPLY/MAGIC
   bool verify = true;        ///< exhaustively simulate each mapping
+  bool lint = true;          ///< statically verify each compiled program
 };
 
 /// Runs the full flow for one circuit and one family.
@@ -50,5 +59,8 @@ FlowReport run_flow(const std::string& name, const Netlist& circuit,
 /// Runs every family over every circuit of a suite.
 std::vector<FlowReport> run_suite(const std::vector<BenchmarkCircuit>& suite,
                                   const FlowOptions& opts = {});
+
+/// Renders the `cim-lint` summary over a batch of flow reports.
+util::Table lint_summary(const std::vector<FlowReport>& reports);
 
 }  // namespace cim::eda

@@ -51,6 +51,7 @@ ImplyProgram compile_imply(const Aig& aig, bool reuse_cells) {
   };
 
   emit_false(prog.zero_cell);  // establish the constant-0 cell
+  prog.instrs.back().def_node = 0;  // resident: the constant node
 
   CellAllocator alloc(prog.num_inputs + 1, reuse_cells);
 
@@ -104,6 +105,7 @@ ImplyProgram compile_imply(const Aig& aig, bool reuse_cells) {
     emit_true(d);
     emit_imply(d, cells[pos]);  // d = value(pos)
     emit_imply(d, prog.zero_cell);  // d = !value(pos)
+    prog.instrs.back().def_node = Aig::node_of(pos);
     cells[l] = d;
     return d;
   };
@@ -113,6 +115,7 @@ ImplyProgram compile_imply(const Aig& aig, bool reuse_cells) {
     if (cells[1] == SIZE_MAX) {
       const std::size_t d = alloc.alloc();
       emit_true(d);
+      prog.instrs.back().def_node = 0;  // resident: the constant node
       cells[1] = d;
     }
     return cells[1];
@@ -131,6 +134,7 @@ ImplyProgram compile_imply(const Aig& aig, bool reuse_cells) {
     emit_imply(u, cx);               // u = x          (COPY)
     emit_imply(u, cny);              // u = !x | !y  = NAND(x,y)
     emit_imply(u, prog.zero_cell);   // u = x & y      (NOT)
+    prog.instrs.back().def_node = i;
     cells[Aig::make_lit(i, false)] = u;
 
     consume(n.fanin0);

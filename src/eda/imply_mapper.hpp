@@ -30,6 +30,11 @@ struct ImplyInstr {
   Kind kind = Kind::kFalse;
   std::size_t dest = 0;
   std::size_t src = 0;  ///< meaningful for kImply only
+  /// IR introspection hook for the static verifier: the AIG node whose value
+  /// this instruction *completes* in `dest` (the last micro-op of a COPY /
+  /// NOT / AND macro sequence). SIZE_MAX on intermediate micro-ops. Node 0
+  /// marks constant cells (the zero cell, the derived const-1 cell).
+  std::size_t def_node = static_cast<std::size_t>(-1);
 };
 
 /// A compiled IMPLY program over cells of one row.

@@ -83,8 +83,8 @@ MagicProgram compile_magic(const Netlist& nl, bool reuse_cells) {
         } else {
           const auto out = alloc();
           cell[i] = out;
-          prog.instrs.push_back({MagicInstr::Kind::kSet, out, {}});
-          prog.instrs.push_back({MagicInstr::Kind::kNor, out, ins});
+          prog.instrs.push_back({MagicInstr::Kind::kSet, out, {}, i});
+          prog.instrs.push_back({MagicInstr::Kind::kNor, out, ins, i});
         }
         for (const auto f : g.fanins) release(f);
         break;

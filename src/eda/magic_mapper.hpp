@@ -26,6 +26,10 @@ struct MagicInstr {
   Kind kind = Kind::kSet;
   std::size_t out_cell = 0;
   std::vector<std::size_t> in_cells;  ///< kNor only
+  /// IR introspection hook for the static verifier: the source-netlist node
+  /// this instruction realizes (the SET preset and the NOR both carry the
+  /// gate's id). SIZE_MAX when no source node is associated.
+  std::size_t node = static_cast<std::size_t>(-1);
 };
 
 /// A compiled single-row MAGIC program.

@@ -61,7 +61,11 @@ std::size_t Netlist::add_gate(GateType type, std::vector<std::size_t> fanins) {
   }
   const std::size_t id = gates_.size();
   for (const auto f : fanins)
-    if (f >= id) throw std::invalid_argument("add_gate: fanin not topological");
+    if (f >= id)
+      throw std::invalid_argument(
+          "add_gate: fanin " + std::to_string(f) +
+          " does not precede the new gate (id " + std::to_string(id) +
+          ") — netlists are built in topological order");
   gates_.push_back({type, std::move(fanins)});
   return id;
 }

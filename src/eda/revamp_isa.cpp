@@ -128,9 +128,11 @@ RevampProgram assemble_revamp(const Mig& mig, const MajSchedule& sched) {
     reset.wordline = row;
     reset.wl = {RevampOperand::Src::kConst0, 0, 0, 0, false};
     reset.columns.assign(prog.bitlines, std::nullopt);
-    for (const auto* p : nodes)
+    for (const auto* p : nodes) {
       reset.columns[p->col] = RevampOperand{RevampOperand::Src::kConst1,
                                             0, 0, 0, false};
+      reset.def_nodes.push_back(p->node);
+    }
     prog.instrs.push_back(reset);
 
     // APPLY #2: PRELOAD (wl = 1, bl = !preload: MAJ(0, 1, preload)).
@@ -150,6 +152,7 @@ RevampProgram assemble_revamp(const Mig& mig, const MajSchedule& sched) {
         op.complemented = false;
       }
       preload.columns[p->col] = op;
+      preload.def_nodes.push_back(p->node);
     }
     prog.instrs.push_back(preload);
 
@@ -173,6 +176,7 @@ RevampProgram assemble_revamp(const Mig& mig, const MajSchedule& sched) {
           op.complemented = false;
         }
         apply.columns[p->col] = op;
+        apply.def_nodes.push_back(p->node);
       }
       prog.instrs.push_back(apply);
     }

@@ -46,6 +46,10 @@ struct RevampInstruction {
   RevampOperand wl;
   /// kApply only: per-column bitline values (inactive columns disengaged).
   std::vector<std::optional<RevampOperand>> columns;
+  /// IR introspection hook for the static verifier: the MIG nodes whose
+  /// cells this Apply drives (RESET/PRELOAD list the level's nodes, a MAJ
+  /// apply its group members). Empty for READ.
+  std::vector<std::uint32_t> def_nodes;
 
   std::string to_string() const;
 };

@@ -1,0 +1,93 @@
+/// \file cell_state.hpp
+/// \brief The abstract cell-state lattice shared by the per-family static
+///        analyses of `cim::eda::verify`.
+///
+/// Every crossbar cell touched by a compiled micro-op program is tracked
+/// through a five-point abstract domain:
+///
+///     kUnknown  — power-on state; reading it is a use-before-init hazard
+///     kSet      — unconditionally SET to logic 1 (MAGIC output preset)
+///     kReset    — unconditionally RESET to logic 0 (IMPLY FALSE)
+///     kDriven   — holds a computed value (result of NOR / IMPLY / MAJ)
+///     kDead     — held a value whose source node has exhausted all of its
+///                 fanouts; the allocator may recycle the cell, so reading
+///                 it is a dead-cell-read hazard
+///
+/// The per-cell `node` field links the abstract state back to the source IR
+/// node (AIG / netlist / MIG id) the resident value was computed from — the
+/// introspection hook the mappers emit — enabling the verifier to re-derive
+/// fanout death points independently of the allocator it is checking.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+namespace cim::eda::verify {
+
+/// Abstract state of one crossbar cell during the static walk.
+enum class CellState { kUnknown, kSet, kReset, kDriven, kDead };
+
+inline std::string_view cell_state_name(CellState s) {
+  switch (s) {
+    case CellState::kUnknown: return "unknown";
+    case CellState::kSet: return "set";
+    case CellState::kReset: return "reset";
+    case CellState::kDriven: return "driven";
+    case CellState::kDead: return "dead";
+  }
+  return "?";
+}
+
+/// Sentinel for "no source-IR node associated".
+inline constexpr std::size_t kNoNode = static_cast<std::size_t>(-1);
+
+/// Per-cell abstract record: lattice point, resident source node, and the
+/// write counter feeding the endurance-budget accounting.
+struct CellInfo {
+  CellState state = CellState::kUnknown;
+  std::size_t node = kNoNode;  ///< source IR node of the resident value
+  std::size_t writes = 0;      ///< total micro-op writes into this cell
+  std::size_t def_instr = static_cast<std::size_t>(-1);  ///< last defining op
+
+  bool readable() const {
+    return state != CellState::kUnknown && state != CellState::kDead;
+  }
+};
+
+/// Flat cell-state table with write accounting.
+class CellTable {
+ public:
+  explicit CellTable(std::size_t cells) : cells_(cells) {}
+
+  CellInfo& operator[](std::size_t c) { return cells_[c]; }
+  const CellInfo& operator[](std::size_t c) const { return cells_[c]; }
+  std::size_t size() const { return cells_.size(); }
+
+  /// Records a write into `cell` by instruction `instr`.
+  void record_write(std::size_t cell, std::size_t instr) {
+    auto& ci = cells_[cell];
+    ++ci.writes;
+    ci.def_instr = instr;
+  }
+
+  /// Marks every cell whose resident value came from `node` as dead — the
+  /// fanout death point of that node, re-derived by the verifier.
+  void kill_node(std::size_t node, std::size_t first_protected_cell) {
+    for (std::size_t c = first_protected_cell; c < cells_.size(); ++c)
+      if (cells_[c].node == node && cells_[c].state != CellState::kUnknown)
+        cells_[c].state = CellState::kDead;
+  }
+
+  std::size_t max_writes() const {
+    std::size_t m = 0;
+    for (const auto& ci : cells_) m = std::max(m, ci.writes);
+    return m;
+  }
+
+ private:
+  std::vector<CellInfo> cells_;
+};
+
+}  // namespace cim::eda::verify
