@@ -7,6 +7,7 @@
 #include <cmath>
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "nn/crossbar_linear.hpp"
 #include "nn/mlp.hpp"
 #include "nn/sparse_coding.hpp"
@@ -17,6 +18,7 @@
 using namespace cim;
 
 int main() {
+  bench::WallTimer total;
   nn::CrossbarLinearConfig quiet;
   quiet.array.model_ir_drop = false;
   quiet.program_verify = true;
@@ -132,5 +134,6 @@ int main() {
   }
   std::cout << "shape check: all three Section II.D domains run on the same "
                "crossbar substrate; weighted-sum kernels dominate each.\n";
+  bench::report("bench_applications", total.elapsed_ms(), 3.0);
   return 0;
 }

@@ -8,13 +8,16 @@
 #include <cmath>
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "core/bulk_bitwise.hpp"
 #include "core/quantized_mlp.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 using namespace cim;
 
 int main() {
+  bench::WallTimer total;
   // --- (a) bulk bitwise: CIM-P vs COM-F --------------------------------------
   {
     util::Table t({"word width (bits)", "CIM time/op (ns)",
@@ -68,6 +71,7 @@ int main() {
       cfg.tile.array.model_ir_drop = false;
       cfg.tile.seed = 7;
       core::CimMlpRunner runner(q, cfg);
+      runner.set_pool(&util::ThreadPool::global());
       const double acc = runner.accuracy(test);
       const auto totals = runner.totals();
       const double n = static_cast<double>(test.size());
@@ -83,5 +87,6 @@ int main() {
                "(operands never cross the bus); tile MLP accuracy collapses "
                "at low ADC resolution and saturates near the INT4 reference "
                "by ~8-10 bits — the Section II.E resolution/cost knife edge.\n";
+  bench::report("bench_cim_system", total.elapsed_ms(), 96.0 + 4.0 * 150.0);
   return 0;
 }

@@ -1,0 +1,56 @@
+/// \file bench_common.hpp
+/// \brief Shared wall-time/throughput harness for the bench_* binaries.
+///
+/// Every bench ends by emitting one machine-readable line
+///
+///   BENCH_JSON {"bench":"<name>","wall_ms":...,"ops":...,"ops_per_s":...,
+///               "threads":N, ...extras}
+///
+/// so the perf trajectory of each figure bench can be scraped into
+/// BENCH_*.json files and tracked across PRs. `ops` is the bench's natural
+/// unit of work (Monte-Carlo trials, VMMs, test operations, ...).
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <initializer_list>
+#include <string>
+#include <utility>
+
+#include "util/thread_pool.hpp"
+
+namespace cim::bench {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  double elapsed_ms() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+        .count();
+  }
+
+  void restart() { start_ = Clock::now(); }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Emits the standard BENCH_JSON perf line on stdout. Extra numeric fields
+/// can be appended as {"key", value} pairs.
+inline void report(const std::string& bench, double wall_ms, double ops,
+                   std::initializer_list<std::pair<const char*, double>>
+                       extras = {}) {
+  const double ops_per_s = wall_ms > 0.0 ? ops / (wall_ms / 1e3) : 0.0;
+  std::printf(
+      "BENCH_JSON {\"bench\":\"%s\",\"wall_ms\":%.3f,\"ops\":%.0f,"
+      "\"ops_per_s\":%.1f,\"threads\":%zu",
+      bench.c_str(), wall_ms, ops, ops_per_s,
+      cim::util::ThreadPool::default_threads());
+  for (const auto& [key, value] : extras)
+    std::printf(",\"%s\":%.6g", key, value);
+  std::printf("}\n");
+}
+
+}  // namespace cim::bench

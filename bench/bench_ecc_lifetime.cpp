@@ -7,6 +7,7 @@
 ///        word, and how many cells ended up stuck.
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "memtest/ecc_memory.hpp"
 #include "memtest/wear_leveling.hpp"
 #include "util/table.hpp"
@@ -14,6 +15,7 @@
 using namespace cim;
 
 int main() {
+  bench::WallTimer total;
   util::Table t({"endurance (writes)", "first correction (cycle)",
                  "first uncorrectable (cycle)", "silent corruption",
                  "stuck cells at end"});
@@ -57,5 +59,6 @@ int main() {
                "scale with endurance; ECC holds exactly until the second "
                "stuck bit lands in one word; rotating the hot row multiplies "
                "lifetime (the i2WAP effect).\n";
+  bench::report("bench_ecc_lifetime", total.elapsed_ms(), 7.0);
   return 0;
 }

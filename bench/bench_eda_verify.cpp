@@ -12,6 +12,7 @@
 /// circuit regardless of input count.
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "eda/aig.hpp"
 #include "eda/flow.hpp"
 #include "eda/imply_mapper.hpp"
@@ -25,6 +26,7 @@
 using namespace cim;
 
 int main() {
+  bench::WallTimer total;
   const auto suite = eda::standard_suite();
 
   // --- cim-lint across suite x family x allocator mode ------------------------
@@ -111,5 +113,7 @@ int main() {
             << "shape check: every compiled program is statically "
                "hazard-free in both allocator modes;\nstatic lint agrees "
                "with exhaustive simulation wherever both run.\n";
+  bench::report("bench_eda_verify", total.elapsed_ms(),
+                static_cast<double>(programs));
   return total_errors == 0 ? 0 : 1;
 }

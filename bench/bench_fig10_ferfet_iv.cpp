@@ -6,12 +6,14 @@
 #include <cmath>
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "ferfet/ferfet_device.hpp"
 #include "util/table.hpp"
 
 using namespace cim;
 
 int main() {
+  bench::WallTimer total;
   const ferfet::FeRfetParams p;
   const ferfet::FeRfet devices[4] = {
       ferfet::FeRfet(p, ferfet::Polarity::kNType, ferfet::VtState::kLrs),
@@ -75,5 +77,6 @@ int main() {
   std::cout << "shape check: four separated branches; LRS/HRS split by the "
                "ferroelectric Vt shift;\nn/p branches mirror each other; "
                "programming only fires at >= 2.5 V.\n";
+  bench::report("bench_fig10_ferfet_iv", total.elapsed_ms(), 68.0);
   return 0;
 }

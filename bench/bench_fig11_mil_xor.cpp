@@ -5,12 +5,14 @@
 ///        program and data paths fully separated.
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "ferfet/mil_cells.hpp"
 #include "util/table.hpp"
 
 using namespace cim;
 
 int main() {
+  bench::WallTimer total;
   // --- exhaustive functional table over inputs x programmed states -----------
   {
     util::Table t({"P (function)", "A", "B", "OUT", "expected"});
@@ -58,5 +60,6 @@ int main() {
                "depending on the non-volatile program state; reprogramming "
                "costs ~an order of magnitude more energy than one "
                "evaluation (separate program/data paths).\n";
+  bench::report("bench_fig11_mil_xor", total.elapsed_ms(), 1008.0);
   return 0;
 }

@@ -6,6 +6,7 @@
 ///        ReRAM-analog mapping whose energy is ADC-dominated.
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "ferfet/bnn_engine.hpp"
 #include "ferfet/lim_array.hpp"
 #include "nn/bnn.hpp"
@@ -16,6 +17,7 @@
 using namespace cim;
 
 int main() {
+  bench::WallTimer total;
   // --- Fig. 12a: AND-array cell truth table ----------------------------------
   {
     util::Table t({"stored A", "applied B", "OR read", "NOR read"});
@@ -112,5 +114,6 @@ int main() {
   std::cout << "shape check: all dynamic ops match their Boolean spec; the "
                "digital FeRFET path spends less energy than the ADC term of "
                "the analog mapping alone.\n";
+  bench::report("bench_fig12_lim_arrays", total.elapsed_ms(), 30.0);
   return 0;
 }

@@ -7,6 +7,7 @@
 #include <cmath>
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "arch/vonneumann.hpp"
 #include "periphery/tile_cost.hpp"
 #include "util/table.hpp"
@@ -14,6 +15,7 @@
 using namespace cim;
 
 int main() {
+  bench::WallTimer total;
   util::Table t({"n (VMM n x n)", "vN time (us)", "vN move-time frac",
                  "vN move-energy frac", "CIM tiles", "CIM time (us)",
                  "CIM energy (uJ)", "vN/CIM energy"});
@@ -48,5 +50,6 @@ int main() {
   std::cout << "shape check: movement dominates (>80%) the von-Neumann "
                "energy at every size;\nCIM removes the operand traffic and "
                "wins on energy by one to two orders of magnitude.\n";
+  bench::report("bench_fig1_bottleneck", total.elapsed_ms(), 5.0);
   return 0;
 }

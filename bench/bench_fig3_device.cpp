@@ -6,6 +6,7 @@
 ///        on ("the resistance value is typically quantized into N levels").
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "device/memristor.hpp"
 #include "device/reram_cell.hpp"
 #include "util/rng.hpp"
@@ -15,6 +16,7 @@
 using namespace cim;
 
 int main() {
+  bench::WallTimer total;
   // --- SET / RESET switching dynamics --------------------------------------
   {
     util::Table t({"pulse #", "V (V)", "state w", "R (kOhm)", "I (uA)"});
@@ -82,5 +84,6 @@ int main() {
   std::cout << "shape check: positive pulses move w up (R down), negative "
                "reverse it;\ncurrent pinches at V=0; verified writes land "
                "inside the guard band.\n";
+  bench::report("bench_fig3_device", total.elapsed_ms(), 1200.0);
   return 0;
 }

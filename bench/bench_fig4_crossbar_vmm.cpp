@@ -8,6 +8,7 @@
 #include <cmath>
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "crossbar/crossbar.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -28,6 +29,7 @@ util::Matrix random_levels(std::size_t n, int levels, std::uint64_t seed) {
 }  // namespace
 
 int main() {
+  bench::WallTimer total;
   // --- O(1) latency vs sequential MAC --------------------------------------
   {
     util::Table t({"n (n x n)", "crossbar VMM (ns)", "sequential MACs (ns)",
@@ -119,5 +121,6 @@ int main() {
   std::cout << "shape check: crossbar latency flat in n (speedup grows ~n^2);"
                "\nerror shrinks with more levels; IR loss grows with wire "
                "resistance.\n";
+  bench::report("bench_fig4_crossbar_vmm", total.elapsed_ms(), 164.0);
   return 0;
 }

@@ -5,6 +5,7 @@
 ///        ADC resolution and ADC count.
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "periphery/tile_cost.hpp"
 #include "periphery/voltage_domains.hpp"
 #include "util/table.hpp"
@@ -12,6 +13,7 @@
 using namespace cim;
 
 int main() {
+  bench::WallTimer total;
   periphery::TileConfig tile;
   tile.rows = tile.cols = 128;
   tile.adc_bits = 8;
@@ -97,5 +99,6 @@ int main() {
                "the ADC is the largest block at 8 bits, its share grows "
                "steeply with bits,\nand buying throughput with more ADCs "
                "pushes the area share towards 100%.\n";
+  bench::report("bench_fig5_adc_share", total.elapsed_ms(), 18.0);
   return 0;
 }

@@ -6,6 +6,7 @@
 #include <iostream>
 #include <map>
 
+#include "bench_common.hpp"
 #include "crossbar/crossbar.hpp"
 #include "fault/defects.hpp"
 #include "util/stats.hpp"
@@ -14,6 +15,7 @@
 using namespace cim;
 
 int main() {
+  bench::WallTimer total;
   // --- the taxonomy itself ----------------------------------------------------
   {
     util::Table t({"fault", "hard/soft", "static/dynamic", "array-level"});
@@ -93,5 +95,6 @@ int main() {
   std::cout << "shape check: hard faults ignore writes (0% respond), soft "
                "faults remain tunable;\nwrite-variation widens the level "
                "spread; line breaks fan out into many stuck cells.\n";
+  bench::report("bench_fig6_fault_taxonomy", total.elapsed_ms(), 200.0);
   return 0;
 }

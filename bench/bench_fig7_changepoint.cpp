@@ -5,6 +5,7 @@
 #include <cmath>
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "memtest/power_monitor.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -31,6 +32,7 @@ void program_random(crossbar::Crossbar& xbar, util::Rng& rng) {
 }  // namespace
 
 int main() {
+  bench::WallTimer total;
   // --- the Fig. 7 scenario: faults at cycle 600 -----------------------------
   {
     util::Table t({"faulty cells", "alarm cycle", "detection delay",
@@ -105,5 +107,6 @@ int main() {
   std::cout << "shape check: alarm lands shortly after cycle 600, the offline "
                "locator pins the changepoint near 600, the power shift and "
                "estimator output grow with the fault fraction.\n";
+  bench::report("bench_fig7_changepoint", total.elapsed_ms(), 4.0 * 1200.0 + 75.0 * 700.0);
   return 0;
 }

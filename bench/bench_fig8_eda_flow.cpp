@@ -6,6 +6,7 @@
 ///        area-constrained (cell-reuse) ablation of the CONTRA-style flow.
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "core/simd_magic.hpp"
 #include "eda/aig.hpp"
 #include "eda/esop_mapper.hpp"
@@ -16,6 +17,7 @@
 using namespace cim;
 
 int main() {
+  bench::WallTimer total;
   const auto suite = eda::standard_suite();
 
   // --- synthesis statistics ---------------------------------------------------
@@ -130,5 +132,7 @@ int main() {
   std::cout << "shape check: every verified mapping is functionally correct;"
                "\nMajority delay tracks MIG depth (lower bound levels+1 [67]);"
                "\ncell reuse buys double-digit area savings at equal delay.\n";
+  bench::report("bench_fig8_eda_flow", total.elapsed_ms(),
+                static_cast<double>(suite.size()));
   return 0;
 }

@@ -4,14 +4,18 @@
 ///        sneak-path technique "increases test parallelism by testing a
 ///        group of adjacent ReRAM cells simultaneously" but its test time
 ///        still grows linearly with array size.
+#include <array>
 #include <cmath>
 #include <iostream>
+#include <vector>
 
+#include "bench_common.hpp"
 #include "memtest/march.hpp"
 #include "memtest/repair.hpp"
 #include "memtest/sneak_path_test.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 using namespace cim;
 
@@ -31,37 +35,61 @@ crossbar::CrossbarConfig array_cfg(std::size_t n, std::uint64_t seed) {
 }  // namespace
 
 int main() {
+  bench::WallTimer total;
   // --- coverage and cost vs array size for both methods ---------------------
   util::Table t({"array", "faults", "MarchC* cov", "MarchC* ops",
                  "MarchC* time (us)", "sneak cov (SAF)", "sneak probes",
                  "sneak time (us)", "probe/ops ratio"});
   t.set_title("Section III.B — March C* vs sneak-path parallel testing");
 
-  for (const std::size_t n : {16u, 32u, 64u}) {
+  // The (array size, seed) grid is a set of independent Monte-Carlo trials;
+  // fan them out across the global pool and aggregate in task order so the
+  // table is identical for any CIM_THREADS.
+  constexpr std::array<std::size_t, 3> kSizes{16, 32, 64};
+  constexpr std::array<std::uint64_t, 3> kSeeds{5, 9, 13};
+  struct Trial {
+    double march_cov = 0.0, sneak_cov = 0.0;
+    std::size_t march_ops = 0, sneak_probes = 0;
+    double march_time = 0.0, sneak_time = 0.0;
+  };
+  std::vector<Trial> trials(kSizes.size() * kSeeds.size());
+  util::ThreadPool::global().parallel_for(
+      0, trials.size(), [&](std::size_t task) {
+        const std::size_t n = kSizes[task / kSeeds.size()];
+        const std::uint64_t seed = kSeeds[task % kSeeds.size()];
+        util::Rng rng(seed);
+        const std::size_t n_faults = std::max<std::size_t>(4, n * n / 64);
+        const auto map = fault::FaultMap::with_fault_count(
+            n, n, n_faults, fault::FaultMix::stuck_at_only(), rng);
+
+        crossbar::Crossbar xm(array_cfg(n, seed));
+        xm.apply_faults(map);
+        const auto march = memtest::run_march(xm, memtest::march_cstar());
+
+        crossbar::Crossbar xs(array_cfg(n, seed + 100));
+        xs.apply_faults(map);
+        const memtest::SneakTestConfig scfg{.window = 2};
+        const auto sneak = memtest::run_sneak_path_test(xs, scfg);
+
+        trials[task] = {memtest::fault_coverage(map, march),
+                        memtest::sneak_coverage(map, sneak, scfg.window),
+                        march.total_ops, sneak.probes, march.time_ns,
+                        sneak.time_ns};
+      });
+
+  for (std::size_t si = 0; si < kSizes.size(); ++si) {
+    const std::size_t n = kSizes[si];
     util::RunningStats march_cov, sneak_cov_s;
     std::size_t march_ops = 0, sneak_probes = 0;
     double march_time = 0.0, sneak_time = 0.0;
-
-    for (std::uint64_t seed : {5ull, 9ull, 13ull}) {
-      util::Rng rng(seed);
-      const std::size_t n_faults = std::max<std::size_t>(4, n * n / 64);
-      const auto map = fault::FaultMap::with_fault_count(
-          n, n, n_faults, fault::FaultMix::stuck_at_only(), rng);
-
-      crossbar::Crossbar xm(array_cfg(n, seed));
-      xm.apply_faults(map);
-      const auto march = memtest::run_march(xm, memtest::march_cstar());
-      march_cov.add(memtest::fault_coverage(map, march));
-      march_ops = march.total_ops;
-      march_time = march.time_ns;
-
-      crossbar::Crossbar xs(array_cfg(n, seed + 100));
-      xs.apply_faults(map);
-      const memtest::SneakTestConfig scfg{.window = 2};
-      const auto sneak = memtest::run_sneak_path_test(xs, scfg);
-      sneak_cov_s.add(memtest::sneak_coverage(map, sneak, scfg.window));
-      sneak_probes = sneak.probes;
-      sneak_time = sneak.time_ns;
+    for (std::size_t sd = 0; sd < kSeeds.size(); ++sd) {
+      const auto& tr = trials[si * kSeeds.size() + sd];
+      march_cov.add(tr.march_cov);
+      sneak_cov_s.add(tr.sneak_cov);
+      march_ops = tr.march_ops;
+      sneak_probes = tr.sneak_probes;
+      march_time = tr.march_time;
+      sneak_time = tr.sneak_time;
     }
 
     t.add_row({std::to_string(n) + "x" + std::to_string(n),
@@ -148,5 +176,7 @@ int main() {
                "test uses ~1-2% of the operations at reduced (SAF-only, "
                "ROD-resolution) coverage; MATS+ is cheaper and weaker; "
                "located faults repair cleanly while spares last.\n";
+  bench::report("bench_march_sneakpath", total.elapsed_ms(),
+                static_cast<double>(trials.size()));
   return 0;
 }

@@ -6,6 +6,7 @@
 #include <cmath>
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "memtest/ecc.hpp"
 #include "memtest/march.hpp"
 #include "memtest/online_voltage_test.hpp"
@@ -17,6 +18,7 @@
 using namespace cim;
 
 int main() {
+  bench::WallTimer total;
   // --- voltage-comparison test: recall/precision and cost vs fault count ----
   {
     util::Table t({"injected SAFs", "recall", "precision", "VMM measurements",
@@ -183,5 +185,6 @@ int main() {
                "counts; X-ABFT detects inline and corrects soft errors; ECC "
                "collapses beyond ~1e-4 BER; frequent Pause-and-Test costs "
                "double-digit overhead.\n";
+  bench::report("bench_online_testing", total.elapsed_ms(), 42.0);
   return 0;
 }

@@ -6,6 +6,7 @@
 ///        the paper's example systems.
 #include <iostream>
 
+#include "bench_common.hpp"
 #include "arch/arch_class.hpp"
 #include "arch/machine_model.hpp"
 #include "util/table.hpp"
@@ -13,6 +14,7 @@
 using namespace cim;
 
 int main() {
+  bench::WallTimer total;
   // --- Part 1: the qualitative Table I as published ------------------------
   {
     util::Table t({"Architecture", "Data movement outside core",
@@ -77,5 +79,6 @@ int main() {
     }
     t.print(std::cout);
   }
+  bench::report("bench_table1_arch_classes", total.elapsed_ms(), 8.0);
   return 0;
 }

@@ -6,18 +6,24 @@
 ///        similar and independent of the adopted memory technology."
 ///        Sweeps every technology preset through the same VMM workload and
 ///        reports how the device parameters shape accuracy, cost and
-///        reliability.
+///        reliability. Technologies are independent trials and fan out
+///        across the global thread pool; rows print in preset order, so the
+///        table is identical for any CIM_THREADS.
 #include <cmath>
 #include <iostream>
+#include <vector>
 
+#include "bench_common.hpp"
 #include "crossbar/crossbar.hpp"
 #include "memtest/march.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 using namespace cim;
 
 int main() {
+  bench::WallTimer total;
   // --- device parameter card --------------------------------------------------
   {
     util::Table t({"technology", "Ron/Roff (kOhm)", "levels", "cell (F^2)",
@@ -42,63 +48,85 @@ int main() {
   }
 
   // --- the same 32x32 VMM workload on every technology -------------------------
+  std::size_t vmm_total = 0;
   {
     util::Table t({"technology", "usable levels", "VMM rel err (mean)",
                    "VMM energy (pJ)", "March C* coverage",
                    "March C* time (us)"});
     t.set_title("Same CIM workload, every substrate (32x32 array)");
-    for (const auto tech : device::all_technologies()) {
-      crossbar::CrossbarConfig cfg;
-      cfg.rows = cfg.cols = 32;
-      cfg.tech = tech;
-      cfg.levels = 16;  // clamped to the technology's capability
-      cfg.model_ir_drop = false;
-      cfg.verified_writes = true;
-      cfg.seed = 31;
-      crossbar::Crossbar xbar(cfg);
 
-      util::Rng rng(7);
-      util::Matrix lv(32, 32);
-      const int levels = xbar.scheme().levels();
-      for (auto& v : lv.flat())
-        v = static_cast<double>(rng.uniform_int(
-            static_cast<std::uint64_t>(levels)));
-      xbar.program_levels(lv);
+    struct Row {
+      int levels = 0;
+      double err_mean = 0.0;
+      double vmm_energy = 0.0;
+      double coverage = 0.0;
+      double march_us = 0.0;
+    };
+    const auto techs = device::all_technologies();
+    std::vector<Row> rows(techs.size());
+    util::ThreadPool::global().parallel_for(
+        0, techs.size(), [&](std::size_t ti) {
+          const auto tech = techs[ti];
+          crossbar::CrossbarConfig cfg;
+          cfg.rows = cfg.cols = 32;
+          cfg.tech = tech;
+          cfg.levels = 16;  // clamped to the technology's capability
+          cfg.model_ir_drop = false;
+          cfg.verified_writes = true;
+          cfg.seed = 31;
+          crossbar::Crossbar xbar(cfg);
 
-      std::vector<double> v(32, xbar.tech().v_read);
-      util::RunningStats err;
-      xbar.reset_stats();
-      for (int rep = 0; rep < 16; ++rep) {
-        const auto meas = xbar.vmm(v);
-        const auto ideal = xbar.ideal_vmm(v);
-        for (std::size_t c = 0; c < 32; ++c)
-          if (std::abs(ideal[c]) > 1.0)
-            err.add(std::abs(meas[c] - ideal[c]) / std::abs(ideal[c]));
-      }
-      const double vmm_energy = xbar.stats().energy_pj / 16.0;
+          util::Rng rng(7);
+          util::Matrix lv(32, 32);
+          const int levels = xbar.scheme().levels();
+          for (auto& v : lv.flat())
+            v = static_cast<double>(rng.uniform_int(
+                static_cast<std::uint64_t>(levels)));
+          xbar.program_levels(lv);
 
-      // March C* on a fresh faulty array of the same technology.
-      crossbar::CrossbarConfig mcfg = cfg;
-      mcfg.levels = 2;
-      mcfg.seed = 41;
-      crossbar::Crossbar marr(mcfg);
-      util::Rng frng(9);
-      const auto map = fault::FaultMap::with_fault_count(
-          32, 32, 16, fault::FaultMix::stuck_at_only(), frng);
-      marr.apply_faults(map);
-      const auto march = memtest::run_march(marr, memtest::march_cstar());
+          std::vector<double> v(32, xbar.tech().v_read);
+          util::RunningStats err;
+          xbar.reset_stats();
+          for (int rep = 0; rep < 16; ++rep) {
+            const auto meas = xbar.vmm(v);
+            const auto ideal = xbar.ideal_vmm(v);
+            for (std::size_t c = 0; c < 32; ++c)
+              if (std::abs(ideal[c]) > 1.0)
+                err.add(std::abs(meas[c] - ideal[c]) / std::abs(ideal[c]));
+          }
 
-      t.add_row({std::string(device::technology_name(tech)),
-                 std::to_string(levels), util::Table::num(err.mean(), 4),
-                 util::Table::num(vmm_energy, 2),
-                 util::Table::num(memtest::fault_coverage(map, march), 3),
-                 util::Table::num(march.time_ns / 1e3, 1)});
+          // March C* on a fresh faulty array of the same technology.
+          crossbar::CrossbarConfig mcfg = cfg;
+          mcfg.levels = 2;
+          mcfg.seed = 41;
+          crossbar::Crossbar marr(mcfg);
+          util::Rng frng(9);
+          const auto map = fault::FaultMap::with_fault_count(
+              32, 32, 16, fault::FaultMix::stuck_at_only(), frng);
+          marr.apply_faults(map);
+          const auto march = memtest::run_march(marr, memtest::march_cstar());
+
+          rows[ti] = {levels, err.mean(), xbar.stats().energy_pj / 16.0,
+                      memtest::fault_coverage(map, march),
+                      march.time_ns / 1e3};
+        });
+
+    for (std::size_t ti = 0; ti < techs.size(); ++ti) {
+      t.add_row({std::string(device::technology_name(techs[ti])),
+                 std::to_string(rows[ti].levels),
+                 util::Table::num(rows[ti].err_mean, 4),
+                 util::Table::num(rows[ti].vmm_energy, 2),
+                 util::Table::num(rows[ti].coverage, 3),
+                 util::Table::num(rows[ti].march_us, 1)});
     }
     t.print(std::cout);
+    vmm_total = techs.size() * 16;
   }
   std::cout << "shape check: the same functional units run on every "
                "substrate; binary technologies (MRAM/SRAM/DRAM) lose the "
                "multi-level density, PCM pays write cost, ReRAM balances "
                "levels vs variation — the Section II.B trade-off space.\n";
+  bench::report("bench_technology_sweep", total.elapsed_ms(),
+                static_cast<double>(vmm_total));
   return 0;
 }

@@ -40,23 +40,41 @@ CimSystem::CimSystem(const util::Matrix& w_int, CimSystemConfig cfg)
 }
 
 std::vector<long> CimSystem::vmm_int(std::span<const std::uint32_t> inputs,
-                                     int input_bits) {
+                                     int input_bits, util::ThreadPool* pool) {
   if (inputs.size() != in_) throw std::invalid_argument("CimSystem: dim");
   std::vector<long> y(out_, 0);
+
+  // Each tile owns its crossbars/RNG, so blocks execute independently; the
+  // per-block results land in slots and reduce serially in block order.
+  struct BlockResult {
+    std::vector<long> part;
+    double dt = 0.0;
+    double de = 0.0;
+  };
+  std::vector<BlockResult> results(tiles_.size());
+  auto run_block = [&](std::size_t b) {
+    auto& blk = tiles_[b];
+    const double t0 = blk.tile->stats().time_ns;
+    const double e0 = blk.tile->stats().energy_pj;
+    results[b].part =
+        blk.tile->vmm_int(inputs.subspan(blk.row0, blk.rows), input_bits);
+    results[b].dt = blk.tile->stats().time_ns - t0;
+    results[b].de = blk.tile->stats().energy_pj - e0;
+  };
+  if (pool != nullptr)
+    pool->parallel_for(0, tiles_.size(), run_block);
+  else
+    for (std::size_t b = 0; b < tiles_.size(); ++b) run_block(b);
 
   double worst_tile_time = 0.0;
   double tile_energy = 0.0;
   std::size_t transfers = 0;
-
-  for (auto& blk : tiles_) {
-    const double t0 = blk.tile->stats().time_ns;
-    const double e0 = blk.tile->stats().energy_pj;
-    const auto part = blk.tile->vmm_int(
-        inputs.subspan(blk.row0, blk.rows), input_bits);
-    worst_tile_time =
-        std::max(worst_tile_time, blk.tile->stats().time_ns - t0);
-    tile_energy += blk.tile->stats().energy_pj - e0;
-    for (std::size_t c = 0; c < blk.cols; ++c) y[blk.col0 + c] += part[c];
+  for (std::size_t b = 0; b < tiles_.size(); ++b) {
+    const auto& blk = tiles_[b];
+    worst_tile_time = std::max(worst_tile_time, results[b].dt);
+    tile_energy += results[b].de;
+    for (std::size_t c = 0; c < blk.cols; ++c)
+      y[blk.col0 + c] += results[b].part[c];
     transfers += blk.cols;
   }
 

@@ -13,6 +13,7 @@
 #include "arch/arch_class.hpp"
 #include "core/cim_tile.hpp"
 #include "util/matrix.hpp"
+#include "util/thread_pool.hpp"
 
 namespace cim::core {
 
@@ -46,8 +47,12 @@ class CimSystem {
   std::size_t tile_count() const { return tiles_.size(); }
 
   /// y = W x over the tile grid, with digital partial-sum reduction.
+  /// Independent tiles execute concurrently on `pool` (serial when null);
+  /// every tile owns its crossbars and RNG streams, and the partial-sum
+  /// reduction runs serially in block order, so results are bit-identical
+  /// for any thread count.
   std::vector<long> vmm_int(std::span<const std::uint32_t> inputs,
-                            int input_bits);
+                            int input_bits, util::ThreadPool* pool = nullptr);
 
   /// Exact oracle.
   std::vector<long> ideal_vmm_int(std::span<const std::uint32_t> inputs) const;

@@ -114,7 +114,7 @@ int CimMlpRunner::predict(std::span<const double> x) {
   for (std::size_t l = 0; l < qmlp_.layers.size(); ++l) {
     const auto& ql = qmlp_.layers[l];
     const auto q_in = quantize_acts(act, ql.act_max, qmlp_.act_bits);
-    const auto y_int = systems_[l]->vmm_int(q_in, qmlp_.act_bits);
+    const auto y_int = systems_[l]->vmm_int(q_in, qmlp_.act_bits, pool_);
     std::vector<double> out(y_int.size());
     for (std::size_t o = 0; o < y_int.size(); ++o)
       out[o] = static_cast<double>(y_int[o]) * ql.w_scale * ql.in_scale +

@@ -49,6 +49,11 @@ class CimMlpRunner {
  public:
   CimMlpRunner(const QuantizedMlp& qmlp, CimSystemConfig cfg);
 
+  /// Tiles of each layer's CimSystem execute concurrently on `pool`
+  /// (serial when null; see CimSystem::vmm_int for the determinism
+  /// contract).
+  void set_pool(util::ThreadPool* pool) { pool_ = pool; }
+
   int predict(std::span<const double> x);
   double accuracy(const nn::Dataset& data);
 
@@ -64,6 +69,7 @@ class CimMlpRunner {
  private:
   QuantizedMlp qmlp_;
   std::vector<std::unique_ptr<CimSystem>> systems_;
+  util::ThreadPool* pool_ = nullptr;
 };
 
 }  // namespace cim::core

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/thread_pool.hpp"
+
 namespace cim::crossbar {
 
 Crossbar::Crossbar(CrossbarConfig cfg)
@@ -22,6 +24,7 @@ Crossbar::Crossbar(CrossbarConfig cfg)
 void Crossbar::apply_faults(const fault::FaultMap& map) {
   if (map.rows() != cfg_.rows || map.cols() != cfg_.cols)
     throw std::invalid_argument("apply_faults: fault map size mismatch");
+  invalidate_conductance_cache();
   faults_ = map;
   for (std::size_t r = 0; r < cfg_.rows; ++r) {
     for (std::size_t c = 0; c < cfg_.cols; ++c) {
@@ -101,6 +104,7 @@ void Crossbar::after_write(std::size_t r, std::size_t c, bool value_is_one) {
 void Crossbar::write_bit(std::size_t row, std::size_t col, bool value) {
   if (row >= cfg_.rows || col >= cfg_.cols)
     throw std::out_of_range("write_bit: out of range");
+  invalidate_conductance_cache();
   const std::size_t er = effective_row(row);
   auto& cl = cell(er, col);
   const int level = value ? cl.scheme().levels() - 1 : 0;
@@ -113,6 +117,7 @@ void Crossbar::write_bit(std::size_t row, std::size_t col, bool value) {
 bool Crossbar::read_bit(std::size_t row, std::size_t col) {
   if (row >= cfg_.rows || col >= cfg_.cols)
     throw std::out_of_range("read_bit: out of range");
+  invalidate_conductance_cache();  // reads can disturb (drift towards LRS)
   const std::size_t er = effective_row(row);
   auto& cl = cell(er, col);
   const double g = cl.read_conductance_us(rng_);
@@ -129,6 +134,7 @@ device::WriteResult Crossbar::program_cell(std::size_t row, std::size_t col,
                                            double g_us) {
   if (row >= cfg_.rows || col >= cfg_.cols)
     throw std::out_of_range("program_cell: out of range");
+  invalidate_conductance_cache();
   auto& cl = cell(row, col);
   const auto res = cl.write_conductance(g_us, rng_, cfg_.verified_writes);
   ++stats_.analog_writes;
@@ -159,6 +165,7 @@ void Crossbar::program_levels(const util::Matrix& levels) {
 double Crossbar::read_conductance(std::size_t row, std::size_t col) {
   if (row >= cfg_.rows || col >= cfg_.cols)
     throw std::out_of_range("read_conductance: out of range");
+  invalidate_conductance_cache();  // reads can disturb
   auto& cl = cell(row, col);
   const double g = cl.read_conductance_us(rng_);
   ++stats_.bit_reads;
@@ -185,20 +192,33 @@ double Crossbar::effective_conductance(std::size_t r, std::size_t c,
   return 1.0 / (1.0 / g_us + r_wire_kohm * 1e-3);
 }
 
-std::vector<double> Crossbar::vmm(std::span<const double> v_rows) {
-  if (v_rows.size() != cfg_.rows)
-    throw std::invalid_argument("vmm: input size != rows");
-  std::vector<double> currents(cfg_.cols, 0.0);
-  std::vector<double> noise_var(cfg_.cols, 0.0);
-  double energy = 0.0;
+void Crossbar::ensure_conductance_cache() {
+  if (g_cache_valid_) return;
+  g_true_cache_.resize(cells_.size());
+  g_eff_cache_.resize(cells_.size());
+  g_true_sum_ = 0.0;
+  std::size_t idx = 0;
+  for (std::size_t r = 0; r < cfg_.rows; ++r) {
+    for (std::size_t c = 0; c < cfg_.cols; ++c, ++idx) {
+      const double g = cells_[idx].true_conductance_us();
+      g_true_cache_[idx] = g;
+      g_eff_cache_[idx] = effective_conductance(r, c, g);
+      g_true_sum_ += g;
+    }
+  }
+  g_cache_valid_ = true;
+}
 
+void Crossbar::accumulate_currents(std::span<const double> v_rows,
+                                   std::span<double> currents,
+                                   std::span<double> noise_var,
+                                   double& energy) const {
   for (std::size_t r = 0; r < cfg_.rows; ++r) {
     const double v = v_rows[r];
     if (v == 0.0) continue;
+    const double* ge_row = g_eff_cache_.data() + r * cfg_.cols;
     for (std::size_t c = 0; c < cfg_.cols; ++c) {
-      const double g = cell(r, c).true_conductance_us();
-      const double ge = effective_conductance(r, c, g);
-      const double i = v * ge;  // uA
+      const double i = v * ge_row[c];  // uA
       currents[c] += i;
       const double cell_noise = tech_.read_noise_frac * i;
       noise_var[c] += cell_noise * cell_noise;
@@ -206,42 +226,125 @@ std::vector<double> Crossbar::vmm(std::span<const double> v_rows) {
       energy += std::abs(v * i) * tech_.t_read_ns * 1e-3;
     }
   }
+}
 
+double Crossbar::sneak_background_per_col(
+    std::span<const double> v_rows) const {
   // Passive 0T1R arrays: half-selected cells leak a sneak background whose
   // magnitude scales with the mean conductance of the unselected matrix.
+  const double g_mean = g_true_sum_ / static_cast<double>(cells_.size());
+  double v_mean = 0.0;
+  for (double v : v_rows) v_mean += std::abs(v);
+  v_mean /= static_cast<double>(v_rows.size());
+  // One effective 3-cell series path per unselected row.
+  return v_mean * (g_mean / 3.0) * 0.1 * static_cast<double>(cfg_.rows - 1);
+}
+
+void Crossbar::apply_read_disturb(util::Rng& rng) {
+  // Read disturb: expected number of disturbed cells this cycle.
+  if (tech_.read_disturb_prob <= 0.0) return;
+  const double expected =
+      tech_.read_disturb_prob * static_cast<double>(cells_.size());
+  std::size_t hits = static_cast<std::size_t>(expected);
+  if (rng.bernoulli(expected - static_cast<double>(hits))) ++hits;
+  for (std::size_t k = 0; k < hits; ++k) {
+    auto& cl = cells_[rng.uniform_int(cells_.size())];
+    cl.force_conductance(cl.true_conductance_us() +
+                         0.5 * cl.scheme().step_us());
+  }
+  if (hits > 0) invalidate_conductance_cache();
+}
+
+std::vector<double> Crossbar::vmm(std::span<const double> v_rows) {
+  if (v_rows.size() != cfg_.rows)
+    throw std::invalid_argument("vmm: input size != rows");
+  ensure_conductance_cache();
+  std::vector<double> currents(cfg_.cols, 0.0);
+  vmm_noise_scratch_.assign(cfg_.cols, 0.0);
+  double energy = 0.0;
+  accumulate_currents(v_rows, currents, vmm_noise_scratch_, energy);
+
   if (cfg_.passive_array) {
-    double g_mean = 0.0;
-    for (const auto& cl : cells_) g_mean += cl.true_conductance_us();
-    g_mean /= static_cast<double>(cells_.size());
-    double v_mean = 0.0;
-    for (double v : v_rows) v_mean += std::abs(v);
-    v_mean /= static_cast<double>(v_rows.size());
-    // One effective 3-cell series path per unselected row.
-    const double sneak_per_col =
-        v_mean * (g_mean / 3.0) * 0.1 * static_cast<double>(cfg_.rows - 1);
+    const double sneak_per_col = sneak_background_per_col(v_rows);
     for (double& i : currents) i += sneak_per_col;
   }
 
   // Aggregate read noise per column.
   for (std::size_t c = 0; c < cfg_.cols; ++c)
-    currents[c] += rng_.normal(0.0, std::sqrt(noise_var[c]));
+    currents[c] += rng_.normal(0.0, std::sqrt(vmm_noise_scratch_[c]));
 
-  // Read disturb: expected number of disturbed cells this cycle.
-  if (tech_.read_disturb_prob > 0.0) {
-    const double expected =
-        tech_.read_disturb_prob * static_cast<double>(cells_.size());
-    std::size_t hits = static_cast<std::size_t>(expected);
-    if (rng_.bernoulli(expected - static_cast<double>(hits))) ++hits;
-    for (std::size_t k = 0; k < hits; ++k) {
-      auto& cl = cells_[rng_.uniform_int(cells_.size())];
-      cl.force_conductance(cl.true_conductance_us() +
-                           0.5 * cl.scheme().step_us());
-    }
-  }
+  apply_read_disturb(rng_);
 
   ++stats_.vmm_ops;
   charge(tech_.t_read_ns, energy);
   return currents;
+}
+
+void Crossbar::vmm_batch(const util::Matrix& v_batch, util::Matrix& out,
+                         util::ThreadPool* pool) {
+  if (v_batch.cols() != cfg_.rows)
+    throw std::invalid_argument("vmm_batch: input width != rows");
+  const std::size_t batch = v_batch.rows();
+  if (out.rows() != batch || out.cols() != cfg_.cols)
+    out = util::Matrix(batch, cfg_.cols);
+  if (batch == 0) return;
+  ensure_conductance_cache();
+
+  // One serial draw ties the whole batch into the array's RNG sequence;
+  // every per-sample stream derives from it by counter splitting, so the
+  // fan-out below is bit-identical for any pool size.
+  const std::uint64_t master = rng_();
+  std::vector<double> sample_energy(batch, 0.0);
+
+  auto& p = pool != nullptr ? *pool : util::ThreadPool::global();
+  p.parallel_for(0, batch, [&](std::size_t s) {
+    const auto v_rows = v_batch.row(s);
+    auto currents = out.row(s);
+    std::fill(currents.begin(), currents.end(), 0.0);
+    thread_local std::vector<double> noise_var;
+    noise_var.assign(cfg_.cols, 0.0);
+    double energy = 0.0;
+    accumulate_currents(v_rows, currents, noise_var, energy);
+    if (cfg_.passive_array) {
+      const double sneak_per_col = sneak_background_per_col(v_rows);
+      for (double& i : currents) i += sneak_per_col;
+    }
+    util::Rng srng = util::Rng::stream(master, 2 * s);
+    for (std::size_t c = 0; c < cfg_.cols; ++c)
+      currents[c] += srng.normal(0.0, std::sqrt(noise_var[c]));
+    sample_energy[s] = energy;
+  });
+
+  // Serial epilogue in sample order: stats, then the read disturb each
+  // sample accumulated (applied post-batch; see header contract).
+  for (std::size_t s = 0; s < batch; ++s) {
+    ++stats_.vmm_ops;
+    charge(tech_.t_read_ns, sample_energy[s]);
+  }
+  if (tech_.read_disturb_prob > 0.0) {
+    for (std::size_t s = 0; s < batch; ++s) {
+      util::Rng drng = util::Rng::stream(master, 2 * s + 1);
+      apply_read_disturb(drng);
+    }
+  }
+}
+
+std::vector<std::vector<double>> Crossbar::vmm_batch(
+    std::span<const std::vector<double>> inputs, util::ThreadPool* pool) {
+  util::Matrix v_batch(inputs.size(), cfg_.rows);
+  for (std::size_t s = 0; s < inputs.size(); ++s) {
+    if (inputs[s].size() != cfg_.rows)
+      throw std::invalid_argument("vmm_batch: input size != rows");
+    std::copy(inputs[s].begin(), inputs[s].end(), v_batch.row(s).begin());
+  }
+  util::Matrix out;
+  vmm_batch(v_batch, out, pool);
+  std::vector<std::vector<double>> results(inputs.size());
+  for (std::size_t s = 0; s < inputs.size(); ++s) {
+    const auto row = out.row(s);
+    results[s].assign(row.begin(), row.end());
+  }
+  return results;
 }
 
 std::vector<double> Crossbar::ideal_vmm(std::span<const double> v_rows) const {
@@ -294,22 +397,36 @@ double Crossbar::read_current_with_sneak(std::size_t row, std::size_t col,
                                          std::size_t window) {
   if (row >= cfg_.rows || col >= cfg_.cols)
     throw std::out_of_range("read_current_with_sneak: out of range");
+  ensure_conductance_cache();  // hoists the per-cell conductance lookups
+  const double* g = g_true_cache_.data();
+  const std::size_t cols = cfg_.cols;
   const double v = tech_.v_read;
-  double i = v * cell(row, col).true_conductance_us();
+  double i = v * g[row * cols + col];
   // Every (r', c') with r' != row, c' != col closes a 3-cell series loop
   // (row,c') -> (r',c') -> (r',col); its series conductance adds to the
   // measured current. This is the region-of-detection mechanism the
   // sneak-path test of Kannan et al. exploits; the biasing scheme limits
   // the loops to a window around the target.
-  for (std::size_t r2 = 0; r2 < cfg_.rows; ++r2) {
-    if (r2 == row || !in_window(r2, row, window)) continue;
-    for (std::size_t c2 = 0; c2 < cfg_.cols; ++c2) {
-      if (c2 == col || !in_window(c2, col, window)) continue;
-      const double g1 = cell(row, c2).true_conductance_us();
-      const double g2 = cell(r2, c2).true_conductance_us();
-      const double g3 = cell(r2, col).true_conductance_us();
-      if (g1 <= 0.0 || g2 <= 0.0 || g3 <= 0.0) continue;
-      i += v / (1.0 / g1 + 1.0 / g2 + 1.0 / g3);
+  const std::size_t r_lo = window >= row ? 0 : row - window;
+  const std::size_t r_hi = std::min(cfg_.rows, window >= cfg_.rows - row
+                                                   ? cfg_.rows
+                                                   : row + window + 1);
+  const std::size_t c_lo = window >= col ? 0 : col - window;
+  const std::size_t c_hi =
+      std::min(cols, window >= cols - col ? cols : col + window + 1);
+  for (std::size_t r2 = r_lo; r2 < r_hi; ++r2) {
+    if (r2 == row) continue;
+    const double* g_r2 = g + r2 * cols;
+    const double g3 = g_r2[col];
+    if (g3 <= 0.0) continue;
+    const double inv_g3 = 1.0 / g3;
+    const double* g_row = g + row * cols;
+    for (std::size_t c2 = c_lo; c2 < c_hi; ++c2) {
+      if (c2 == col) continue;
+      const double g1 = g_row[c2];
+      const double g2 = g_r2[c2];
+      if (g1 <= 0.0 || g2 <= 0.0) continue;
+      i += v / (1.0 / g1 + 1.0 / g2 + inv_g3);
     }
   }
   ++stats_.bit_reads;
@@ -325,6 +442,7 @@ void Crossbar::imply(std::size_t dest_row, std::size_t dest_col,
   if (dest_row >= cfg_.rows || dest_col >= cfg_.cols || src_row >= cfg_.rows ||
       src_col >= cfg_.cols)
     throw std::out_of_range("imply: out of range");
+  invalidate_conductance_cache();
   auto& dest = cell(dest_row, dest_col);
   const bool p = bit_of(dest);
   const bool q = bit_of(cell(src_row, src_col));
@@ -343,6 +461,7 @@ void Crossbar::imply(std::size_t dest_row, std::size_t dest_col,
 void Crossbar::set_false(std::size_t row, std::size_t col) {
   if (row >= cfg_.rows || col >= cfg_.cols)
     throw std::out_of_range("set_false: out of range");
+  invalidate_conductance_cache();
   auto& cl = cell(row, col);
   const auto res = cl.write_level(0, rng_, false);
   ++stats_.logic_ops;
@@ -360,6 +479,7 @@ void Crossbar::magic_nor(std::size_t row, std::span<const std::size_t> in_cols,
   if (row >= cfg_.rows || out_col >= cfg_.cols)
     throw std::out_of_range("magic_nor: out of range");
   if (in_cols.empty()) throw std::invalid_argument("magic_nor: no inputs");
+  invalidate_conductance_cache();
   bool any_one = false;
   for (std::size_t c : in_cols) {
     if (c >= cfg_.cols) throw std::out_of_range("magic_nor: input out of range");
@@ -380,6 +500,7 @@ void Crossbar::majority_write(std::size_t row, std::size_t col, bool v_wl,
                               bool v_bl) {
   if (row >= cfg_.rows || col >= cfg_.cols)
     throw std::out_of_range("majority_write: out of range");
+  invalidate_conductance_cache();
   auto& cl = cell(row, col);
   const bool s = bit_of(cl);
   const bool b = !v_bl;
@@ -422,6 +543,7 @@ bool Crossbar::scout_read(std::size_t r1, std::size_t r2, std::size_t col,
                           ScoutOp op) {
   if (r1 >= cfg_.rows || r2 >= cfg_.rows || col >= cfg_.cols)
     throw std::out_of_range("scout_read: out of range");
+  invalidate_conductance_cache();  // scouting reads can disturb
   const double v = tech_.v_read;
   auto& c1 = cell(effective_row(r1), col);
   auto& c2 = cell(effective_row(r2), col);

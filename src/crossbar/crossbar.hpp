@@ -33,6 +33,10 @@
 #include "util/matrix.hpp"
 #include "util/rng.hpp"
 
+namespace cim::util {
+class ThreadPool;
+}
+
 namespace cim::crossbar {
 
 /// Static configuration of one crossbar array.
@@ -128,6 +132,26 @@ class Crossbar {
   /// read disturb and (for passive arrays) sneak-path background current.
   std::vector<double> vmm(std::span<const double> v_rows);
 
+  /// Batched analog VMM: row b of `v_batch` is one input vector; result b
+  /// lands in row b of `out` (resized only on shape change, so the storage
+  /// is reused across batches). Samples fan out across `pool` (the global
+  /// pool when null); each sample's noise stream is derived by
+  /// counter-based RNG splitting from one serial draw, so the output is
+  /// bit-identical for any thread count — including 1.
+  ///
+  /// Semantics vs. calling vmm() in a loop: the effective-conductance
+  /// matrix is computed once for the whole batch and read disturb
+  /// accumulated by the batch is applied after all samples (pipelined-read
+  /// semantics: every sample of a batch sees the same array state). Stats
+  /// accounting matches `batch` sequential vmm() calls.
+  void vmm_batch(const util::Matrix& v_batch, util::Matrix& out,
+                 util::ThreadPool* pool = nullptr);
+
+  /// Convenience overload over a span of input vectors.
+  std::vector<std::vector<double>> vmm_batch(
+      std::span<const std::vector<double>> inputs,
+      util::ThreadPool* pool = nullptr);
+
   /// Ideal VMM on the *target* conductances — the mathematical oracle.
   std::vector<double> ideal_vmm(std::span<const double> v_rows) const;
 
@@ -208,6 +232,26 @@ class Crossbar {
   bool bit_of(const device::ReRamCell& cell) const;
   double charge(double time_ns, double energy_pj);
 
+  /// (Re)builds the cached true/effective conductance matrices when stale.
+  /// Every operation that can change a stored conductance (writes, fault
+  /// injection, disturb, drift-prone reads) must call
+  /// invalidate_conductance_cache().
+  void ensure_conductance_cache();
+  void invalidate_conductance_cache() { g_cache_valid_ = false; }
+
+  /// Accumulates per-column currents / noise variance / array energy for
+  /// one input vector from the cached effective conductances.
+  void accumulate_currents(std::span<const double> v_rows,
+                           std::span<double> currents,
+                           std::span<double> noise_var, double& energy) const;
+
+  /// Sneak background current per column of a passive 0T1R array (from the
+  /// cached conductance sum; requires a valid cache).
+  double sneak_background_per_col(std::span<const double> v_rows) const;
+
+  /// Expected-count read-disturb events for one VMM cycle, drawn from `rng`.
+  void apply_read_disturb(util::Rng& rng);
+
   CrossbarConfig cfg_;
   device::TechnologyParams tech_;
   util::Rng rng_;
@@ -215,6 +259,13 @@ class Crossbar {
   fault::FaultMap faults_;
   CrossbarStats stats_;
   double last_op_energy_pj_ = 0.0;
+
+  // Hot-path caches (see ensure_conductance_cache).
+  std::vector<double> g_true_cache_;   ///< stored conductances, flat row-major
+  std::vector<double> g_eff_cache_;    ///< IR-drop-attenuated counterparts
+  double g_true_sum_ = 0.0;            ///< sum of g_true (sneak background)
+  bool g_cache_valid_ = false;
+  std::vector<double> vmm_noise_scratch_;  ///< per-call noise-variance buffer
 };
 
 }  // namespace cim::crossbar

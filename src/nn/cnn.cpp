@@ -101,11 +101,18 @@ int SmallCnn::predict(std::span<const double> image) const {
       std::max_element(logits.begin(), logits.end()) - logits.begin());
 }
 
-double SmallCnn::accuracy(const Dataset& data) const {
+double SmallCnn::accuracy(const Dataset& data, util::ThreadPool* pool) const {
   if (data.size() == 0) return 0.0;
+  std::vector<std::uint8_t> hit(data.size(), 0);
+  auto body = [&](std::size_t i) {
+    hit[i] = predict(data.features.row(i)) == data.labels[i] ? 1 : 0;
+  };
+  if (pool != nullptr)
+    pool->parallel_for(0, data.size(), body);
+  else
+    for (std::size_t i = 0; i < data.size(); ++i) body(i);
   std::size_t correct = 0;
-  for (std::size_t i = 0; i < data.size(); ++i)
-    if (predict(data.features.row(i)) == data.labels[i]) ++correct;
+  for (const auto h : hit) correct += h;
   return static_cast<double>(correct) / static_cast<double>(data.size());
 }
 
@@ -177,18 +184,19 @@ CrossbarCnn::CrossbarCnn(const SmallCnn& cnn, CrossbarLinearConfig array_cfg)
       std::make_unique<CrossbarLinear>(cnn.fc().w, cnn.fc().b, cfg_fc);
 }
 
-int CrossbarCnn::predict(std::span<const double> image) {
+int CrossbarCnn::predict(std::span<const double> image,
+                         util::ThreadPool* pool) {
   const auto patches = SmallCnn::im2col(image, kSide, 3);
   const std::size_t positions = patches.rows();
 
-  // Conv as a crossbar VMM per patch (inputs are pixels in [0,1]).
+  // Conv as one batched crossbar VMM over all im2col patches (inputs are
+  // pixels in [0,1]).
   conv_layer_->set_x_max(1.0);
+  const auto patch_out = conv_layer_->forward_batch(patches, pool);
   std::vector<double> conv_out(channels_ * positions);
-  for (std::size_t p = 0; p < positions; ++p) {
-    const auto y = conv_layer_->forward(patches.row(p));
+  for (std::size_t p = 0; p < positions; ++p)
     for (std::size_t ch = 0; ch < channels_; ++ch)
-      conv_out[ch * positions + p] = y[ch];
-  }
+      conv_out[ch * positions + p] = patch_out(p, ch);
 
   // ReLU + pool (digital periphery).
   std::vector<double> pooled(channels_ * kPoolOut * kPoolOut, 0.0);
@@ -212,11 +220,13 @@ int CrossbarCnn::predict(std::span<const double> image) {
       std::max_element(logits.begin(), logits.end()) - logits.begin());
 }
 
-double CrossbarCnn::accuracy(const Dataset& data) {
+double CrossbarCnn::accuracy(const Dataset& data, util::ThreadPool* pool) {
   if (data.size() == 0) return 0.0;
+  // Samples stay serial (the arrays are stateful); the per-sample conv
+  // batch fans out over the pool.
   std::size_t correct = 0;
   for (std::size_t i = 0; i < data.size(); ++i)
-    if (predict(data.features.row(i)) == data.labels[i]) ++correct;
+    if (predict(data.features.row(i), pool) == data.labels[i]) ++correct;
   return static_cast<double>(correct) / static_cast<double>(data.size());
 }
 

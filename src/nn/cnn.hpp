@@ -41,7 +41,9 @@ class SmallCnn {
   /// Class logits for one flattened 8x8 image.
   std::vector<double> forward(std::span<const double> image) const;
   int predict(std::span<const double> image) const;
-  double accuracy(const Dataset& data) const;
+  /// With a pool, inference fans out over samples (forward is pure, so the
+  /// result is identical to the serial path for any thread count).
+  double accuracy(const Dataset& data, util::ThreadPool* pool = nullptr) const;
 
   /// One SGD epoch (backprop through pool and conv via im2col).
   double train_epoch(const Dataset& data, double lr, util::Rng& rng);
@@ -65,8 +67,10 @@ class CrossbarCnn {
  public:
   CrossbarCnn(const SmallCnn& cnn, CrossbarLinearConfig array_cfg = {});
 
-  int predict(std::span<const double> image);
-  double accuracy(const Dataset& data);
+  /// The conv layer evaluates all im2col patches of the image as one
+  /// crossbar `vmm_batch` — the batched-VMM hot path.
+  int predict(std::span<const double> image, util::ThreadPool* pool = nullptr);
+  double accuracy(const Dataset& data, util::ThreadPool* pool = nullptr);
 
   /// Stuck-at fault injection on both layers' arrays.
   void apply_yield(double yield, util::Rng& rng);

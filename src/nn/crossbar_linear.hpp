@@ -19,6 +19,7 @@
 #include "fault/fault_map.hpp"
 #include "periphery/adc.hpp"
 #include "util/matrix.hpp"
+#include "util/thread_pool.hpp"
 
 namespace cim::nn {
 
@@ -42,6 +43,14 @@ class CrossbarLinear {
 
   /// Analog forward pass; `x` entries are expected in [0, x_max].
   std::vector<double> forward(std::span<const double> x);
+
+  /// Batched forward pass: row b of `x` is one sample; returns (batch x
+  /// out). Rides the crossbars' `vmm_batch`, so samples fan out across
+  /// `pool` (global pool when null) with bit-identical results for any
+  /// thread count. Internal voltage/current buffers are reused across
+  /// calls.
+  util::Matrix forward_batch(const util::Matrix& x,
+                             util::ThreadPool* pool = nullptr);
 
   /// Re-programs the arrays with updated weights/bias (same shape). Stuck
   /// cells silently keep their value — the mechanism fault-tolerant
@@ -74,6 +83,11 @@ class CrossbarLinear {
   double w_max_ = 1.0;   ///< |W| value mapped to full conductance swing
   double x_max_ = 1.0;
   std::optional<periphery::Adc> adc_;
+
+  // Reused batch buffers (forward_batch).
+  util::Matrix batch_volts_;
+  util::Matrix batch_plus_;
+  util::Matrix batch_minus_;
 };
 
 }  // namespace cim::nn

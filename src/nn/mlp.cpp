@@ -105,11 +105,23 @@ double Mlp::train_epoch(const Dataset& data, double lr, util::Rng& rng) {
   return total_loss / static_cast<double>(data.size());
 }
 
-double Mlp::accuracy(const Dataset& data) const {
+std::vector<int> Mlp::predict_batch(const Dataset& data,
+                                    util::ThreadPool* pool) const {
+  std::vector<int> preds(data.size());
+  auto body = [&](std::size_t i) { preds[i] = predict(data.features.row(i)); };
+  if (pool != nullptr)
+    pool->parallel_for(0, data.size(), body);
+  else
+    for (std::size_t i = 0; i < data.size(); ++i) body(i);
+  return preds;
+}
+
+double Mlp::accuracy(const Dataset& data, util::ThreadPool* pool) const {
   if (data.size() == 0) return 0.0;
+  const auto preds = predict_batch(data, pool);
   std::size_t correct = 0;
   for (std::size_t i = 0; i < data.size(); ++i)
-    if (predict(data.features.row(i)) == data.labels[i]) ++correct;
+    if (preds[i] == data.labels[i]) ++correct;
   return static_cast<double>(correct) / static_cast<double>(data.size());
 }
 

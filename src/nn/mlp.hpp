@@ -14,6 +14,7 @@
 #include "nn/dataset.hpp"
 #include "util/matrix.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace cim::nn {
 
@@ -47,12 +48,19 @@ class Mlp {
   /// argmax class.
   int predict(std::span<const double> x) const;
 
+  /// Batched argmax over every sample of `data`; samples fan out across
+  /// `pool` (serial when null). forward() is pure, so the result matches
+  /// per-sample predict() exactly for any thread count.
+  std::vector<int> predict_batch(const Dataset& data,
+                                 util::ThreadPool* pool = nullptr) const;
+
   /// One SGD epoch over the dataset in shuffled order; returns mean
   /// cross-entropy loss.
   double train_epoch(const Dataset& data, double lr, util::Rng& rng);
 
-  /// Classification accuracy on a dataset.
-  double accuracy(const Dataset& data) const;
+  /// Classification accuracy on a dataset; with a pool, inference batches
+  /// over samples (bit-identical to the serial path).
+  double accuracy(const Dataset& data, util::ThreadPool* pool = nullptr) const;
 
   /// Trains until `epochs` or until train accuracy reaches `target_acc`.
   void fit(const Dataset& train, std::size_t epochs, double lr, util::Rng& rng,

@@ -88,4 +88,16 @@ std::vector<std::size_t> Rng::permutation(std::size_t n) {
 
 Rng Rng::split() { return Rng((*this)()); }
 
+std::uint64_t Rng::stream_seed(std::uint64_t seed, std::uint64_t stream) {
+  // Weyl-step the stream index so streams 0,1,2,... land far apart in the
+  // SplitMix64 sequence, then mix twice for full avalanche.
+  std::uint64_t x = seed ^ (stream * 0xd1342543de82ef95ULL + 0x2545f4914f6cdd1dULL);
+  (void)splitmix64(x);
+  return splitmix64(x);
+}
+
+Rng Rng::stream(std::uint64_t seed, std::uint64_t stream_index) {
+  return Rng(stream_seed(seed, stream_index));
+}
+
 }  // namespace cim::util

@@ -56,7 +56,19 @@ class Rng {
 
   /// Splits off an independently seeded child generator. Useful for giving
   /// each subsystem its own stream while keeping one experiment seed.
+  /// NOTE: this consumes parent state, so the child depends on *when* the
+  /// split happens. For parallel work use the counter-based `stream()`.
   Rng split();
+
+  /// Counter-based sub-stream seed: mixes (seed, stream) through two
+  /// SplitMix64 rounds. Pure function of its arguments — task i of a
+  /// parallel loop gets `stream(master, i)` and sees the same numbers
+  /// regardless of which thread runs it or in what order, which is the
+  /// backbone of the repo's "bit-identical for any thread count" contract.
+  static std::uint64_t stream_seed(std::uint64_t seed, std::uint64_t stream);
+
+  /// Generator over sub-stream `stream` of `seed` (see `stream_seed`).
+  static Rng stream(std::uint64_t seed, std::uint64_t stream_index);
 
  private:
   std::uint64_t s_[4];

@@ -1,0 +1,145 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace cim::util {
+
+namespace {
+// Depth of parallel_for bodies executing on this thread: a nested call must
+// run inline instead of re-entering the (single-job) pool.
+thread_local int tls_body_depth = 0;
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) threads = default_threads();
+  for (std::size_t i = 1; i < threads; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+std::size_t ThreadPool::parse_threads(const char* value) {
+  if (value == nullptr || *value == '\0') return 0;
+  char* end = nullptr;
+  const unsigned long n = std::strtoul(value, &end, 10);
+  if (end == value || *end != '\0') return 0;
+  return static_cast<std::size_t>(std::min(n, 1024ul));
+}
+
+std::size_t ThreadPool::default_threads() {
+  if (const std::size_t n = parse_threads(std::getenv("CIM_THREADS")); n > 0)
+    return n;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool(default_threads());
+  return pool;
+}
+
+void ThreadPool::run_inline(std::size_t begin, std::size_t end,
+                            const std::function<void(std::size_t)>& body) {
+  ++tls_body_depth;
+  try {
+    for (std::size_t i = begin; i < end; ++i) body(i);
+  } catch (...) {
+    --tls_body_depth;
+    throw;
+  }
+  --tls_body_depth;
+}
+
+void ThreadPool::run_chunks(Job& job) {
+  for (;;) {
+    const std::size_t start =
+        job.next.fetch_add(job.chunk, std::memory_order_relaxed);
+    if (start >= job.count) return;
+    const std::size_t span = std::min(job.chunk, job.count - start);
+    if (!job.cancelled.load(std::memory_order_relaxed)) {
+      ++tls_body_depth;
+      for (std::size_t i = 0; i < span; ++i) {
+        try {
+          (*job.body)(job.begin + start + i);
+        } catch (...) {
+          {
+            std::lock_guard<std::mutex> g(job.error_mu);
+            if (!job.error) job.error = std::current_exception();
+          }
+          job.cancelled.store(true, std::memory_order_relaxed);
+          break;
+        }
+      }
+      --tls_body_depth;
+    }
+    // Claimed indices count as done whether executed or cancelled-skipped;
+    // the cursor keeps draining, so `done` provably reaches `count`.
+    if (job.done.fetch_add(span, std::memory_order_acq_rel) + span ==
+        job.count) {
+      std::lock_guard<std::mutex> lk(mu_);
+      done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen_epoch = 0;
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    work_cv_.wait(lk, [&] { return stop_ || job_epoch_ != seen_epoch; });
+    if (stop_) return;
+    seen_epoch = job_epoch_;
+    Job* job = job_;
+    if (job == nullptr) continue;
+    ++active_runners_;
+    lk.unlock();
+    run_chunks(*job);
+    lk.lock();
+    if (--active_runners_ == 0) done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t)>& body) {
+  if (end <= begin) return;
+  const std::size_t n = end - begin;
+  if (workers_.empty() || n == 1 || tls_body_depth > 0) {
+    run_inline(begin, end, body);
+    return;
+  }
+
+  std::lock_guard<std::mutex> submit(submit_mu_);
+  Job job;
+  job.begin = begin;
+  job.count = n;
+  job.chunk = std::max<std::size_t>(1, n / (4 * thread_count()));
+  job.body = &body;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    job_ = &job;
+    ++job_epoch_;
+  }
+  work_cv_.notify_all();
+  run_chunks(job);
+  {
+    // Wait for every claimed index AND for all workers to leave run_chunks
+    // before the stack-allocated job goes out of scope.
+    std::unique_lock<std::mutex> lk(mu_);
+    done_cv_.wait(lk, [&] {
+      return job.done.load(std::memory_order_acquire) == n &&
+             active_runners_ == 0;
+    });
+    job_ = nullptr;
+  }
+  if (job.error) std::rethrow_exception(job.error);
+}
+
+}  // namespace cim::util
