@@ -4,19 +4,29 @@
 /// Every bench ends by emitting one machine-readable line
 ///
 ///   BENCH_JSON {"bench":"<name>","wall_ms":...,"ops":...,"ops_per_s":...,
-///               "threads":N, ...extras}
+///               "threads":N,"peak_rss_mb":...,"cache_full_rebuilds":...,
+///               "cache_delta_updates":..., ...extras}
 ///
 /// so the perf trajectory of each figure bench can be scraped into
-/// BENCH_*.json files and tracked across PRs. `ops` is the bench's natural
-/// unit of work (Monte-Carlo trials, VMMs, test operations, ...).
+/// BENCH_*.json files and tracked across PRs (scripts/collect_bench.sh
+/// aggregates them into BENCH_PR<N>.json). `ops` is the bench's natural
+/// unit of work (Monte-Carlo trials, VMMs, test operations, ...);
+/// `peak_rss_mb` is the process high-water-mark resident set, and the two
+/// cache counters are the process-wide conductance-cache maintenance totals
+/// (util/perf_counters.hpp), so the line captures memory and cache
+/// behaviour as well as time.
 #pragma once
 
+#include <sys/resource.h>
+
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <initializer_list>
 #include <string>
 #include <utility>
 
+#include "util/perf_counters.hpp"
 #include "util/thread_pool.hpp"
 
 namespace cim::bench {
@@ -37,6 +47,13 @@ class WallTimer {
   Clock::time_point start_;
 };
 
+/// Peak resident-set size of this process in MiB (Linux ru_maxrss is KiB).
+inline double peak_rss_mb() {
+  rusage ru{};
+  getrusage(RUSAGE_SELF, &ru);
+  return static_cast<double>(ru.ru_maxrss) / 1024.0;
+}
+
 /// Emits the standard BENCH_JSON perf line on stdout. Extra numeric fields
 /// can be appended as {"key", value} pairs.
 inline void report(const std::string& bench, double wall_ms, double ops,
@@ -45,9 +62,16 @@ inline void report(const std::string& bench, double wall_ms, double ops,
   const double ops_per_s = wall_ms > 0.0 ? ops / (wall_ms / 1e3) : 0.0;
   std::printf(
       "BENCH_JSON {\"bench\":\"%s\",\"wall_ms\":%.3f,\"ops\":%.0f,"
-      "\"ops_per_s\":%.1f,\"threads\":%zu",
+      "\"ops_per_s\":%.1f,\"threads\":%zu,\"peak_rss_mb\":%.1f,"
+      "\"cache_full_rebuilds\":%llu,\"cache_delta_updates\":%llu",
       bench.c_str(), wall_ms, ops, ops_per_s,
-      cim::util::ThreadPool::default_threads());
+      cim::util::ThreadPool::default_threads(), peak_rss_mb(),
+      static_cast<unsigned long long>(
+          cim::util::perf::cache_full_rebuilds.load(
+              std::memory_order_relaxed)),
+      static_cast<unsigned long long>(
+          cim::util::perf::cache_delta_updates.load(
+              std::memory_order_relaxed)));
   for (const auto& [key, value] : extras)
     std::printf(",\"%s\":%.6g", key, value);
   std::printf("}\n");

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Runs every bench_* binary in a build directory, scrapes their BENCH_JSON
+# lines, and aggregates them into BENCH_PR<N>.json (a JSON array) in the
+# current working directory — the per-PR perf trajectory record.
+#
+# Usage: scripts/collect_bench.sh <build-dir> <pr-number>
+#   e.g. scripts/collect_bench.sh build 3   ->  BENCH_PR3.json
+#
+# bench_micro_kernels (the google-benchmark suite) is skipped: it reports
+# through the google-benchmark harness, not BENCH_JSON.
+set -euo pipefail
+
+build_dir=${1:?usage: collect_bench.sh <build-dir> <pr-number>}
+pr=${2:?usage: collect_bench.sh <build-dir> <pr-number>}
+out="BENCH_PR${pr}.json"
+
+bench_dir="${build_dir}/bench"
+[ -d "${bench_dir}" ] || { echo "error: ${bench_dir} not found (build first)" >&2; exit 1; }
+
+tmp=$(mktemp)
+trap 'rm -f "${tmp}"' EXIT
+
+status=0
+for b in "${bench_dir}"/bench_*; do
+  [ -x "${b}" ] && [ -f "${b}" ] || continue
+  name=$(basename "${b}")
+  [ "${name}" = "bench_micro_kernels" ] && continue
+  echo ">> ${name}" >&2
+  # A failing gate (non-zero exit) is recorded but does not stop collection.
+  if ! bench_out=$("${b}"); then
+    echo "!! ${name} exited non-zero" >&2
+    status=1
+  fi
+  printf '%s\n' "${bench_out}" |
+    sed -n 's/^BENCH_JSON //p' >> "${tmp}"
+done
+
+# Assemble the scraped object-per-line stream into a JSON array.
+{
+  echo '['
+  awk 'NR > 1 { printf ",\n" } { printf "  %s", $0 } END { printf "\n" }' "${tmp}"
+  echo ']'
+} > "${out}"
+
+echo "wrote ${out} ($(grep -c '"bench"' "${out}") bench entries)" >&2
+exit "${status}"

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/kernels.hpp"
+#include "util/perf_counters.hpp"
 #include "util/thread_pool.hpp"
 
 namespace cim::crossbar {
@@ -19,6 +21,8 @@ Crossbar::Crossbar(CrossbarConfig cfg)
   cells_.reserve(cfg_.rows * cfg_.cols);
   for (std::size_t i = 0; i < cfg_.rows * cfg_.cols; ++i)
     cells_.emplace_back(tech_, cfg_.levels, rng_);
+  dirty_words_per_row_ = (cfg_.cols + 63) / 64;
+  dirty_bits_.assign(cfg_.rows * dirty_words_per_row_, 0);
 }
 
 void Crossbar::apply_faults(const fault::FaultMap& map) {
@@ -89,23 +93,27 @@ void Crossbar::after_write(std::size_t r, std::size_t c, bool value_is_one) {
       if (fd.row == r && fd.col == c) {
         auto& victim = cell(fd.aux_row, fd.aux_col);
         victim.force_conductance(tech_.g_on_us());
+        mark_cell_dirty(fd.aux_row, fd.aux_col);
       }
     }
   }
-  // Half-select disturb on same-row / same-column neighbours.
+  // Half-select disturb on same-row / same-column neighbours. Only the
+  // cells whose conductance actually moved go on the dirty list.
   if (tech_.write_disturb_prob > 0.0) {
     for (std::size_t cc = 0; cc < cfg_.cols; ++cc)
-      if (cc != c) cell(r, cc).disturb_from_neighbour_write(rng_);
+      if (cc != c && cell(r, cc).disturb_from_neighbour_write(rng_))
+        mark_cell_dirty(r, cc);
     for (std::size_t rr = 0; rr < cfg_.rows; ++rr)
-      if (rr != r) cell(rr, c).disturb_from_neighbour_write(rng_);
+      if (rr != r && cell(rr, c).disturb_from_neighbour_write(rng_))
+        mark_cell_dirty(rr, c);
   }
 }
 
 void Crossbar::write_bit(std::size_t row, std::size_t col, bool value) {
   if (row >= cfg_.rows || col >= cfg_.cols)
     throw std::out_of_range("write_bit: out of range");
-  invalidate_conductance_cache();
   const std::size_t er = effective_row(row);
+  mark_cell_dirty(er, col);
   auto& cl = cell(er, col);
   const int level = value ? cl.scheme().levels() - 1 : 0;
   const auto res = cl.write_level(level, rng_, cfg_.verified_writes);
@@ -117,10 +125,12 @@ void Crossbar::write_bit(std::size_t row, std::size_t col, bool value) {
 bool Crossbar::read_bit(std::size_t row, std::size_t col) {
   if (row >= cfg_.rows || col >= cfg_.cols)
     throw std::out_of_range("read_bit: out of range");
-  invalidate_conductance_cache();  // reads can disturb (drift towards LRS)
   const std::size_t er = effective_row(row);
   auto& cl = cell(er, col);
+  // Reads can disturb (drift towards LRS): dirty-mark only when they did.
+  const double g_before = cl.true_conductance_us();
   const double g = cl.read_conductance_us(rng_);
+  if (cl.true_conductance_us() != g_before) mark_cell_dirty(er, col);
   ++stats_.bit_reads;
   // Read energy: V_read^2 * G * t_read ; pJ = V^2[V] * G[uS] * t[ns] * 1e-3
   const double e = tech_.v_read * tech_.v_read * g * tech_.t_read_ns * 1e-3 +
@@ -130,11 +140,8 @@ bool Crossbar::read_bit(std::size_t row, std::size_t col) {
   return g >= mid;
 }
 
-device::WriteResult Crossbar::program_cell(std::size_t row, std::size_t col,
-                                           double g_us) {
-  if (row >= cfg_.rows || col >= cfg_.cols)
-    throw std::out_of_range("program_cell: out of range");
-  invalidate_conductance_cache();
+device::WriteResult Crossbar::program_cell_impl(std::size_t row,
+                                                std::size_t col, double g_us) {
   auto& cl = cell(row, col);
   const auto res = cl.write_conductance(g_us, rng_, cfg_.verified_writes);
   ++stats_.analog_writes;
@@ -144,30 +151,44 @@ device::WriteResult Crossbar::program_cell(std::size_t row, std::size_t col,
   return res;
 }
 
+device::WriteResult Crossbar::program_cell(std::size_t row, std::size_t col,
+                                           double g_us) {
+  if (row >= cfg_.rows || col >= cfg_.cols)
+    throw std::out_of_range("program_cell: out of range");
+  mark_cell_dirty(row, col);
+  return program_cell_impl(row, col, g_us);
+}
+
 void Crossbar::program_conductances(const util::Matrix& g_us) {
   if (g_us.rows() != cfg_.rows || g_us.cols() != cfg_.cols)
     throw std::invalid_argument("program_conductances: shape mismatch");
+  // Bulk write: one whole-array invalidation instead of rows*cols per-cell
+  // dirty marks (which would only spill into the same rebuild anyway).
+  invalidate_conductance_cache();
   for (std::size_t r = 0; r < cfg_.rows; ++r)
-    for (std::size_t c = 0; c < cfg_.cols; ++c) program_cell(r, c, g_us(r, c));
+    for (std::size_t c = 0; c < cfg_.cols; ++c)
+      program_cell_impl(r, c, g_us(r, c));
 }
 
 void Crossbar::program_levels(const util::Matrix& levels) {
   if (levels.rows() != cfg_.rows || levels.cols() != cfg_.cols)
     throw std::invalid_argument("program_levels: shape mismatch");
   const auto& sch = scheme();
+  invalidate_conductance_cache();
   for (std::size_t r = 0; r < cfg_.rows; ++r)
     for (std::size_t c = 0; c < cfg_.cols; ++c) {
       const int lvl = static_cast<int>(levels(r, c));
-      program_cell(r, c, sch.level_conductance_us(lvl));
+      program_cell_impl(r, c, sch.level_conductance_us(lvl));
     }
 }
 
 double Crossbar::read_conductance(std::size_t row, std::size_t col) {
   if (row >= cfg_.rows || col >= cfg_.cols)
     throw std::out_of_range("read_conductance: out of range");
-  invalidate_conductance_cache();  // reads can disturb
   auto& cl = cell(row, col);
+  const double g_before = cl.true_conductance_us();  // reads can disturb
   const double g = cl.read_conductance_us(rng_);
+  if (cl.true_conductance_us() != g_before) mark_cell_dirty(row, col);
   ++stats_.bit_reads;
   charge(tech_.t_read_ns,
          tech_.v_read * tech_.v_read * g * tech_.t_read_ns * 1e-3 + tech_.e_read_pj);
@@ -192,8 +213,31 @@ double Crossbar::effective_conductance(std::size_t r, std::size_t c,
   return 1.0 / (1.0 / g_us + r_wire_kohm * 1e-3);
 }
 
+void Crossbar::mark_cell_dirty(std::size_t r, std::size_t c) {
+  if (g_all_dirty_ || !g_cache_built_ || !cfg_.incremental_cache) {
+    g_all_dirty_ = true;  // a rebuild is already pending (or forced)
+    return;
+  }
+  auto& word = dirty_bits_[r * dirty_words_per_row_ + (c >> 6)];
+  const std::uint64_t bit = std::uint64_t{1} << (c & 63);
+  if ((word & bit) != 0) return;
+  if (dirty_cells_.size() >= dirty_spill_threshold()) {
+    invalidate_conductance_cache();  // spill: delta no longer pays off
+    return;
+  }
+  word |= bit;
+  dirty_cells_.push_back(static_cast<std::uint32_t>(r * cfg_.cols + c));
+}
+
 void Crossbar::ensure_conductance_cache() {
-  if (g_cache_valid_) return;
+  if (g_cache_built_ && !g_all_dirty_) {
+    if (!dirty_cells_.empty()) apply_dirty_cells();
+    return;
+  }
+  rebuild_conductance_cache();
+}
+
+void Crossbar::rebuild_conductance_cache() {
   g_true_cache_.resize(cells_.size());
   g_eff_cache_.resize(cells_.size());
   g_true_sum_ = 0.0;
@@ -206,7 +250,36 @@ void Crossbar::ensure_conductance_cache() {
       g_true_sum_ += g;
     }
   }
-  g_cache_valid_ = true;
+  g_cache_built_ = true;
+  g_all_dirty_ = false;
+  dirty_cells_.clear();
+  std::fill(dirty_bits_.begin(), dirty_bits_.end(), 0);
+  ++stats_.cache_full_rebuilds;
+  util::perf::cache_full_rebuilds.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Crossbar::apply_dirty_cells() {
+  for (const std::uint32_t idx : dirty_cells_) {
+    const std::size_t r = idx / cfg_.cols;
+    const std::size_t c = idx % cfg_.cols;
+    const double g = cells_[idx].true_conductance_us();
+    if (!cfg_.passive_array) g_true_sum_ += g - g_true_cache_[idx];
+    g_true_cache_[idx] = g;
+    g_eff_cache_[idx] = effective_conductance(r, c, g);
+    dirty_bits_[r * dirty_words_per_row_ + (c >> 6)] &=
+        ~(std::uint64_t{1} << (c & 63));
+  }
+  stats_.cache_dirty_cells += dirty_cells_.size();
+  dirty_cells_.clear();
+  if (cfg_.passive_array) {
+    // The sneak background observes g_true_sum_, so keep it bitwise-equal
+    // to a rebuild: re-accumulate the (already repaired) flat cache in the
+    // same index order the rebuild sums in.
+    g_true_sum_ = 0.0;
+    for (const double g : g_true_cache_) g_true_sum_ += g;
+  }
+  ++stats_.cache_delta_updates;
+  util::perf::cache_delta_updates.fetch_add(1, std::memory_order_relaxed);
 }
 
 void Crossbar::accumulate_currents(std::span<const double> v_rows,
@@ -216,15 +289,10 @@ void Crossbar::accumulate_currents(std::span<const double> v_rows,
   for (std::size_t r = 0; r < cfg_.rows; ++r) {
     const double v = v_rows[r];
     if (v == 0.0) continue;
-    const double* ge_row = g_eff_cache_.data() + r * cfg_.cols;
-    for (std::size_t c = 0; c < cfg_.cols; ++c) {
-      const double i = v * ge_row[c];  // uA
-      currents[c] += i;
-      const double cell_noise = tech_.read_noise_frac * i;
-      noise_var[c] += cell_noise * cell_noise;
-      // pJ = V[V] * I[uA] * t[ns] * 1e-3
-      energy += std::abs(v * i) * tech_.t_read_ns * 1e-3;
-    }
+    util::kernels::vmm_row_accumulate(
+        v, g_eff_cache_.data() + r * cfg_.cols, currents.data(),
+        noise_var.data(), tech_.read_noise_frac, tech_.t_read_ns, cfg_.cols,
+        energy);
   }
 }
 
@@ -248,18 +316,28 @@ void Crossbar::apply_read_disturb(util::Rng& rng) {
   std::size_t hits = static_cast<std::size_t>(expected);
   if (rng.bernoulli(expected - static_cast<double>(hits))) ++hits;
   for (std::size_t k = 0; k < hits; ++k) {
-    auto& cl = cells_[rng.uniform_int(cells_.size())];
+    const std::size_t idx = rng.uniform_int(cells_.size());
+    auto& cl = cells_[idx];
     cl.force_conductance(cl.true_conductance_us() +
                          0.5 * cl.scheme().step_us());
+    mark_cell_dirty(idx / cfg_.cols, idx % cfg_.cols);
   }
-  if (hits > 0) invalidate_conductance_cache();
 }
 
 std::vector<double> Crossbar::vmm(std::span<const double> v_rows) {
+  std::vector<double> currents(cfg_.cols, 0.0);
+  vmm(v_rows, currents);
+  return currents;
+}
+
+void Crossbar::vmm(std::span<const double> v_rows,
+                   std::span<double> currents) {
   if (v_rows.size() != cfg_.rows)
     throw std::invalid_argument("vmm: input size != rows");
+  if (currents.size() != cfg_.cols)
+    throw std::invalid_argument("vmm: output size != cols");
   ensure_conductance_cache();
-  std::vector<double> currents(cfg_.cols, 0.0);
+  std::fill(currents.begin(), currents.end(), 0.0);
   vmm_noise_scratch_.assign(cfg_.cols, 0.0);
   double energy = 0.0;
   accumulate_currents(v_rows, currents, vmm_noise_scratch_, energy);
@@ -277,7 +355,6 @@ std::vector<double> Crossbar::vmm(std::span<const double> v_rows) {
 
   ++stats_.vmm_ops;
   charge(tech_.t_read_ns, energy);
-  return currents;
 }
 
 void Crossbar::vmm_batch(const util::Matrix& v_batch, util::Matrix& out,
@@ -294,7 +371,8 @@ void Crossbar::vmm_batch(const util::Matrix& v_batch, util::Matrix& out,
   // every per-sample stream derives from it by counter splitting, so the
   // fan-out below is bit-identical for any pool size.
   const std::uint64_t master = rng_();
-  std::vector<double> sample_energy(batch, 0.0);
+  batch_energy_scratch_.assign(batch, 0.0);
+  auto& sample_energy = batch_energy_scratch_;
 
   auto& p = pool != nullptr ? *pool : util::ThreadPool::global();
   p.parallel_for(0, batch, [&](std::size_t s) {
@@ -442,13 +520,13 @@ void Crossbar::imply(std::size_t dest_row, std::size_t dest_col,
   if (dest_row >= cfg_.rows || dest_col >= cfg_.cols || src_row >= cfg_.rows ||
       src_col >= cfg_.cols)
     throw std::out_of_range("imply: out of range");
-  invalidate_conductance_cache();
   auto& dest = cell(dest_row, dest_col);
   const bool p = bit_of(dest);
   const bool q = bit_of(cell(src_row, src_col));
   const bool next = !p || q;  // p -> q
   ++stats_.logic_ops;
   if (next != p) {
+    mark_cell_dirty(dest_row, dest_col);
     const auto res =
         dest.write_level(next ? dest.scheme().levels() - 1 : 0, rng_, false);
     charge(res.time_ns, res.energy_pj);
@@ -461,7 +539,7 @@ void Crossbar::imply(std::size_t dest_row, std::size_t dest_col,
 void Crossbar::set_false(std::size_t row, std::size_t col) {
   if (row >= cfg_.rows || col >= cfg_.cols)
     throw std::out_of_range("set_false: out of range");
-  invalidate_conductance_cache();
+  mark_cell_dirty(row, col);
   auto& cl = cell(row, col);
   const auto res = cl.write_level(0, rng_, false);
   ++stats_.logic_ops;
@@ -479,7 +557,6 @@ void Crossbar::magic_nor(std::size_t row, std::span<const std::size_t> in_cols,
   if (row >= cfg_.rows || out_col >= cfg_.cols)
     throw std::out_of_range("magic_nor: out of range");
   if (in_cols.empty()) throw std::invalid_argument("magic_nor: no inputs");
-  invalidate_conductance_cache();
   bool any_one = false;
   for (std::size_t c : in_cols) {
     if (c >= cfg_.cols) throw std::out_of_range("magic_nor: input out of range");
@@ -489,6 +566,7 @@ void Crossbar::magic_nor(std::size_t row, std::span<const std::size_t> in_cols,
   ++stats_.logic_ops;
   // MAGIC: the pre-SET output is conditionally RESET when any input is LRS.
   if (any_one) {
+    mark_cell_dirty(row, out_col);
     const auto res = out.write_level(0, rng_, false);
     charge(res.time_ns, res.energy_pj);
   } else {
@@ -500,7 +578,6 @@ void Crossbar::majority_write(std::size_t row, std::size_t col, bool v_wl,
                               bool v_bl) {
   if (row >= cfg_.rows || col >= cfg_.cols)
     throw std::out_of_range("majority_write: out of range");
-  invalidate_conductance_cache();
   auto& cl = cell(row, col);
   const bool s = bit_of(cl);
   const bool b = !v_bl;
@@ -509,6 +586,7 @@ void Crossbar::majority_write(std::size_t row, std::size_t col, bool v_wl,
   const bool next = votes >= 2;  // MAJ3(S, V_wl, !V_bl)
   ++stats_.logic_ops;
   if (next != s) {
+    mark_cell_dirty(row, col);
     const auto res =
         cl.write_level(next ? cl.scheme().levels() - 1 : 0, rng_, false);
     charge(res.time_ns, res.energy_pj);
@@ -543,11 +621,19 @@ bool Crossbar::scout_read(std::size_t r1, std::size_t r2, std::size_t col,
                           ScoutOp op) {
   if (r1 >= cfg_.rows || r2 >= cfg_.rows || col >= cfg_.cols)
     throw std::out_of_range("scout_read: out of range");
-  invalidate_conductance_cache();  // scouting reads can disturb
   const double v = tech_.v_read;
-  auto& c1 = cell(effective_row(r1), col);
-  auto& c2 = cell(effective_row(r2), col);
-  const double i = v * (c1.read_conductance_us(rng_) + c2.read_conductance_us(rng_));
+  const std::size_t er1 = effective_row(r1);
+  const std::size_t er2 = effective_row(r2);
+  auto& c1 = cell(er1, col);
+  auto& c2 = cell(er2, col);
+  // Scouting reads can disturb: dirty-mark the cells that actually moved.
+  const double g1_before = c1.true_conductance_us();
+  const double g1 = c1.read_conductance_us(rng_);
+  if (c1.true_conductance_us() != g1_before) mark_cell_dirty(er1, col);
+  const double g2_before = c2.true_conductance_us();
+  const double g2 = c2.read_conductance_us(rng_);
+  if (c2.true_conductance_us() != g2_before) mark_cell_dirty(er2, col);
+  const double i = v * (g1 + g2);
   stats_.bit_reads += 2;
   ++stats_.logic_ops;
   charge(tech_.t_read_ns, v * i * tech_.t_read_ns * 1e-3 + 2 * tech_.e_read_pj);

@@ -20,6 +20,7 @@
 /// Section III.C / Fig. 7.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <optional>
@@ -49,6 +50,12 @@ struct CrossbarConfig {
   double wire_resistance_ohm = 2.0;///< per wire segment (Ohm)
   bool passive_array = false;      ///< 0T1R: VMM reads suffer sneak paths
   bool verified_writes = false;    ///< program-and-verify on analog writes
+  /// Dirty-tracked conductance-cache maintenance: mutating ops record the
+  /// touched cells and the next VMM repairs the caches in O(|dirty|) instead
+  /// of rebuilding O(rows*cols). Outputs are bit-identical either way; set
+  /// to false to force the legacy whole-cache rebuild (the baseline the
+  /// write/read-interleave bench and the coherence tests compare against).
+  bool incremental_cache = true;
   std::uint64_t seed = 42;         ///< RNG stream for all stochastic behaviour
   /// When set, overrides the preset parameters of `tech` — used by
   /// reliability experiments that sweep endurance, noise or disturb rates.
@@ -64,6 +71,12 @@ struct CrossbarStats {
   std::uint64_t logic_ops = 0;
   double time_ns = 0.0;
   double energy_pj = 0.0;
+  // Conductance-cache maintenance (see "Crossbar state caches and dirty
+  // tracking" in DESIGN.md): benches use these to prove a write/VMM
+  // interleave took the O(|dirty|) path instead of O(rows*cols) rebuilds.
+  std::uint64_t cache_full_rebuilds = 0;  ///< whole-array cache rebuilds
+  std::uint64_t cache_delta_updates = 0;  ///< dirty-list delta repairs
+  std::uint64_t cache_dirty_cells = 0;    ///< cells repaired across all deltas
 };
 
 /// Scouting-logic read operations (Xie et al., ISVLSI'17).
@@ -131,6 +144,11 @@ class Crossbar {
   /// and returns the bitline currents in uA. Models IR-drop, read noise,
   /// read disturb and (for passive arrays) sneak-path background current.
   std::vector<double> vmm(std::span<const double> v_rows);
+
+  /// Allocation-free variant: writes the bitline currents into `currents`
+  /// (size cols). The steady-state hot path — all scratch lives in member
+  /// buffers, so interleaved write/VMM loops never touch the allocator.
+  void vmm(std::span<const double> v_rows, std::span<double> currents);
 
   /// Batched analog VMM: row b of `v_batch` is one input vector; result b
   /// lands in row b of `out` (resized only on shape change, so the storage
@@ -223,6 +241,12 @@ class Crossbar {
   /// Row actually selected by the decoder (honours address-decoder faults).
   std::size_t effective_row(std::size_t r) const;
 
+  /// Shared body of program_cell and the bulk programming loops: performs
+  /// the write + accounting + side effects but leaves cache dirty-marking
+  /// to the caller (bulk programming marks the whole array once).
+  device::WriteResult program_cell_impl(std::size_t row, std::size_t col,
+                                        double g_us);
+
   /// Post-write side effects: coupling-fault victims and neighbour disturb.
   void after_write(std::size_t r, std::size_t c, bool value_is_one);
 
@@ -232,12 +256,36 @@ class Crossbar {
   bool bit_of(const device::ReRamCell& cell) const;
   double charge(double time_ns, double energy_pj);
 
-  /// (Re)builds the cached true/effective conductance matrices when stale.
+  /// Brings the cached true/effective conductance matrices up to date.
   /// Every operation that can change a stored conductance (writes, fault
-  /// injection, disturb, drift-prone reads) must call
-  /// invalidate_conductance_cache().
+  /// injection, disturb, drift-prone reads) must either mark the exact
+  /// cells it touched via mark_cell_dirty() or declare the whole array
+  /// stale via invalidate_conductance_cache(). With `incremental_cache`
+  /// on, a pending dirty list is repaired in O(|dirty|); the repaired
+  /// caches are bitwise-equal to a full rebuild (effective conductance is
+  /// a pure per-cell function, and g_true_sum_ is re-accumulated in
+  /// rebuild order whenever it is observable, i.e. for passive arrays).
   void ensure_conductance_cache();
-  void invalidate_conductance_cache() { g_cache_valid_ = false; }
+
+  /// Whole-array invalidation: the next ensure_conductance_cache() does a
+  /// full O(rows*cols) rebuild. Used by bulk mutations (fault injection,
+  /// array-wide programming) and as the dirty-list spill target.
+  void invalidate_conductance_cache() {
+    g_all_dirty_ = true;
+    dirty_cells_.clear();
+  }
+
+  /// Records one mutated cell for the next delta repair; spills to
+  /// invalidate_conductance_cache() once the list stops paying off.
+  void mark_cell_dirty(std::size_t r, std::size_t c);
+
+  /// Dirty-list length at which delta bookkeeping loses to a rebuild.
+  std::size_t dirty_spill_threshold() const {
+    return std::max<std::size_t>(32, cells_.size() / 8);
+  }
+
+  void rebuild_conductance_cache();  ///< full O(rows*cols) rebuild
+  void apply_dirty_cells();          ///< O(|dirty|) delta repair
 
   /// Accumulates per-column currents / noise variance / array energy for
   /// one input vector from the cached effective conductances.
@@ -264,8 +312,17 @@ class Crossbar {
   std::vector<double> g_true_cache_;   ///< stored conductances, flat row-major
   std::vector<double> g_eff_cache_;    ///< IR-drop-attenuated counterparts
   double g_true_sum_ = 0.0;            ///< sum of g_true (sneak background)
-  bool g_cache_valid_ = false;
+  bool g_cache_built_ = false;         ///< caches populated at least once
+  bool g_all_dirty_ = true;            ///< full rebuild pending
+
+  // Dirty tracking (incremental_cache): flat cell indices pending repair,
+  // deduplicated by a per-row bitset (dirty_words_per_row_ words per row).
+  std::vector<std::uint32_t> dirty_cells_;
+  std::vector<std::uint64_t> dirty_bits_;
+  std::size_t dirty_words_per_row_ = 0;
+
   std::vector<double> vmm_noise_scratch_;  ///< per-call noise-variance buffer
+  std::vector<double> batch_energy_scratch_;  ///< per-sample energy (vmm_batch)
 };
 
 }  // namespace cim::crossbar

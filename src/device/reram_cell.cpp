@@ -133,13 +133,16 @@ int ReRamCell::read_level(util::Rng& rng) {
   return scheme_.nearest_level(read_conductance_us(rng));
 }
 
-void ReRamCell::disturb_from_neighbour_write(util::Rng& rng) {
-  if (stuck_ != StuckMode::kNone) return;
+bool ReRamCell::disturb_from_neighbour_write(util::Rng& rng) {
+  if (stuck_ != StuckMode::kNone) return false;
   const double p_write_disturb =
       std::min(1.0, tech_->write_disturb_prob * write_disturb_scale_);
   if (rng.bernoulli(p_write_disturb)) {
+    const double g_before = g_;
     g_ = std::min(tech_->g_on_us(), g_ + 0.5 * scheme_.step_us());
+    return g_ != g_before;
   }
+  return false;
 }
 
 void ReRamCell::force_stuck(StuckMode mode) {

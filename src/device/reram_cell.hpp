@@ -101,8 +101,9 @@ class ReRamCell {
 
   /// Disturb from a write on a neighbouring cell (half-select stress):
   /// with the technology's probability the conductance takes a small step
-  /// towards LRS.
-  void disturb_from_neighbour_write(util::Rng& rng);
+  /// towards LRS. Returns true when the stored conductance actually moved,
+  /// so callers maintaining conductance caches can dirty-track precisely.
+  bool disturb_from_neighbour_write(util::Rng& rng);
 
   // --- fault-module hooks -------------------------------------------------
   void force_stuck(StuckMode mode);

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/kernels.hpp"
+
 namespace cim::nn {
 namespace {
 constexpr std::size_t kSide = 8;        // input image side
@@ -54,10 +56,10 @@ SmallCnn::ForwardState SmallCnn::forward_full(
   for (std::size_t ch = 0; ch < conv_.channels; ++ch) {
     const auto wrow = conv_.w.row(ch);
     for (std::size_t p = 0; p < positions; ++p) {
-      double acc = conv_.b[ch];
       const auto patch = st.patches.row(p);
-      for (std::size_t k = 0; k < patch.size(); ++k) acc += wrow[k] * patch[k];
-      st.conv_pre[ch * positions + p] = acc;
+      st.conv_pre[ch * positions + p] =
+          conv_.b[ch] +
+          util::kernels::dot(wrow.data(), patch.data(), patch.size());
     }
   }
 

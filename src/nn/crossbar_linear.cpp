@@ -81,12 +81,17 @@ std::vector<double> CrossbarLinear::forward(std::span<const double> x) {
   const auto& tech = plus_->tech();
   const double v_read = tech.v_read;
 
-  std::vector<double> volts(in_);
+  volts_scratch_.resize(in_);
+  auto& volts = volts_scratch_;
   for (std::size_t i = 0; i < in_; ++i)
     volts[i] = std::clamp(x[i] / x_max_, 0.0, 1.0) * v_read;
 
-  auto i_plus = plus_->vmm(volts);
-  auto i_minus = minus_->vmm(volts);
+  i_plus_scratch_.resize(out_);
+  i_minus_scratch_.resize(out_);
+  auto& i_plus = i_plus_scratch_;
+  auto& i_minus = i_minus_scratch_;
+  plus_->vmm(volts, i_plus);
+  minus_->vmm(volts, i_minus);
 
   if (adc_) {
     for (auto* vec : {&i_plus, &i_minus})

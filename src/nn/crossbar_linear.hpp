@@ -88,6 +88,12 @@ class CrossbarLinear {
   util::Matrix batch_volts_;
   util::Matrix batch_plus_;
   util::Matrix batch_minus_;
+
+  // Reused single-sample buffers (forward): steady-state inference does not
+  // touch the allocator between the input copy and the returned logits.
+  std::vector<double> volts_scratch_;
+  std::vector<double> i_plus_scratch_;
+  std::vector<double> i_minus_scratch_;
 };
 
 }  // namespace cim::nn

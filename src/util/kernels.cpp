@@ -1,0 +1,35 @@
+#include "util/kernels.hpp"
+
+#include <algorithm>
+
+namespace cim::util::kernels {
+
+namespace {
+// Block sizes sized for a ~32 KiB L1d: one B panel (kKc x kNc doubles) plus
+// the C row slice stay resident while the k-loop streams over it.
+constexpr std::size_t kKc = 64;
+constexpr std::size_t kNc = 256;
+}  // namespace
+
+void gemm_accumulate(const double* a, std::size_t lda, const double* b,
+                     std::size_t ldb, double* c, std::size_t ldc,
+                     std::size_t m, std::size_t k, std::size_t n) {
+  for (std::size_t k0 = 0; k0 < k; k0 += kKc) {
+    const std::size_t k1 = std::min(k, k0 + kKc);
+    for (std::size_t n0 = 0; n0 < n; n0 += kNc) {
+      const std::size_t n1 = std::min(n, n0 + kNc);
+      const std::size_t nb = n1 - n0;
+      for (std::size_t r = 0; r < m; ++r) {
+        const double* a_row = a + r * lda;
+        double* c_row = c + r * ldc + n0;
+        for (std::size_t kk = k0; kk < k1; ++kk) {
+          const double av = a_row[kk];
+          if (av == 0.0) continue;
+          axpy(av, b + kk * ldb + n0, c_row, nb);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace cim::util::kernels

@@ -1,0 +1,80 @@
+/// \file kernels.hpp
+/// \brief Blocked, FMA-friendly numeric micro-kernels for the simulator's
+///        inner loops (crossbar VMM, dense matvec/GEMM, im2col conv).
+///
+/// These are the tight loops NeuroSim/MNSIM-class frameworks spend their
+/// time in. Layout assumptions are uniform across the repo: dense row-major
+/// `double` storage (util::Matrix, the crossbar conductance caches), so the
+/// kernels take raw pointers + lengths and leave bounds checking to the
+/// callers.
+///
+/// Accumulation contracts:
+///  - `dot` / `gemm_accumulate` use multi-accumulator reassociation: they
+///    are FMA/SIMD-friendly but NOT bitwise-equal to a serial left-to-right
+///    sum. Use them where consumers tolerate ulp-level drift (NN layers,
+///    dense linear algebra).
+///  - `vmm_row_accumulate` preserves the exact element order and expression
+///    shapes of the historical crossbar VMM loop — the crossbar's
+///    bit-identical output contract (serial vmm == batched vmm == the
+///    pre-incremental-cache behaviour) depends on it. Do not reassociate.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+
+namespace cim::util::kernels {
+
+/// Dot product with 4-way accumulator splitting. The four independent
+/// chains keep the FMA pipeline full; the compiler is free to vectorize.
+inline double dot(const double* a, const double* b, std::size_t n) {
+  double acc0 = 0.0, acc1 = 0.0, acc2 = 0.0, acc3 = 0.0;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc0 += a[i] * b[i];
+    acc1 += a[i + 1] * b[i + 1];
+    acc2 += a[i + 2] * b[i + 2];
+    acc3 += a[i + 3] * b[i + 3];
+  }
+  for (; i < n; ++i) acc0 += a[i] * b[i];
+  return (acc0 + acc1) + (acc2 + acc3);
+}
+
+/// y[i] += a * x[i]. Element-wise, so reassociation-free by construction.
+inline void axpy(double a, const double* x, double* y, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) y[i] += a * x[i];
+}
+
+/// Fused crossbar-VMM row update over one wordline:
+///
+///   i            = v * g[c]
+///   currents[c] += i
+///   noise_var[c] += (noise_frac * i)^2
+///   energy      += |v * i| * t_read_ns * 1e-3        (pJ)
+///
+/// Element order and expression shapes replicate the historical
+/// Crossbar::accumulate_currents loop exactly (see accumulation contract
+/// above): `energy` is carried through sequentially so the running sum sees
+/// the same rounding sequence.
+inline void vmm_row_accumulate(double v, const double* g, double* currents,
+                               double* noise_var, double noise_frac,
+                               double t_read_ns, std::size_t n,
+                               double& energy) {
+  double e = energy;
+  for (std::size_t c = 0; c < n; ++c) {
+    const double i = v * g[c];
+    currents[c] += i;
+    const double cell_noise = noise_frac * i;
+    noise_var[c] += cell_noise * cell_noise;
+    e += std::abs(v * i) * t_read_ns * 1e-3;
+  }
+  energy = e;
+}
+
+/// C (m x n) += A (m x k) * B (k x n), all row-major with the given leading
+/// strides. Blocked over k and n to keep the B panel and C row in cache;
+/// the inner update is an axpy, so each C element accumulates in k-order.
+void gemm_accumulate(const double* a, std::size_t lda, const double* b,
+                     std::size_t ldb, double* c, std::size_t ldc,
+                     std::size_t m, std::size_t k, std::size_t n);
+
+}  // namespace cim::util::kernels

@@ -9,6 +9,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "util/kernels.hpp"
+
 namespace cim::util {
 
 /// Dense row-major matrix of doubles with bounds-checked element access.
@@ -60,12 +62,8 @@ class Matrix {
   std::vector<double> matvec(std::span<const double> x) const {
     if (x.size() != cols_) throw std::invalid_argument("matvec: dim mismatch");
     std::vector<double> y(rows_, 0.0);
-    for (std::size_t r = 0; r < rows_; ++r) {
-      double acc = 0.0;
-      const double* a = data_.data() + r * cols_;
-      for (std::size_t c = 0; c < cols_; ++c) acc += a[c] * x[c];
-      y[r] = acc;
-    }
+    for (std::size_t r = 0; r < rows_; ++r)
+      y[r] = kernels::dot(data_.data() + r * cols_, x.data(), cols_);
     return y;
   }
 
@@ -73,11 +71,8 @@ class Matrix {
   std::vector<double> matvec_transposed(std::span<const double> x) const {
     if (x.size() != rows_) throw std::invalid_argument("matvec_transposed: dim mismatch");
     std::vector<double> y(cols_, 0.0);
-    for (std::size_t r = 0; r < rows_; ++r) {
-      const double* a = data_.data() + r * cols_;
-      const double xr = x[r];
-      for (std::size_t c = 0; c < cols_; ++c) y[c] += a[c] * xr;
-    }
+    for (std::size_t r = 0; r < rows_; ++r)
+      kernels::axpy(x[r], data_.data() + r * cols_, y.data(), cols_);
     return y;
   }
 
@@ -91,13 +86,9 @@ class Matrix {
   Matrix multiply(const Matrix& other) const {
     if (cols_ != other.rows_) throw std::invalid_argument("multiply: dim mismatch");
     Matrix out(rows_, other.cols_);
-    for (std::size_t r = 0; r < rows_; ++r)
-      for (std::size_t k = 0; k < cols_; ++k) {
-        const double a = (*this)(r, k);
-        if (a == 0.0) continue;
-        for (std::size_t c = 0; c < other.cols_; ++c)
-          out(r, c) += a * other(k, c);
-      }
+    kernels::gemm_accumulate(data_.data(), cols_, other.data_.data(),
+                             other.cols_, out.data_.data(), other.cols_,
+                             rows_, cols_, other.cols_);
     return out;
   }
 

@@ -1,0 +1,28 @@
+/// \file perf_counters.hpp
+/// \brief Process-wide performance counters for the hot simulator paths.
+///
+/// The per-instance `CrossbarStats` counters tell one array's story; these
+/// process-wide aggregates let the bench harness (bench_common.hpp) stamp
+/// every BENCH_JSON line with the total conductance-cache maintenance work
+/// of the whole run — across every crossbar any subsystem constructed —
+/// without threading stats objects through the bench code.
+///
+/// Counters are relaxed atomics: they are monotonically increasing event
+/// counts with no ordering relationship to any other data, and the hot
+/// paths must not pay a fence for them. Safe to increment from
+/// ThreadPool::parallel_for bodies (Monte-Carlo trials own private
+/// crossbars but share these aggregates).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace cim::util::perf {
+
+/// Whole-array conductance-cache rebuilds (O(rows*cols) each).
+inline std::atomic<std::uint64_t> cache_full_rebuilds{0};
+
+/// Dirty-list delta updates (O(|dirty|) each) that replaced a full rebuild.
+inline std::atomic<std::uint64_t> cache_delta_updates{0};
+
+}  // namespace cim::util::perf
