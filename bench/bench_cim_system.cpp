@@ -87,6 +87,10 @@ int main() {
                "(operands never cross the bus); tile MLP accuracy collapses "
                "at low ADC resolution and saturates near the INT4 reference "
                "by ~8-10 bits — the Section II.E resolution/cost knife edge.\n";
+  // Run with CIM_OBS=trace CIM_OBS_TRACE_FILE=trace.json to export a
+  // Chrome-trace timeline of the system/tile/crossbar spans from this
+  // workload (loadable in Perfetto or chrome://tracing); report() below
+  // writes the file.
   bench::report("bench_cim_system", total.elapsed_ms(), 96.0 + 4.0 * 150.0);
   return 0;
 }

@@ -5,29 +5,27 @@
 ///
 ///   BENCH_JSON {"bench":"<name>","wall_ms":...,"ops":...,"ops_per_s":...,
 ///               "threads":N,"peak_rss_mb":...,"cache_full_rebuilds":...,
-///               "cache_delta_updates":..., ...extras}
+///               "cache_delta_updates":...,"git_sha":"...",
+///               "build_type":"...", ...extras}
 ///
 /// so the perf trajectory of each figure bench can be scraped into
 /// BENCH_*.json files and tracked across PRs (scripts/collect_bench.sh
-/// aggregates them into BENCH_PR<N>.json). `ops` is the bench's natural
-/// unit of work (Monte-Carlo trials, VMMs, test operations, ...);
-/// `peak_rss_mb` is the process high-water-mark resident set, and the two
-/// cache counters are the process-wide conductance-cache maintenance totals
-/// (util/perf_counters.hpp), so the line captures memory and cache
-/// behaviour as well as time.
+/// aggregates them into BENCH_PR<N>.json and validates the schema). `ops`
+/// is the bench's natural unit of work (Monte-Carlo trials, VMMs, test
+/// operations, ...). The line is produced by the cim::obs exporter
+/// (obs::emit_bench_json), which stamps the build metadata and reads the
+/// cache counters from the metrics registry; with CIM_OBS enabled it also
+/// honours the CIM_OBS_SNAPSHOT_FILE / CIM_OBS_TRACE_FILE exporter hooks,
+/// so every bench can dump a full telemetry snapshot or Chrome trace
+/// without per-bench wiring.
 #pragma once
 
-#include <sys/resource.h>
-
-#include <atomic>
 #include <chrono>
-#include <cstdio>
 #include <initializer_list>
 #include <string>
 #include <utility>
 
-#include "util/perf_counters.hpp"
-#include "util/thread_pool.hpp"
+#include "obs/obs.hpp"
 
 namespace cim::bench {
 
@@ -47,34 +45,15 @@ class WallTimer {
   Clock::time_point start_;
 };
 
-/// Peak resident-set size of this process in MiB (Linux ru_maxrss is KiB).
-inline double peak_rss_mb() {
-  rusage ru{};
-  getrusage(RUSAGE_SELF, &ru);
-  return static_cast<double>(ru.ru_maxrss) / 1024.0;
-}
+/// Peak resident-set size of this process in MiB.
+inline double peak_rss_mb() { return cim::obs::peak_rss_mb(); }
 
 /// Emits the standard BENCH_JSON perf line on stdout. Extra numeric fields
 /// can be appended as {"key", value} pairs.
 inline void report(const std::string& bench, double wall_ms, double ops,
                    std::initializer_list<std::pair<const char*, double>>
                        extras = {}) {
-  const double ops_per_s = wall_ms > 0.0 ? ops / (wall_ms / 1e3) : 0.0;
-  std::printf(
-      "BENCH_JSON {\"bench\":\"%s\",\"wall_ms\":%.3f,\"ops\":%.0f,"
-      "\"ops_per_s\":%.1f,\"threads\":%zu,\"peak_rss_mb\":%.1f,"
-      "\"cache_full_rebuilds\":%llu,\"cache_delta_updates\":%llu",
-      bench.c_str(), wall_ms, ops, ops_per_s,
-      cim::util::ThreadPool::default_threads(), peak_rss_mb(),
-      static_cast<unsigned long long>(
-          cim::util::perf::cache_full_rebuilds.load(
-              std::memory_order_relaxed)),
-      static_cast<unsigned long long>(
-          cim::util::perf::cache_delta_updates.load(
-              std::memory_order_relaxed)));
-  for (const auto& [key, value] : extras)
-    std::printf(",\"%s\":%.6g", key, value);
-  std::printf("}\n");
+  cim::obs::emit_bench_json(bench, wall_ms, ops, extras);
 }
 
 }  // namespace cim::bench

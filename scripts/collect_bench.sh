@@ -8,6 +8,13 @@
 #
 # bench_micro_kernels (the google-benchmark suite) is skipped: it reports
 # through the google-benchmark harness, not BENCH_JSON.
+#
+# Every scraped line is validated against the BENCH_JSON schema before it
+# is admitted: the required keys must all be present and any other key must
+# be on the per-bench extras whitelist below. A bench that emits a
+# malformed line, drops a field, or invents one fails the run loudly —
+# schema drift otherwise surfaces much later as holes in the trajectory
+# record.
 set -euo pipefail
 
 build_dir=${1:?usage: collect_bench.sh <build-dir> <pr-number>}
@@ -20,6 +27,55 @@ bench_dir="${build_dir}/bench"
 tmp=$(mktemp)
 trap 'rm -f "${tmp}"' EXIT
 
+# Strict schema check for one BENCH_JSON line, passed as $2 (see
+# src/obs/export.cpp bench_json_line for the producer). Exits non-zero with
+# a message naming the offending key on any violation.
+validate_line() {
+  python3 - "$1" "$2" <<'PYEOF'
+import json, sys
+
+REQUIRED = {
+    "bench", "wall_ms", "ops", "ops_per_s", "threads", "peak_rss_mb",
+    "cache_full_rebuilds", "cache_delta_updates", "git_sha", "build_type",
+}
+# Per-bench extras. Adding a field to a bench means adding it here, on
+# purpose — unknown keys are schema drift and fail the run.
+OPTIONAL = {
+    "mc_wall_ms", "drop_at_80", "mean_recovered",
+    "vmm_speedup_8v1", "mc_speedup_8v1", "hw_concurrency", "deterministic",
+    "speedup_program_verify", "speedup_dense",
+    "incr_full_rebuilds", "incr_delta_updates", "incr_dirty_cells",
+    "gate_pass", "overhead_pct", "per_site_ns", "metrics_mode_ms",
+}
+
+name = sys.argv[1]
+line = sys.argv[2].strip()
+try:
+    obj = json.loads(line)
+except json.JSONDecodeError as e:
+    sys.exit(f"{name}: BENCH_JSON line is not valid JSON: {e}")
+if not isinstance(obj, dict):
+    sys.exit(f"{name}: BENCH_JSON line is not a JSON object")
+missing = sorted(REQUIRED - obj.keys())
+if missing:
+    sys.exit(f"{name}: BENCH_JSON missing required key(s): {', '.join(missing)}")
+unknown = sorted(obj.keys() - REQUIRED - OPTIONAL)
+if unknown:
+    sys.exit(f"{name}: BENCH_JSON unknown key(s): {', '.join(unknown)} "
+             "(whitelist them in scripts/collect_bench.sh if intentional)")
+if not isinstance(obj["bench"], str) or not obj["bench"]:
+    sys.exit(f"{name}: BENCH_JSON 'bench' must be a non-empty string")
+for k in ("git_sha", "build_type"):
+    if not isinstance(obj[k], str) or not obj[k]:
+        sys.exit(f"{name}: BENCH_JSON '{k}' must be a non-empty string")
+for k, v in obj.items():
+    if k in ("bench", "git_sha", "build_type"):
+        continue
+    if not isinstance(v, (int, float)) or isinstance(v, bool):
+        sys.exit(f"{name}: BENCH_JSON '{k}' must be a number, got {v!r}")
+PYEOF
+}
+
 status=0
 for b in "${bench_dir}"/bench_*; do
   [ -x "${b}" ] && [ -f "${b}" ] || continue
@@ -31,8 +87,17 @@ for b in "${bench_dir}"/bench_*; do
     echo "!! ${name} exited non-zero" >&2
     status=1
   fi
-  printf '%s\n' "${bench_out}" |
-    sed -n 's/^BENCH_JSON //p' >> "${tmp}"
+  line=$(printf '%s\n' "${bench_out}" | sed -n 's/^BENCH_JSON //p')
+  if [ -z "${line}" ]; then
+    echo "error: ${name} emitted no BENCH_JSON line" >&2
+    exit 1
+  fi
+  if [ "$(printf '%s\n' "${line}" | wc -l)" -ne 1 ]; then
+    echo "error: ${name} emitted more than one BENCH_JSON line" >&2
+    exit 1
+  fi
+  validate_line "${name}" "${line}" || exit 1
+  printf '%s\n' "${line}" >> "${tmp}"
 done
 
 # Assemble the scraped object-per-line stream into a JSON array.

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/obs.hpp"
+
 namespace cim::core {
 
 CimSystem::CimSystem(const util::Matrix& w_int, CimSystemConfig cfg)
@@ -42,6 +44,7 @@ CimSystem::CimSystem(const util::Matrix& w_int, CimSystemConfig cfg)
 std::vector<long> CimSystem::vmm_int(std::span<const std::uint32_t> inputs,
                                      int input_bits, util::ThreadPool* pool) {
   if (inputs.size() != in_) throw std::invalid_argument("CimSystem: dim");
+  CIM_OBS_SPAN_NAMED(span, "system.vmm_int", obs::Component::kInterconnect);
   std::vector<long> y(out_, 0);
 
   // Each tile owns its crossbars/RNG, so blocks execute independently; the
@@ -92,6 +95,12 @@ std::vector<long> CimSystem::vmm_int(std::span<const std::uint32_t> inputs,
   stats_.energy_pj += tile_energy + move_energy;
   stats_.movement_energy_pj += move_energy;
   ++stats_.vmm_ops;
+  if (obs::enabled()) {
+    const double reduce_time = reduce_hops * cfg_.transfer_latency_ns_per_hop;
+    obs::attribute(obs::Component::kInterconnect, reduce_time, move_energy);
+    span.add_sim_time_ns(worst_tile_time + reduce_time);
+    span.add_energy_pj(tile_energy + move_energy);
+  }
   return y;
 }
 

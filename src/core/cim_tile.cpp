@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/obs.hpp"
 #include "periphery/dac.hpp"
 
 namespace cim::core {
@@ -77,6 +78,7 @@ std::vector<long> CimTile::vmm_int(std::span<const std::uint32_t> inputs,
     throw std::invalid_argument("vmm_int: input size != rows");
   if (input_bits < 1 || input_bits > 16)
     throw std::invalid_argument("vmm_int: input_bits in [1,16]");
+  CIM_OBS_SPAN_NAMED(span, "tile.vmm_int", obs::Component::kDigital);
 
   const auto& tech = plus_->tech();
   const double v = tech.v_read;
@@ -129,6 +131,16 @@ std::vector<long> CimTile::vmm_int(std::span<const std::uint32_t> inputs,
     stats_.digital_energy_pj += e_dig;
     ++stats_.cycles;
     ++cycle_;
+    if (obs::enabled()) {
+      // Periphery attribution per bit-serial cycle; the crossbars already
+      // attributed e_array to kArray inside charge().
+      const double t_adc = (adc_conversions_per_cycle / 2.0) * adc_.latency_ns();
+      obs::attribute(obs::Component::kAdc, t_adc, e_adc);
+      obs::attribute(obs::Component::kDac, 0.0, e_dac);
+      obs::attribute(obs::Component::kDigital, 0.0, e_dig);
+      span.add_sim_time_ns(t_cycle);
+      span.add_energy_pj(e_array + e_adc + e_dac + e_dig);
+    }
     trace_.record({OpKind::kRowActivate, 0, cycle_, tech.t_read_ns, e_dac});
     trace_.record({OpKind::kSenseColumns, 0, cycle_,
                    t_cycle - tech.t_read_ns, e_adc});

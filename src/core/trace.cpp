@@ -1,7 +1,10 @@
 #include "core/trace.hpp"
 
-#include <map>
+#include <algorithm>
+#include <atomic>
 #include <ostream>
+
+#include "obs/obs.hpp"
 
 namespace cim::core {
 
@@ -17,31 +20,87 @@ std::string_view op_kind_name(OpKind kind) {
   return "unknown";
 }
 
+namespace {
+
+/// Forwards a trace entry into the obs registry as a `trace.<kind>` span
+/// aggregate. Per-kind SpanStat pointers are resolved once and cached.
+void forward_to_obs(const TraceEntry& entry) {
+  struct KindSink {
+    const char* span_name;
+    obs::Component comp;
+  };
+  static constexpr std::array<KindSink, kOpKindCount> kSinks{{
+      {"trace.program", obs::Component::kArray},
+      {"trace.row_activate", obs::Component::kDac},
+      {"trace.sense", obs::Component::kAdc},
+      {"trace.shift_add", obs::Component::kDigital},
+      {"trace.logic", obs::Component::kArray},
+      {"trace.transfer", obs::Component::kInterconnect},
+  }};
+  static std::array<std::atomic<obs::SpanStat*>, kOpKindCount> cache{};
+
+  const auto k = static_cast<std::size_t>(entry.kind);
+  if (k >= kOpKindCount) return;
+  obs::SpanStat* stat = cache[k].load(std::memory_order_acquire);
+  if (stat == nullptr) {
+    stat = &obs::Registry::global().span_stat(kSinks[k].span_name,
+                                              kSinks[k].comp);
+    cache[k].store(stat, std::memory_order_release);
+  }
+  stat->count.add(1);
+  stat->sim_time_ns.add(entry.time_ns);
+  stat->energy_pj.add(entry.energy_pj);
+}
+
+}  // namespace
+
 Trace::Trace(std::size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {
   entries_.reserve(capacity_);
 }
 
 void Trace::record(TraceEntry entry) {
   ++total_;
+  ++kind_totals_[static_cast<std::size_t>(entry.kind) % kOpKindCount];
+  if (obs::enabled()) forward_to_obs(entry);
   if (entries_.size() < capacity_) {
     entries_.push_back(entry);
     return;
   }
-  // Ring behaviour: overwrite oldest.
-  entries_[static_cast<std::size_t>(total_ % capacity_)] = entry;
+  // Ring behaviour: overwrite the oldest entry. After `total_` records the
+  // newest lives at (total_ - 1) % capacity_, the oldest at
+  // total_ % capacity_.
+  entries_[static_cast<std::size_t>((total_ - 1) % capacity_)] = entry;
+}
+
+std::vector<TraceEntry> Trace::window() const {
+  std::vector<TraceEntry> out;
+  out.reserve(entries_.size());
+  if (total_ <= capacity_) {
+    out = entries_;
+    return out;
+  }
+  const std::size_t oldest = static_cast<std::size_t>(total_ % capacity_);
+  for (std::size_t k = 0; k < entries_.size(); ++k)
+    out.push_back(entries_[(oldest + k) % capacity_]);
+  return out;
 }
 
 std::vector<std::pair<OpKind, std::size_t>> Trace::histogram() const {
-  std::map<OpKind, std::size_t> counts;
-  for (const auto& e : entries_) ++counts[e.kind];
-  return {counts.begin(), counts.end()};
+  std::vector<std::pair<OpKind, std::size_t>> out;
+  for (std::size_t k = 0; k < kOpKindCount; ++k)
+    if (kind_totals_[k] != 0)
+      out.emplace_back(static_cast<OpKind>(k),
+                       static_cast<std::size_t>(kind_totals_[k]));
+  return out;
 }
 
 void Trace::print(std::ostream& os, std::size_t last_n) const {
-  const std::size_t n = std::min(last_n, entries_.size());
-  os << "trace: " << total_ << " ops total, showing last " << n << "\n";
-  for (std::size_t i = entries_.size() - n; i < entries_.size(); ++i) {
-    const auto& e = entries_[i];
+  const std::vector<TraceEntry> win = window();
+  const std::size_t n = std::min(last_n, win.size());
+  os << "trace: " << total_ << " ops total (window of last " << win.size()
+     << " retained), showing last " << n << "\n";
+  for (std::size_t i = win.size() - n; i < win.size(); ++i) {
+    const auto& e = win[i];
     os << "  [" << e.cycle << "] tile " << e.tile << " "
        << op_kind_name(e.kind) << " t=" << e.time_ns << "ns e=" << e.energy_pj
        << "pJ\n";
@@ -51,6 +110,7 @@ void Trace::print(std::ostream& os, std::size_t last_n) const {
 void Trace::clear() {
   entries_.clear();
   total_ = 0;
+  kind_totals_.fill(0);
 }
 
 }  // namespace cim::core

@@ -2,12 +2,19 @@
 /// \brief Instruction trace of a CIM core's controller (Section II.B.2:
 ///        the control block "needs to deal with complex instructions such
 ///        as handling intricacies of multi-operand VMM operations").
+///
+/// The trace doubles as a telemetry source: when CIM_OBS is enabled every
+/// recorded entry is forwarded to the cim::obs registry as a
+/// `trace.<kind>` span aggregate (simulated time + energy), so controller
+/// activity shows up in snapshots and breakdowns next to the span data.
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <iosfwd>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace cim::core {
@@ -21,6 +28,7 @@ enum class OpKind {
   kLogicStep,     ///< stateful-logic instruction
   kTileTransfer,  ///< partial-sum movement between tiles
 };
+inline constexpr std::size_t kOpKindCount = 6;
 
 std::string_view op_kind_name(OpKind kind);
 
@@ -33,7 +41,8 @@ struct TraceEntry {
   double energy_pj = 0.0;
 };
 
-/// Bounded instruction trace (keeps the most recent `capacity` entries).
+/// Bounded instruction trace (keeps the most recent `capacity` entries;
+/// per-kind counts cover *all* recorded entries, not just the window).
 class Trace {
  public:
   explicit Trace(std::size_t capacity = 4096);
@@ -41,9 +50,16 @@ class Trace {
   void record(TraceEntry entry);
   std::size_t size() const { return entries_.size(); }
   std::uint64_t total_recorded() const { return total_; }
+  /// Raw ring storage — NOT chronological once the ring has wrapped; use
+  /// window() for ordered entries.
   const std::vector<TraceEntry>& entries() const { return entries_; }
 
-  /// Ops per kind over the retained window.
+  /// The retained window (up to `capacity` most recent entries) in
+  /// chronological order, oldest first.
+  std::vector<TraceEntry> window() const;
+
+  /// Ops per kind over every entry ever recorded (total_recorded()),
+  /// sorted by kind. Survives ring wraparound.
   std::vector<std::pair<OpKind, std::size_t>> histogram() const;
 
   void print(std::ostream& os, std::size_t last_n = 20) const;
@@ -53,6 +69,7 @@ class Trace {
   std::size_t capacity_;
   std::vector<TraceEntry> entries_;
   std::uint64_t total_ = 0;
+  std::array<std::uint64_t, kOpKindCount> kind_totals_{};
 };
 
 }  // namespace cim::core

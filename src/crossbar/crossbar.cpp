@@ -4,11 +4,36 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/obs.hpp"
 #include "util/kernels.hpp"
 #include "util/perf_counters.hpp"
 #include "util/thread_pool.hpp"
 
 namespace cim::crossbar {
+
+namespace {
+
+/// Process-wide registry mirrors of the per-instance CrossbarStats event
+/// counts. Resolved once (function-local static), bumped only when
+/// telemetry is enabled so the disabled hot path stays one branch.
+struct ObsCounters {
+  obs::Counter& vmm_ops = obs::Registry::global().counter("crossbar.vmm_ops");
+  obs::Counter& bit_reads =
+      obs::Registry::global().counter("crossbar.bit_reads");
+  obs::Counter& bit_writes =
+      obs::Registry::global().counter("crossbar.bit_writes");
+  obs::Counter& analog_writes =
+      obs::Registry::global().counter("crossbar.analog_writes");
+  obs::Counter& logic_ops =
+      obs::Registry::global().counter("crossbar.logic_ops");
+};
+
+ObsCounters& obs_counters() {
+  static ObsCounters counters;
+  return counters;
+}
+
+}  // namespace
 
 Crossbar::Crossbar(CrossbarConfig cfg)
     : cfg_(cfg),
@@ -82,6 +107,10 @@ double Crossbar::charge(double time_ns, double energy_pj) {
   stats_.time_ns += time_ns;
   stats_.energy_pj += energy_pj;
   last_op_energy_pj_ = energy_pj;
+  // Single accounting choke point: everything charged to a crossbar is
+  // array-side cost (periphery is attributed by the tile/system layers).
+  if (obs::enabled())
+    obs::attribute(obs::Component::kArray, time_ns, energy_pj);
   return energy_pj;
 }
 
@@ -118,6 +147,7 @@ void Crossbar::write_bit(std::size_t row, std::size_t col, bool value) {
   const int level = value ? cl.scheme().levels() - 1 : 0;
   const auto res = cl.write_level(level, rng_, cfg_.verified_writes);
   ++stats_.bit_writes;
+  if (obs::enabled()) obs_counters().bit_writes.add(1);
   charge(res.time_ns, res.energy_pj);
   after_write(er, col, value);
 }
@@ -132,6 +162,7 @@ bool Crossbar::read_bit(std::size_t row, std::size_t col) {
   const double g = cl.read_conductance_us(rng_);
   if (cl.true_conductance_us() != g_before) mark_cell_dirty(er, col);
   ++stats_.bit_reads;
+  if (obs::enabled()) obs_counters().bit_reads.add(1);
   // Read energy: V_read^2 * G * t_read ; pJ = V^2[V] * G[uS] * t[ns] * 1e-3
   const double e = tech_.v_read * tech_.v_read * g * tech_.t_read_ns * 1e-3 +
                    tech_.e_read_pj;
@@ -145,6 +176,7 @@ device::WriteResult Crossbar::program_cell_impl(std::size_t row,
   auto& cl = cell(row, col);
   const auto res = cl.write_conductance(g_us, rng_, cfg_.verified_writes);
   ++stats_.analog_writes;
+  if (obs::enabled()) obs_counters().analog_writes.add(1);
   charge(res.time_ns, res.energy_pj);
   const double mid = 0.5 * (tech_.g_on_us() + tech_.g_off_us());
   after_write(row, col, g_us >= mid);
@@ -162,6 +194,7 @@ device::WriteResult Crossbar::program_cell(std::size_t row, std::size_t col,
 void Crossbar::program_conductances(const util::Matrix& g_us) {
   if (g_us.rows() != cfg_.rows || g_us.cols() != cfg_.cols)
     throw std::invalid_argument("program_conductances: shape mismatch");
+  CIM_OBS_SPAN("crossbar.program", obs::Component::kArray);
   // Bulk write: one whole-array invalidation instead of rows*cols per-cell
   // dirty marks (which would only spill into the same rebuild anyway).
   invalidate_conductance_cache();
@@ -173,6 +206,7 @@ void Crossbar::program_conductances(const util::Matrix& g_us) {
 void Crossbar::program_levels(const util::Matrix& levels) {
   if (levels.rows() != cfg_.rows || levels.cols() != cfg_.cols)
     throw std::invalid_argument("program_levels: shape mismatch");
+  CIM_OBS_SPAN("crossbar.program", obs::Component::kArray);
   const auto& sch = scheme();
   invalidate_conductance_cache();
   for (std::size_t r = 0; r < cfg_.rows; ++r)
@@ -190,6 +224,7 @@ double Crossbar::read_conductance(std::size_t row, std::size_t col) {
   const double g = cl.read_conductance_us(rng_);
   if (cl.true_conductance_us() != g_before) mark_cell_dirty(row, col);
   ++stats_.bit_reads;
+  if (obs::enabled()) obs_counters().bit_reads.add(1);
   charge(tech_.t_read_ns,
          tech_.v_read * tech_.v_read * g * tech_.t_read_ns * 1e-3 + tech_.e_read_pj);
   return g;
@@ -238,6 +273,7 @@ void Crossbar::ensure_conductance_cache() {
 }
 
 void Crossbar::rebuild_conductance_cache() {
+  CIM_OBS_SPAN("crossbar.cache.rebuild", obs::Component::kDigital);
   g_true_cache_.resize(cells_.size());
   g_eff_cache_.resize(cells_.size());
   g_true_sum_ = 0.0;
@@ -259,6 +295,7 @@ void Crossbar::rebuild_conductance_cache() {
 }
 
 void Crossbar::apply_dirty_cells() {
+  CIM_OBS_SPAN("crossbar.cache.delta", obs::Component::kDigital);
   for (const std::uint32_t idx : dirty_cells_) {
     const std::size_t r = idx / cfg_.cols;
     const std::size_t c = idx % cfg_.cols;
@@ -336,6 +373,7 @@ void Crossbar::vmm(std::span<const double> v_rows,
     throw std::invalid_argument("vmm: input size != rows");
   if (currents.size() != cfg_.cols)
     throw std::invalid_argument("vmm: output size != cols");
+  CIM_OBS_SPAN_NAMED(span, "crossbar.vmm", obs::Component::kArray);
   ensure_conductance_cache();
   std::fill(currents.begin(), currents.end(), 0.0);
   vmm_noise_scratch_.assign(cfg_.cols, 0.0);
@@ -355,6 +393,11 @@ void Crossbar::vmm(std::span<const double> v_rows,
 
   ++stats_.vmm_ops;
   charge(tech_.t_read_ns, energy);
+  if (obs::enabled()) {
+    obs_counters().vmm_ops.add(1);
+    span.add_sim_time_ns(tech_.t_read_ns);
+    span.add_energy_pj(energy);
+  }
 }
 
 void Crossbar::vmm_batch(const util::Matrix& v_batch, util::Matrix& out,
@@ -365,6 +408,7 @@ void Crossbar::vmm_batch(const util::Matrix& v_batch, util::Matrix& out,
   if (out.rows() != batch || out.cols() != cfg_.cols)
     out = util::Matrix(batch, cfg_.cols);
   if (batch == 0) return;
+  CIM_OBS_SPAN_NAMED(span, "crossbar.vmm_batch", obs::Component::kArray);
   ensure_conductance_cache();
 
   // One serial draw ties the whole batch into the array's RNG sequence;
@@ -398,6 +442,13 @@ void Crossbar::vmm_batch(const util::Matrix& v_batch, util::Matrix& out,
   for (std::size_t s = 0; s < batch; ++s) {
     ++stats_.vmm_ops;
     charge(tech_.t_read_ns, sample_energy[s]);
+  }
+  if (obs::enabled()) {
+    obs_counters().vmm_ops.add(batch);
+    double batch_energy = 0.0;
+    for (const double e : sample_energy) batch_energy += e;
+    span.add_sim_time_ns(tech_.t_read_ns * static_cast<double>(batch));
+    span.add_energy_pj(batch_energy);
   }
   if (tech_.read_disturb_prob > 0.0) {
     for (std::size_t s = 0; s < batch; ++s) {
@@ -525,6 +576,7 @@ void Crossbar::imply(std::size_t dest_row, std::size_t dest_col,
   const bool q = bit_of(cell(src_row, src_col));
   const bool next = !p || q;  // p -> q
   ++stats_.logic_ops;
+  if (obs::enabled()) obs_counters().logic_ops.add(1);
   if (next != p) {
     mark_cell_dirty(dest_row, dest_col);
     const auto res =
@@ -543,6 +595,7 @@ void Crossbar::set_false(std::size_t row, std::size_t col) {
   auto& cl = cell(row, col);
   const auto res = cl.write_level(0, rng_, false);
   ++stats_.logic_ops;
+  if (obs::enabled()) obs_counters().logic_ops.add(1);
   charge(res.time_ns, res.energy_pj);
 }
 
@@ -564,6 +617,7 @@ void Crossbar::magic_nor(std::size_t row, std::span<const std::size_t> in_cols,
   }
   auto& out = cell(row, out_col);
   ++stats_.logic_ops;
+  if (obs::enabled()) obs_counters().logic_ops.add(1);
   // MAGIC: the pre-SET output is conditionally RESET when any input is LRS.
   if (any_one) {
     mark_cell_dirty(row, out_col);
@@ -585,6 +639,7 @@ void Crossbar::majority_write(std::size_t row, std::size_t col, bool v_wl,
                     static_cast<int>(b);
   const bool next = votes >= 2;  // MAJ3(S, V_wl, !V_bl)
   ++stats_.logic_ops;
+  if (obs::enabled()) obs_counters().logic_ops.add(1);
   if (next != s) {
     mark_cell_dirty(row, col);
     const auto res =
@@ -636,6 +691,7 @@ bool Crossbar::scout_read(std::size_t r1, std::size_t r2, std::size_t col,
   const double i = v * (g1 + g2);
   stats_.bit_reads += 2;
   ++stats_.logic_ops;
+  if (obs::enabled()) obs_counters().logic_ops.add(1);
   charge(tech_.t_read_ns, v * i * tech_.t_read_ns * 1e-3 + 2 * tech_.e_read_pj);
 
   // References sit between the three distinguishable current levels,

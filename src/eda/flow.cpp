@@ -9,6 +9,7 @@
 #include "eda/mig.hpp"
 #include "eda/revamp_isa.hpp"
 #include "eda/verify/verify.hpp"
+#include "obs/obs.hpp"
 
 namespace cim::eda {
 namespace {
@@ -39,12 +40,17 @@ std::vector<LogicFamily> all_logic_families() {
 
 FlowReport run_flow(const std::string& name, const Netlist& circuit,
                     LogicFamily family, const FlowOptions& opts) {
+  CIM_OBS_SPAN("eda.flow.run", obs::Component::kDigital);
+  if (obs::enabled()) obs::Registry::global().counter("eda.flow.runs").add(1);
   FlowReport rep;
   rep.circuit = name;
   rep.family = family;
 
   // Phase 1: technology-independent synthesis into an AIG.
-  const Aig aig = Aig::from_netlist(circuit);
+  const Aig aig = [&] {
+    CIM_OBS_SPAN("eda.flow.synth", obs::Component::kDigital);
+    return Aig::from_netlist(circuit);
+  }();
   rep.aig_nodes = aig.num_ands();
   rep.aig_depth = aig.depth();
 
@@ -61,6 +67,7 @@ FlowReport run_flow(const std::string& name, const Netlist& circuit,
   }
 
   // Phase 3: technology mapping.
+  CIM_OBS_SPAN("eda.flow.map", obs::Component::kDigital);
   switch (family) {
     case LogicFamily::kImply: {
       const auto prog = compile_imply(aig, opts.reuse_cells);

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/obs.hpp"
 #include "util/kernels.hpp"
 
 namespace cim::nn {
@@ -188,6 +189,7 @@ CrossbarCnn::CrossbarCnn(const SmallCnn& cnn, CrossbarLinearConfig array_cfg)
 
 int CrossbarCnn::predict(std::span<const double> image,
                          util::ThreadPool* pool) {
+  CIM_OBS_SPAN("nn.cnn.predict", obs::Component::kArray);
   const auto patches = SmallCnn::im2col(image, kSide, 3);
   const std::size_t positions = patches.rows();
 

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/obs.hpp"
+
 namespace cim::nn {
 
 CrossbarLinear::CrossbarLinear(const util::Matrix& w,
@@ -78,6 +80,7 @@ void CrossbarLinear::set_x_max(double x_max) {
 
 std::vector<double> CrossbarLinear::forward(std::span<const double> x) {
   if (x.size() != in_) throw std::invalid_argument("CrossbarLinear: dim mismatch");
+  CIM_OBS_SPAN("nn.linear.forward", obs::Component::kArray);
   const auto& tech = plus_->tech();
   const double v_read = tech.v_read;
 
@@ -114,6 +117,7 @@ util::Matrix CrossbarLinear::forward_batch(const util::Matrix& x,
                                            util::ThreadPool* pool) {
   if (x.cols() != in_)
     throw std::invalid_argument("CrossbarLinear: dim mismatch");
+  CIM_OBS_SPAN("nn.linear.forward_batch", obs::Component::kArray);
   const std::size_t batch = x.rows();
   const auto& tech = plus_->tech();
   const double v_read = tech.v_read;

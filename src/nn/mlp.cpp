@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/obs.hpp"
+
 namespace cim::nn {
 
 Dense::Dense(std::size_t out, std::size_t in, util::Rng& rng)
@@ -107,6 +109,7 @@ double Mlp::train_epoch(const Dataset& data, double lr, util::Rng& rng) {
 
 std::vector<int> Mlp::predict_batch(const Dataset& data,
                                     util::ThreadPool* pool) const {
+  CIM_OBS_SPAN("nn.mlp.predict_batch", obs::Component::kDigital);
   std::vector<int> preds(data.size());
   auto body = [&](std::size_t i) { preds[i] = predict(data.features.row(i)); };
   if (pool != nullptr)

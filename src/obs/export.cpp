@@ -1,0 +1,193 @@
+/// \file export.cpp
+/// \brief Telemetry exporters: flat JSON snapshot, Chrome trace_event JSON,
+///        and the registry-emitted BENCH_JSON line.
+#include <sys/resource.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "obs/obs.hpp"
+#include "obs/trace_events.hpp"
+
+namespace cim::obs {
+
+namespace {
+
+/// JSON string escaping for the few metadata strings we emit.
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Formats a double as JSON (no inf/nan — clamp to 0 to stay valid).
+std::string json_num(double v) {
+  if (!(v > -1e308 && v < 1e308)) return "0";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+void write_meta_fields(std::ostream& os, const Snapshot::Meta& meta) {
+  os << "\"git_sha\":\"" << json_escape(meta.git_sha) << "\","
+     << "\"build_type\":\"" << json_escape(meta.build_type) << "\","
+     << "\"threads\":" << meta.threads << ","
+     << "\"cim_obs\":\"" << json_escape(meta.mode) << "\"";
+}
+
+}  // namespace
+
+double peak_rss_mb() {
+  rusage ru{};
+  getrusage(RUSAGE_SELF, &ru);
+  return static_cast<double>(ru.ru_maxrss) / 1024.0;  // Linux: KiB
+}
+
+void write_snapshot_json(std::ostream& os) {
+  const Snapshot s = snapshot();
+  os << "{\"meta\":{";
+  write_meta_fields(os, s.meta);
+  os << "},\"counters\":{";
+  bool first = true;
+  for (const auto& [name, v] : s.counters) {
+    os << (first ? "" : ",") << "\"" << json_escape(name) << "\":" << v;
+    first = false;
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, v] : s.gauges) {
+    os << (first ? "" : ",") << "\"" << json_escape(name)
+       << "\":" << json_num(v);
+    first = false;
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& h : s.histograms) {
+    os << (first ? "" : ",") << "\"" << json_escape(h.name) << "\":{";
+    os << "\"bounds\":[";
+    for (std::size_t i = 0; i < h.data.bounds.size(); ++i)
+      os << (i != 0 ? "," : "") << json_num(h.data.bounds[i]);
+    os << "],\"counts\":[";
+    for (std::size_t i = 0; i < h.data.counts.size(); ++i)
+      os << (i != 0 ? "," : "") << h.data.counts[i];
+    os << "],\"count\":" << h.data.count << ",\"sum\":" << json_num(h.data.sum)
+       << "}";
+    first = false;
+  }
+  os << "},\"spans\":{";
+  first = true;
+  for (const auto& row : s.spans) {
+    os << (first ? "" : ",") << "\"" << json_escape(row.name) << "\":{"
+       << "\"component\":\"" << component_name(row.comp) << "\","
+       << "\"count\":" << row.count << ","
+       << "\"wall_ns\":" << json_num(row.wall_ns) << ","
+       << "\"sim_time_ns\":" << json_num(row.sim_time_ns) << ","
+       << "\"energy_pj\":" << json_num(row.energy_pj) << "}";
+    first = false;
+  }
+  os << "},\"components\":{";
+  first = true;
+  for (const auto& row : s.components) {
+    os << (first ? "" : ",") << "\"" << component_name(row.comp) << "\":{"
+       << "\"events\":" << row.events << ","
+       << "\"wall_ns\":" << json_num(row.wall_ns) << ","
+       << "\"sim_time_ns\":" << json_num(row.sim_time_ns) << ","
+       << "\"energy_pj\":" << json_num(row.energy_pj) << "}";
+    first = false;
+  }
+  os << "}}\n";
+}
+
+void write_chrome_trace(std::ostream& os) {
+  const auto events = detail::collect_trace_events();
+  const Snapshot::Meta meta = snapshot().meta;
+  os << "{\"displayTimeUnit\":\"ns\",\"otherData\":{";
+  write_meta_fields(os, meta);
+  os << "},\"traceEvents\":[";
+  bool first = true;
+  for (const auto& e : events) {
+    // Complete ("X") events; ts/dur are microseconds in the trace_event
+    // format, fractional values carry the ns resolution.
+    os << (first ? "" : ",") << "\n{\"name\":\""
+       << json_escape(e.name != nullptr ? e.name : "span") << "\","
+       << "\"cat\":\"" << component_name(e.comp) << "\","
+       << "\"ph\":\"X\",\"pid\":1,\"tid\":" << e.tid << ","
+       << "\"ts\":" << json_num(static_cast<double>(e.ts_ns) / 1e3) << ","
+       << "\"dur\":" << json_num(static_cast<double>(e.dur_ns) / 1e3) << ","
+       << "\"args\":{\"energy_pj\":" << json_num(e.energy_pj) << "}}";
+    first = false;
+  }
+  os << "\n]}\n";
+}
+
+std::string bench_json_line(
+    const std::string& bench, double wall_ms, double ops,
+    std::initializer_list<std::pair<const char*, double>> extras) {
+  const double ops_per_s = wall_ms > 0.0 ? ops / (wall_ms / 1e3) : 0.0;
+  const BuildInfo info = build_info();
+  Registry& reg = Registry::global();
+  std::ostringstream os;
+  char buf[64];
+  os << "BENCH_JSON {\"bench\":\"" << json_escape(bench) << "\",";
+  std::snprintf(buf, sizeof buf, "%.3f", wall_ms);
+  os << "\"wall_ms\":" << buf << ",";
+  std::snprintf(buf, sizeof buf, "%.0f", ops);
+  os << "\"ops\":" << buf << ",";
+  std::snprintf(buf, sizeof buf, "%.1f", ops_per_s);
+  os << "\"ops_per_s\":" << buf << ",";
+  os << "\"threads\":" << info.threads << ",";
+  std::snprintf(buf, sizeof buf, "%.1f", peak_rss_mb());
+  os << "\"peak_rss_mb\":" << buf << ",";
+  os << "\"cache_full_rebuilds\":" << reg.counter("cache.full_rebuilds").value()
+     << ",";
+  os << "\"cache_delta_updates\":" << reg.counter("cache.delta_updates").value()
+     << ",";
+  os << "\"git_sha\":\"" << json_escape(info.git_sha) << "\",";
+  os << "\"build_type\":\"" << json_escape(info.build_type) << "\"";
+  for (const auto& [key, value] : extras)
+    os << ",\"" << key << "\":" << json_num(value);
+  os << "}";
+  return os.str();
+}
+
+void emit_bench_json(
+    const std::string& bench, double wall_ms, double ops,
+    std::initializer_list<std::pair<const char*, double>> extras) {
+  std::printf("%s\n", bench_json_line(bench, wall_ms, ops, extras).c_str());
+
+  // Exporter hooks: every bench dumps telemetry when asked to, without
+  // per-bench wiring.
+  if (!enabled()) return;
+  if (const char* path = std::getenv("CIM_OBS_SNAPSHOT_FILE");
+      path != nullptr && *path != '\0') {
+    std::ofstream f(path);
+    if (f) write_snapshot_json(f);
+  }
+  if (const char* path = std::getenv("CIM_OBS_TRACE_FILE");
+      path != nullptr && *path != '\0' && trace_enabled()) {
+    std::ofstream f(path);
+    if (f) write_chrome_trace(f);
+  }
+}
+
+}  // namespace cim::obs

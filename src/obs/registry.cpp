@@ -1,0 +1,264 @@
+#include "obs/obs.hpp"
+
+#include <algorithm>
+
+#include "obs/trace_events.hpp"
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+namespace cim::obs {
+
+namespace detail {
+
+int init_mode_from_env() {
+  int m = static_cast<int>(Mode::kOff);
+  if (const char* env = std::getenv("CIM_OBS"); env != nullptr) {
+    if (std::strcmp(env, "1") == 0 || std::strcmp(env, "on") == 0 ||
+        std::strcmp(env, "metrics") == 0)
+      m = static_cast<int>(Mode::kMetrics);
+    else if (std::strcmp(env, "trace") == 0)
+      m = static_cast<int>(Mode::kTrace);
+    // anything else (incl. "off"/"0") stays disabled
+  }
+  // First initialiser wins; a concurrent set_mode() is not overwritten.
+  int expected = -1;
+  detail::g_mode.compare_exchange_strong(expected, m,
+                                         std::memory_order_relaxed);
+  return detail::g_mode.load(std::memory_order_relaxed);
+}
+
+std::uint64_t now_ns() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point epoch = Clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           epoch)
+          .count());
+}
+
+}  // namespace detail
+
+Mode mode() { return static_cast<Mode>(detail::mode_int()); }
+
+void set_mode(Mode m) {
+  detail::g_mode.store(static_cast<int>(m), std::memory_order_relaxed);
+}
+
+std::string_view component_name(Component c) {
+  switch (c) {
+    case Component::kArray: return "array";
+    case Component::kAdc: return "adc";
+    case Component::kDac: return "dac";
+    case Component::kDigital: return "digital";
+    case Component::kInterconnect: return "interconnect";
+    case Component::kOther: return "other";
+  }
+  return "unknown";
+}
+
+// --- Histogram ---------------------------------------------------------------
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  counts_ = std::vector<Counter>(bounds_.size() + 1);
+}
+
+void Histogram::observe(double v) noexcept {
+  std::size_t b = 0;
+  while (b < bounds_.size() && v > bounds_[b]) ++b;
+  counts_[b].add(1);
+  count_.add(1);
+  sum_.add(v);
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot s;
+  s.bounds = bounds_;
+  s.counts.reserve(counts_.size());
+  for (const auto& c : counts_) s.counts.push_back(c.value());
+  s.count = count_.value();
+  s.sum = sum_.value();
+  return s;
+}
+
+void Histogram::reset() noexcept {
+  for (auto& c : counts_) c.reset();
+  count_.reset();
+  sum_.reset();
+}
+
+// --- Registry ----------------------------------------------------------------
+
+Registry& Registry::global() {
+  static Registry* reg = new Registry();  // leaked: usable during teardown
+  return *reg;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end())
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  return *it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end())
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  return *it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name,
+                               std::span<const double> bounds) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end())
+    it = histograms_
+             .emplace(std::string(name),
+                      std::make_unique<Histogram>(std::vector<double>(
+                          bounds.begin(), bounds.end())))
+             .first;
+  return *it->second;
+}
+
+SpanStat& Registry::span_stat(std::string_view name, Component comp) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = spans_.find(name);
+  if (it == spans_.end()) {
+    auto entry = std::make_unique<SpanEntry>();
+    entry->comp = comp;
+    it = spans_.emplace(std::string(name), std::move(entry)).first;
+  }
+  return it->second->stat;
+}
+
+Snapshot Registry::snapshot() const {
+  Snapshot s;
+  const BuildInfo info = build_info();
+  s.meta.git_sha = info.git_sha;
+  s.meta.build_type = info.build_type;
+  s.meta.threads = info.threads;
+  switch (obs::mode()) {
+    case Mode::kOff: s.meta.mode = "off"; break;
+    case Mode::kMetrics: s.meta.mode = "metrics"; break;
+    case Mode::kTrace: s.meta.mode = "trace"; break;
+  }
+
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const auto& [name, c] : counters_) s.counters.emplace_back(name, c->value());
+  for (const auto& [name, g] : gauges_) s.gauges.emplace_back(name, g->value());
+  for (const auto& [name, h] : histograms_)
+    s.histograms.push_back({name, h->snapshot()});
+  for (const auto& [name, e] : spans_) {
+    Snapshot::SpanRow row;
+    row.name = name;
+    row.comp = e->comp;
+    row.count = e->stat.count.value();
+    row.wall_ns = e->stat.wall_ns.value();
+    row.sim_time_ns = e->stat.sim_time_ns.value();
+    row.energy_pj = e->stat.energy_pj.value();
+    s.spans.push_back(std::move(row));
+  }
+  for (std::size_t i = 0; i < kComponentCount; ++i) {
+    Snapshot::ComponentRow row;
+    row.comp = static_cast<Component>(i);
+    row.events = components_[i].events.value();
+    row.wall_ns = components_[i].wall_ns.value();
+    row.sim_time_ns = components_[i].sim_time_ns.value();
+    row.energy_pj = components_[i].energy_pj.value();
+    s.components.push_back(row);
+  }
+  return s;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+  for (auto& [name, e] : spans_) {
+    e->stat.count.reset();
+    e->stat.wall_ns.reset();
+    e->stat.sim_time_ns.reset();
+    e->stat.energy_pj.reset();
+  }
+  for (auto& c : components_) {
+    c.events.reset();
+    c.wall_ns.reset();
+    c.sim_time_ns.reset();
+    c.energy_pj.reset();
+  }
+  detail::clear_trace_events();
+}
+
+Snapshot snapshot() { return Registry::global().snapshot(); }
+void reset() { Registry::global().reset(); }
+
+// --- attribution -------------------------------------------------------------
+
+void attribute(Component c, double sim_time_ns, double energy_pj) {
+  if (!enabled()) return;
+  ComponentAgg& agg = Registry::global().component(c);
+  agg.events.add(1);
+  agg.sim_time_ns.add(sim_time_ns);
+  agg.energy_pj.add(energy_pj);
+}
+
+std::vector<BreakdownRow> breakdown() {
+  Registry& reg = Registry::global();
+  double total_e = 0.0;
+  double total_t = 0.0;
+  std::vector<BreakdownRow> rows;
+  for (std::size_t i = 0; i < kComponentCount; ++i) {
+    const ComponentAgg& agg = reg.component(static_cast<Component>(i));
+    BreakdownRow row;
+    row.comp = static_cast<Component>(i);
+    row.events = agg.events.value();
+    row.sim_time_ns = agg.sim_time_ns.value();
+    row.energy_pj = agg.energy_pj.value();
+    if (row.events == 0) continue;
+    total_e += row.energy_pj;
+    total_t += row.sim_time_ns;
+    rows.push_back(row);
+  }
+  for (auto& row : rows) {
+    row.energy_share = total_e > 0.0 ? row.energy_pj / total_e : 0.0;
+    row.time_share = total_t > 0.0 ? row.sim_time_ns / total_t : 0.0;
+  }
+  return rows;
+}
+
+// --- build metadata ----------------------------------------------------------
+
+#ifndef CIM_GIT_SHA
+#define CIM_GIT_SHA "unknown"
+#endif
+#ifndef CIM_BUILD_TYPE
+#define CIM_BUILD_TYPE "unknown"
+#endif
+
+BuildInfo build_info() {
+  BuildInfo info;
+  info.git_sha = CIM_GIT_SHA;
+  info.build_type = CIM_BUILD_TYPE;
+  info.threads = 0;
+  if (const char* env = std::getenv("CIM_THREADS"); env != nullptr) {
+    char* end = nullptr;
+    const unsigned long n = std::strtoul(env, &end, 10);
+    if (end != env && *end == '\0' && n > 0)
+      info.threads = static_cast<std::size_t>(std::min(n, 1024ul));
+  }
+  if (info.threads == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    info.threads = hw > 0 ? hw : 1;
+  }
+  return info;
+}
+
+}  // namespace cim::obs

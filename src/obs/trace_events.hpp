@@ -1,0 +1,29 @@
+/// \file trace_events.hpp
+/// \brief Internal interface between the span recorder (span.cpp) and the
+///        Chrome-trace exporter (export.cpp). Not part of the public API.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "obs/obs.hpp"
+
+namespace cim::obs::detail {
+
+struct TraceEvent {
+  const char* name = nullptr;
+  Component comp = Component::kOther;
+  std::uint64_t ts_ns = 0;
+  std::uint64_t dur_ns = 0;
+  double energy_pj = 0.0;
+  std::uint32_t tid = 0;
+};
+
+void record_trace_event(const char* name, Component comp, std::uint64_t ts_ns,
+                        std::uint64_t dur_ns, double energy_pj);
+
+/// All recorded events (live + exited threads), sorted by timestamp.
+std::vector<TraceEvent> collect_trace_events();
+void clear_trace_events();
+
+}  // namespace cim::obs::detail

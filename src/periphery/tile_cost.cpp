@@ -113,7 +113,7 @@ double tile_vmm_latency_ns(const TileConfig& cfg) {
   return cycles * (tech.t_read_ns + conversions_per_cycle * adc.latency_ns());
 }
 
-double tile_vmm_energy_pj(const TileConfig& cfg) {
+TileVmmEnergyBreakdown tile_vmm_energy_breakdown(const TileConfig& cfg) {
   const auto tech = device::technology_params(cfg.tech);
   const Adc adc({.bits = cfg.adc_bits, .kind = cfg.adc_kind});
   const Dac dac({.bits = cfg.dac_bits});
@@ -121,17 +121,20 @@ double tile_vmm_energy_pj(const TileConfig& cfg) {
                         static_cast<double>(std::max(1, cfg.dac_bits));
   // Array: half the cells at mean conductance conducting during each cycle.
   const double g_mean = 0.5 * (tech.g_on_us() + tech.g_off_us());
-  const double e_array_per_cycle = 0.5 * static_cast<double>(cfg.rows) *
-                                   static_cast<double>(cfg.cols) *
-                                   tech.v_read * tech.v_read * g_mean *
-                                   tech.t_read_ns * 1e-3;
-  const double e_dac_per_cycle =
-      dac.energy_per_conversion_pj() * static_cast<double>(cfg.rows);
-  const double e_adc_per_cycle =
-      adc.energy_per_sample_pj() * static_cast<double>(cfg.cols);
-  const double e_digital_per_cycle = kShiftAddPowerMw * tech.t_read_ns;
-  return cycles *
-         (e_array_per_cycle + e_dac_per_cycle + e_adc_per_cycle + e_digital_per_cycle);
+  TileVmmEnergyBreakdown e;
+  e.array_pj = cycles * 0.5 * static_cast<double>(cfg.rows) *
+               static_cast<double>(cfg.cols) * tech.v_read * tech.v_read *
+               g_mean * tech.t_read_ns * 1e-3;
+  e.dac_pj =
+      cycles * dac.energy_per_conversion_pj() * static_cast<double>(cfg.rows);
+  e.adc_pj =
+      cycles * adc.energy_per_sample_pj() * static_cast<double>(cfg.cols);
+  e.digital_pj = cycles * kShiftAddPowerMw * tech.t_read_ns;
+  return e;
+}
+
+double tile_vmm_energy_pj(const TileConfig& cfg) {
+  return tile_vmm_energy_breakdown(cfg).total_pj();
 }
 
 }  // namespace cim::periphery

@@ -53,6 +53,18 @@ double power_share(const std::vector<BlockCost>& blocks, const std::string& name
 /// time-multiplexed ADC conversion of all columns.
 double tile_vmm_latency_ns(const TileConfig& cfg);
 
+/// Per-component energy of one full VMM on the tile (pJ). The analytic
+/// counterpart of the measured obs::breakdown() — same component
+/// vocabulary, so the two can be cross-checked (tests/obs).
+struct TileVmmEnergyBreakdown {
+  double array_pj = 0.0;
+  double dac_pj = 0.0;
+  double adc_pj = 0.0;
+  double digital_pj = 0.0;
+  double total_pj() const { return array_pj + dac_pj + adc_pj + digital_pj; }
+};
+TileVmmEnergyBreakdown tile_vmm_energy_breakdown(const TileConfig& cfg);
+
 /// Energy of one full VMM on the tile (pJ): array + DAC + ADC + digital.
 double tile_vmm_energy_pj(const TileConfig& cfg);
 

@@ -7,22 +7,66 @@
 /// of the whole run — across every crossbar any subsystem constructed —
 /// without threading stats objects through the bench code.
 ///
-/// Counters are relaxed atomics: they are monotonically increasing event
-/// counts with no ordering relationship to any other data, and the hot
-/// paths must not pay a fence for them. Safe to increment from
-/// ThreadPool::parallel_for bodies (Monte-Carlo trials own private
-/// crossbars but share these aggregates).
+/// Storage now lives in the cim::obs metrics registry ("cache.full_rebuilds"
+/// and "cache.delta_updates"); the objects here are thin views that keep the
+/// historical `fetch_add`/`load` call sites compiling unchanged. The
+/// registry counters are sharded relaxed atomics, so the concurrency
+/// contract is the same as before: monotonically increasing event counts
+/// with no ordering relationship to any other data, safe to bump from
+/// ThreadPool::parallel_for bodies. These counters are *always on* — they
+/// are storage, not telemetry, so they do not consult the CIM_OBS mode.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 
+#include "obs/obs.hpp"
+
 namespace cim::util::perf {
 
+/// Thin view over a registry counter, API-compatible with the
+/// std::atomic<std::uint64_t> it replaced (the subset actually used:
+/// fetch_add / load / operator++ / store(0) for reset).
+class PerfCounter {
+ public:
+  explicit PerfCounter(const char* registry_name) : name_(registry_name) {}
+
+  std::uint64_t fetch_add(std::uint64_t v,
+                          std::memory_order = std::memory_order_relaxed) {
+    obs::Counter& c = counter();
+    const std::uint64_t prev = c.value();
+    c.add(v);
+    return prev;  // approximate under contention, like any sharded read
+  }
+  std::uint64_t load(std::memory_order = std::memory_order_relaxed) const {
+    return counter().value();
+  }
+  void store(std::uint64_t v,
+             std::memory_order = std::memory_order_relaxed) {
+    obs::Counter& c = counter();
+    c.reset();
+    if (v != 0) c.add(v);
+  }
+  std::uint64_t operator++() { return fetch_add(1) + 1; }
+
+ private:
+  obs::Counter& counter() const {
+    obs::Counter* c = cached_.load(std::memory_order_acquire);
+    if (c == nullptr) {
+      c = &obs::Registry::global().counter(name_);
+      cached_.store(c, std::memory_order_release);
+    }
+    return *c;
+  }
+
+  const char* name_;
+  mutable std::atomic<obs::Counter*> cached_{nullptr};
+};
+
 /// Whole-array conductance-cache rebuilds (O(rows*cols) each).
-inline std::atomic<std::uint64_t> cache_full_rebuilds{0};
+inline PerfCounter cache_full_rebuilds{"cache.full_rebuilds"};
 
 /// Dirty-list delta updates (O(|dirty|) each) that replaced a full rebuild.
-inline std::atomic<std::uint64_t> cache_delta_updates{0};
+inline PerfCounter cache_delta_updates{"cache.delta_updates"};
 
 }  // namespace cim::util::perf

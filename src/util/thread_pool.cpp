@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <string>
+
+#include "obs/obs.hpp"
 
 namespace cim::util {
 
@@ -9,12 +12,24 @@ namespace {
 // Depth of parallel_for bodies executing on this thread: a nested call must
 // run inline instead of re-entering the (single-job) pool.
 thread_local int tls_body_depth = 0;
+
+// Lane index for per-worker utilization telemetry: workers get 1..n-1 in
+// worker_loop, submitters default to lane 0 (the caller participates).
+thread_local std::size_t tls_lane = 0;
+
+// Cumulative ns this lane spent executing chunk bodies. Lane is fixed per
+// thread, so the registry counter resolves once per thread.
+obs::Counter& lane_busy_counter() {
+  thread_local obs::Counter* counter = &obs::Registry::global().counter(
+      "threadpool.lane" + std::to_string(tls_lane) + ".busy_ns");
+  return *counter;
+}
 }  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) threads = default_threads();
   for (std::size_t i = 1; i < threads; ++i)
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
 }
 
 ThreadPool::~ThreadPool() {
@@ -65,6 +80,8 @@ void ThreadPool::run_chunks(Job& job) {
     if (start >= job.count) return;
     const std::size_t span = std::min(job.chunk, job.count - start);
     if (!job.cancelled.load(std::memory_order_relaxed)) {
+      const bool timed = obs::enabled();
+      const std::uint64_t chunk_t0 = timed ? obs::detail::now_ns() : 0;
       ++tls_body_depth;
       for (std::size_t i = 0; i < span; ++i) {
         try {
@@ -79,6 +96,10 @@ void ThreadPool::run_chunks(Job& job) {
         }
       }
       --tls_body_depth;
+      if (timed) {
+        lane_busy_counter().add(obs::detail::now_ns() - chunk_t0);
+        obs::Registry::global().counter("threadpool.chunks").add(1);
+      }
     }
     // Claimed indices count as done whether executed or cancelled-skipped;
     // the cursor keeps draining, so `done` provably reaches `count`.
@@ -90,7 +111,8 @@ void ThreadPool::run_chunks(Job& job) {
   }
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(std::size_t lane) {
+  tls_lane = lane;
   std::uint64_t seen_epoch = 0;
   std::unique_lock<std::mutex> lk(mu_);
   for (;;) {
@@ -114,6 +136,13 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   if (workers_.empty() || n == 1 || tls_body_depth > 0) {
     run_inline(begin, end, body);
     return;
+  }
+
+  if (obs::enabled()) {
+    obs::Registry::global().counter("threadpool.jobs").add(1);
+    obs::Registry::global()
+        .gauge("threadpool.threads")
+        .set(static_cast<double>(thread_count()));
   }
 
   std::lock_guard<std::mutex> submit(submit_mu_);

@@ -81,7 +81,7 @@ class ThreadPool {
     std::mutex error_mu;
   };
 
-  void worker_loop();
+  void worker_loop(std::size_t lane);
   void run_chunks(Job& job);
   void run_inline(std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t)>& body);

@@ -23,6 +23,61 @@ TEST(Trace, RingBufferKeepsRecentWindow) {
   EXPECT_EQ(trace.total_recorded(), 10u);
 }
 
+TEST(Trace, WraparoundRetainsMostRecentEntriesInOrder) {
+  Trace trace(4);
+  for (std::uint64_t i = 0; i < 10; ++i)
+    trace.record({OpKind::kShiftAdd, 0, /*cycle=*/i, 0.0, 0.0});
+  // After 10 records into a 4-entry ring, the window is cycles 6..9,
+  // chronological oldest-first.
+  const auto win = trace.window();
+  ASSERT_EQ(win.size(), 4u);
+  for (std::uint64_t k = 0; k < 4; ++k) EXPECT_EQ(win[k].cycle, 6 + k);
+}
+
+TEST(Trace, WraparoundExactlyAtCapacityBoundary) {
+  Trace trace(3);
+  for (std::uint64_t i = 0; i < 4; ++i)  // one past capacity
+    trace.record({OpKind::kRowActivate, 0, i, 0.0, 0.0});
+  const auto win = trace.window();
+  ASSERT_EQ(win.size(), 3u);
+  EXPECT_EQ(win[0].cycle, 1u);  // oldest retained
+  EXPECT_EQ(win[2].cycle, 3u);  // newest
+}
+
+TEST(Trace, PrintShowsNewestEntriesAfterWraparound) {
+  Trace trace(4);
+  for (std::uint64_t i = 0; i < 9; ++i)
+    trace.record({OpKind::kShiftAdd, 0, i, 0.0, 0.0});
+  std::ostringstream os;
+  trace.print(os, 2);
+  const auto s = os.str();
+  // Window is cycles 5..8; the last 2 are 7 and 8, and the dropped ones
+  // must not appear.
+  EXPECT_NE(s.find("[7]"), std::string::npos);
+  EXPECT_NE(s.find("[8]"), std::string::npos);
+  EXPECT_EQ(s.find("[4]"), std::string::npos);
+  EXPECT_NE(s.find("window of last 4"), std::string::npos);
+  EXPECT_NE(s.find("9 ops total"), std::string::npos);
+}
+
+TEST(Trace, HistogramSurvivesWraparoundAndIsSortedByKind) {
+  Trace trace(2);  // tiny ring: almost everything is evicted
+  for (int i = 0; i < 5; ++i)
+    trace.record({OpKind::kRowActivate, 0, 0, 0, 0});
+  for (int i = 0; i < 3; ++i)
+    trace.record({OpKind::kTileTransfer, 0, 0, 0, 0});
+  trace.record({OpKind::kProgramCell, 0, 0, 0, 0});
+  const auto hist = trace.histogram();
+  // Counts cover total_recorded(), not just the 2 retained entries.
+  ASSERT_EQ(hist.size(), 3u);
+  EXPECT_EQ(hist[0].first, OpKind::kProgramCell);
+  EXPECT_EQ(hist[0].second, 1u);
+  EXPECT_EQ(hist[1].first, OpKind::kRowActivate);
+  EXPECT_EQ(hist[1].second, 5u);
+  EXPECT_EQ(hist[2].first, OpKind::kTileTransfer);
+  EXPECT_EQ(hist[2].second, 3u);
+}
+
 TEST(Trace, HistogramCountsKinds) {
   Trace trace(16);
   trace.record({OpKind::kRowActivate, 0, 0, 0, 0});
