@@ -46,6 +46,8 @@ OPTIONAL = {
     "speedup_program_verify", "speedup_dense",
     "incr_full_rebuilds", "incr_delta_updates", "incr_dirty_cells",
     "gate_pass", "overhead_pct", "per_site_ns", "metrics_mode_ms",
+    "alarm_cycle", "collapse_cycle", "alarm_lead_cycles",
+    "worn_cell_frac", "mean_abs_drift_us",
 }
 
 name = sys.argv[1]
@@ -108,4 +110,13 @@ done
 } > "${out}"
 
 echo "wrote ${out} ($(grep -c '"bench"' "${out}") bench entries)" >&2
+
+# Bench-history regression gate: diff this run against the newest previous
+# BENCH_PR<N>.json and fail loudly on wall-time / peak-RSS regressions
+# (thresholds live in compare_bench.py). First PR has no history — skipped.
+script_dir=$(cd "$(dirname "$0")" && pwd)
+if ! python3 "${script_dir}/compare_bench.py" "${out}"; then
+  echo "!! bench regression gate failed (scripts/compare_bench.py)" >&2
+  status=1
+fi
 exit "${status}"

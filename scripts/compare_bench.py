@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""Bench-history regression gate.
+
+Compares the newest BENCH_PR<N>.json against the previous one (by PR
+number) and fails loudly when a bench that exists in both runs regressed:
+
+  * wall-time:  > 15% slower
+  * peak RSS:   > 10% larger
+
+Benches present in only one of the two files are reported but never fail
+the gate (new benches appear, old ones get retired). Sub-millisecond wall
+times are pure noise on shared CI hardware, so rows where *both* runs are
+under 1.0 ms are compared on RSS only.
+
+Usage:
+    scripts/compare_bench.py [CURRENT.json] [--history-dir DIR]
+
+With no argument the newest BENCH_PR<N>.json in the history dir (default:
+repo root) is the current run. Exit status: 0 = no regression (or nothing
+to compare against), 1 = regression, 2 = usage/parse error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+
+WALL_REGRESSION_FRAC = 0.15
+RSS_REGRESSION_FRAC = 0.10
+WALL_NOISE_FLOOR_MS = 1.0
+
+_BENCH_RE = re.compile(r"^BENCH_PR(\d+)\.json$")
+
+
+def pr_number(path: Path) -> int | None:
+    m = _BENCH_RE.match(path.name)
+    return int(m.group(1)) if m else None
+
+
+def load_entries(path: Path) -> dict[str, dict]:
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"error: cannot parse {path}: {e}")
+    if not isinstance(data, list):
+        sys.exit(f"error: {path} is not a JSON array")
+    entries: dict[str, dict] = {}
+    for obj in data:
+        if not isinstance(obj, dict) or "bench" not in obj:
+            sys.exit(f"error: {path} contains a non-bench entry: {obj!r}")
+        name = obj["bench"]
+        if name in entries:
+            sys.exit(f"error: {path} has duplicate bench '{name}'")
+        entries[name] = obj
+    return entries
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("current", nargs="?", default=None,
+                    help="current BENCH_PR<N>.json (default: newest in history dir)")
+    ap.add_argument("--history-dir", default=".",
+                    help="directory holding BENCH_PR<N>.json history (default: .)")
+    args = ap.parse_args()
+
+    hist_dir = Path(args.history_dir)
+    history = sorted(
+        (p for p in hist_dir.glob("BENCH_PR*.json") if pr_number(p) is not None),
+        key=pr_number,
+    )
+
+    if args.current is not None:
+        cur_path = Path(args.current)
+        if pr_number(cur_path) is None:
+            print(f"error: {cur_path.name} does not match BENCH_PR<N>.json",
+                  file=sys.stderr)
+            return 2
+        history = [p for p in history if p.resolve() != cur_path.resolve()
+                   and pr_number(p) < pr_number(cur_path)]
+    else:
+        if not history:
+            print("compare_bench: no BENCH_PR<N>.json history found; nothing to do")
+            return 0
+        cur_path = history.pop()
+
+    if not history:
+        print(f"compare_bench: {cur_path.name} has no earlier run to compare "
+              "against; skipping")
+        return 0
+    prev_path = history[-1]
+
+    cur = load_entries(cur_path)
+    prev = load_entries(prev_path)
+    shared = sorted(cur.keys() & prev.keys())
+    only_cur = sorted(cur.keys() - prev.keys())
+    only_prev = sorted(prev.keys() - cur.keys())
+
+    print(f"compare_bench: {prev_path.name} -> {cur_path.name} "
+          f"({len(shared)} shared benches)")
+    if only_cur:
+        print(f"  new benches (not compared): {', '.join(only_cur)}")
+    if only_prev:
+        print(f"  retired benches (not compared): {', '.join(only_prev)}")
+
+    regressions: list[str] = []
+    for name in shared:
+        c, p = cur[name], prev[name]
+        try:
+            cw, pw = float(c["wall_ms"]), float(p["wall_ms"])
+            cr, pr = float(c["peak_rss_mb"]), float(p["peak_rss_mb"])
+        except (KeyError, TypeError, ValueError) as e:
+            sys.exit(f"error: bench '{name}' has malformed wall_ms/peak_rss_mb: {e}")
+
+        notes = []
+        if max(cw, pw) >= WALL_NOISE_FLOOR_MS and pw > 0.0:
+            dw = (cw - pw) / pw
+            if dw > WALL_REGRESSION_FRAC:
+                notes.append(f"wall_ms {pw:.2f} -> {cw:.2f} (+{100*dw:.1f}%)")
+        if pr > 0.0:
+            dr = (cr - pr) / pr
+            if dr > RSS_REGRESSION_FRAC:
+                notes.append(f"peak_rss_mb {pr:.1f} -> {cr:.1f} (+{100*dr:.1f}%)")
+        if notes:
+            regressions.append(f"  REGRESSION {name}: " + "; ".join(notes))
+
+    if regressions:
+        print(f"compare_bench: {len(regressions)} regression(s) vs "
+              f"{prev_path.name} (gates: wall +{100*WALL_REGRESSION_FRAC:.0f}%, "
+              f"rss +{100*RSS_REGRESSION_FRAC:.0f}%):", file=sys.stderr)
+        for r in regressions:
+            print(r, file=sys.stderr)
+        return 1
+
+    print("compare_bench: no regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,12 +5,16 @@
 #include <stdexcept>
 
 #include "obs/obs.hpp"
+#include "obs/prom.hpp"
 
 namespace cim::core {
 
 CimSystem::CimSystem(const util::Matrix& w_int, CimSystemConfig cfg)
     : in_(w_int.cols()), out_(w_int.rows()), cfg_(cfg), weights_(w_int) {
   if (w_int.empty()) throw std::invalid_argument("CimSystem: empty weights");
+  // Long-running system processes expose the scrape endpoint when asked
+  // (CIM_OBS_PROM_PORT); idempotent, off unless telemetry is enabled.
+  obs::maybe_start_prometheus_from_env();
   const std::size_t tr = cfg.tile.tile.rows;
   const std::size_t tc = cfg.tile.tile.cols;
   if (tr == 0 || tc == 0) throw std::invalid_argument("CimSystem: empty tile");

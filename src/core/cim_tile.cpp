@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/health.hpp"
 #include "obs/obs.hpp"
 #include "periphery/dac.hpp"
 
@@ -37,6 +38,13 @@ CimTile::CimTile(CimTileConfig cfg)
 
 std::size_t CimTile::rows() const { return cfg_.tile.rows; }
 std::size_t CimTile::cols() const { return cfg_.tile.cols; }
+
+obs::HealthMonitor& CimTile::health_monitor() {
+  if (health_ == nullptr)
+    health_ = obs::HealthRegistry::global().monitor(
+        obs::next_health_name("tile"), 1, cols());
+  return *health_;
+}
 
 void CimTile::program_weights(const util::Matrix& w_int) {
   if (w_int.rows() != cols() || w_int.cols() != rows())
@@ -106,9 +114,17 @@ std::vector<long> CimTile::vmm_int(std::span<const std::uint32_t> inputs,
     const double e_array =
         plus_->stats().energy_pj + minus_->stats().energy_pj - e_before;
 
+    const bool health = obs::health_enabled();
     for (std::size_t c = 0; c < cols(); ++c) {
       const double ip = adc_.dequantize(adc_.quantize(i_plus[c]));
       const double im = adc_.dequantize(adc_.quantize(i_minus[c]));
+      if (health) {
+        // Two conversions per column per bit cycle (differential pair);
+        // clipping means the bitline current fell outside full scale.
+        auto& h = health_monitor();
+        h.record_adc_sample(c, adc_.clips(i_plus[c]));
+        h.record_adc_sample(c, adc_.clips(i_minus[c]));
+      }
       const double sum =
           decode_level_sum(ip, active) - decode_level_sum(im, active);
       acc[c] += std::ldexp(sum, b);

@@ -72,6 +72,11 @@ class CimTile {
 
   const CimTileConfig& config() const { return cfg_; }
 
+  /// Per-column periphery health monitor ("tile.<n>" in the registry; rows
+  /// = 1, cols = tile cols): ADC conversion/saturation counts for the
+  /// differential pair. The crossbars attach their own spatial monitors.
+  obs::HealthMonitor& health_monitor();
+
  private:
   double decode_level_sum(double current_ua, double active_inputs) const;
 
@@ -83,6 +88,7 @@ class CimTile {
   CimTileStats stats_;
   Trace trace_;
   std::uint64_t cycle_ = 0;
+  std::shared_ptr<obs::HealthMonitor> health_;
 };
 
 }  // namespace cim::core

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/health.hpp"
 #include "obs/obs.hpp"
 #include "util/kernels.hpp"
 #include "util/perf_counters.hpp"
@@ -92,6 +93,27 @@ void Crossbar::apply_faults(const fault::FaultMap& map) {
   }
 }
 
+obs::HealthMonitor& Crossbar::health_monitor() {
+  if (health_ == nullptr) {
+    if (health_name_.empty()) health_name_ = obs::next_health_name("crossbar");
+    health_ = obs::HealthRegistry::global().monitor(health_name_, cfg_.rows,
+                                                    cfg_.cols);
+  }
+  return *health_;
+}
+
+void Crossbar::record_health_write(std::size_t r, std::size_t c,
+                                   const device::WriteResult& res,
+                                   bool was_stuck) {
+  auto& h = health_monitor();
+  const auto& cl = cell(r, c);
+  // One wear unit per programming pulse — matches cell.write_count() exactly.
+  h.record_write(r, c, static_cast<std::uint64_t>(res.attempts));
+  h.record_program(r, c, cl.target_conductance_us(), cl.true_conductance_us());
+  if (!was_stuck && cl.stuck() != device::StuckMode::kNone)
+    h.record_wearout(r, c);
+}
+
 std::size_t Crossbar::effective_row(std::size_t r) const {
   for (const auto& fd : faults_.decoder_faults())
     if (fd.row == r) return fd.aux_row;
@@ -115,6 +137,7 @@ double Crossbar::charge(double time_ns, double energy_pj) {
 }
 
 void Crossbar::after_write(std::size_t r, std::size_t c, bool value_is_one) {
+  const bool health = obs::health_enabled();
   // Coupling faults: an up-transition on the aggressor forces the victim to 1
   // (CFid-style idempotent coupling — the bridge conducts the SET pulse).
   if (value_is_one) {
@@ -123,6 +146,9 @@ void Crossbar::after_write(std::size_t r, std::size_t c, bool value_is_one) {
         auto& victim = cell(fd.aux_row, fd.aux_col);
         victim.force_conductance(tech_.g_on_us());
         mark_cell_dirty(fd.aux_row, fd.aux_col);
+        if (health)
+          health_monitor().record_disturb(fd.aux_row, fd.aux_col,
+                                          victim.true_conductance_us());
       }
     }
   }
@@ -130,11 +156,19 @@ void Crossbar::after_write(std::size_t r, std::size_t c, bool value_is_one) {
   // cells whose conductance actually moved go on the dirty list.
   if (tech_.write_disturb_prob > 0.0) {
     for (std::size_t cc = 0; cc < cfg_.cols; ++cc)
-      if (cc != c && cell(r, cc).disturb_from_neighbour_write(rng_))
+      if (cc != c && cell(r, cc).disturb_from_neighbour_write(rng_)) {
         mark_cell_dirty(r, cc);
+        if (health)
+          health_monitor().record_disturb(r, cc,
+                                          cell(r, cc).true_conductance_us());
+      }
     for (std::size_t rr = 0; rr < cfg_.rows; ++rr)
-      if (rr != r && cell(rr, c).disturb_from_neighbour_write(rng_))
+      if (rr != r && cell(rr, c).disturb_from_neighbour_write(rng_)) {
         mark_cell_dirty(rr, c);
+        if (health)
+          health_monitor().record_disturb(rr, c,
+                                          cell(rr, c).true_conductance_us());
+      }
   }
 }
 
@@ -144,10 +178,12 @@ void Crossbar::write_bit(std::size_t row, std::size_t col, bool value) {
   const std::size_t er = effective_row(row);
   mark_cell_dirty(er, col);
   auto& cl = cell(er, col);
+  const bool was_stuck = cl.stuck() != device::StuckMode::kNone;
   const int level = value ? cl.scheme().levels() - 1 : 0;
   const auto res = cl.write_level(level, rng_, cfg_.verified_writes);
   ++stats_.bit_writes;
   if (obs::enabled()) obs_counters().bit_writes.add(1);
+  if (obs::health_enabled()) record_health_write(er, col, res, was_stuck);
   charge(res.time_ns, res.energy_pj);
   after_write(er, col, value);
 }
@@ -160,7 +196,11 @@ bool Crossbar::read_bit(std::size_t row, std::size_t col) {
   // Reads can disturb (drift towards LRS): dirty-mark only when they did.
   const double g_before = cl.true_conductance_us();
   const double g = cl.read_conductance_us(rng_);
-  if (cl.true_conductance_us() != g_before) mark_cell_dirty(er, col);
+  if (cl.true_conductance_us() != g_before) {
+    mark_cell_dirty(er, col);
+    if (obs::health_enabled())
+      health_monitor().record_disturb(er, col, cl.true_conductance_us());
+  }
   ++stats_.bit_reads;
   if (obs::enabled()) obs_counters().bit_reads.add(1);
   // Read energy: V_read^2 * G * t_read ; pJ = V^2[V] * G[uS] * t[ns] * 1e-3
@@ -174,9 +214,11 @@ bool Crossbar::read_bit(std::size_t row, std::size_t col) {
 device::WriteResult Crossbar::program_cell_impl(std::size_t row,
                                                 std::size_t col, double g_us) {
   auto& cl = cell(row, col);
+  const bool was_stuck = cl.stuck() != device::StuckMode::kNone;
   const auto res = cl.write_conductance(g_us, rng_, cfg_.verified_writes);
   ++stats_.analog_writes;
   if (obs::enabled()) obs_counters().analog_writes.add(1);
+  if (obs::health_enabled()) record_health_write(row, col, res, was_stuck);
   charge(res.time_ns, res.energy_pj);
   const double mid = 0.5 * (tech_.g_on_us() + tech_.g_off_us());
   after_write(row, col, g_us >= mid);
@@ -222,7 +264,11 @@ double Crossbar::read_conductance(std::size_t row, std::size_t col) {
   auto& cl = cell(row, col);
   const double g_before = cl.true_conductance_us();  // reads can disturb
   const double g = cl.read_conductance_us(rng_);
-  if (cl.true_conductance_us() != g_before) mark_cell_dirty(row, col);
+  if (cl.true_conductance_us() != g_before) {
+    mark_cell_dirty(row, col);
+    if (obs::health_enabled())
+      health_monitor().record_disturb(row, col, cl.true_conductance_us());
+  }
   ++stats_.bit_reads;
   if (obs::enabled()) obs_counters().bit_reads.add(1);
   charge(tech_.t_read_ns,
@@ -358,6 +404,9 @@ void Crossbar::apply_read_disturb(util::Rng& rng) {
     cl.force_conductance(cl.true_conductance_us() +
                          0.5 * cl.scheme().step_us());
     mark_cell_dirty(idx / cfg_.cols, idx % cfg_.cols);
+    if (obs::health_enabled())
+      health_monitor().record_disturb(idx / cfg_.cols, idx % cfg_.cols,
+                                      cl.true_conductance_us());
   }
 }
 
@@ -383,6 +432,11 @@ void Crossbar::vmm(std::span<const double> v_rows,
   if (cfg_.passive_array) {
     const double sneak_per_col = sneak_background_per_col(v_rows);
     for (double& i : currents) i += sneak_per_col;
+    if (obs::health_enabled()) {
+      auto& h = health_monitor();
+      for (std::size_t c = 0; c < cfg_.cols; ++c)
+        h.record_sneak_current(c, sneak_per_col);
+    }
   }
 
   // Aggregate read noise per column.
@@ -418,6 +472,12 @@ void Crossbar::vmm_batch(const util::Matrix& v_batch, util::Matrix& out,
   batch_energy_scratch_.assign(batch, 0.0);
   auto& sample_energy = batch_energy_scratch_;
 
+  // Attach the monitor before the fan-out: the lazy attach mutates health_,
+  // which must not happen concurrently from pool lanes.
+  obs::HealthMonitor* hm = cfg_.passive_array && obs::health_enabled()
+                               ? &health_monitor()
+                               : nullptr;
+
   auto& p = pool != nullptr ? *pool : util::ThreadPool::global();
   p.parallel_for(0, batch, [&](std::size_t s) {
     const auto v_rows = v_batch.row(s);
@@ -430,6 +490,10 @@ void Crossbar::vmm_batch(const util::Matrix& v_batch, util::Matrix& out,
     if (cfg_.passive_array) {
       const double sneak_per_col = sneak_background_per_col(v_rows);
       for (double& i : currents) i += sneak_per_col;
+      // Relaxed-atomic accumulators tolerate the pool's concurrent lanes.
+      if (hm != nullptr)
+        for (std::size_t c = 0; c < cfg_.cols; ++c)
+          hm->record_sneak_current(c, sneak_per_col);
     }
     util::Rng srng = util::Rng::stream(master, 2 * s);
     for (std::size_t c = 0; c < cfg_.cols; ++c)
@@ -560,6 +624,10 @@ double Crossbar::read_current_with_sneak(std::size_t row, std::size_t col,
   }
   ++stats_.bit_reads;
   charge(tech_.t_read_ns, v * i * tech_.t_read_ns * 1e-3);
+  // The excess over the direct-path current is exactly the sneak-loop
+  // contribution — the spatial error signal the health monitor tracks.
+  if (obs::health_enabled())
+    health_monitor().record_sneak_current(col, i - v * g[row * cols + col]);
   // Measurement noise on the summed current.
   return i + rng_.normal(0.0, tech_.read_noise_frac * i);
 }
@@ -579,8 +647,11 @@ void Crossbar::imply(std::size_t dest_row, std::size_t dest_col,
   if (obs::enabled()) obs_counters().logic_ops.add(1);
   if (next != p) {
     mark_cell_dirty(dest_row, dest_col);
+    const bool was_stuck = dest.stuck() != device::StuckMode::kNone;
     const auto res =
         dest.write_level(next ? dest.scheme().levels() - 1 : 0, rng_, false);
+    if (obs::health_enabled())
+      record_health_write(dest_row, dest_col, res, was_stuck);
     charge(res.time_ns, res.energy_pj);
   } else {
     // Conditional write that does not fire still costs the pulse window.
@@ -593,9 +664,11 @@ void Crossbar::set_false(std::size_t row, std::size_t col) {
     throw std::out_of_range("set_false: out of range");
   mark_cell_dirty(row, col);
   auto& cl = cell(row, col);
+  const bool was_stuck = cl.stuck() != device::StuckMode::kNone;
   const auto res = cl.write_level(0, rng_, false);
   ++stats_.logic_ops;
   if (obs::enabled()) obs_counters().logic_ops.add(1);
+  if (obs::health_enabled()) record_health_write(row, col, res, was_stuck);
   charge(res.time_ns, res.energy_pj);
 }
 
@@ -621,7 +694,10 @@ void Crossbar::magic_nor(std::size_t row, std::span<const std::size_t> in_cols,
   // MAGIC: the pre-SET output is conditionally RESET when any input is LRS.
   if (any_one) {
     mark_cell_dirty(row, out_col);
+    const bool was_stuck = out.stuck() != device::StuckMode::kNone;
     const auto res = out.write_level(0, rng_, false);
+    if (obs::health_enabled())
+      record_health_write(row, out_col, res, was_stuck);
     charge(res.time_ns, res.energy_pj);
   } else {
     charge(tech_.t_write_ns, 0.1 * tech_.e_write_pj);
@@ -642,8 +718,10 @@ void Crossbar::majority_write(std::size_t row, std::size_t col, bool v_wl,
   if (obs::enabled()) obs_counters().logic_ops.add(1);
   if (next != s) {
     mark_cell_dirty(row, col);
+    const bool was_stuck = cl.stuck() != device::StuckMode::kNone;
     const auto res =
         cl.write_level(next ? cl.scheme().levels() - 1 : 0, rng_, false);
+    if (obs::health_enabled()) record_health_write(row, col, res, was_stuck);
     charge(res.time_ns, res.energy_pj);
   } else {
     charge(tech_.t_write_ns, 0.1 * tech_.e_write_pj);
@@ -684,10 +762,18 @@ bool Crossbar::scout_read(std::size_t r1, std::size_t r2, std::size_t col,
   // Scouting reads can disturb: dirty-mark the cells that actually moved.
   const double g1_before = c1.true_conductance_us();
   const double g1 = c1.read_conductance_us(rng_);
-  if (c1.true_conductance_us() != g1_before) mark_cell_dirty(er1, col);
+  if (c1.true_conductance_us() != g1_before) {
+    mark_cell_dirty(er1, col);
+    if (obs::health_enabled())
+      health_monitor().record_disturb(er1, col, c1.true_conductance_us());
+  }
   const double g2_before = c2.true_conductance_us();
   const double g2 = c2.read_conductance_us(rng_);
-  if (c2.true_conductance_us() != g2_before) mark_cell_dirty(er2, col);
+  if (c2.true_conductance_us() != g2_before) {
+    mark_cell_dirty(er2, col);
+    if (obs::health_enabled())
+      health_monitor().record_disturb(er2, col, c2.true_conductance_us());
+  }
   const double i = v * (g1 + g2);
   stats_.bit_reads += 2;
   ++stats_.logic_ops;

@@ -23,8 +23,10 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
+#include <string>
 #include <vector>
 
 
@@ -36,6 +38,9 @@
 
 namespace cim::util {
 class ThreadPool;
+}
+namespace cim::obs {
+class HealthMonitor;
 }
 
 namespace cim::crossbar {
@@ -230,6 +235,18 @@ class Crossbar {
 
   util::Rng& rng() { return rng_; }
 
+  // --- device-health observability -----------------------------------------
+
+  /// Registry name this array's health monitor uses. Must be called before
+  /// the first health event (default: an auto-assigned "crossbar.<n>").
+  void set_health_name(std::string name) { health_name_ = std::move(name); }
+
+  /// The spatial health monitor attached to this array, lazily registered
+  /// in obs::HealthRegistry on first use. Hot paths only reach it behind
+  /// `obs::health_enabled()`; calling this directly (tests, exporters)
+  /// attaches it regardless of mode.
+  obs::HealthMonitor& health_monitor();
+
  private:
   device::ReRamCell& cell(std::size_t r, std::size_t c) {
     return cells_[r * cfg_.cols + c];
@@ -249,6 +266,12 @@ class Crossbar {
 
   /// Post-write side effects: coupling-fault victims and neighbour disturb.
   void after_write(std::size_t r, std::size_t c, bool value_is_one);
+
+  /// Health bookkeeping for one completed write on (r, c): wear (pulses),
+  /// drift baseline reset, and the in-field wear-out transition. Callers
+  /// gate on obs::health_enabled().
+  void record_health_write(std::size_t r, std::size_t c,
+                           const device::WriteResult& res, bool was_stuck);
 
   /// IR-drop-attenuated effective conductance of a cell during VMM.
   double effective_conductance(std::size_t r, std::size_t c, double g_us) const;
@@ -307,6 +330,10 @@ class Crossbar {
   fault::FaultMap faults_;
   CrossbarStats stats_;
   double last_op_energy_pj_ = 0.0;
+
+  // Device-health observability (see health_monitor()).
+  std::shared_ptr<obs::HealthMonitor> health_;
+  std::string health_name_;
 
   // Hot-path caches (see ensure_conductance_cache).
   std::vector<double> g_true_cache_;   ///< stored conductances, flat row-major

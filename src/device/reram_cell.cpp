@@ -39,7 +39,8 @@ ReRamCell::ReRamCell(const TechnologyParams& tech, int levels, util::Rng& rng)
     : tech_(&tech),
       scheme_(std::clamp(levels, 2, tech.max_levels), tech.g_off_us(),
               tech.g_on_us()),
-      g_(tech.g_off_us()) {
+      g_(tech.g_off_us()),
+      target_g_(tech.g_off_us()) {
   // Endurance limit per cell: lognormal around the technology mean.
   const double mu_log = std::log(tech.endurance_mean);
   const double sampled = rng.lognormal(mu_log, tech.endurance_sigma_log);
@@ -69,6 +70,7 @@ WriteResult ReRamCell::write_conductance(double g_us, util::Rng& rng, bool verif
   WriteResult res;
   g_us = std::clamp(g_us, tech_->g_off_us(), tech_->g_on_us());
   target_level_ = scheme_.nearest_level(g_us);
+  target_g_ = g_us;
 
   if (stuck_ != StuckMode::kNone) {
     // A hard-stuck cell absorbs the pulse but does not move.

@@ -98,6 +98,10 @@ class ReRamCell {
   double true_conductance_us() const { return g_; }
   /// Level the last write targeted.
   int target_level() const { return target_level_; }
+  /// Clamped analog conductance the last program operation targeted (uS).
+  /// Health monitors use this as the drift baseline: a hard-stuck or
+  /// disturbed cell shows a large |true - target| long before reads fail.
+  double target_conductance_us() const { return target_g_; }
 
   /// Disturb from a write on a neighbouring cell (half-select stress):
   /// with the technology's probability the conductance takes a small step
@@ -135,6 +139,7 @@ class ReRamCell {
   LevelScheme scheme_;
   double g_;              ///< stored conductance (uS)
   int target_level_ = 0;
+  double target_g_ = 0.0;  ///< clamped target of the last program (uS)
   std::uint64_t writes_ = 0;
   std::uint64_t endurance_limit_;
   StuckMode stuck_ = StuckMode::kNone;

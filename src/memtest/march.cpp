@@ -1,8 +1,27 @@
 #include "memtest/march.hpp"
 
 #include <stdexcept>
+#include <string>
+
+#include "obs/obs.hpp"
 
 namespace cim::memtest {
+
+namespace {
+
+/// Live per-fault-class campaign coverage: every scored injected fault
+/// bumps health.fault.detected.<class> or health.fault.escaped.<class>
+/// (class names from fault_name(), the Fig. 6 taxonomy), so a long test
+/// campaign can be scraped mid-run. Health-tier gated — coverage scoring
+/// is off the hot path, but campaign loops call it millions of times.
+void count_fault_outcome(fault::FaultKind kind, bool detected) {
+  const std::string name =
+      std::string(detected ? "health.fault.detected." : "health.fault.escaped.") +
+      std::string(fault::fault_name(kind));
+  obs::Registry::global().counter(name).add(1);
+}
+
+}  // namespace
 
 std::size_t MarchAlgorithm::ops_per_cell() const {
   std::size_t n = 0;
@@ -104,6 +123,7 @@ double fault_coverage(const fault::FaultMap& injected, const MarchResult& result
   const auto faults = injected.all();
   if (faults.empty()) return 1.0;
 
+  const bool health = obs::health_enabled();
   std::size_t covered = 0;
   for (const auto& fd : faults) {
     bool hit = false;
@@ -127,6 +147,7 @@ double fault_coverage(const fault::FaultMap& injected, const MarchResult& result
       }
     }
     if (hit) ++covered;
+    if (health) count_fault_outcome(fd.kind, hit);
   }
   return static_cast<double>(covered) / static_cast<double>(faults.size());
 }

@@ -3,9 +3,21 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <string>
+
+#include "obs/obs.hpp"
 
 namespace cim::memtest {
 namespace {
+
+/// Same live campaign counters the March scorer maintains (see march.cpp):
+/// health.fault.{detected,escaped}.<Fig.-6-class>.
+void count_fault_outcome(fault::FaultKind kind, bool detected) {
+  const std::string name =
+      std::string(detected ? "health.fault.detected." : "health.fault.escaped.") +
+      std::string(fault::fault_name(kind));
+  obs::Registry::global().counter(name).add(1);
+}
 
 /// Measures the column currents with the read voltage applied to rows
 /// [lo, hi) only.
@@ -143,11 +155,14 @@ DetectionQuality voltage_test_quality(const fault::FaultMap& injected,
                        fd.kind == fault::FaultKind::kOverForming;
     if (!stuck) continue;
     ++stuck_total;
+    bool hit = false;
     for (const auto& loc : result.located)
       if (loc.row == fd.row && loc.col == fd.col) {
-        ++found;
+        hit = true;
         break;
       }
+    if (hit) ++found;
+    if (obs::health_enabled()) count_fault_outcome(fd.kind, hit);
   }
   q.recall = stuck_total ? static_cast<double>(found) /
                                static_cast<double>(stuck_total)

@@ -9,7 +9,9 @@
 #include <ostream>
 #include <sstream>
 
+#include "obs/health.hpp"
 #include "obs/obs.hpp"
+#include "obs/prom.hpp"
 #include "obs/trace_events.hpp"
 
 namespace cim::obs {
@@ -56,6 +58,29 @@ void write_meta_fields(std::ostream& os, const Snapshot::Meta& meta) {
 }
 
 }  // namespace
+
+bool write_file_atomic(const std::string& path,
+                       const std::function<void(std::ostream&)>& writer) {
+  // Write to <path>.tmp and rename over the target: an interrupted process
+  // can leave a stale .tmp behind but never a truncated export at `path`.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
+    if (!f) return false;
+    writer(f);
+    f.flush();
+    if (!f) {
+      f.close();
+      std::remove(tmp.c_str());
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
 
 double peak_rss_mb() {
   rusage ru{};
@@ -121,8 +146,11 @@ void write_snapshot_json(std::ostream& os) {
 void write_chrome_trace(std::ostream& os) {
   const auto events = detail::collect_trace_events();
   const Snapshot::Meta meta = snapshot().meta;
+  const std::uint64_t dropped =
+      Registry::global().counter("obs.trace.dropped").value();
   os << "{\"displayTimeUnit\":\"ns\",\"otherData\":{";
   write_meta_fields(os, meta);
+  os << ",\"dropped_events\":" << dropped;
   os << "},\"traceEvents\":[";
   bool first = true;
   for (const auto& e : events) {
@@ -176,18 +204,21 @@ void emit_bench_json(
   std::printf("%s\n", bench_json_line(bench, wall_ms, ops, extras).c_str());
 
   // Exporter hooks: every bench dumps telemetry when asked to, without
-  // per-bench wiring.
+  // per-bench wiring. All file exports are crash-safe (temp + rename).
   if (!enabled()) return;
   if (const char* path = std::getenv("CIM_OBS_SNAPSHOT_FILE");
       path != nullptr && *path != '\0') {
-    std::ofstream f(path);
-    if (f) write_snapshot_json(f);
+    write_file_atomic(path, [](std::ostream& os) { write_snapshot_json(os); });
   }
   if (const char* path = std::getenv("CIM_OBS_TRACE_FILE");
       path != nullptr && *path != '\0' && trace_enabled()) {
-    std::ofstream f(path);
-    if (f) write_chrome_trace(f);
+    write_file_atomic(path, [](std::ostream& os) { write_chrome_trace(os); });
   }
+  if (const char* path = std::getenv("CIM_OBS_PROM_FILE");
+      path != nullptr && *path != '\0') {
+    write_prometheus_file(path);
+  }
+  export_health_heatmap_if_requested();
 }
 
 }  // namespace cim::obs

@@ -1,0 +1,178 @@
+#include "obs/health.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cim::obs {
+
+namespace {
+
+template <typename T>
+std::vector<std::atomic<T>> make_atomic_vec(std::size_t n) {
+  // Value-initialised atomics: each element starts at T{}.
+  return std::vector<std::atomic<T>>(n);
+}
+
+template <typename T>
+void add_relaxed(std::atomic<T>& a, T delta) {
+  // fetch_add on atomic<double> needs C++20 + libatomic on some targets;
+  // a CAS loop works everywhere and these are not contended (single writer).
+  T cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + delta, std::memory_order_relaxed))
+    ;
+}
+
+}  // namespace
+
+HealthMonitor::HealthMonitor(std::string name, std::size_t rows,
+                             std::size_t cols)
+    : name_(std::move(name)),
+      rows_(rows),
+      cols_(cols),
+      wear_(make_atomic_vec<std::uint64_t>(rows * cols)),
+      disturbs_(make_atomic_vec<std::uint64_t>(rows * cols)),
+      drift_us_(make_atomic_vec<double>(rows * cols)),
+      baseline_us_(make_atomic_vec<double>(rows * cols)),
+      worn_(make_atomic_vec<std::uint8_t>(rows * cols)),
+      adc_samples_(make_atomic_vec<std::uint64_t>(cols)),
+      adc_clips_(make_atomic_vec<std::uint64_t>(cols)),
+      sneak_ua_(make_atomic_vec<double>(cols)) {}
+
+void HealthMonitor::record_write(std::size_t r, std::size_t c,
+                                 std::uint64_t pulses) {
+  if (r >= rows_ || c >= cols_) return;
+  wear_[idx(r, c)].fetch_add(pulses, std::memory_order_relaxed);
+}
+
+void HealthMonitor::record_program(std::size_t r, std::size_t c,
+                                   double g_target_us, double g_actual_us) {
+  if (r >= rows_ || c >= cols_) return;
+  const std::size_t i = idx(r, c);
+  baseline_us_[i].store(g_target_us, std::memory_order_relaxed);
+  drift_us_[i].store(g_actual_us - g_target_us, std::memory_order_relaxed);
+}
+
+void HealthMonitor::record_disturb(std::size_t r, std::size_t c,
+                                   double g_now_us) {
+  if (r >= rows_ || c >= cols_) return;
+  const std::size_t i = idx(r, c);
+  disturbs_[i].fetch_add(1, std::memory_order_relaxed);
+  const double base = baseline_us_[i].load(std::memory_order_relaxed);
+  drift_us_[i].store(g_now_us - base, std::memory_order_relaxed);
+}
+
+void HealthMonitor::record_wearout(std::size_t r, std::size_t c) {
+  if (r >= rows_ || c >= cols_) return;
+  worn_[idx(r, c)].store(1, std::memory_order_relaxed);
+}
+
+void HealthMonitor::record_adc_sample(std::size_t col, bool clipped) {
+  if (col >= cols_) return;
+  adc_samples_[col].fetch_add(1, std::memory_order_relaxed);
+  if (clipped) adc_clips_[col].fetch_add(1, std::memory_order_relaxed);
+}
+
+void HealthMonitor::record_sneak_current(std::size_t col, double ua) {
+  if (col >= cols_) return;
+  add_relaxed(sneak_ua_[col], ua);
+}
+
+HealthMonitor::Snapshot HealthMonitor::snapshot() const {
+  Snapshot s;
+  s.name = name_;
+  s.rows = rows_;
+  s.cols = cols_;
+  const std::size_t n = rows_ * cols_;
+  s.wear.resize(n);
+  s.disturbs.resize(n);
+  s.drift_us.resize(n);
+  s.worn.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    s.wear[i] = wear_[i].load(std::memory_order_relaxed);
+    s.disturbs[i] = disturbs_[i].load(std::memory_order_relaxed);
+    s.drift_us[i] = drift_us_[i].load(std::memory_order_relaxed);
+    s.worn[i] = worn_[i].load(std::memory_order_relaxed);
+    s.total_writes += s.wear[i];
+    s.total_disturbs += s.disturbs[i];
+    s.max_wear = std::max(s.max_wear, s.wear[i]);
+    s.worn_cells += s.worn[i];
+    const double d = std::abs(s.drift_us[i]);
+    s.mean_abs_drift_us += d;
+    s.max_abs_drift_us = std::max(s.max_abs_drift_us, d);
+  }
+  if (n > 0) s.mean_abs_drift_us /= static_cast<double>(n);
+  s.adc_samples.resize(cols_);
+  s.adc_clips.resize(cols_);
+  s.sneak_ua.resize(cols_);
+  for (std::size_t c = 0; c < cols_; ++c) {
+    s.adc_samples[c] = adc_samples_[c].load(std::memory_order_relaxed);
+    s.adc_clips[c] = adc_clips_[c].load(std::memory_order_relaxed);
+    s.sneak_ua[c] = sneak_ua_[c].load(std::memory_order_relaxed);
+    s.total_adc_samples += s.adc_samples[c];
+    s.total_adc_clips += s.adc_clips[c];
+    s.total_sneak_ua += s.sneak_ua[c];
+  }
+  return s;
+}
+
+void HealthMonitor::reset() {
+  for (auto& a : wear_) a.store(0, std::memory_order_relaxed);
+  for (auto& a : disturbs_) a.store(0, std::memory_order_relaxed);
+  for (auto& a : drift_us_) a.store(0.0, std::memory_order_relaxed);
+  for (auto& a : baseline_us_) a.store(0.0, std::memory_order_relaxed);
+  for (auto& a : worn_) a.store(0, std::memory_order_relaxed);
+  for (auto& a : adc_samples_) a.store(0, std::memory_order_relaxed);
+  for (auto& a : adc_clips_) a.store(0, std::memory_order_relaxed);
+  for (auto& a : sneak_ua_) a.store(0.0, std::memory_order_relaxed);
+}
+
+// --- HealthRegistry ----------------------------------------------------------
+
+HealthRegistry& HealthRegistry::global() {
+  static HealthRegistry* reg = new HealthRegistry();  // leaked, like Registry
+  return *reg;
+}
+
+std::shared_ptr<HealthMonitor> HealthRegistry::monitor(std::string_view name,
+                                                       std::size_t rows,
+                                                       std::size_t cols) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = monitors_.find(name);
+  if (it == monitors_.end())
+    it = monitors_
+             .emplace(std::string(name), std::make_shared<HealthMonitor>(
+                                             std::string(name), rows, cols))
+             .first;
+  return it->second;
+}
+
+std::vector<std::shared_ptr<HealthMonitor>> HealthRegistry::monitors() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<std::shared_ptr<HealthMonitor>> out;
+  out.reserve(monitors_.size());
+  for (const auto& [name, m] : monitors_) out.push_back(m);
+  return out;
+}
+
+std::size_t HealthRegistry::size() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return monitors_.size();
+}
+
+void HealthRegistry::reset() {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto& [name, m] : monitors_) m->reset();
+}
+
+void HealthRegistry::clear() {
+  std::lock_guard<std::mutex> lk(mu_);
+  monitors_.clear();
+}
+
+std::string next_health_name(const char* prefix) {
+  static std::atomic<std::uint64_t> seq{0};
+  return std::string(prefix) + "." +
+         std::to_string(seq.fetch_add(1, std::memory_order_relaxed));
+}
+
+}  // namespace cim::obs

@@ -26,7 +26,9 @@
 ///    analytic Fig. 5 model in periphery/tile_cost.hpp.
 ///
 /// Enablement: the `CIM_OBS` environment variable — `off` (default),
-/// `on`/`metrics`, or `trace` — or `set_mode()` programmatically. When
+/// `on`/`metrics`, `trace`, `health` (spatial device-health accumulators,
+/// see obs/health.hpp), a comma list of those, or `all` — or `set_mode()`
+/// programmatically. When
 /// disabled every instrumentation site costs one relaxed atomic load and a
 /// predictable branch (gated <2% by bench_obs_overhead). Registry metric
 /// handles keep counting regardless of the mode: they are storage, and
@@ -37,6 +39,7 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <initializer_list>
 #include <iosfwd>
 #include <map>
@@ -52,9 +55,18 @@ namespace cim::obs {
 
 // --- enablement --------------------------------------------------------------
 
-/// Telemetry level. kMetrics aggregates; kTrace additionally records
-/// individual span events for the Chrome-trace exporter.
-enum class Mode : int { kOff = 0, kMetrics = 1, kTrace = 2 };
+/// Telemetry level, encoded as a bitmask over one atomic so every gate stays
+/// a single relaxed load: bit 0 = aggregate metrics, bit 1 = per-span trace
+/// events (Chrome exporter), bit 2 = spatial device-health accumulators.
+/// Trace and health both imply metrics. CIM_OBS accepts a comma-separated
+/// list ("trace,health"); "all" enables everything.
+enum class Mode : int {
+  kOff = 0,
+  kMetrics = 1,
+  kTrace = 3,        ///< metrics + individual span events
+  kHealth = 5,       ///< metrics + per-cell wear/drift/disturb accumulators
+  kTraceHealth = 7,  ///< everything
+};
 
 namespace detail {
 /// -1 = not yet initialised from the CIM_OBS environment variable.
@@ -80,9 +92,11 @@ std::uint64_t now_ns();
 
 /// True when telemetry is collected. The disabled path is exactly one
 /// relaxed atomic load and one branch.
-inline bool enabled() { return detail::mode_int() >= 1; }
+inline bool enabled() { return (detail::mode_int() & 1) != 0; }
 /// True when individual span events are recorded for the Chrome exporter.
-inline bool trace_enabled() { return detail::mode_int() >= 2; }
+inline bool trace_enabled() { return (detail::mode_int() & 2) != 0; }
+/// True when spatial device-health accumulators (obs/health.hpp) record.
+inline bool health_enabled() { return (detail::mode_int() & 4) != 0; }
 
 Mode mode();
 void set_mode(Mode m);
@@ -144,6 +158,15 @@ class Gauge {
 
 /// Fixed-bucket histogram: `bounds` are inclusive upper bounds of the first
 /// N buckets; one implicit overflow bucket catches the rest.
+///
+/// Boundary semantics (tested by tests/obs/test_histogram_bounds.cpp):
+/// bucket i covers (bounds[i-1], bounds[i]] — a value exactly equal to an
+/// upper bound lands in the bucket that bound closes, never in the next
+/// one, and every observation lands in exactly one bucket, so the bucket
+/// counts always sum to `count`. Values above bounds.back() (and NaN,
+/// which compares false against every bound) land in the overflow bucket.
+/// These are the same closed-upper-bound semantics the Prometheus
+/// exporter's cumulative `le` buckets assume.
 class Histogram {
  public:
   explicit Histogram(std::vector<double> bounds);
@@ -212,7 +235,7 @@ class SpanHandle;
 class Span {
  public:
   explicit Span(SpanHandle& handle) {
-    if (detail::mode_int() >= 1) {
+    if ((detail::mode_int() & 1) != 0) {
       handle_ = &handle;
       start_ns_ = detail::now_ns();
     }
@@ -377,6 +400,14 @@ BuildInfo build_info();
 
 // --- exporters (export.cpp) --------------------------------------------------
 
+/// Crash-safe file export: `writer` streams into `<path>.tmp` which is then
+/// atomically renamed onto `path`, so an interrupted process can never
+/// leave a truncated export behind — readers see either the old file or
+/// the complete new one. Returns false (and removes the temp file) when
+/// the temp file cannot be created or the stream errors.
+bool write_file_atomic(const std::string& path,
+                       const std::function<void(std::ostream&)>& writer);
+
 /// Flat JSON snapshot of the registry (meta header + every metric).
 void write_snapshot_json(std::ostream& os);
 
@@ -396,7 +427,12 @@ std::string bench_json_line(
 
 /// Prints the BENCH_JSON line and honours the exporter env hooks:
 /// CIM_OBS_TRACE_FILE / CIM_OBS_SNAPSHOT_FILE receive the Chrome trace /
-/// JSON snapshot when set (and telemetry is enabled).
+/// JSON snapshot when set (and telemetry is enabled);
+/// CIM_OBS_HEATMAP_FILE receives the device-health heatmap dump (CSV when
+/// the path ends in .csv, flat JSON otherwise) when health telemetry is
+/// enabled. All file exports are crash-safe (write_file_atomic). When
+/// CIM_OBS_PROM_PORT is set the Prometheus endpoint is started on first
+/// use (obs/prom.hpp).
 void emit_bench_json(
     const std::string& bench, double wall_ms, double ops,
     std::initializer_list<std::pair<const char*, double>> extras = {});

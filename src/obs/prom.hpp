@@ -1,0 +1,78 @@
+/// \file prom.hpp
+/// \brief Prometheus text-format (exposition format 0.0.4) exporter over the
+///        whole cim::obs registry + health summaries, with two delivery
+///        paths:
+///
+///  - a one-shot writer (`write_prometheus_text` / `write_prometheus_file`,
+///    env hook `CIM_OBS_PROM_FILE`) for batch jobs, and
+///  - a minimal blocking TCP endpoint (`PromServer`, env hook
+///    `CIM_OBS_PROM_PORT`) so long-running `CimSystem` processes can be
+///    scraped like production hardware.
+///
+/// Naming scheme (documented in DESIGN.md §8):
+///  - every metric gets a `cim_` prefix; registry dots become underscores
+///    and all other invalid characters are replaced by `_`
+///    (e.g. counter "crossbar.writes" -> `cim_crossbar_writes_total`),
+///  - counters get the conventional `_total` suffix, gauges none,
+///  - histograms expand to cumulative `_bucket{le="..."}` rows (closed
+///    upper bounds, matching obs::Histogram semantics) plus `_sum`/`_count`,
+///  - spans/components/health arrays export as labeled families
+///    (`cim_span_*{name=...,component=...}`, `cim_health_*{array=...}`),
+///  - build metadata exports as `cim_build_info{git_sha=...,...} 1`.
+///
+/// The server is deliberately minimal: HTTP/1.0, one request per
+/// connection, response assembled before the reply is written. It exists to
+/// be scraped by curl/Prometheus in tests and demos, not to be a web server.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <thread>
+
+namespace cim::obs {
+
+/// Renders the full registry (counters, gauges, histograms, spans,
+/// components) plus per-array health summaries in Prometheus text format.
+void write_prometheus_text(std::ostream& os);
+
+/// One-shot crash-safe file export of write_prometheus_text.
+bool write_prometheus_file(const std::string& path);
+
+/// Blocking-accept TCP endpoint serving write_prometheus_text at any path.
+/// One background thread; each accepted connection gets one response and is
+/// closed. Port 0 binds an ephemeral port (query with port()).
+class PromServer {
+ public:
+  PromServer() = default;
+  ~PromServer();
+
+  PromServer(const PromServer&) = delete;
+  PromServer& operator=(const PromServer&) = delete;
+
+  /// Binds 127.0.0.1:`port` and starts the accept thread. Returns false if
+  /// already running or the socket could not be bound.
+  bool start(std::uint16_t port);
+  void stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  /// Actual bound port (differs from the request when started with 0).
+  std::uint16_t port() const { return port_; }
+
+ private:
+  void serve_loop();
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_{false};
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::thread thread_;
+};
+
+/// Starts the process-wide scrape endpoint when CIM_OBS_PROM_PORT is set to
+/// a valid port and telemetry is enabled. Idempotent; returns the bound
+/// port, or 0 when no server is running. Called from the CimSystem ctor.
+std::uint16_t maybe_start_prometheus_from_env();
+
+}  // namespace cim::obs

@@ -1,6 +1,7 @@
 #include "obs/obs.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "obs/trace_events.hpp"
 #include <chrono>
@@ -16,12 +17,23 @@ namespace detail {
 int init_mode_from_env() {
   int m = static_cast<int>(Mode::kOff);
   if (const char* env = std::getenv("CIM_OBS"); env != nullptr) {
-    if (std::strcmp(env, "1") == 0 || std::strcmp(env, "on") == 0 ||
-        std::strcmp(env, "metrics") == 0)
-      m = static_cast<int>(Mode::kMetrics);
-    else if (std::strcmp(env, "trace") == 0)
-      m = static_cast<int>(Mode::kTrace);
-    // anything else (incl. "off"/"0") stays disabled
+    // Comma-separated tier list; every recognized tier ORs its bits in.
+    std::string_view rest(env);
+    while (!rest.empty()) {
+      const std::size_t comma = rest.find(',');
+      const std::string_view tok = rest.substr(0, comma);
+      rest = comma == std::string_view::npos ? std::string_view{}
+                                             : rest.substr(comma + 1);
+      if (tok == "1" || tok == "on" || tok == "metrics")
+        m |= static_cast<int>(Mode::kMetrics);
+      else if (tok == "trace")
+        m |= static_cast<int>(Mode::kTrace);
+      else if (tok == "health")
+        m |= static_cast<int>(Mode::kHealth);
+      else if (tok == "all")
+        m |= static_cast<int>(Mode::kTraceHealth);
+      // anything else (incl. "off"/"0") adds nothing
+    }
   }
   // First initialiser wins; a concurrent set_mode() is not overwritten.
   int expected = -1;
@@ -67,7 +79,9 @@ Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
 }
 
 void Histogram::observe(double v) noexcept {
-  std::size_t b = 0;
+  // NaN compares false against every bound, which the search loop would
+  // file under bucket 0; the documented semantics put it in overflow.
+  std::size_t b = std::isnan(v) ? bounds_.size() : 0;
   while (b < bounds_.size() && v > bounds_[b]) ++b;
   counts_[b].add(1);
   count_.add(1);
@@ -144,11 +158,17 @@ Snapshot Registry::snapshot() const {
   s.meta.git_sha = info.git_sha;
   s.meta.build_type = info.build_type;
   s.meta.threads = info.threads;
-  switch (obs::mode()) {
-    case Mode::kOff: s.meta.mode = "off"; break;
-    case Mode::kMetrics: s.meta.mode = "metrics"; break;
-    case Mode::kTrace: s.meta.mode = "trace"; break;
-  }
+  const int m = static_cast<int>(obs::mode());
+  if (m == 0)
+    s.meta.mode = "off";
+  else if ((m & 6) == 6)
+    s.meta.mode = "trace+health";
+  else if ((m & 2) != 0)
+    s.meta.mode = "trace";
+  else if ((m & 4) != 0)
+    s.meta.mode = "health";
+  else
+    s.meta.mode = "metrics";
 
   std::lock_guard<std::mutex> lk(mu_);
   for (const auto& [name, c] : counters_) s.counters.emplace_back(name, c->value());

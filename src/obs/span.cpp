@@ -20,7 +20,11 @@ struct EventBuffer {
   std::uint32_t tid = 0;
 };
 
-constexpr std::size_t kMaxEventsPerThread = 1u << 16;
+constexpr std::size_t kDefaultMaxEventsPerThread = 1u << 16;
+
+/// Settable so tests can exercise the overflow path without recording 64k
+/// events per thread. Relaxed: only mutated from test setup code.
+std::atomic<std::size_t> g_max_events_per_thread{kDefaultMaxEventsPerThread};
 
 struct EventBufferList {
   std::mutex mu;
@@ -65,12 +69,29 @@ EventBuffer& this_thread_buffer() {
 void record_trace_event(const char* name, Component comp, std::uint64_t ts_ns,
                         std::uint64_t dur_ns, double energy_pj) {
   EventBuffer& buf = this_thread_buffer();
-  std::lock_guard<std::mutex> lk(buf.mu);
-  if (buf.events.size() >= kMaxEventsPerThread) {
-    Registry::global().counter("obs.trace_events_dropped").add(1);
-    return;
+  {
+    std::lock_guard<std::mutex> lk(buf.mu);
+    if (buf.events.size() < trace_buffer_capacity()) {
+      buf.events.push_back({name, comp, ts_ns, dur_ns, energy_pj, buf.tid});
+      return;
+    }
   }
-  buf.events.push_back({name, comp, ts_ns, dur_ns, energy_pj, buf.tid});
+  // Exact per-event accounting: every event that did not make it into a
+  // buffer bumps the drop counter exactly once. Surfaced in the Chrome
+  // trace's otherData and asserted by tests/obs/test_trace_overflow.cpp.
+  // Counted outside buf.mu: Registry::reset() holds the registry mutex
+  // while clearing trace buffers, so taking the registry mutex under a
+  // buffer mutex would close a lock-order cycle (found by TSan).
+  Registry::global().counter("obs.trace.dropped").add(1);
+}
+
+void set_trace_buffer_capacity_for_test(std::size_t cap) {
+  g_max_events_per_thread.store(cap == 0 ? kDefaultMaxEventsPerThread : cap,
+                                std::memory_order_relaxed);
+}
+
+std::size_t trace_buffer_capacity() {
+  return g_max_events_per_thread.load(std::memory_order_relaxed);
 }
 
 std::vector<TraceEvent> collect_trace_events() {

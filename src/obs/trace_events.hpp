@@ -3,6 +3,7 @@
 ///        Chrome-trace exporter (export.cpp). Not part of the public API.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -25,5 +26,11 @@ void record_trace_event(const char* name, Component comp, std::uint64_t ts_ns,
 /// All recorded events (live + exited threads), sorted by timestamp.
 std::vector<TraceEvent> collect_trace_events();
 void clear_trace_events();
+
+/// Per-thread buffer capacity. Defaults to 1<<16 events; tests shrink it to
+/// exercise the overflow/drop path cheaply. Applies to buffers from the next
+/// append on (existing contents are kept). 0 restores the default.
+void set_trace_buffer_capacity_for_test(std::size_t cap);
+std::size_t trace_buffer_capacity();
 
 }  // namespace cim::obs::detail

@@ -27,6 +27,10 @@ std::uint32_t Adc::quantize(double current_ua) const {
   return static_cast<std::uint32_t>(std::lround(scaled));
 }
 
+bool Adc::clips(double current_ua) const {
+  return current_ua < 0.0 || current_ua > cfg_.full_scale_ua;
+}
+
 double Adc::dequantize(std::uint32_t code) const {
   const std::uint32_t c = std::min(code, max_code());
   return static_cast<double>(c) / static_cast<double>(max_code()) *

@@ -40,6 +40,13 @@ class Adc {
   /// Quantizes a current (uA) to a code; clips outside [0, full_scale].
   std::uint32_t quantize(double current_ua) const;
 
+  /// True when `current_ua` falls outside the converter's input range, i.e.
+  /// quantize() would clip it. The per-column saturation signal fed to the
+  /// device-health monitors: persistent clipping on a column usually means
+  /// drifted/stuck LRS cells or sneak-path background pushing the bitline
+  /// current past full scale.
+  bool clips(double current_ua) const;
+
   /// Code back to the current at the reconstruction level (uA).
   double dequantize(std::uint32_t code) const;
 

@@ -1,0 +1,225 @@
+/// Spatial-health exporters: heatmap CSV/JSON round-trips, the Prometheus
+/// text format, a real TCP scrape of PromServer, and the crash-safe atomic
+/// file-write primitive behind every env-hook export.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/health.hpp"
+#include "obs/json.hpp"
+#include "obs/obs.hpp"
+#include "obs/prom.hpp"
+
+namespace cim::obs {
+namespace {
+
+class HealthExportTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_mode(Mode::kHealth);
+    reset();
+    HealthRegistry::global().clear();
+  }
+  void TearDown() override {
+    ::unsetenv("CIM_OBS_HEATMAP_FILE");
+    set_mode(Mode::kOff);
+    reset();
+    HealthRegistry::global().clear();
+  }
+
+  /// One 2x2 monitor with distinct, recognizable values in every channel.
+  std::shared_ptr<HealthMonitor> make_fixture() {
+    auto m = HealthRegistry::global().monitor("fixture", 2, 2);
+    m->record_write(0, 0, 3);
+    m->record_program(0, 0, 50.0, 52.0);  // drift +2
+    m->record_disturb(1, 1, 1.0);
+    m->record_wearout(1, 0);
+    m->record_adc_sample(0, true);
+    m->record_adc_sample(1, false);
+    m->record_sneak_current(1, 0.5);
+    return m;
+  }
+};
+
+TEST_F(HealthExportTest, CsvHeatmapHasHeaderAndExactRows) {
+  make_fixture();
+  std::ostringstream os;
+  write_health_heatmap_csv(os);
+  std::istringstream is(os.str());
+  std::string line;
+  ASSERT_TRUE(std::getline(is, line));
+  EXPECT_EQ(line, "array,metric,row,col,value");
+
+  bool saw_wear = false, saw_drift = false, saw_adc = false;
+  std::size_t rows = 0;
+  while (std::getline(is, line)) {
+    ++rows;
+    if (line == "fixture,wear,0,0,3") saw_wear = true;
+    if (line.rfind("fixture,drift_us,0,0,2", 0) == 0) saw_drift = true;
+    if (line == "fixture,adc_clips,-1,0,1") saw_adc = true;  // per-column
+  }
+  EXPECT_TRUE(saw_wear);
+  EXPECT_TRUE(saw_drift);
+  EXPECT_TRUE(saw_adc);
+  // 4 per-cell metrics x 4 cells + 3 per-column metrics x 2 columns.
+  EXPECT_EQ(rows, 4u * 4u + 3u * 2u);
+}
+
+TEST_F(HealthExportTest, JsonHeatmapRoundTrips) {
+  make_fixture();
+  std::ostringstream os;
+  write_health_json(os);
+  const json::Value doc = json::parse(os.str());
+
+  EXPECT_EQ(doc.at("meta").at("schema").as_string(), "cim-health-heatmap-v1");
+  EXPECT_TRUE(doc.at("meta").at("git_sha").is_string());
+  const auto& arrays = doc.at("arrays").as_array();
+  ASSERT_EQ(arrays.size(), 1u);
+  const auto& arr = arrays[0];
+  EXPECT_EQ(arr.at("name").as_string(), "fixture");
+  EXPECT_DOUBLE_EQ(arr.at("rows").as_number(), 2.0);
+  EXPECT_DOUBLE_EQ(arr.at("cols").as_number(), 2.0);
+  const auto& wear = arr.at("wear").as_array();
+  ASSERT_EQ(wear.size(), 4u);
+  EXPECT_DOUBLE_EQ(wear[0].as_number(), 3.0);
+  EXPECT_DOUBLE_EQ(arr.at("drift_us").as_array()[0].as_number(), 2.0);
+  EXPECT_DOUBLE_EQ(arr.at("worn").as_array()[2].as_number(), 1.0);
+  EXPECT_DOUBLE_EQ(arr.at("adc_clips").as_array()[0].as_number(), 1.0);
+  EXPECT_DOUBLE_EQ(arr.at("sneak_ua").as_array()[1].as_number(), 0.5);
+  const auto& sum = arr.at("summary");
+  EXPECT_DOUBLE_EQ(sum.at("total_writes").as_number(), 3.0);
+  EXPECT_DOUBLE_EQ(sum.at("worn_cells").as_number(), 1.0);
+}
+
+TEST_F(HealthExportTest, PrometheusTextCoversRegistryAndHealth) {
+  make_fixture();
+  Registry::global().counter("test.prom.counter").add(7);
+  Registry::global().gauge("test.prom.gauge").set(2.5);
+  Registry::global()
+      .histogram("test.prom.hist", std::vector<double>{1.0, 2.0})
+      .observe(1.5);
+
+  std::ostringstream os;
+  write_prometheus_text(os);
+  const std::string text = os.str();
+
+  EXPECT_NE(text.find("cim_build_info{"), std::string::npos);
+  EXPECT_NE(text.find("cim_test_prom_counter_total 7"), std::string::npos);
+  EXPECT_NE(text.find("cim_test_prom_gauge 2.5"), std::string::npos);
+  // Cumulative le buckets: 1.5 lands in le="2" and le="+Inf".
+  EXPECT_NE(text.find("cim_test_prom_hist_bucket{le=\"1\"} 0"),
+            std::string::npos);
+  EXPECT_NE(text.find("cim_test_prom_hist_bucket{le=\"2\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("cim_test_prom_hist_bucket{le=\"+Inf\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("cim_test_prom_hist_count 1"), std::string::npos);
+  EXPECT_NE(text.find("cim_health_writes_total{array=\"fixture\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("cim_health_worn_cells{array=\"fixture\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("cim_health_adc_clips_total{array=\"fixture\"} 1"),
+            std::string::npos);
+  // Every non-comment line is "name[{labels}] value".
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    EXPECT_EQ(line.rfind("cim_", 0), 0u) << line;
+    EXPECT_NE(line.find(' '), std::string::npos) << line;
+  }
+}
+
+TEST_F(HealthExportTest, PromServerServesOneScrapePerConnection) {
+  make_fixture();
+  PromServer server;
+  ASSERT_TRUE(server.start(0));  // ephemeral port
+  ASSERT_TRUE(server.running());
+  ASSERT_NE(server.port(), 0);
+  EXPECT_FALSE(server.start(0));  // already running
+
+  auto scrape = [&]() -> std::string {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(server.port());
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+              0);
+    const char req[] = "GET /metrics HTTP/1.0\r\n\r\n";
+    EXPECT_GT(::send(fd, req, sizeof(req) - 1, 0), 0);
+    std::string resp;
+    char buf[4096];
+    ssize_t n;
+    while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) resp.append(buf, n);
+    ::close(fd);
+    return resp;
+  };
+
+  for (int i = 0; i < 3; ++i) {  // server survives repeated connections
+    const std::string resp = scrape();
+    EXPECT_EQ(resp.rfind("HTTP/1.0 200 OK\r\n", 0), 0u);
+    EXPECT_NE(resp.find("text/plain; version=0.0.4"), std::string::npos);
+    EXPECT_NE(resp.find("cim_health_writes_total{array=\"fixture\"} 3"),
+              std::string::npos);
+  }
+  server.stop();
+  EXPECT_FALSE(server.running());
+}
+
+TEST_F(HealthExportTest, AtomicWriteLeavesNoTempAndSurvivesBadDir) {
+  const std::string path = ::testing::TempDir() + "cim_atomic_test.txt";
+  std::remove(path.c_str());
+  ASSERT_TRUE(write_file_atomic(path, [](std::ostream& os) { os << "payload"; }));
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, "payload");
+  EXPECT_FALSE(std::ifstream(path + ".tmp").good());  // no temp left behind
+
+  // Unwritable destination: fails cleanly, creates nothing.
+  EXPECT_FALSE(write_file_atomic("/nonexistent-dir/x/y.txt",
+                                 [](std::ostream& os) { os << "x"; }));
+  std::remove(path.c_str());
+}
+
+TEST_F(HealthExportTest, HeatmapEnvHookWritesCsvOrJsonBySuffix) {
+  make_fixture();
+  const std::string csv = ::testing::TempDir() + "cim_heatmap_test.csv";
+  const std::string js = ::testing::TempDir() + "cim_heatmap_test.json";
+
+  ::setenv("CIM_OBS_HEATMAP_FILE", csv.c_str(), 1);
+  ASSERT_TRUE(export_health_heatmap_if_requested());
+  std::ifstream fc(csv);
+  std::string first;
+  ASSERT_TRUE(std::getline(fc, first));
+  EXPECT_EQ(first, "array,metric,row,col,value");
+
+  ::setenv("CIM_OBS_HEATMAP_FILE", js.c_str(), 1);
+  ASSERT_TRUE(export_health_heatmap_if_requested());
+  std::ifstream fj(js);
+  std::string jdoc((std::istreambuf_iterator<char>(fj)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_EQ(json::parse(jdoc).at("meta").at("schema").as_string(),
+            "cim-health-heatmap-v1");
+
+  // Health tier off -> the hook declines.
+  set_mode(Mode::kMetrics);
+  EXPECT_FALSE(export_health_heatmap_if_requested());
+  std::remove(csv.c_str());
+  std::remove(js.c_str());
+}
+
+}  // namespace
+}  // namespace cim::obs

@@ -1,0 +1,146 @@
+/// Per-fault-class campaign counters (Fig. 6 taxonomy): scoring a March
+/// campaign with the health tier on must account every injected fault as
+/// exactly one health.fault.detected.<class> or .escaped.<class> increment,
+/// and the detected total must reproduce the reported coverage.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "crossbar/crossbar.hpp"
+#include "fault/fault_map.hpp"
+#include "fault/fault_model.hpp"
+#include "memtest/march.hpp"
+#include "memtest/online_voltage_test.hpp"
+#include "obs/obs.hpp"
+#include "util/rng.hpp"
+
+namespace cim::obs {
+namespace {
+
+std::uint64_t detected(fault::FaultKind k) {
+  return Registry::global()
+      .counter(std::string("health.fault.detected.") +
+               std::string(fault::fault_name(k)))
+      .value();
+}
+std::uint64_t escaped(fault::FaultKind k) {
+  return Registry::global()
+      .counter(std::string("health.fault.escaped.") +
+               std::string(fault::fault_name(k)))
+      .value();
+}
+
+class HealthFaultCounterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_mode(Mode::kHealth);
+    reset();
+  }
+  void TearDown() override {
+    set_mode(Mode::kOff);
+    reset();
+  }
+};
+
+TEST_F(HealthFaultCounterTest, MarchCampaignCountersAreExact) {
+  crossbar::CrossbarConfig cfg;
+  cfg.rows = 16;
+  cfg.cols = 16;
+  cfg.seed = 123;
+  crossbar::Crossbar xbar(cfg);
+
+  util::Rng rng(9);
+  auto map = fault::FaultMap::with_fault_count(
+      cfg.rows, cfg.cols, 12, fault::FaultMix::stuck_at_only(), rng);
+  map.add({.kind = fault::FaultKind::kTransitionUp, .row = 3, .col = 3});
+  map.add({.kind = fault::FaultKind::kTransitionDown, .row = 5, .col = 7});
+  xbar.apply_faults(map);
+
+  const auto result = run_march(xbar, memtest::march_cstar());
+  const double coverage = memtest::fault_coverage(map, result);
+
+  std::uint64_t det_total = 0, esc_total = 0;
+  for (const auto k : fault::all_fault_kinds()) {
+    det_total += detected(k);
+    esc_total += escaped(k);
+  }
+  const auto injected = map.all();
+  // Exactly one outcome per injected fault, split consistently with the
+  // coverage number fault_coverage() returned.
+  EXPECT_EQ(det_total + esc_total, injected.size());
+  EXPECT_DOUBLE_EQ(coverage, static_cast<double>(det_total) /
+                                 static_cast<double>(injected.size()));
+  // Per-class totals match the injected census.
+  for (const auto k : fault::all_fault_kinds())
+    EXPECT_EQ(detected(k) + escaped(k), map.count(k))
+        << fault::fault_name(k);
+  // March C* detects every stuck-at fault on a functioning array.
+  EXPECT_EQ(escaped(fault::FaultKind::kStuckAtZero), 0u);
+  EXPECT_EQ(escaped(fault::FaultKind::kStuckAtOne), 0u);
+}
+
+TEST_F(HealthFaultCounterTest, ScoringTwiceDoublesCountersOnceEach) {
+  crossbar::CrossbarConfig cfg;
+  cfg.rows = 8;
+  cfg.cols = 8;
+  cfg.seed = 77;
+  crossbar::Crossbar xbar(cfg);
+  fault::FaultMap map(cfg.rows, cfg.cols);
+  map.add({.kind = fault::FaultKind::kStuckAtZero, .row = 2, .col = 2});
+  xbar.apply_faults(map);
+  const auto result = run_march(xbar, memtest::march_cstar());
+  (void)memtest::fault_coverage(map, result);
+  (void)memtest::fault_coverage(map, result);
+  EXPECT_EQ(detected(fault::FaultKind::kStuckAtZero) +
+                escaped(fault::FaultKind::kStuckAtZero),
+            2u);
+}
+
+TEST_F(HealthFaultCounterTest, DisabledHealthTierCountsNothing) {
+  set_mode(Mode::kMetrics);
+  crossbar::CrossbarConfig cfg;
+  cfg.rows = 8;
+  cfg.cols = 8;
+  crossbar::Crossbar xbar(cfg);
+  fault::FaultMap map(cfg.rows, cfg.cols);
+  map.add({.kind = fault::FaultKind::kStuckAtOne, .row = 1, .col = 1});
+  xbar.apply_faults(map);
+  const auto result = run_march(xbar, memtest::march_cstar());
+  (void)memtest::fault_coverage(map, result);
+  EXPECT_EQ(detected(fault::FaultKind::kStuckAtOne), 0u);
+  EXPECT_EQ(escaped(fault::FaultKind::kStuckAtOne), 0u);
+}
+
+TEST_F(HealthFaultCounterTest, VoltageTestQualityCountsStuckFaults) {
+  crossbar::CrossbarConfig cfg;
+  cfg.rows = 16;
+  cfg.cols = 16;
+  cfg.seed = 42;
+  cfg.verified_writes = true;
+  crossbar::Crossbar xbar(cfg);
+
+  fault::FaultMap map(cfg.rows, cfg.cols);
+  map.add({.kind = fault::FaultKind::kStuckAtZero, .row = 4, .col = 9});
+  map.add({.kind = fault::FaultKind::kStuckAtOne, .row = 12, .col = 1});
+  map.add({.kind = fault::FaultKind::kWriteVariation, .row = 6, .col = 6,
+           .severity = 2.0});  // not a stuck fault: must not be scored
+  xbar.apply_faults(map);
+
+  const auto res = memtest::run_voltage_comparison_test(xbar, {});
+  (void)memtest::voltage_test_quality(map, res);
+
+  EXPECT_EQ(detected(fault::FaultKind::kStuckAtZero) +
+                escaped(fault::FaultKind::kStuckAtZero),
+            1u);
+  EXPECT_EQ(detected(fault::FaultKind::kStuckAtOne) +
+                escaped(fault::FaultKind::kStuckAtOne),
+            1u);
+  EXPECT_EQ(detected(fault::FaultKind::kWriteVariation) +
+                escaped(fault::FaultKind::kWriteVariation),
+            0u);
+}
+
+}  // namespace
+}  // namespace cim::obs

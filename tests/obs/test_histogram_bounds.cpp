@@ -1,0 +1,75 @@
+/// obs::Histogram bucket-boundary semantics (documented on the class):
+/// bucket i covers (bounds[i-1], bounds[i]] — closed upper bounds, the same
+/// convention as Prometheus `le` buckets — every observation lands in
+/// exactly one bucket, and NaN goes to overflow.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "obs/obs.hpp"
+
+namespace cim::obs {
+namespace {
+
+TEST(HistogramBounds, ExactBoundaryValueLandsInClosingBucket) {
+  Histogram h(std::vector<double>{1.0, 2.0, 4.0});
+  h.observe(1.0);  // == bounds[0]: closed upper bound -> bucket 0
+  h.observe(2.0);  // == bounds[1] -> bucket 1
+  h.observe(4.0);  // == bounds[2] -> bucket 2
+  const auto s = h.snapshot();
+  ASSERT_EQ(s.counts.size(), 4u);
+  EXPECT_EQ(s.counts[0], 1u);
+  EXPECT_EQ(s.counts[1], 1u);
+  EXPECT_EQ(s.counts[2], 1u);
+  EXPECT_EQ(s.counts[3], 0u);
+}
+
+TEST(HistogramBounds, OpenLowerBoundAndOverflow) {
+  Histogram h(std::vector<double>{1.0, 2.0});
+  h.observe(std::nextafter(1.0, 2.0));  // just above 1.0 -> bucket 1
+  h.observe(2.5);                       // above bounds.back() -> overflow
+  h.observe(-10.0);                     // below everything -> bucket 0
+  h.observe(0.0);
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.counts[0], 2u);
+  EXPECT_EQ(s.counts[1], 1u);
+  EXPECT_EQ(s.counts[2], 1u);
+}
+
+TEST(HistogramBounds, EveryObservationLandsInExactlyOneBucket) {
+  Histogram h(std::vector<double>{0.0, 1.0, 10.0, 100.0});
+  const double vals[] = {-1.0, 0.0, 0.5,  1.0,   1.5,  10.0,
+                         99.0, 100.0, 101.0, 1e300, 0.25, 7.0};
+  for (double v : vals) h.observe(v);
+  const auto s = h.snapshot();
+  std::uint64_t sum = 0;
+  for (auto c : s.counts) sum += c;
+  EXPECT_EQ(sum, std::size(vals));
+  EXPECT_EQ(s.count, std::size(vals));
+}
+
+TEST(HistogramBounds, NanAndInfinityGoToOverflow) {
+  Histogram h(std::vector<double>{1.0, 2.0});
+  h.observe(std::numeric_limits<double>::quiet_NaN());
+  h.observe(std::numeric_limits<double>::infinity());
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.counts[0], 0u);
+  EXPECT_EQ(s.counts[1], 0u);
+  EXPECT_EQ(s.counts[2], 2u);
+  EXPECT_EQ(s.count, 2u);
+}
+
+TEST(HistogramBounds, UnsortedConstructionBoundsAreSorted) {
+  Histogram h(std::vector<double>{4.0, 1.0, 2.0});
+  h.observe(1.5);  // (1, 2] after sorting
+  const auto s = h.snapshot();
+  ASSERT_EQ(s.bounds.size(), 3u);
+  EXPECT_DOUBLE_EQ(s.bounds[0], 1.0);
+  EXPECT_DOUBLE_EQ(s.bounds[2], 4.0);
+  EXPECT_EQ(s.counts[1], 1u);
+}
+
+}  // namespace
+}  // namespace cim::obs

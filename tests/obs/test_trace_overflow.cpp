@@ -1,0 +1,107 @@
+/// Chrome-trace buffer overflow: per-thread buffers are bounded; every
+/// event past the cap is dropped with *exact* accounting on the
+/// obs.trace.dropped counter, and the drop total is surfaced in the
+/// exported Chrome trace's otherData.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string_view>
+#include <thread>
+
+#include "obs/json.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace_events.hpp"
+
+namespace cim::obs {
+namespace {
+
+class TraceOverflowTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_mode(Mode::kTrace);
+    reset();
+    detail::clear_trace_events();
+  }
+  void TearDown() override {
+    detail::set_trace_buffer_capacity_for_test(0);  // restore default
+    detail::clear_trace_events();
+    set_mode(Mode::kOff);
+    reset();
+  }
+  std::uint64_t dropped() {
+    return Registry::global().counter("obs.trace.dropped").value();
+  }
+};
+
+TEST_F(TraceOverflowTest, CapacityHookShrinksAndRestores) {
+  const std::size_t def = detail::trace_buffer_capacity();
+  EXPECT_EQ(def, std::size_t{1} << 16);
+  detail::set_trace_buffer_capacity_for_test(8);
+  EXPECT_EQ(detail::trace_buffer_capacity(), 8u);
+  detail::set_trace_buffer_capacity_for_test(0);
+  EXPECT_EQ(detail::trace_buffer_capacity(), def);
+}
+
+TEST_F(TraceOverflowTest, DropsArePerEventExact) {
+  constexpr std::size_t kCap = 16;
+  constexpr std::size_t kTotal = 100;
+  detail::set_trace_buffer_capacity_for_test(kCap);
+  // A fresh thread gets an empty buffer, so the arithmetic is exact even
+  // though the main test thread may already hold events.
+  std::thread t([] {
+    for (std::size_t i = 0; i < kTotal; ++i)
+      detail::record_trace_event("overflow.ev", Component::kOther,
+                                 /*ts_ns=*/i, /*dur_ns=*/1, /*energy_pj=*/0.0);
+  });
+  t.join();
+  EXPECT_EQ(dropped(), kTotal - kCap);
+
+  const auto events = detail::collect_trace_events();
+  std::size_t kept = 0;
+  for (const auto& e : events)
+    if (std::string_view(e.name) == "overflow.ev") ++kept;
+  EXPECT_EQ(kept, kCap);
+}
+
+TEST_F(TraceOverflowTest, EachThreadHasItsOwnBudget) {
+  constexpr std::size_t kCap = 8;
+  constexpr std::size_t kPerThread = 20;
+  detail::set_trace_buffer_capacity_for_test(kCap);
+  auto hammer = [] {
+    for (std::size_t i = 0; i < kPerThread; ++i)
+      detail::record_trace_event("budget.ev", Component::kOther, i, 1, 0.0);
+  };
+  std::thread a(hammer), b(hammer);
+  a.join();
+  b.join();
+  EXPECT_EQ(dropped(), 2 * (kPerThread - kCap));
+}
+
+TEST_F(TraceOverflowTest, DroppedCountSurfacesInChromeTraceOtherData) {
+  detail::set_trace_buffer_capacity_for_test(4);
+  std::thread t([] {
+    for (std::size_t i = 0; i < 10; ++i)
+      detail::record_trace_event("surfaced.ev", Component::kOther, i, 1, 0.0);
+  });
+  t.join();
+  ASSERT_EQ(dropped(), 6u);
+
+  std::ostringstream os;
+  write_chrome_trace(os);
+  const json::Value doc = json::parse(os.str());
+  EXPECT_DOUBLE_EQ(doc.at("otherData").at("dropped_events").as_number(), 6.0);
+}
+
+TEST_F(TraceOverflowTest, NoDropsBelowCapacity) {
+  detail::set_trace_buffer_capacity_for_test(64);
+  std::thread t([] {
+    for (std::size_t i = 0; i < 64; ++i)
+      detail::record_trace_event("fits.ev", Component::kOther, i, 1, 0.0);
+  });
+  t.join();
+  EXPECT_EQ(dropped(), 0u);
+}
+
+}  // namespace
+}  // namespace cim::obs
