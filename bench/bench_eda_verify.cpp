@@ -10,6 +10,7 @@
 /// by exhaustive simulation (2^inputs evaluations); this one proves
 /// hazard-freedom with a single linear pass per program, so it covers every
 /// circuit regardless of input count.
+#include <cstdio>
 #include <iostream>
 
 #include "bench_common.hpp"
@@ -20,6 +21,7 @@
 #include "eda/majority_mapper.hpp"
 #include "eda/mig.hpp"
 #include "eda/revamp_isa.hpp"
+#include "eda/verify/pass.hpp"
 #include "eda/verify/verify.hpp"
 #include "util/table.hpp"
 
@@ -90,6 +92,58 @@ int main() {
     t.print(std::cout);
   }
 
+  // --- static pass pipeline timings + cross-tile hazard gate ------------------
+  // One shared PassManager accumulates per-pass wall time across the whole
+  // suite x 3 families; the suite-level run re-checks the cross-tile hazard
+  // analyzer (round-robin tile pool) stays finding-free on mapper output.
+  double pass_lint_ms = 0.0;
+  double pass_wear_ms = 0.0;
+  double pass_cost_ms = 0.0;
+  std::size_t hazard_findings = 0;
+  {
+    auto pm = eda::verify::PassManager::standard();
+    for (const auto& bc : suite) {
+      const eda::Aig aig = eda::Aig::from_netlist(bc.netlist);
+      const auto iprog = eda::compile_imply(aig, true);
+      eda::verify::ProgramUnit iu;
+      iu.name = bc.name + "/IMPLY";
+      iu.imply = &iprog;
+      iu.aig = &aig;
+      pm.run(iu);
+      const auto nor = aig.to_netlist().to_nor_only();
+      const auto mprog = eda::compile_magic(nor, true);
+      eda::verify::ProgramUnit mu;
+      mu.name = bc.name + "/MAGIC";
+      mu.magic = &mprog;
+      mu.netlist = &nor;
+      pm.run(mu);
+      const eda::Mig mig = eda::Mig::from_aig(aig);
+      const auto rprog = eda::assemble_revamp(mig, eda::schedule_revamp(mig));
+      eda::verify::ProgramUnit ru;
+      ru.name = bc.name + "/Majority";
+      ru.revamp = &rprog;
+      pm.run(ru);
+    }
+    util::Table t({"pass", "runs", "wall ms"});
+    t.set_title("Static pass pipeline timings (suite x 3 families)");
+    for (const auto& pt : pm.timings()) {
+      char ms[32];
+      std::snprintf(ms, sizeof(ms), "%.3f", pt.wall_ms);
+      t.add_row({pt.name, std::to_string(pt.runs), ms});
+      if (pt.name == "family-lint") pass_lint_ms = pt.wall_ms;
+      if (pt.name == "wear-certify") pass_wear_ms = pt.wall_ms;
+      if (pt.name == "cost-certify") pass_cost_ms = pt.wall_ms;
+    }
+    t.print(std::cout);
+    const auto reports = eda::run_suite(
+        suite, {.reuse_cells = true, .verify = false, .lint = true});
+    for (const auto& r : reports) hazard_findings += r.hazard_findings;
+    std::cout << "cross-tile hazard gate: "
+              << (hazard_findings == 0 ? "clean" : "FINDINGS") << " ("
+              << hazard_findings << " finding(s) across " << reports.size()
+              << " scheduled programs)\n";
+  }
+
   // --- the flow-integrated view: lint + dynamic verify side by side -----------
   {
     util::Table t({"circuit", "family", "lint", "dynamic verify"});
@@ -114,6 +168,10 @@ int main() {
                "hazard-free in both allocator modes;\nstatic lint agrees "
                "with exhaustive simulation wherever both run.\n";
   bench::report("bench_eda_verify", total.elapsed_ms(),
-                static_cast<double>(programs));
-  return total_errors == 0 ? 0 : 1;
+                static_cast<double>(programs),
+                {{"pass_lint_ms", pass_lint_ms},
+                 {"pass_wear_ms", pass_wear_ms},
+                 {"pass_cost_ms", pass_cost_ms},
+                 {"hazard_findings", static_cast<double>(hazard_findings)}});
+  return total_errors == 0 && hazard_findings == 0 ? 0 : 1;
 }

@@ -3,15 +3,28 @@
 ///        synthesis through technology mapping for the three ReRAM logic
 ///        families (IMPLY, Majority/ReVAMP, MAGIC), reporting device count,
 ///        delay and area-delay product per benchmark, plus the
-///        area-constrained (cell-reuse) ablation of the CONTRA-style flow.
+///        area-constrained (cell-reuse) ablation of the CONTRA-style flow
+///        and the static-vs-measured cost cross-validation gate (the
+///        wear/cost certifier's energy expectation must land within 15% of
+///        the charge the executors actually push through the crossbar).
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
 #include <iostream>
 
 #include "bench_common.hpp"
 #include "core/simd_magic.hpp"
+#include "crossbar/crossbar.hpp"
+#include "device/technology.hpp"
 #include "eda/aig.hpp"
 #include "eda/esop_mapper.hpp"
 #include "eda/flow.hpp"
+#include "eda/imply_mapper.hpp"
 #include "eda/magic_mapper.hpp"
+#include "eda/majority_mapper.hpp"
+#include "eda/mig.hpp"
+#include "eda/revamp_isa.hpp"
+#include "eda/verify/wear_cost.hpp"
 #include "util/table.hpp"
 
 using namespace cim;
@@ -106,6 +119,96 @@ int main() {
     }
     t.print(std::cout);
   }
+  // --- static-vs-measured cost cross-validation (15% gate) --------------------
+  // The static certifier predicts latency exactly (schedules are data-blind)
+  // and brackets energy; its probabilistic expectation must land within 15%
+  // of the mean charge measured by executing every input assignment on a
+  // real crossbar at the same technology point (STT-MRAM, binary, no IR
+  // drop — the verify_* configuration).
+  double max_energy_err_pct = 0.0;
+  double max_time_err_pct = 0.0;
+  {
+    util::Table t({"circuit", "family", "static ns", "meas ns",
+                   "static pJ (exp)", "meas pJ", "energy err"});
+    t.set_title("Static cost certifier vs executed crossbar charge "
+                "(gate: 15%)");
+    const auto tech =
+        device::technology_params(device::Technology::kSttMram);
+    const auto cross_check = [&](const std::string& circuit,
+                                 const char* family, std::size_t rows,
+                                 std::size_t cols, std::size_t num_inputs,
+                                 const eda::verify::CostEstimate& est,
+                                 auto&& exec) {
+      const std::uint64_t n = 1ULL << num_inputs;
+      double sum_e = 0.0;
+      double time_ns = 0.0;
+      for (std::uint64_t a = 0; a < n; ++a) {
+        crossbar::CrossbarConfig cfg;
+        cfg.rows = rows;
+        cfg.cols = cols;
+        cfg.tech = device::Technology::kSttMram;
+        cfg.levels = 2;
+        cfg.model_ir_drop = false;
+        cfg.seed = 1000 + a;
+        crossbar::Crossbar xbar(cfg);
+        exec(xbar, a);
+        sum_e += xbar.stats().energy_pj;
+        time_ns = xbar.stats().time_ns;
+      }
+      const double mean_e = sum_e / static_cast<double>(n);
+      const double e_err =
+          100.0 * std::abs(mean_e - est.energy_pj_exp) / est.energy_pj_exp;
+      const double t_err =
+          100.0 * std::abs(time_ns - est.time_ns) / est.time_ns;
+      max_energy_err_pct = std::max(max_energy_err_pct, e_err);
+      max_time_err_pct = std::max(max_time_err_pct, t_err);
+      t.add_row({circuit, family, util::Table::num(est.time_ns, 1),
+                 util::Table::num(time_ns, 1),
+                 util::Table::num(est.energy_pj_exp, 2),
+                 util::Table::num(mean_e, 2),
+                 util::Table::num(e_err, 1) + "%"});
+    };
+    for (const auto& bc : suite) {
+      if (bc.netlist.num_inputs() > 9) continue;  // exhaustive runs only
+      const auto aig = eda::Aig::from_netlist(bc.netlist);
+      {
+        const auto prog = eda::compile_imply(aig, true);
+        const auto est = eda::verify::estimate_cost(prog, tech);
+        cross_check(bc.name, "IMPLY", 1, prog.num_cells, prog.num_inputs,
+                    est, [&](crossbar::Crossbar& x, std::uint64_t a) {
+                      eda::execute_imply(x, prog, a);
+                    });
+      }
+      {
+        const auto nor = aig.to_netlist().to_nor_only();
+        const auto prog = eda::compile_magic(nor, true);
+        const auto est = eda::verify::estimate_cost(prog, tech);
+        cross_check(bc.name, "MAGIC", 1, prog.num_cells, prog.num_inputs,
+                    est, [&](crossbar::Crossbar& x, std::uint64_t a) {
+                      eda::execute_magic(x, prog, a);
+                    });
+      }
+      {
+        const auto mig = eda::Mig::from_aig(aig);
+        const auto prog =
+            eda::assemble_revamp(mig, eda::schedule_revamp(mig));
+        const auto est = eda::verify::estimate_cost(prog, tech);
+        cross_check(bc.name, "Majority", prog.wordlines, prog.bitlines,
+                    prog.num_inputs, est,
+                    [&](crossbar::Crossbar& x, std::uint64_t a) {
+                      eda::execute_revamp_program(x, prog, a);
+                    });
+      }
+    }
+    t.print(std::cout);
+  }
+  const bool cost_gate_pass =
+      max_energy_err_pct <= 15.0 && max_time_err_pct <= 15.0;
+  std::cout << "static-vs-measured gate: max energy err "
+            << util::Table::num(max_energy_err_pct, 2) << "%, max time err "
+            << util::Table::num(max_time_err_pct, 2) << "% -> "
+            << (cost_gate_pass ? "PASS (<= 15%)" : "FAIL (> 15%)") << "\n";
+
   // --- SIMD throughput of single-row MAGIC programs [70] ----------------------
   {
     util::Table t({"lanes", "latency (ns)", "throughput (evals/us)",
@@ -133,6 +236,9 @@ int main() {
                "\nMajority delay tracks MIG depth (lower bound levels+1 [67]);"
                "\ncell reuse buys double-digit area savings at equal delay.\n";
   bench::report("bench_fig8_eda_flow", total.elapsed_ms(),
-                static_cast<double>(suite.size()));
-  return 0;
+                static_cast<double>(suite.size()),
+                {{"static_energy_err_pct", max_energy_err_pct},
+                 {"static_time_err_pct", max_time_err_pct},
+                 {"gate_pass", cost_gate_pass ? 1.0 : 0.0}});
+  return cost_gate_pass ? 0 : 1;
 }

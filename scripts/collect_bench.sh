@@ -48,6 +48,8 @@ OPTIONAL = {
     "gate_pass", "overhead_pct", "per_site_ns", "metrics_mode_ms",
     "alarm_cycle", "collapse_cycle", "alarm_lead_cycles",
     "worn_cell_frac", "mean_abs_drift_us",
+    "pass_lint_ms", "pass_wear_ms", "pass_cost_ms", "hazard_findings",
+    "static_energy_err_pct", "static_time_err_pct",
 }
 
 name = sys.argv[1]

@@ -5,6 +5,7 @@
 ///        Section IV.A (IMPLY, Majority/ReVAMP, MAGIC).
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -12,6 +13,7 @@
 #include "eda/bench_circuits.hpp"
 #include "eda/netlist.hpp"
 #include "eda/verify/diagnostics.hpp"
+#include "eda/verify/wear_cost.hpp"
 #include "util/table.hpp"
 
 namespace cim::eda {
@@ -37,19 +39,45 @@ struct FlowReport {
   std::size_t delay = 0;        ///< steps
   double area_delay_product = 0.0;
   bool verified = false;        ///< mapping simulated == specification
-  // Static verification (the `cim-lint` pass; see eda/verify/verify.hpp).
+  // Static verification (the `cim-lint` pass pipeline; see
+  // eda/verify/pass.hpp). Diagnostics aggregate the family linter plus the
+  // wear and cost certification passes.
   bool lint_clean = true;       ///< no static-analysis errors
   std::size_t lint_errors = 0;
   std::size_t lint_warnings = 0;
   std::size_t max_writes_per_cell = 0;
   std::vector<verify::Diagnostic> lint_diagnostics;
+  // Static wear certificate (eda/verify/wear_cost.hpp): per-cell write
+  // bounds with the executor's input-launch writes included.
+  std::size_t static_max_writes_per_cell = 0;
+  std::uint64_t certified_evaluations = 0;  ///< endurance / worst-cell bound
+  // Static cost estimate for one program execution. Time is exact (the
+  // micro-op schedule is data-blind); energy carries a hard [min, max]
+  // bracket and a uniform-input expectation (exact up to
+  // verify::kExactCostInputCap inputs).
+  double static_time_ns = 0.0;
+  double static_energy_pj_min = 0.0;
+  double static_energy_pj_exp = 0.0;
+  double static_energy_pj_max = 0.0;
+  bool static_cost_exact = false;
+  // Cross-tile hazard section (eda/verify/hazard.hpp): run_suite schedules
+  // every compiled program of the suite across a shared tile pool and
+  // attributes findings back to the reports.
+  bool hazard_clean = true;
+  std::size_t hazard_findings = 0;
 };
 
 /// Options for the flow.
 struct FlowOptions {
   bool reuse_cells = true;   ///< area-constrained mapping for IMPLY/MAGIC
   bool verify = true;        ///< exhaustively simulate each mapping
-  bool lint = true;          ///< statically verify each compiled program
+  bool lint = true;          ///< run the static pass pipeline per program
+  /// Planned lifetime evaluations for the wear-budget gate (0: report the
+  /// certificate without gating).
+  std::uint64_t planned_evaluations = 0;
+  /// Per-execution cost budget for the cost-budget gate (0-dimensions are
+  /// unconstrained).
+  verify::CostBudget cost_budget{};
 };
 
 /// Runs the full flow for one circuit and one family.

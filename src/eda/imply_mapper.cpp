@@ -3,6 +3,8 @@
 #include <functional>
 #include <stdexcept>
 
+#include "obs/obs.hpp"
+
 namespace cim::eda {
 namespace {
 
@@ -163,6 +165,11 @@ std::vector<bool> execute_imply(crossbar::Crossbar& xbar,
                                 std::uint64_t assignment, std::size_t row) {
   if (xbar.cols() < prog.num_cells)
     throw std::invalid_argument("execute_imply: crossbar row too narrow");
+  // The span mirrors the crossbar's own charge accounting so measured
+  // program cost can be cross-checked against verify::estimate_cost.
+  CIM_OBS_SPAN_NAMED(span, "eda.exec.imply", obs::Component::kArray);
+  const double t0 = xbar.stats().time_ns;
+  const double e0 = xbar.stats().energy_pj;
   for (std::size_t i = 0; i < prog.num_inputs; ++i)
     xbar.write_bit(row, i, (assignment >> i) & 1ULL);
 
@@ -176,6 +183,10 @@ std::vector<bool> execute_imply(crossbar::Crossbar& xbar,
   std::vector<bool> out;
   out.reserve(prog.output_cells.size());
   for (const auto c : prog.output_cells) out.push_back(xbar.read_bit(row, c));
+  if (obs::enabled()) {
+    span.add_sim_time_ns(xbar.stats().time_ns - t0);
+    span.add_energy_pj(xbar.stats().energy_pj - e0);
+  }
   return out;
 }
 

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/obs.hpp"
+
 namespace cim::eda {
 
 std::size_t MagicProgram::nor_count() const {
@@ -114,6 +116,11 @@ std::vector<bool> execute_magic(crossbar::Crossbar& xbar,
                                 std::uint64_t assignment, std::size_t row) {
   if (xbar.cols() < prog.num_cells)
     throw std::invalid_argument("execute_magic: crossbar row too narrow");
+  // The span mirrors the crossbar's own charge accounting so measured
+  // program cost can be cross-checked against verify::estimate_cost.
+  CIM_OBS_SPAN_NAMED(span, "eda.exec.magic", obs::Component::kArray);
+  const double t0 = xbar.stats().time_ns;
+  const double e0 = xbar.stats().energy_pj;
   for (std::size_t i = 0; i < prog.num_inputs; ++i)
     xbar.write_bit(row, i, (assignment >> i) & 1ULL);
 
@@ -132,6 +139,10 @@ std::vector<bool> execute_magic(crossbar::Crossbar& xbar,
       out.push_back(prog.const_values[k]);
     else
       out.push_back(xbar.read_bit(row, prog.output_cells[k]));
+  }
+  if (obs::enabled()) {
+    span.add_sim_time_ns(xbar.stats().time_ns - t0);
+    span.add_energy_pj(xbar.stats().energy_pj - e0);
   }
   return out;
 }

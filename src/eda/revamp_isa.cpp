@@ -4,6 +4,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/obs.hpp"
+
 namespace cim::eda {
 
 std::string RevampOperand::to_string() const {
@@ -207,6 +209,11 @@ std::vector<bool> execute_revamp_program(crossbar::Crossbar& xbar,
                                          std::uint64_t assignment) {
   if (xbar.rows() < prog.wordlines || xbar.cols() < prog.bitlines)
     throw std::invalid_argument("execute_revamp_program: array too small");
+  // The span mirrors the crossbar's own charge accounting so measured
+  // program cost can be cross-checked against verify::estimate_cost.
+  CIM_OBS_SPAN_NAMED(span, "eda.exec.revamp", obs::Component::kArray);
+  const double t0 = xbar.stats().time_ns;
+  const double e0 = xbar.stats().energy_pj;
 
   std::map<std::size_t, std::vector<bool>> dmr;
 
@@ -248,6 +255,10 @@ std::vector<bool> execute_revamp_program(crossbar::Crossbar& xbar,
   std::vector<bool> out;
   out.reserve(prog.outputs.size());
   for (const auto& o : prog.outputs) out.push_back(resolve(o));
+  if (obs::enabled()) {
+    span.add_sim_time_ns(xbar.stats().time_ns - t0);
+    span.add_energy_pj(xbar.stats().energy_pj - e0);
+  }
   return out;
 }
 

@@ -1,0 +1,100 @@
+#include "eda/verify/access.hpp"
+
+#include <algorithm>
+
+namespace cim::eda::verify {
+namespace {
+
+ProgramAccess make_footprint(std::size_t rows, std::size_t cols) {
+  ProgramAccess a;
+  a.rows = rows;
+  a.cols = cols;
+  a.write_bound.assign(rows * cols, 0);
+  a.read.assign(rows * cols, 0);
+  a.written.assign(rows * cols, 0);
+  a.sensed_cols.assign(cols, 0);
+  a.driven_rows.assign(rows, 0);
+  return a;
+}
+
+void bump_write(ProgramAccess& a, std::size_t cell) {
+  if (cell >= a.write_bound.size()) return;  // oob caught by the linters
+  ++a.write_bound[cell];
+  a.written[cell] = 1;
+  ++a.total_writes;
+}
+
+void mark_read(ProgramAccess& a, std::size_t cell) {
+  if (cell < a.read.size()) a.read[cell] = 1;
+}
+
+void sense(ProgramAccess& a, std::size_t cell) {
+  mark_read(a, cell);
+  if (a.cols != 0 && cell < a.read.size()) ++a.sensed_cols[cell % a.cols];
+  ++a.sensed_reads;
+}
+
+}  // namespace
+
+std::size_t ProgramAccess::max_write_bound() const {
+  std::uint32_t m = 0;
+  for (const auto w : write_bound) m = std::max(m, w);
+  return m;
+}
+
+ProgramAccess access_of(const ImplyProgram& prog) {
+  auto a = make_footprint(1, prog.num_cells);
+  if (prog.num_cells > 0) a.driven_rows[0] = 1;
+  // Input launch: the executor materializes the assignment with write_bit.
+  for (std::size_t c = 0; c < std::min(prog.num_inputs, prog.num_cells); ++c)
+    bump_write(a, c);
+  for (const auto& ins : prog.instrs) {
+    if (ins.kind == ImplyInstr::Kind::kImply) {
+      mark_read(a, ins.src);   // internal operand reads: no ADC charge,
+      mark_read(a, ins.dest);  // but they are still data dependences
+    }
+    bump_write(a, ins.dest);
+  }
+  for (const auto c : prog.output_cells) sense(a, c);
+  return a;
+}
+
+ProgramAccess access_of(const MagicProgram& prog) {
+  auto a = make_footprint(1, prog.num_cells);
+  if (prog.num_cells > 0) a.driven_rows[0] = 1;
+  for (std::size_t c = 0; c < std::min(prog.num_inputs, prog.num_cells); ++c)
+    bump_write(a, c);
+  for (const auto& ins : prog.instrs) {
+    if (ins.kind == MagicInstr::Kind::kNor)
+      for (const auto c : ins.in_cells) mark_read(a, c);
+    bump_write(a, ins.out_cell);
+  }
+  for (std::size_t k = 0; k < prog.output_cells.size(); ++k) {
+    if (k < prog.output_is_const.size() && prog.output_is_const[k])
+      continue;  // resolved statically; the executor never touches the array
+    sense(a, prog.output_cells[k]);
+  }
+  return a;
+}
+
+ProgramAccess access_of(const RevampProgram& prog) {
+  auto a = make_footprint(prog.wordlines, prog.bitlines);
+  // No launch writes: inputs live in the PIR register, not the array.
+  for (const auto& ins : prog.instrs) {
+    if (ins.wordline >= prog.wordlines) continue;  // oob: linters report it
+    a.driven_rows[ins.wordline] = 1;
+    if (ins.kind == RevampInstruction::Kind::kRead) {
+      // READ latches the whole row into the DMR: B sensed read_bit calls.
+      for (std::size_t c = 0; c < prog.bitlines; ++c)
+        sense(a, a.flat(ins.wordline, c));
+      continue;
+    }
+    for (std::size_t c = 0;
+         c < std::min(ins.columns.size(), prog.bitlines); ++c)
+      if (ins.columns[c]) bump_write(a, a.flat(ins.wordline, c));
+  }
+  // Output taps read the DMR/PIR registers or constants — no array access.
+  return a;
+}
+
+}  // namespace cim::eda::verify

@@ -1,0 +1,197 @@
+/// \file dataflow.hpp
+/// \brief Reusable fixpoint dataflow engine for the static-analysis
+///        framework (`cim::eda::verify`).
+///
+/// PR 1's linters each hand-rolled the same shape: thread an abstract
+/// per-cell state (cell_state.hpp's five-point domain) through a compiled
+/// micro-op program and report rule violations along the way. This header
+/// factors that shape out into two drivers the analyses share:
+///
+///  - `run_straight_line` — the chain-graph specialization every micro-op
+///    program uses today. Programs are branch-free instruction streams, so
+///    the transfer function threads one state through in place and the
+///    fixpoint is reached in a single sweep. The per-family linters
+///    (lint_imply / lint_magic / lint_revamp) are hosted on this driver.
+///  - `run_fixpoint` — the general worklist engine over an arbitrary
+///    dataflow graph: per-node transfer functions, predecessor joins, and
+///    iteration to convergence with a divergence cap. Nodes are processed
+///    in index order, so on a DAG whose edges all point forward each
+///    transfer fires exactly once — analyses may therefore emit
+///    diagnostics from inside the transfer on such graphs. On cyclic
+///    graphs transfers re-fire until the state stabilizes; diagnostics
+///    must then be derived from the returned in/out states instead.
+///
+/// The lattice the engine generalizes is the five-point cell-state domain:
+/// `join_cell_state` / `join_cell` / `join_cells` define the merge of two
+/// abstract states at a control join (or between interleaved programs).
+/// The partial order is chosen so that every hazard the linters report on
+/// one path is still reported after a merge:
+///
+///  - equal states join to themselves;
+///  - `kUnknown` (may be uninitialized) absorbs everything — reading a
+///    maybe-uninitialized cell must stay a use-before-init hazard;
+///  - `kDead` absorbs every readable state — reading a maybe-recycled cell
+///    must stay a dead-cell-read hazard;
+///  - mixed readable states (`kSet` / `kReset` / `kDriven`) join to
+///    `kDriven`: the value is unknown but safely readable. This is
+///    conservative for MAGIC's SET discipline (a maybe-SET cell is treated
+///    as not-freshly-SET), which can only add diagnostics, never hide one.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "eda/verify/cell_state.hpp"
+
+namespace cim::eda::verify {
+
+// --- the five-point lattice join ---------------------------------------------
+
+/// Join of two abstract cell states (see the partial order above).
+inline CellState join_cell_state(CellState a, CellState b) {
+  if (a == b) return a;
+  if (a == CellState::kUnknown || b == CellState::kUnknown)
+    return CellState::kUnknown;
+  if (a == CellState::kDead || b == CellState::kDead) return CellState::kDead;
+  return CellState::kDriven;  // mixed Set/Reset/Driven: readable, value unknown
+}
+
+/// Joins `other` into `into`. Returns true when `into` changed. Write
+/// counters take the max (an upper bound over either path) and the resident
+/// node is kept only when both paths agree on it.
+inline bool join_cell(CellInfo& into, const CellInfo& other) {
+  bool changed = false;
+  const CellState js = join_cell_state(into.state, other.state);
+  if (js != into.state) {
+    into.state = js;
+    changed = true;
+  }
+  if (into.node != other.node && into.node != kNoNode) {
+    into.node = kNoNode;
+    changed = true;
+  }
+  if (other.writes > into.writes) {
+    into.writes = other.writes;
+    changed = true;
+  }
+  return changed;
+}
+
+/// Element-wise join of two equally sized cell tables.
+inline bool join_cells(CellTable& into, const CellTable& other) {
+  bool changed = false;
+  for (std::size_t c = 0; c < into.size() && c < other.size(); ++c)
+    changed = join_cell(into[c], other[c]) || changed;
+  return changed;
+}
+
+// --- straight-line driver ----------------------------------------------------
+
+/// Runs `transfer(state, i)` for i in [0, num_instrs): the chain-graph
+/// specialization of the fixpoint engine. Micro-op programs are branch-free,
+/// so a single in-place sweep *is* the fixpoint — no per-node state copies,
+/// no joins. The per-family linters and the static cost model are hosted on
+/// this driver with `State = CellTable` (+ family-specific extras).
+template <typename State, typename TransferFn>
+void run_straight_line(std::size_t num_instrs, State& state,
+                       TransferFn&& transfer) {
+  for (std::size_t i = 0; i < num_instrs; ++i) transfer(state, i);
+}
+
+// --- general worklist engine -------------------------------------------------
+
+/// Result of a fixpoint run: per-node in/out states, the number of transfer
+/// invocations, and whether the engine converged under the iteration cap.
+template <typename State>
+struct FixpointResult {
+  std::vector<State> in;
+  std::vector<State> out;
+  std::size_t transfers = 0;
+  bool converged = false;
+};
+
+/// Worklist fixpoint over a dataflow graph of `num_nodes` nodes.
+///
+///  - `succs[n]`  — forward edges of node n (may be empty).
+///  - `entry`     — in-state of every node without predecessors (also the
+///                  initial out-state a not-yet-processed predecessor
+///                  contributes on cyclic graphs).
+///  - `transfer`  — `State(const State& in, std::size_t node)`.
+///  - `join`      — `bool(State& into, const State& other)`, returns true
+///                  when `into` changed (e.g. `join_cells`).
+///
+/// Out-states are *replaced* by the transfer result (not joined into), so
+/// transfers may overwrite lattice points the way the cell analyses do on
+/// writes; equality for change detection is derived from `join` itself
+/// (a == b iff joining either into the other reports no change), so State
+/// needs no operator==. Nodes are seeded in index order; a node re-enters
+/// the worklist when a predecessor's out-state changes after the node was
+/// last processed. On a DAG with forward-pointing edges every transfer
+/// therefore fires exactly once. `max_transfers` caps divergence on cyclic
+/// graphs (0 selects 64 * num_nodes); `converged` is false when the cap
+/// was hit.
+template <typename State, typename TransferFn, typename JoinFn>
+FixpointResult<State> run_fixpoint(
+    std::size_t num_nodes, const std::vector<std::vector<std::size_t>>& succs,
+    const State& entry, TransferFn&& transfer, JoinFn&& join,
+    std::size_t max_transfers = 0) {
+  FixpointResult<State> res;
+  res.in.assign(num_nodes, entry);
+  res.out.assign(num_nodes, entry);
+  if (num_nodes == 0) {
+    res.converged = true;
+    return res;
+  }
+  if (max_transfers == 0) max_transfers = 64 * num_nodes;
+
+  // Predecessors, derived once.
+  std::vector<std::vector<std::size_t>> preds(num_nodes);
+  for (std::size_t n = 0; n < num_nodes; ++n)
+    for (const std::size_t s : succs[n])
+      if (s < num_nodes) preds[s].push_back(n);
+
+  std::vector<char> queued(num_nodes, 1);
+  std::vector<std::size_t> worklist;
+  worklist.reserve(num_nodes);
+  for (std::size_t n = 0; n < num_nodes; ++n) worklist.push_back(n);
+
+  std::size_t head = 0;
+  while (head < worklist.size()) {
+    const std::size_t n = worklist[head++];
+    queued[n] = 0;
+    // In-state: the join of every predecessor's out-state; `entry` only for
+    // nodes without predecessors (joining it everywhere would saturate
+    // lattices whose entry point is absorbing, like all-kUnknown).
+    State in = entry;
+    if (!preds[n].empty()) {
+      in = res.out[preds[n][0]];
+      for (std::size_t k = 1; k < preds[n].size(); ++k)
+        join(in, res.out[preds[n][k]]);
+    }
+    res.in[n] = in;
+    if (res.transfers >= max_transfers) return res;  // converged stays false
+    ++res.transfers;
+    State out = transfer(static_cast<const State&>(in), n);
+    // The new out-state replaces the stored one. Change detection uses the
+    // join order: a == b iff joining either into the other changes nothing
+    // (join is commutative), so no operator== is required of State.
+    State up = res.out[n];
+    const bool moved_up = join(up, out);
+    State down = out;
+    const bool moved_down = join(down, res.out[n]);
+    const bool changed = moved_up || moved_down;
+    res.out[n] = std::move(out);
+    if (changed) {
+      for (const std::size_t s : succs[n]) {
+        if (s < num_nodes && queued[s] == 0) {
+          queued[s] = 1;
+          worklist.push_back(s);
+        }
+      }
+    }
+  }
+  res.converged = true;
+  return res;
+}
+
+}  // namespace cim::eda::verify

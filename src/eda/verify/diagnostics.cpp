@@ -21,6 +21,13 @@ std::string_view rule_id(Rule rule) {
     case Rule::kEnduranceBudget: return "endurance-budget";
     case Rule::kOutputUnreachable: return "output-unreachable";
     case Rule::kDmrNotLatched: return "dmr-not-latched";
+    case Rule::kRawHazard: return "raw-hazard";
+    case Rule::kWawHazard: return "waw-hazard";
+    case Rule::kWarHazard: return "war-hazard";
+    case Rule::kAdcConflict: return "shared-adc-conflict";
+    case Rule::kRowDriverConflict: return "shared-row-driver";
+    case Rule::kWearBudget: return "wear-budget";
+    case Rule::kCostBudget: return "cost-budget";
   }
   return "unknown";
 }

@@ -31,6 +31,21 @@ enum class Rule {
   kOutputUnreachable,  ///< an output tap is not dominated by a defining write
   kDmrNotLatched,      ///< ReVAMP operand reads a DMR row that was never (or
                        ///< stalely) latched by a READ
+  // Cross-tile hazard analysis (eda/verify/hazard.hpp): static races between
+  // programs scheduled concurrently on a shared tile.
+  kRawHazard,          ///< a later program reads cells a concurrent earlier
+                       ///< program writes (read-after-write race)
+  kWawHazard,          ///< two concurrent programs write the same cells
+  kWarHazard,          ///< a later program writes cells a concurrent earlier
+                       ///< program still reads (write-after-read race)
+  kAdcConflict,        ///< two concurrent programs contend for the same
+                       ///< physical (column-muxed) ADC channel
+  kRowDriverConflict,  ///< two concurrent programs drive the same wordline
+  // Static wear & cost certification (eda/verify/wear_cost.hpp).
+  kWearBudget,         ///< lifetime wear bound: writes/run x planned
+                       ///< evaluations exceeds the device endurance
+  kCostBudget,         ///< static energy/latency estimate exceeds the
+                       ///< caller's cost budget
 };
 
 /// The machine-readable rule id ("use-before-init", ...).

@@ -10,6 +10,7 @@
 #include <sstream>
 
 #include "eda/verify/cell_state.hpp"
+#include "eda/verify/dataflow.hpp"
 #include "eda/verify/verify.hpp"
 
 namespace cim::eda::verify {
@@ -130,8 +131,9 @@ VerifyReport lint_imply(const ImplyProgram& prog, const Aig* source,
     return true;
   };
 
-  // --- the abstract walk ----------------------------------------------------
-  for (std::size_t i = 0; i < prog.instrs.size(); ++i) {
+  // --- the abstract walk, hosted on the dataflow driver ---------------------
+  run_straight_line(prog.instrs.size(), cells, [&](CellTable& cells,
+                                                   std::size_t i) {
     const auto& ins = prog.instrs[i];
     if (ins.kind == ImplyInstr::Kind::kFalse) {
       if (check_write(i, ins.dest)) {
@@ -160,7 +162,7 @@ VerifyReport lint_imply(const ImplyProgram& prog, const Aig* source,
         consume_node(Aig::node_of(nd.fanin1));
       }
     }
-  }
+  });
 
   // --- output-cell reachability ---------------------------------------------
   if (live && prog.output_cells.size() != source->outputs().size())

@@ -13,6 +13,7 @@
 #include <sstream>
 
 #include "eda/verify/cell_state.hpp"
+#include "eda/verify/dataflow.hpp"
 #include "eda/verify/verify.hpp"
 
 namespace cim::eda::verify {
@@ -103,8 +104,9 @@ VerifyReport lint_magic(const MagicProgram& prog, const Netlist* source,
     }
   };
 
-  // --- the abstract walk ----------------------------------------------------
-  for (std::size_t i = 0; i < prog.instrs.size(); ++i) {
+  // --- the abstract walk, hosted on the dataflow driver ---------------------
+  run_straight_line(prog.instrs.size(), cells, [&](CellTable& cells,
+                                                   std::size_t i) {
     const auto& ins = prog.instrs[i];
     if (live && ins.node < source->num_nodes()) advance_to(ins.node);
 
@@ -112,7 +114,7 @@ VerifyReport lint_magic(const MagicProgram& prog, const Netlist* source,
       diag(Severity::kError, Rule::kOobCell, i, ins.out_cell,
            std::string(ins.kind == MagicInstr::Kind::kSet ? "SET" : "NOR") +
                " drives a cell outside the program footprint");
-      continue;
+      return;
     }
     auto& out = cells[ins.out_cell];
 
@@ -128,7 +130,7 @@ VerifyReport lint_magic(const MagicProgram& prog, const Netlist* source,
       cells.record_write(ins.out_cell, i);
       out.state = CellState::kSet;
       out.node = kNoNode;
-      continue;
+      return;
     }
 
     // kNor: read every input cell.
@@ -199,7 +201,7 @@ VerifyReport lint_magic(const MagicProgram& prog, const Netlist* source,
       consume_gate(ins.node);
       gate_cursor = std::max(gate_cursor, ins.node + 1);
     }
-  }
+  });
   if (live) advance_to(source->num_nodes());
 
   // --- output-cell reachability ---------------------------------------------

@@ -1,0 +1,136 @@
+#include "eda/verify/pass.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+namespace cim::eda::verify {
+
+std::string_view ProgramUnit::family() const {
+  if (imply != nullptr) return "IMPLY";
+  if (magic != nullptr) return "MAGIC";
+  if (revamp != nullptr) return "ReVAMP";
+  return "?";
+}
+
+const ProgramAccess& AnalysisResults::access(const ProgramUnit& unit) {
+  if (!access_) {
+    if (unit.imply != nullptr)
+      access_ = access_of(*unit.imply);
+    else if (unit.magic != nullptr)
+      access_ = access_of(*unit.magic);
+    else if (unit.revamp != nullptr)
+      access_ = access_of(*unit.revamp);
+    else
+      access_ = ProgramAccess{};
+  }
+  return *access_;
+}
+
+const CostEstimate& AnalysisResults::cost(const ProgramUnit& unit) {
+  if (!cost_) {
+    const auto tech = device::technology_params(unit.opts.tech);
+    if (unit.imply != nullptr)
+      cost_ = estimate_cost(*unit.imply, tech);
+    else if (unit.magic != nullptr)
+      cost_ = estimate_cost(*unit.magic, tech);
+    else if (unit.revamp != nullptr)
+      cost_ = estimate_cost(*unit.revamp, tech);
+    else
+      cost_ = CostEstimate{};
+  }
+  return *cost_;
+}
+
+namespace {
+
+class FamilyLintPass final : public Pass {
+ public:
+  std::string_view name() const override { return "family-lint"; }
+  void run(const ProgramUnit& unit, AnalysisResults&,
+           VerifyReport& rep) override {
+    VerifyReport sub;
+    if (unit.imply != nullptr)
+      sub = lint_imply(*unit.imply, unit.aig, unit.opts);
+    else if (unit.magic != nullptr)
+      sub = lint_magic(*unit.magic, unit.netlist, unit.opts);
+    else if (unit.revamp != nullptr)
+      sub = lint_revamp(*unit.revamp, unit.opts);
+    for (auto& d : sub.diagnostics) rep.diagnostics.push_back(std::move(d));
+    rep.max_writes_per_cell =
+        std::max(rep.max_writes_per_cell, sub.max_writes_per_cell);
+    rep.cells_tracked = std::max(rep.cells_tracked, sub.cells_tracked);
+  }
+};
+
+class WearCertifyPass final : public Pass {
+ public:
+  std::string_view name() const override { return "wear-certify"; }
+  void run(const ProgramUnit& unit, AnalysisResults& results,
+           VerifyReport& rep) override {
+    const auto& access = results.access(unit);
+    results.set_wear(
+        certify_wear(access, unit.opts, unit.planned_evaluations, rep));
+    rep.max_writes_per_cell =
+        std::max(rep.max_writes_per_cell, access.max_write_bound());
+    rep.cells_tracked =
+        std::max(rep.cells_tracked, access.rows * access.cols);
+  }
+};
+
+class CostCertifyPass final : public Pass {
+ public:
+  std::string_view name() const override { return "cost-certify"; }
+  void run(const ProgramUnit& unit, AnalysisResults& results,
+           VerifyReport& rep) override {
+    certify_cost(results.cost(unit), unit.cost_budget, rep);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> make_family_lint_pass() {
+  return std::make_unique<FamilyLintPass>();
+}
+std::unique_ptr<Pass> make_wear_certify_pass() {
+  return std::make_unique<WearCertifyPass>();
+}
+std::unique_ptr<Pass> make_cost_certify_pass() {
+  return std::make_unique<CostCertifyPass>();
+}
+
+PassManager& PassManager::add(std::unique_ptr<Pass> pass) {
+  timings_.push_back({std::string(pass->name()), 0.0, 0});
+  passes_.push_back(std::move(pass));
+  return *this;
+}
+
+VerifyReport PassManager::run(const ProgramUnit& unit,
+                              AnalysisResults& results) {
+  results = AnalysisResults{};
+  VerifyReport rep;
+  for (std::size_t i = 0; i < passes_.size(); ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    passes_[i]->run(unit, results, rep);
+    const auto t1 = std::chrono::steady_clock::now();
+    timings_[i].wall_ms +=
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    ++timings_[i].runs;
+  }
+  return rep;
+}
+
+VerifyReport PassManager::run(const ProgramUnit& unit) {
+  AnalysisResults results;
+  return run(unit, results);
+}
+
+PassManager PassManager::standard() {
+  PassManager pm;
+  pm.add(make_family_lint_pass())
+      .add(make_wear_certify_pass())
+      .add(make_cost_certify_pass());
+  return pm;
+}
+
+}  // namespace cim::eda::verify

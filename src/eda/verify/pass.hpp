@@ -1,0 +1,120 @@
+/// \file pass.hpp
+/// \brief Pass manager for the static-analysis framework
+///        (`cim::eda::verify`): named analysis passes over one compiled
+///        program unit, with shared on-demand analysis results, aggregated
+///        diagnostics, and per-pass wall-clock accounting.
+///
+/// A `ProgramUnit` bundles one compiled program (exactly one of the three
+/// families), its optional source IR (for liveness re-derivation), and the
+/// certification inputs. Passes pull shared facts from `AnalysisResults`
+/// — the access sets and the cost estimate are computed once and cached,
+/// however many passes consume them — and append diagnostics to a common
+/// `VerifyReport`. `PassManager::standard()` assembles the pipeline the
+/// `eda::Flow` gate and the `cim-lint` CLI both run:
+///
+///   1. family-lint     the per-family dataflow linter (lint_imply /
+///                      lint_magic / lint_revamp, hosted on dataflow.hpp)
+///   2. wear-certify    static per-cell write bounds vs. device endurance
+///                      (wear_cost.hpp)
+///   3. cost-certify    static time/energy estimate vs. the cost budget
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "eda/verify/access.hpp"
+#include "eda/verify/hazard.hpp"
+#include "eda/verify/verify.hpp"
+#include "eda/verify/wear_cost.hpp"
+
+namespace cim::eda::verify {
+
+/// One compiled program plus everything the passes need. Exactly one of
+/// the three program pointers should be set; the matching source IR is
+/// optional (it enables the liveness rules). Pointers are borrowed — the
+/// caller keeps them alive for the duration of `PassManager::run`.
+struct ProgramUnit {
+  std::string name;
+  const ImplyProgram* imply = nullptr;
+  const Aig* aig = nullptr;
+  const MagicProgram* magic = nullptr;
+  const Netlist* netlist = nullptr;
+  const RevampProgram* revamp = nullptr;
+  VerifyOptions opts;
+  /// Planned lifetime evaluations for the wear certificate (0: report the
+  /// certificate without gating).
+  std::uint64_t planned_evaluations = 0;
+  /// Per-execution cost budget (0 dimensions are unconstrained).
+  CostBudget cost_budget{};
+
+  /// "IMPLY" / "MAGIC" / "ReVAMP" / "?" from whichever program is set.
+  std::string_view family() const;
+};
+
+/// Shared per-unit analysis facts, computed on demand and cached so every
+/// pass (and the caller, afterwards) sees the same objects.
+class AnalysisResults {
+ public:
+  /// Access sets of the unit's program (access.hpp), cached.
+  const ProgramAccess& access(const ProgramUnit& unit);
+  /// Static cost estimate (wear_cost.hpp), cached.
+  const CostEstimate& cost(const ProgramUnit& unit);
+
+  /// Set by the wear-certify pass.
+  const std::optional<WearCertificate>& wear() const { return wear_; }
+  void set_wear(const WearCertificate& cert) { wear_ = cert; }
+
+ private:
+  std::optional<ProgramAccess> access_;
+  std::optional<CostEstimate> cost_;
+  std::optional<WearCertificate> wear_;
+};
+
+/// One analysis pass.
+class Pass {
+ public:
+  virtual ~Pass() = default;
+  virtual std::string_view name() const = 0;
+  virtual void run(const ProgramUnit& unit, AnalysisResults& results,
+                   VerifyReport& rep) = 0;
+};
+
+/// Cumulative wall-clock per pass across every `run` call.
+struct PassTiming {
+  std::string name;
+  double wall_ms = 0.0;
+  std::size_t runs = 0;
+};
+
+/// Runs an ordered pass pipeline over program units.
+class PassManager {
+ public:
+  PassManager& add(std::unique_ptr<Pass> pass);
+
+  /// Runs every pass over `unit`; diagnostics, `max_writes_per_cell` and
+  /// `cells_tracked` aggregate into the returned report. `results` is
+  /// reset first and left holding the shared facts for the caller.
+  VerifyReport run(const ProgramUnit& unit, AnalysisResults& results);
+  VerifyReport run(const ProgramUnit& unit);
+
+  const std::vector<PassTiming>& timings() const { return timings_; }
+  std::size_t size() const { return passes_.size(); }
+
+  /// The standard pipeline: family-lint, wear-certify, cost-certify.
+  static PassManager standard();
+
+ private:
+  std::vector<std::unique_ptr<Pass>> passes_;
+  std::vector<PassTiming> timings_;
+};
+
+/// The standard passes, individually instantiable.
+std::unique_ptr<Pass> make_family_lint_pass();
+std::unique_ptr<Pass> make_wear_certify_pass();
+std::unique_ptr<Pass> make_cost_certify_pass();
+
+}  // namespace cim::eda::verify

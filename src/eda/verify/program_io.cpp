@@ -1,0 +1,341 @@
+#include "eda/verify/program_io.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace cim::eda::verify {
+namespace {
+
+constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+void dump_node(std::ostream& os, std::size_t node) {
+  if (node == kNone)
+    os << " @-";
+  else
+    os << " @" << node;
+}
+
+void dump_operand(std::ostream& os, const RevampOperand& op) {
+  if (op.complemented) os << '!';
+  switch (op.src) {
+    case RevampOperand::Src::kConst0: os << "c0"; break;
+    case RevampOperand::Src::kConst1: os << "c1"; break;
+    case RevampOperand::Src::kInput: os << 'i' << op.input_index; break;
+    case RevampOperand::Src::kDmr:
+      os << 'd' << op.dmr_row << '.' << op.dmr_col;
+      break;
+  }
+}
+
+/// Tokenizer state over one parsed line.
+struct Line {
+  std::vector<std::string> tokens;
+  bool empty() const { return tokens.empty(); }
+  const std::string& head() const { return tokens.front(); }
+};
+
+Line split(const std::string& raw) {
+  Line line;
+  std::istringstream is(raw);
+  std::string tok;
+  while (is >> tok) {
+    if (tok.front() == '#') break;  // comment to end of line
+    line.tokens.push_back(tok);
+  }
+  return line;
+}
+
+bool parse_size(const std::string& tok, std::size_t& out) {
+  if (tok.empty()) return false;
+  std::size_t v = 0;
+  for (const char ch : tok) {
+    if (ch < '0' || ch > '9') return false;
+    v = v * 10 + static_cast<std::size_t>(ch - '0');
+  }
+  out = v;
+  return true;
+}
+
+bool parse_node(const std::string& tok, std::size_t& out) {
+  if (tok.size() < 2 || tok[0] != '@') return false;
+  if (tok == "@-") {
+    out = kNone;
+    return true;
+  }
+  return parse_size(tok.substr(1), out);
+}
+
+bool parse_operand(const std::string& tok, RevampOperand& op) {
+  std::string body = tok;
+  op = RevampOperand{};
+  if (!body.empty() && body[0] == '!') {
+    op.complemented = true;
+    body.erase(0, 1);
+  }
+  if (body == "c0") {
+    op.src = RevampOperand::Src::kConst0;
+    return true;
+  }
+  if (body == "c1") {
+    op.src = RevampOperand::Src::kConst1;
+    return true;
+  }
+  if (body.size() >= 2 && body[0] == 'i') {
+    op.src = RevampOperand::Src::kInput;
+    return parse_size(body.substr(1), op.input_index);
+  }
+  if (body.size() >= 4 && body[0] == 'd') {
+    const auto dot = body.find('.');
+    if (dot == std::string::npos) return false;
+    op.src = RevampOperand::Src::kDmr;
+    return parse_size(body.substr(1, dot - 1), op.dmr_row) &&
+           parse_size(body.substr(dot + 1), op.dmr_col);
+  }
+  return false;
+}
+
+std::optional<ParsedProgram> fail(std::string* error, std::size_t line_no,
+                                  const std::string& what) {
+  if (error != nullptr) {
+    std::ostringstream os;
+    os << "cim-prog-v1 parse error at line " << line_no << ": " << what;
+    *error = os.str();
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+void dump_program(std::ostream& os, const ImplyProgram& prog) {
+  os << "cim-prog-v1 imply\n";
+  os << "inputs " << prog.num_inputs << "\n";
+  os << "cells " << prog.num_cells << "\n";
+  os << "zero " << prog.zero_cell << "\n";
+  for (const auto& ins : prog.instrs) {
+    if (ins.kind == ImplyInstr::Kind::kFalse)
+      os << "false " << ins.dest;
+    else
+      os << "imply " << ins.dest << ' ' << ins.src;
+    dump_node(os, ins.def_node);
+    os << "\n";
+  }
+  for (const auto c : prog.output_cells) os << "output " << c << "\n";
+}
+
+void dump_program(std::ostream& os, const MagicProgram& prog) {
+  os << "cim-prog-v1 magic\n";
+  os << "inputs " << prog.num_inputs << "\n";
+  os << "cells " << prog.num_cells << "\n";
+  for (const auto& ins : prog.instrs) {
+    if (ins.kind == MagicInstr::Kind::kSet) {
+      os << "set " << ins.out_cell;
+    } else {
+      os << "nor " << ins.out_cell;
+      for (const auto c : ins.in_cells) os << ' ' << c;
+    }
+    dump_node(os, ins.node);
+    os << "\n";
+  }
+  for (std::size_t k = 0; k < prog.output_cells.size(); ++k) {
+    if (k < prog.output_is_const.size() && prog.output_is_const[k])
+      os << "output const "
+         << (k < prog.const_values.size() && prog.const_values[k] ? 1 : 0)
+         << "\n";
+    else
+      os << "output " << prog.output_cells[k] << "\n";
+  }
+}
+
+void dump_program(std::ostream& os, const RevampProgram& prog) {
+  os << "cim-prog-v1 revamp\n";
+  os << "inputs " << prog.num_inputs << "\n";
+  os << "wordlines " << prog.wordlines << "\n";
+  os << "bitlines " << prog.bitlines << "\n";
+  for (const auto& ins : prog.instrs) {
+    if (ins.kind == RevampInstruction::Kind::kRead) {
+      os << "read " << ins.wordline << "\n";
+      continue;
+    }
+    os << "apply " << ins.wordline << ' ';
+    dump_operand(os, ins.wl);
+    for (std::size_t c = 0; c < ins.columns.size(); ++c) {
+      if (!ins.columns[c]) continue;
+      os << ' ' << c << '=';
+      dump_operand(os, *ins.columns[c]);
+    }
+    os << "\n";
+  }
+  for (const auto& o : prog.outputs) {
+    os << "output ";
+    dump_operand(os, o);
+    os << "\n";
+  }
+}
+
+std::optional<ParsedProgram> parse_program(std::istream& is,
+                                           std::string* error) {
+  ParsedProgram out;
+  bool have_header = false;
+  std::string raw;
+  std::size_t line_no = 0;
+  while (std::getline(is, raw)) {
+    ++line_no;
+    const Line line = split(raw);
+    if (line.empty()) continue;
+    const auto& t = line.tokens;
+
+    if (!have_header) {
+      if (t.size() != 2 || t[0] != "cim-prog-v1")
+        return fail(error, line_no, "expected 'cim-prog-v1 <family>' header");
+      if (t[1] == "imply")
+        out.family = ProgramFamily::kImply;
+      else if (t[1] == "magic")
+        out.family = ProgramFamily::kMagic;
+      else if (t[1] == "revamp")
+        out.family = ProgramFamily::kRevamp;
+      else
+        return fail(error, line_no, "unknown family '" + t[1] + "'");
+      have_header = true;
+      continue;
+    }
+
+    const std::string& kw = line.head();
+    auto size_field = [&](std::size_t& field) {
+      return t.size() == 2 && parse_size(t[1], field);
+    };
+
+    if (kw == "inputs") {
+      std::size_t v = 0;
+      if (!size_field(v)) return fail(error, line_no, "bad 'inputs'");
+      out.imply.num_inputs = out.magic.num_inputs = out.revamp.num_inputs = v;
+      continue;
+    }
+
+    switch (out.family) {
+      case ProgramFamily::kImply: {
+        auto& p = out.imply;
+        if (kw == "cells") {
+          if (!size_field(p.num_cells))
+            return fail(error, line_no, "bad 'cells'");
+        } else if (kw == "zero") {
+          if (!size_field(p.zero_cell))
+            return fail(error, line_no, "bad 'zero'");
+        } else if (kw == "false" || kw == "imply") {
+          ImplyInstr ins;
+          ins.kind = kw == "false" ? ImplyInstr::Kind::kFalse
+                                   : ImplyInstr::Kind::kImply;
+          const std::size_t operands = kw == "false" ? 1 : 2;
+          if (t.size() < 1 + operands)
+            return fail(error, line_no, "missing operands");
+          if (!parse_size(t[1], ins.dest))
+            return fail(error, line_no, "bad dest cell");
+          if (operands == 2 && !parse_size(t[2], ins.src))
+            return fail(error, line_no, "bad src cell");
+          if (t.size() > 1 + operands &&
+              !parse_node(t[1 + operands], ins.def_node))
+            return fail(error, line_no, "bad node annotation");
+          p.instrs.push_back(ins);
+        } else if (kw == "output") {
+          std::size_t c = 0;
+          if (!size_field(c)) return fail(error, line_no, "bad 'output'");
+          p.output_cells.push_back(c);
+        } else {
+          return fail(error, line_no, "unknown directive '" + kw + "'");
+        }
+        break;
+      }
+      case ProgramFamily::kMagic: {
+        auto& p = out.magic;
+        if (kw == "cells") {
+          if (!size_field(p.num_cells))
+            return fail(error, line_no, "bad 'cells'");
+        } else if (kw == "set" || kw == "nor") {
+          MagicInstr ins;
+          ins.kind =
+              kw == "set" ? MagicInstr::Kind::kSet : MagicInstr::Kind::kNor;
+          if (t.size() < 2 || !parse_size(t[1], ins.out_cell))
+            return fail(error, line_no, "bad out cell");
+          std::size_t k = 2;
+          for (; k < t.size() && t[k][0] != '@'; ++k) {
+            std::size_t c = 0;
+            if (!parse_size(t[k], c))
+              return fail(error, line_no, "bad input cell");
+            ins.in_cells.push_back(c);
+          }
+          if (k < t.size() && !parse_node(t[k], ins.node))
+            return fail(error, line_no, "bad node annotation");
+          if (ins.kind == MagicInstr::Kind::kNor && ins.in_cells.empty())
+            return fail(error, line_no, "nor without inputs");
+          p.instrs.push_back(std::move(ins));
+        } else if (kw == "output") {
+          if (t.size() == 3 && t[1] == "const") {
+            p.output_cells.push_back(0);
+            p.output_is_const.push_back(true);
+            p.const_values.push_back(t[2] == "1");
+          } else {
+            std::size_t c = 0;
+            if (!size_field(c)) return fail(error, line_no, "bad 'output'");
+            p.output_cells.push_back(c);
+            p.output_is_const.push_back(false);
+            p.const_values.push_back(false);
+          }
+        } else {
+          return fail(error, line_no, "unknown directive '" + kw + "'");
+        }
+        break;
+      }
+      case ProgramFamily::kRevamp: {
+        auto& p = out.revamp;
+        if (kw == "wordlines") {
+          if (!size_field(p.wordlines))
+            return fail(error, line_no, "bad 'wordlines'");
+        } else if (kw == "bitlines") {
+          if (!size_field(p.bitlines))
+            return fail(error, line_no, "bad 'bitlines'");
+        } else if (kw == "read") {
+          RevampInstruction ins;
+          ins.kind = RevampInstruction::Kind::kRead;
+          if (t.size() != 2 || !parse_size(t[1], ins.wordline))
+            return fail(error, line_no, "bad 'read'");
+          p.instrs.push_back(std::move(ins));
+        } else if (kw == "apply") {
+          RevampInstruction ins;
+          ins.kind = RevampInstruction::Kind::kApply;
+          if (t.size() < 3 || !parse_size(t[1], ins.wordline))
+            return fail(error, line_no, "bad 'apply' wordline");
+          if (!parse_operand(t[2], ins.wl))
+            return fail(error, line_no, "bad wordline operand");
+          ins.columns.assign(p.bitlines, std::nullopt);
+          for (std::size_t k = 3; k < t.size(); ++k) {
+            const auto eq = t[k].find('=');
+            if (eq == std::string::npos)
+              return fail(error, line_no, "expected <col>=<operand>");
+            std::size_t col = 0;
+            RevampOperand op;
+            if (!parse_size(t[k].substr(0, eq), col) ||
+                !parse_operand(t[k].substr(eq + 1), op))
+              return fail(error, line_no, "bad column operand");
+            if (col >= ins.columns.size()) ins.columns.resize(col + 1);
+            ins.columns[col] = op;
+          }
+          p.instrs.push_back(std::move(ins));
+        } else if (kw == "output") {
+          RevampOperand op;
+          if (t.size() != 2 || !parse_operand(t[1], op))
+            return fail(error, line_no, "bad 'output'");
+          p.outputs.push_back(op);
+        } else {
+          return fail(error, line_no, "unknown directive '" + kw + "'");
+        }
+        break;
+      }
+    }
+  }
+  if (!have_header) return fail(error, line_no, "empty stream");
+  return out;
+}
+
+}  // namespace cim::eda::verify

@@ -1,0 +1,187 @@
+/// Pass manager (eda/verify/pass.hpp): the standard pipeline must aggregate
+/// the family linter plus both certifiers over one shared analysis cache,
+/// the flow must surface the certificates in its report, and the pipeline's
+/// verdict must match the stand-alone linters it re-hosts.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "eda/aig.hpp"
+#include "eda/bench_circuits.hpp"
+#include "eda/flow.hpp"
+#include "eda/imply_mapper.hpp"
+#include "eda/magic_mapper.hpp"
+#include "eda/majority_mapper.hpp"
+#include "eda/mig.hpp"
+#include "eda/netlist.hpp"
+#include "eda/revamp_isa.hpp"
+#include "eda/verify/pass.hpp"
+#include "eda/verify/verify.hpp"
+
+namespace cim::eda::verify {
+namespace {
+
+ProgramUnit imply_unit(const ImplyProgram& prog, const Aig& aig) {
+  ProgramUnit unit;
+  unit.name = "unit-under-test";
+  unit.imply = &prog;
+  unit.aig = &aig;
+  return unit;
+}
+
+TEST(PassManager, StandardPipelineHasTheThreePasses) {
+  const auto pm = PassManager::standard();
+  EXPECT_EQ(pm.size(), 3u);
+}
+
+TEST(PassManager, CleanProgramPassesEveryStandardPass) {
+  const auto aig = Aig::from_netlist(ripple_carry_adder(2));
+  const auto prog = compile_imply(aig, true);
+  auto pm = PassManager::standard();
+  AnalysisResults results;
+  const auto rep = pm.run(imply_unit(prog, aig), results);
+  EXPECT_TRUE(rep.clean());
+  EXPECT_EQ(rep.errors(), 0u);
+  EXPECT_GT(rep.cells_tracked, 0u);
+  EXPECT_GT(rep.max_writes_per_cell, 0u);
+  // The certifiers left their shared facts behind for the caller.
+  ASSERT_TRUE(results.wear().has_value());
+  EXPECT_GT(results.wear()->certified_evaluations, 0u);
+}
+
+TEST(PassManager, VerdictMatchesTheStandaloneLinters) {
+  for (const auto& bc : standard_suite()) {
+    const auto aig = Aig::from_netlist(bc.netlist);
+    const auto prog = compile_imply(aig, true);
+    const auto direct = lint_imply(prog, &aig);
+    auto pm = PassManager::standard();
+    const auto hosted = pm.run(imply_unit(prog, aig));
+    // Clean programs gain no diagnostics from the certifiers (no budget
+    // set), so the re-hosted pipeline must agree with the direct linter.
+    EXPECT_EQ(hosted.errors(), direct.errors()) << bc.name;
+    EXPECT_EQ(hosted.warnings(), direct.warnings()) << bc.name;
+    EXPECT_EQ(hosted.max_writes_per_cell, direct.max_writes_per_cell)
+        << bc.name;
+  }
+}
+
+TEST(PassManager, AnalysisResultsAreComputedOnceAndShared) {
+  const auto aig = Aig::from_netlist(ripple_carry_adder(2));
+  const auto prog = compile_imply(aig, true);
+  const auto unit = imply_unit(prog, aig);
+  AnalysisResults results;
+  const auto* access_first = &results.access(unit);
+  const auto* cost_first = &results.cost(unit);
+  EXPECT_EQ(access_first, &results.access(unit));
+  EXPECT_EQ(cost_first, &results.cost(unit));
+}
+
+TEST(PassManager, TimingsAccumulateAcrossRuns) {
+  const auto aig = Aig::from_netlist(ripple_carry_adder(2));
+  const auto prog = compile_imply(aig, true);
+  auto pm = PassManager::standard();
+  pm.run(imply_unit(prog, aig));
+  pm.run(imply_unit(prog, aig));
+  ASSERT_EQ(pm.timings().size(), 3u);
+  for (const auto& t : pm.timings()) {
+    EXPECT_EQ(t.runs, 2u) << t.name;
+    EXPECT_GE(t.wall_ms, 0.0) << t.name;
+    EXPECT_FALSE(t.name.empty());
+  }
+}
+
+TEST(PassManager, WearAndCostGatesFeedTheAggregatedReport) {
+  const auto aig = Aig::from_netlist(ripple_carry_adder(2));
+  const auto prog = compile_imply(aig, true);
+  auto unit = imply_unit(prog, aig);
+  unit.opts.tech = device::Technology::kPcm;  // endurance 1e9
+  unit.planned_evaluations = UINT64_C(1) << 62;
+  unit.cost_budget = {1.0, 1.0};  // 1 ns / 1 pJ: impossible
+  auto pm = PassManager::standard();
+  const auto rep = pm.run(unit);
+  EXPECT_FALSE(rep.clean());
+  EXPECT_GE(rep.count(Rule::kWearBudget), 1u);
+  EXPECT_EQ(rep.count(Rule::kCostBudget), 2u);
+}
+
+TEST(PassManager, EveryFamilyRunsThroughTheStandardPipeline) {
+  const auto nl = ripple_carry_adder(2);
+  const auto aig = Aig::from_netlist(nl);
+  auto pm = PassManager::standard();
+  {
+    const auto prog = compile_imply(aig, true);
+    EXPECT_TRUE(pm.run(imply_unit(prog, aig)).clean());
+  }
+  {
+    const auto nor = aig.to_netlist().to_nor_only();
+    const auto prog = compile_magic(nor, true);
+    ProgramUnit unit;
+    unit.name = "magic";
+    unit.magic = &prog;
+    unit.netlist = &nor;
+    EXPECT_EQ(unit.family(), "MAGIC");
+    EXPECT_TRUE(pm.run(unit).clean());
+  }
+  {
+    const auto mig = Mig::from_aig(aig);
+    const auto prog = assemble_revamp(mig, schedule_revamp(mig));
+    ProgramUnit unit;
+    unit.name = "revamp";
+    unit.revamp = &prog;
+    EXPECT_EQ(unit.family(), "ReVAMP");
+    EXPECT_TRUE(pm.run(unit).clean());
+  }
+}
+
+// --- flow integration --------------------------------------------------------
+
+TEST(FlowStatic, ReportCarriesTheCertificates) {
+  const auto nl = ripple_carry_adder(2);
+  const auto rep = run_flow("rca2", nl, LogicFamily::kImply,
+                            {.reuse_cells = true, .verify = false,
+                             .lint = true});
+  EXPECT_TRUE(rep.lint_clean);
+  EXPECT_GT(rep.static_max_writes_per_cell, 0u);
+  EXPECT_GE(rep.static_max_writes_per_cell, rep.max_writes_per_cell);
+  EXPECT_GT(rep.certified_evaluations, 0u);
+  EXPECT_GT(rep.static_time_ns, 0.0);
+  EXPECT_LE(rep.static_energy_pj_min, rep.static_energy_pj_exp);
+  EXPECT_LE(rep.static_energy_pj_exp, rep.static_energy_pj_max);
+  EXPECT_TRUE(rep.static_cost_exact);
+}
+
+TEST(FlowStatic, CostBudgetGateSurfacesInTheFlowVerdict) {
+  const auto nl = ripple_carry_adder(2);
+  FlowOptions opts;
+  opts.verify = false;
+  opts.cost_budget = {1.0, 0.0};  // 1 ns is impossible for any program
+  const auto rep = run_flow("rca2", nl, LogicFamily::kMagic, opts);
+  EXPECT_FALSE(rep.lint_clean);
+  EXPECT_GE(rep.lint_errors, 1u);
+}
+
+TEST(FlowStatic, LintOffSkipsThePipeline) {
+  const auto nl = ripple_carry_adder(2);
+  const auto rep = run_flow("rca2", nl, LogicFamily::kImply,
+                            {.reuse_cells = true, .verify = false,
+                             .lint = false});
+  EXPECT_EQ(rep.static_time_ns, 0.0);
+  EXPECT_EQ(rep.static_max_writes_per_cell, 0u);
+  EXPECT_EQ(rep.certified_evaluations, 0u);
+}
+
+TEST(FlowStatic, SuiteHazardGateIsCleanAndCountsAttribute) {
+  const auto reports = run_suite(standard_suite(),
+                                 {.reuse_cells = true, .verify = false,
+                                  .lint = true});
+  for (const auto& r : reports) {
+    EXPECT_TRUE(r.hazard_clean) << r.circuit;
+    EXPECT_EQ(r.hazard_findings, 0u) << r.circuit;
+    EXPECT_TRUE(r.lint_clean) << r.circuit;
+  }
+}
+
+}  // namespace
+}  // namespace cim::eda::verify

@@ -1,0 +1,134 @@
+/// Static-vs-runtime wear cross-check: the per-cell write-count upper bound
+/// (eda/verify/access.hpp) must dominate the runtime obs::HealthMonitor
+/// wear counters on every mapper / bench-circuit pair. The contract only
+/// holds for non-verified writes (CrossbarConfig::verified_writes = false):
+/// program-and-verify retries a stochastic pulse count no static bound can
+/// cap — which this suite also demonstrates is the *only* leak.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "crossbar/crossbar.hpp"
+#include "eda/aig.hpp"
+#include "eda/bench_circuits.hpp"
+#include "eda/imply_mapper.hpp"
+#include "eda/magic_mapper.hpp"
+#include "eda/majority_mapper.hpp"
+#include "eda/mig.hpp"
+#include "eda/revamp_isa.hpp"
+#include "eda/verify/access.hpp"
+#include "obs/health.hpp"
+#include "obs/obs.hpp"
+
+namespace cim::eda::verify {
+namespace {
+
+class StaticWearRuntimeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::set_mode(obs::Mode::kHealth);
+    obs::reset();
+    obs::HealthRegistry::global().clear();
+  }
+  void TearDown() override {
+    obs::set_mode(obs::Mode::kOff);
+    obs::reset();
+    obs::HealthRegistry::global().clear();
+  }
+};
+
+crossbar::CrossbarConfig exec_config(std::size_t rows, std::size_t cols,
+                                     bool verified_writes,
+                                     std::uint64_t seed) {
+  crossbar::CrossbarConfig cfg;
+  cfg.rows = rows;
+  cfg.cols = cols;
+  cfg.tech = device::Technology::kSttMram;
+  cfg.levels = 2;
+  cfg.model_ir_drop = false;
+  cfg.verified_writes = verified_writes;
+  cfg.seed = seed;
+  return cfg;
+}
+
+/// Executes `exec` for `runs` assignments on one crossbar and checks the
+/// monitor's per-cell wear against `bound * runs`.
+template <typename ExecFn>
+void check_dominates(const std::string& tag, const ProgramAccess& access,
+                     std::size_t num_inputs, ExecFn&& exec) {
+  const std::uint64_t n = 1ULL << std::min<std::size_t>(num_inputs, 6);
+  crossbar::Crossbar xbar(
+      exec_config(access.rows, access.cols, false, 99));
+  xbar.set_health_name("static-wear-" + tag);
+  for (std::uint64_t a = 0; a < n; ++a) exec(xbar, a);
+  const auto snap = xbar.health_monitor().snapshot();
+  ASSERT_EQ(snap.wear.size(), access.rows * access.cols) << tag;
+  for (std::size_t r = 0; r < access.rows; ++r) {
+    for (std::size_t c = 0; c < access.cols; ++c) {
+      const auto runtime = snap.wear[r * access.cols + c];
+      const auto bound =
+          static_cast<std::uint64_t>(access.write_bound[access.flat(r, c)]) *
+          n;
+      EXPECT_LE(runtime, bound) << tag << " cell r" << r << ",c" << c;
+    }
+  }
+  EXPECT_LE(snap.total_writes,
+            static_cast<std::uint64_t>(access.total_writes) * n)
+      << tag;
+  EXPECT_GT(snap.total_writes, 0u) << tag;  // the check is not vacuous
+}
+
+TEST_F(StaticWearRuntimeTest, BoundDominatesEveryMapperAndCircuit) {
+  for (const auto& bc : standard_suite()) {
+    const auto aig = Aig::from_netlist(bc.netlist);
+    {
+      const auto prog = compile_imply(aig, true);
+      check_dominates("imply-" + bc.name, access_of(prog), prog.num_inputs,
+                      [&](crossbar::Crossbar& x, std::uint64_t a) {
+                        execute_imply(x, prog, a);
+                      });
+    }
+    {
+      const auto nor = aig.to_netlist().to_nor_only();
+      const auto prog = compile_magic(nor, true);
+      check_dominates("magic-" + bc.name, access_of(prog), prog.num_inputs,
+                      [&](crossbar::Crossbar& x, std::uint64_t a) {
+                        execute_magic(x, prog, a);
+                      });
+    }
+    {
+      const auto mig = Mig::from_aig(aig);
+      const auto prog = assemble_revamp(mig, schedule_revamp(mig));
+      check_dominates("revamp-" + bc.name, access_of(prog), prog.num_inputs,
+                      [&](crossbar::Crossbar& x, std::uint64_t a) {
+                        execute_revamp_program(x, prog, a);
+                      });
+    }
+  }
+}
+
+TEST_F(StaticWearRuntimeTest, VerifiedWritesBreakTheBoundOnlyViaRetries) {
+  // With program-and-verify enabled the launch writes may retry; the static
+  // bound no longer caps pulses. This locks in *why* the contract requires
+  // verified_writes = false: runtime wear stays bounded by bound * attempts,
+  // and every extra pulse is a retry of a cell the bound already covers
+  // (no wear appears on cells the static analysis calls write-free).
+  const auto aig = Aig::from_netlist(ripple_carry_adder(2));
+  const auto prog = compile_imply(aig, true);
+  const auto access = access_of(prog);
+  crossbar::Crossbar xbar(exec_config(1, access.cols, true, 7));
+  xbar.set_health_name("static-wear-verified");
+  const std::uint64_t n = 16;
+  for (std::uint64_t a = 0; a < n; ++a) execute_imply(xbar, prog, a);
+  const auto snap = xbar.health_monitor().snapshot();
+  for (std::size_t c = 0; c < access.cols; ++c) {
+    if (access.write_bound[c] == 0) {
+      EXPECT_EQ(snap.wear[c], 0u) << c;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cim::eda::verify

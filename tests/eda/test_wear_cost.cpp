@@ -1,0 +1,274 @@
+/// Static wear & cost certification (eda/verify/wear_cost.hpp): the cost
+/// estimate must bracket and predict what the executors actually charge
+/// through the crossbar, the wear certificate must gate on the device
+/// endurance, and the static wear heatmap must export valid
+/// cim-health-heatmap-v1 JSON.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "crossbar/crossbar.hpp"
+#include "device/technology.hpp"
+#include "eda/aig.hpp"
+#include "eda/bench_circuits.hpp"
+#include "eda/imply_mapper.hpp"
+#include "eda/magic_mapper.hpp"
+#include "eda/majority_mapper.hpp"
+#include "eda/mig.hpp"
+#include "eda/netlist.hpp"
+#include "eda/revamp_isa.hpp"
+#include "eda/verify/access.hpp"
+#include "eda/verify/wear_cost.hpp"
+
+namespace cim::eda::verify {
+namespace {
+
+const device::TechnologyParams kTech =
+    device::technology_params(device::Technology::kSttMram);
+
+crossbar::CrossbarConfig exec_config(std::size_t rows, std::size_t cols,
+                                     std::uint64_t seed) {
+  crossbar::CrossbarConfig cfg;
+  cfg.rows = rows;
+  cfg.cols = cols;
+  cfg.tech = device::Technology::kSttMram;
+  cfg.levels = 2;
+  cfg.model_ir_drop = false;
+  cfg.seed = seed;
+  return cfg;
+}
+
+/// Measured time/energy of all 2^n executions plus per-run bracket checks.
+struct Measured {
+  double mean_energy_pj = 0.0;
+  double time_ns = 0.0;  ///< identical across runs (data-blind schedules)
+};
+
+template <typename ExecFn>
+Measured measure(std::size_t rows, std::size_t cols, std::size_t num_inputs,
+                 const CostEstimate& est, ExecFn&& exec) {
+  Measured m;
+  const std::uint64_t n = 1ULL << num_inputs;
+  double sum_e = 0.0;
+  for (std::uint64_t a = 0; a < n; ++a) {
+    crossbar::Crossbar xbar(exec_config(rows, cols, 1000 + a));
+    exec(xbar, a);
+    const double dt = xbar.stats().time_ns;
+    const double de = xbar.stats().energy_pj;
+    // Time is data-blind: every run must land exactly on the estimate.
+    EXPECT_NEAR(dt, est.time_ns, 1e-9 * est.time_ns + 1e-12);
+    // The energy bracket is computed at nominal conductances; stochastic
+    // device variation wobbles the read term a few percent at most.
+    EXPECT_GE(de, est.energy_pj_min * 0.95 - 1e-9);
+    EXPECT_LE(de, est.energy_pj_max * 1.05 + 1e-9);
+    sum_e += de;
+    m.time_ns = dt;
+  }
+  m.mean_energy_pj = sum_e / static_cast<double>(n);
+  return m;
+}
+
+TEST(CostEstimate, ImplyMeasuredEnergyWithin15PercentOfExpectation) {
+  const auto nl = ripple_carry_adder(2);
+  const auto aig = Aig::from_netlist(nl);
+  const auto prog = compile_imply(aig, true);
+  const auto est = estimate_cost(prog, kTech);
+  ASSERT_GT(est.time_ns, 0.0);
+  ASSERT_TRUE(est.exact_expectation);
+  ASSERT_LE(est.energy_pj_min, est.energy_pj_exp);
+  ASSERT_LE(est.energy_pj_exp, est.energy_pj_max);
+  const auto m = measure(1, prog.num_cells, prog.num_inputs, est,
+                         [&](crossbar::Crossbar& x, std::uint64_t a) {
+                           execute_imply(x, prog, a);
+                         });
+  EXPECT_NEAR(m.mean_energy_pj, est.energy_pj_exp,
+              0.15 * est.energy_pj_exp);
+}
+
+TEST(CostEstimate, MagicMeasuredEnergyWithin15PercentOfExpectation) {
+  const auto nl = ripple_carry_adder(2);
+  const auto nor = Aig::from_netlist(nl).to_netlist().to_nor_only();
+  const auto prog = compile_magic(nor, true);
+  const auto est = estimate_cost(prog, kTech);
+  ASSERT_TRUE(est.exact_expectation);
+  const auto m = measure(1, prog.num_cells, prog.num_inputs, est,
+                         [&](crossbar::Crossbar& x, std::uint64_t a) {
+                           execute_magic(x, prog, a);
+                         });
+  EXPECT_NEAR(m.mean_energy_pj, est.energy_pj_exp,
+              0.15 * est.energy_pj_exp);
+}
+
+TEST(CostEstimate, RevampMeasuredEnergyWithin15PercentOfExpectation) {
+  const auto nl = ripple_carry_adder(2);
+  const auto mig = Mig::from_aig(Aig::from_netlist(nl));
+  const auto prog = assemble_revamp(mig, schedule_revamp(mig));
+  const auto est = estimate_cost(prog, kTech);
+  ASSERT_TRUE(est.exact_expectation);
+  const auto m =
+      measure(prog.wordlines, prog.bitlines, prog.num_inputs, est,
+              [&](crossbar::Crossbar& x, std::uint64_t a) {
+                execute_revamp_program(x, prog, a);
+              });
+  EXPECT_NEAR(m.mean_energy_pj, est.energy_pj_exp,
+              0.15 * est.energy_pj_exp);
+}
+
+TEST(CostEstimate, TimeFollowsTheChargeModelExactly) {
+  // One launch write, one FALSE, one IMPLY, one sensed output read:
+  // 3 pulse windows + 1 read slot.
+  ImplyProgram prog;
+  prog.num_inputs = 1;
+  prog.num_cells = 2;
+  prog.zero_cell = 1;
+  prog.instrs.push_back({ImplyInstr::Kind::kFalse, 1, 0, SIZE_MAX});
+  prog.instrs.push_back({ImplyInstr::Kind::kImply, 1, 0, SIZE_MAX});
+  prog.output_cells = {1};
+  const auto est = estimate_cost(prog, kTech);
+  EXPECT_DOUBLE_EQ(est.time_ns, 3 * kTech.t_write_ns + kTech.t_read_ns);
+  EXPECT_EQ(est.write_slots, 3u);
+  EXPECT_EQ(est.conditional_ops, 1u);
+  EXPECT_EQ(est.sensed_reads, 1u);
+}
+
+TEST(CostEstimate, SlotCountsAgreeWithAccessSets) {
+  const auto nl = ripple_carry_adder(2);
+  const auto aig = Aig::from_netlist(nl);
+  {
+    const auto prog = compile_imply(aig, true);
+    const auto est = estimate_cost(prog, kTech);
+    const auto acc = access_of(prog);
+    EXPECT_EQ(est.write_slots, acc.total_writes);
+    EXPECT_EQ(est.sensed_reads, acc.sensed_reads);
+  }
+  {
+    const auto prog = compile_magic(aig.to_netlist().to_nor_only(), true);
+    const auto est = estimate_cost(prog, kTech);
+    const auto acc = access_of(prog);
+    EXPECT_EQ(est.write_slots, acc.total_writes);
+    EXPECT_EQ(est.sensed_reads, acc.sensed_reads);
+  }
+  {
+    const auto mig = Mig::from_aig(aig);
+    const auto prog = assemble_revamp(mig, schedule_revamp(mig));
+    const auto est = estimate_cost(prog, kTech);
+    const auto acc = access_of(prog);
+    EXPECT_EQ(est.write_slots, acc.total_writes);
+    EXPECT_EQ(est.sensed_reads, acc.sensed_reads);
+  }
+}
+
+TEST(CostCertify, BudgetGatesFireIndependently) {
+  CostEstimate est;
+  est.time_ns = 100.0;
+  est.energy_pj_max = 50.0;
+  {
+    VerifyReport rep;
+    certify_cost(est, {/*time_ns=*/10.0, /*energy_pj=*/0.0}, rep);
+    EXPECT_EQ(rep.count(Rule::kCostBudget), 1u);
+    EXPECT_FALSE(rep.clean());
+  }
+  {
+    VerifyReport rep;
+    certify_cost(est, {0.0, 10.0}, rep);
+    EXPECT_EQ(rep.count(Rule::kCostBudget), 1u);
+  }
+  {
+    VerifyReport rep;
+    certify_cost(est, {10.0, 10.0}, rep);
+    EXPECT_EQ(rep.count(Rule::kCostBudget), 2u);
+  }
+  {  // 0 dimensions are unconstrained; generous budgets pass.
+    VerifyReport rep;
+    certify_cost(est, {}, rep);
+    certify_cost(est, {1000.0, 1000.0}, rep);
+    EXPECT_TRUE(rep.clean());
+    EXPECT_TRUE(rep.diagnostics.empty());
+  }
+}
+
+TEST(WearCertify, CertificateMatchesAccessBoundsAndEndurance) {
+  const auto nl = ripple_carry_adder(2);
+  const auto prog = compile_imply(Aig::from_netlist(nl), true);
+  const auto acc = access_of(prog);
+  VerifyReport rep;
+  const auto cert = certify_wear(acc, {}, /*planned_evaluations=*/0, rep);
+  EXPECT_TRUE(rep.diagnostics.empty());  // no gate without a plan
+  EXPECT_EQ(cert.max_writes_per_run, acc.max_write_bound());
+  EXPECT_EQ(cert.total_writes_per_run, acc.total_writes);
+  EXPECT_DOUBLE_EQ(cert.endurance_mean, kTech.endurance_mean);
+  EXPECT_EQ(cert.certified_evaluations,
+            static_cast<std::uint64_t>(
+                cert.endurance_mean /
+                static_cast<double>(cert.max_writes_per_run)));
+}
+
+TEST(WearCertify, PlanWithinBudgetIsCleanBeyondBudgetErrors) {
+  const auto nl = ripple_carry_adder(2);
+  const auto prog = compile_imply(Aig::from_netlist(nl), true);
+  const auto acc = access_of(prog);
+  VerifyOptions opts;
+  opts.tech = device::Technology::kPcm;  // endurance_mean = 1e9
+  {
+    VerifyReport rep;
+    const auto cert = certify_wear(acc, opts, 10, rep);
+    EXPECT_TRUE(rep.clean());
+    EXPECT_TRUE(rep.diagnostics.empty());
+    EXPECT_GT(cert.certified_evaluations, 10u);
+  }
+  {
+    VerifyReport rep;
+    const auto cert = certify_wear(
+        acc, opts, std::numeric_limits<std::uint32_t>::max(), rep);
+    EXPECT_FALSE(rep.clean());
+    EXPECT_GE(rep.count(Rule::kWearBudget), 1u);
+    EXPECT_LT(cert.certified_evaluations,
+              std::numeric_limits<std::uint32_t>::max());
+    // Per-cell diagnostics are capped (4) with a suppression summary.
+    EXPECT_LE(rep.count(Rule::kWearBudget), 5u);
+  }
+}
+
+TEST(WearCertify, WritelessProgramCertifiesUnlimitedEvaluations) {
+  ProgramAccess acc;
+  acc.rows = 1;
+  acc.cols = 2;
+  acc.write_bound.assign(2, 0);
+  acc.read.assign(2, 1);
+  acc.written.assign(2, 0);
+  acc.sensed_cols.assign(2, 1);
+  acc.driven_rows.assign(1, 1);
+  VerifyReport rep;
+  const auto cert = certify_wear(acc, {}, 1'000'000, rep);
+  EXPECT_TRUE(rep.diagnostics.empty());
+  EXPECT_EQ(cert.certified_evaluations,
+            std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(StaticWearJson, ExportsHeatmapV1Schema) {
+  const auto nl = ripple_carry_adder(2);
+  const auto prog = compile_imply(Aig::from_netlist(nl), true);
+  const auto acc = access_of(prog);
+  std::ostringstream os;
+  write_static_wear_json(os, {{"rca2/IMPLY", &acc}});
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"schema\":\"cim-health-heatmap-v1\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"rca2/IMPLY\""), std::string::npos);
+  EXPECT_NE(json.find("\"wear\":["), std::string::npos);
+  // The summary totals must agree with the access sets.
+  std::ostringstream total;
+  total << "\"total_writes\":" << acc.total_writes;
+  EXPECT_NE(json.find(total.str()), std::string::npos);
+  std::ostringstream maxw;
+  maxw << "\"max_wear\":" << acc.max_write_bound();
+  EXPECT_NE(json.find(maxw.str()), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cim::eda::verify
