@@ -6,8 +6,9 @@
 # Usage: scripts/collect_bench.sh <build-dir> <pr-number>
 #   e.g. scripts/collect_bench.sh build 3   ->  BENCH_PR3.json
 #
-# bench_micro_kernels (the google-benchmark suite) is skipped: it reports
-# through the google-benchmark harness, not BENCH_JSON.
+# bench_micro_kernels runs its dispatched-ISA sweep by default and emits a
+# BENCH_JSON line like every other bench (its legacy google-benchmark
+# composite suite sits behind --gbench and is not part of collection).
 #
 # Every scraped line is validated against the BENCH_JSON schema before it
 # is admitted: the required keys must all be present and any other key must
@@ -37,6 +38,7 @@ import json, sys
 REQUIRED = {
     "bench", "wall_ms", "ops", "ops_per_s", "threads", "peak_rss_mb",
     "cache_full_rebuilds", "cache_delta_updates", "git_sha", "build_type",
+    "simd_isa",
 }
 # Per-bench extras. Adding a field to a bench means adding it here, on
 # purpose — unknown keys are schema drift and fail the run.
@@ -50,6 +52,15 @@ OPTIONAL = {
     "worn_cell_frac", "mean_abs_drift_us",
     "pass_lint_ms", "pass_wear_ms", "pass_cost_ms", "hazard_findings",
     "static_energy_err_pct", "static_time_err_pct",
+    # fidelity-dial sweep (bench_fig4_crossbar_vmm)
+    "tier1_speedup", "tier2_speedup", "tier1_rel_dev", "tier2_rel_dev",
+    # dispatched-ISA kernel sweep (bench_micro_kernels): GB/s per variant
+    # and speedup vs the scalar table; avx* keys are absent on hosts
+    # whose build or CPU cannot execute that table.
+    *(f"{k}_gbs_{isa}" for k in ("dot", "axpy", "vmm_row", "gemm")
+      for isa in ("scalar", "avx2", "avx512")),
+    *(f"{k}_speedup_{isa}" for k in ("dot", "axpy", "vmm_row", "gemm")
+      for isa in ("avx2", "avx512")),
 }
 
 name = sys.argv[1]
@@ -69,11 +80,13 @@ if unknown:
              "(whitelist them in scripts/collect_bench.sh if intentional)")
 if not isinstance(obj["bench"], str) or not obj["bench"]:
     sys.exit(f"{name}: BENCH_JSON 'bench' must be a non-empty string")
-for k in ("git_sha", "build_type"):
+for k in ("git_sha", "build_type", "simd_isa"):
     if not isinstance(obj[k], str) or not obj[k]:
         sys.exit(f"{name}: BENCH_JSON '{k}' must be a non-empty string")
+if obj["simd_isa"] not in ("scalar", "avx2", "avx512"):
+    sys.exit(f"{name}: BENCH_JSON 'simd_isa' must be scalar/avx2/avx512")
 for k, v in obj.items():
-    if k in ("bench", "git_sha", "build_type"):
+    if k in ("bench", "git_sha", "build_type", "simd_isa"):
         continue
     if not isinstance(v, (int, float)) or isinstance(v, bool):
         sys.exit(f"{name}: BENCH_JSON '{k}' must be a number, got {v!r}")
@@ -84,7 +97,6 @@ status=0
 for b in "${bench_dir}"/bench_*; do
   [ -x "${b}" ] && [ -f "${b}" ] || continue
   name=$(basename "${b}")
-  [ "${name}" = "bench_micro_kernels" ] && continue
   echo ">> ${name}" >&2
   # A failing gate (non-zero exit) is recorded but does not stop collection.
   if ! bench_out=$("${b}"); then

@@ -12,6 +12,18 @@ the gate (new benches appear, old ones get retired). Sub-millisecond wall
 times are pure noise on shared CI hardware, so rows where *both* runs are
 under 1.0 ms are compared on RSS only.
 
+Runs from different PRs execute on different container instances whose
+raw speed drifts far more than the gate threshold, so wall times are
+host-speed normalized first: the median wall ratio across shared benches
+estimates the hosts' relative speed, and each bench is gated against the
+median-adjusted baseline. A uniform slowdown therefore passes while a
+bench that regressed *relative to the rest of the suite* still fails.
+RSS is not normalized (memory does not drift with CPU speed).
+
+A PR that deliberately changes what a bench measures declares it in
+WAIVERS below; the waiver only applies to the exact PR that declared it,
+so entries go stale harmlessly and the next run re-arms the gate.
+
 Usage:
     scripts/compare_bench.py [CURRENT.json] [--history-dir DIR]
 
@@ -31,6 +43,17 @@ from pathlib import Path
 WALL_REGRESSION_FRAC = 0.15
 RSS_REGRESSION_FRAC = 0.10
 WALL_NOISE_FLOOR_MS = 1.0
+# Host-speed normalization needs enough shared benches for the median
+# ratio to be a speed estimate rather than one bench's behaviour.
+MIN_BENCHES_FOR_SPEED_NORM = 5
+
+# Deliberate scope changes: bench -> (PR number, reason). The wall gate is
+# skipped for that bench only when the *current* file is that PR's run.
+WAIVERS: dict[str, tuple[int, str]] = {
+    "bench_fig4_crossbar_vmm": (
+        7, "added fidelity-dial sweep: 3 tiers x 3 passes x 400 VMMs "
+           "+ deviation statistics"),
+}
 
 _BENCH_RE = re.compile(r"^BENCH_PR(\d+)\.json$")
 
@@ -105,20 +128,46 @@ def main() -> int:
     if only_prev:
         print(f"  retired benches (not compared): {', '.join(only_prev)}")
 
-    regressions: list[str] = []
-    for name in shared:
+    def walls(name: str) -> tuple[float, float, float, float]:
         c, p = cur[name], prev[name]
         try:
-            cw, pw = float(c["wall_ms"]), float(p["wall_ms"])
-            cr, pr = float(c["peak_rss_mb"]), float(p["peak_rss_mb"])
+            return (float(c["wall_ms"]), float(p["wall_ms"]),
+                    float(c["peak_rss_mb"]), float(p["peak_rss_mb"]))
         except (KeyError, TypeError, ValueError) as e:
             sys.exit(f"error: bench '{name}' has malformed wall_ms/peak_rss_mb: {e}")
 
+    # Relative host speed: median wall ratio over shared benches that are
+    # above the noise floor in both runs (waived benches excluded — their
+    # ratio reflects a scope change, not the host).
+    cur_pr = pr_number(cur_path)
+    ratios = []
+    for name in shared:
+        cw, pw, _, _ = walls(name)
+        waived = name in WAIVERS and WAIVERS[name][0] == cur_pr
+        if not waived and min(cw, pw) >= WALL_NOISE_FLOOR_MS:
+            ratios.append(cw / pw)
+    host_speed = 1.0
+    if len(ratios) >= MIN_BENCHES_FOR_SPEED_NORM:
+        ratios.sort()
+        mid = len(ratios) // 2
+        host_speed = (ratios[mid] if len(ratios) % 2
+                      else 0.5 * (ratios[mid - 1] + ratios[mid]))
+        if abs(host_speed - 1.0) > 0.02:
+            print(f"  host-speed normalization: median wall ratio "
+                  f"{host_speed:.3f} ({len(ratios)} benches)")
+
+    regressions: list[str] = []
+    for name in shared:
+        cw, pw, cr, pr = walls(name)
         notes = []
-        if max(cw, pw) >= WALL_NOISE_FLOOR_MS and pw > 0.0:
-            dw = (cw - pw) / pw
+        if name in WAIVERS and WAIVERS[name][0] == cur_pr:
+            print(f"  waived (PR {cur_pr}) {name}: {WAIVERS[name][1]}")
+        elif max(cw, pw) >= WALL_NOISE_FLOOR_MS and pw > 0.0:
+            pw_adj = pw * host_speed
+            dw = (cw - pw_adj) / pw_adj
             if dw > WALL_REGRESSION_FRAC:
-                notes.append(f"wall_ms {pw:.2f} -> {cw:.2f} (+{100*dw:.1f}%)")
+                notes.append(f"wall_ms {pw:.2f} -> {cw:.2f} "
+                             f"(+{100*dw:.1f}% host-adjusted)")
         if pr > 0.0:
             dr = (cr - pr) / pr
             if dr > RSS_REGRESSION_FRAC:

@@ -46,7 +46,8 @@ CimSystem::CimSystem(const util::Matrix& w_int, CimSystemConfig cfg)
 }
 
 std::vector<long> CimSystem::vmm_int(std::span<const std::uint32_t> inputs,
-                                     int input_bits, util::ThreadPool* pool) {
+                                     int input_bits, util::ThreadPool* pool,
+                                     crossbar::FidelityTier tier) {
   if (inputs.size() != in_) throw std::invalid_argument("CimSystem: dim");
   CIM_OBS_SPAN_NAMED(span, "system.vmm_int", obs::Component::kInterconnect);
   std::vector<long> y(out_, 0);
@@ -64,7 +65,8 @@ std::vector<long> CimSystem::vmm_int(std::span<const std::uint32_t> inputs,
     const double t0 = blk.tile->stats().time_ns;
     const double e0 = blk.tile->stats().energy_pj;
     results[b].part =
-        blk.tile->vmm_int(inputs.subspan(blk.row0, blk.rows), input_bits);
+        blk.tile->vmm_int(inputs.subspan(blk.row0, blk.rows), input_bits,
+                          tier);
     results[b].dt = blk.tile->stats().time_ns - t0;
     results[b].de = blk.tile->stats().energy_pj - e0;
   };

@@ -52,8 +52,10 @@ class CimSystem {
   /// every tile owns its crossbars and RNG streams, and the partial-sum
   /// reduction runs serially in block order, so results are bit-identical
   /// for any thread count.
-  std::vector<long> vmm_int(std::span<const std::uint32_t> inputs,
-                            int input_bits, util::ThreadPool* pool = nullptr);
+  std::vector<long> vmm_int(
+      std::span<const std::uint32_t> inputs, int input_bits,
+      util::ThreadPool* pool = nullptr,
+      crossbar::FidelityTier tier = crossbar::FidelityTier::kFull);
 
   /// Exact oracle.
   std::vector<long> ideal_vmm_int(std::span<const std::uint32_t> inputs) const;

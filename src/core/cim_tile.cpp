@@ -81,7 +81,8 @@ double CimTile::decode_level_sum(double current_ua,
 }
 
 std::vector<long> CimTile::vmm_int(std::span<const std::uint32_t> inputs,
-                                   int input_bits) {
+                                   int input_bits,
+                                   crossbar::FidelityTier tier) {
   if (inputs.size() != rows())
     throw std::invalid_argument("vmm_int: input size != rows");
   if (input_bits < 1 || input_bits > 16)
@@ -109,8 +110,8 @@ std::vector<long> CimTile::vmm_int(std::span<const std::uint32_t> inputs,
 
     const double e_before =
         plus_->stats().energy_pj + minus_->stats().energy_pj;
-    auto i_plus = plus_->vmm(volts);
-    auto i_minus = minus_->vmm(volts);
+    auto i_plus = plus_->vmm(volts, tier);
+    auto i_minus = minus_->vmm(volts, tier);
     const double e_array =
         plus_->stats().energy_pj + minus_->stats().energy_pj - e_before;
 

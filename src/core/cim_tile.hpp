@@ -53,9 +53,13 @@ class CimTile {
 
   /// Executes y = W x for unsigned integer inputs of `input_bits` bits,
   /// streamed bit-serially. Returns signed integer outputs (subject to ADC
-  /// quantization and analog non-idealities).
-  std::vector<long> vmm_int(std::span<const std::uint32_t> inputs,
-                            int input_bits);
+  /// quantization and analog non-idealities). `tier` selects the array
+  /// fidelity of every bit-serial VMM cycle (crossbar/fidelity.hpp); the
+  /// bit-sliced wordline voltages are exactly the uniform-|v| inputs the
+  /// tier-1 noise calibration is exact for.
+  std::vector<long> vmm_int(
+      std::span<const std::uint32_t> inputs, int input_bits,
+      crossbar::FidelityTier tier = crossbar::FidelityTier::kFull);
 
   /// Exact reference result (oracle).
   std::vector<long> ideal_vmm_int(std::span<const std::uint32_t> inputs) const;

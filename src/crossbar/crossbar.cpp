@@ -27,6 +27,11 @@ struct ObsCounters {
       obs::Registry::global().counter("crossbar.analog_writes");
   obs::Counter& logic_ops =
       obs::Registry::global().counter("crossbar.logic_ops");
+  // Per-fidelity-tier VMM counts (tier 0 = vmm_ops minus the two below).
+  obs::Counter& vmm_fast_ops =
+      obs::Registry::global().counter("crossbar.vmm_fast_ops");
+  obs::Counter& vmm_ideal_ops =
+      obs::Registry::global().counter("crossbar.vmm_ideal_ops");
 };
 
 ObsCounters& obs_counters() {
@@ -322,16 +327,30 @@ void Crossbar::rebuild_conductance_cache() {
   CIM_OBS_SPAN("crossbar.cache.rebuild", obs::Component::kDigital);
   g_true_cache_.resize(cells_.size());
   g_eff_cache_.resize(cells_.size());
+  g_ideal_cache_.resize(cells_.size());
+  g_eff_sq_colsum_.assign(cfg_.cols, 0.0);
+  g_eff_rowsum_.assign(cfg_.rows, 0.0);
+  g_ideal_rowsum_.assign(cfg_.rows, 0.0);
   g_true_sum_ = 0.0;
+  const auto& sch = scheme();
   std::size_t idx = 0;
   for (std::size_t r = 0; r < cfg_.rows; ++r) {
     for (std::size_t c = 0; c < cfg_.cols; ++c, ++idx) {
       const double g = cells_[idx].true_conductance_us();
       g_true_cache_[idx] = g;
-      g_eff_cache_[idx] = effective_conductance(r, c, g);
+      const double ge = effective_conductance(r, c, g);
+      g_eff_cache_[idx] = ge;
       g_true_sum_ += g;
+      const double gi = sch.level_conductance_us(cells_[idx].target_level());
+      g_ideal_cache_[idx] = gi;
+      g_eff_sq_colsum_[c] += ge * ge;
+      g_eff_rowsum_[r] += ge;
+      g_ideal_rowsum_[r] += gi;
     }
   }
+  g_eff_col_std_.resize(cfg_.cols);
+  for (std::size_t c = 0; c < cfg_.cols; ++c)
+    g_eff_col_std_[c] = std::sqrt(g_eff_sq_colsum_[c]);
   g_cache_built_ = true;
   g_all_dirty_ = false;
   dirty_cells_.clear();
@@ -342,16 +361,33 @@ void Crossbar::rebuild_conductance_cache() {
 
 void Crossbar::apply_dirty_cells() {
   CIM_OBS_SPAN("crossbar.cache.delta", obs::Component::kDigital);
+  const auto& sch = scheme();
   for (const std::uint32_t idx : dirty_cells_) {
     const std::size_t r = idx / cfg_.cols;
     const std::size_t c = idx % cfg_.cols;
     const double g = cells_[idx].true_conductance_us();
     if (!cfg_.passive_array) g_true_sum_ += g - g_true_cache_[idx];
     g_true_cache_[idx] = g;
-    g_eff_cache_[idx] = effective_conductance(r, c, g);
+    const double ge_old = g_eff_cache_[idx];
+    const double ge = effective_conductance(r, c, g);
+    g_eff_cache_[idx] = ge;
+    // Fidelity-tier calibration tables: cheap +=delta repair. The sums may
+    // drift by ulps from a cold rebuild (different accumulation order);
+    // tier-1 consumers are validated with tolerances, never bitwise.
+    const double gi_old = g_ideal_cache_[idx];
+    const double gi = sch.level_conductance_us(cells_[idx].target_level());
+    g_ideal_cache_[idx] = gi;
+    g_eff_sq_colsum_[c] += ge * ge - ge_old * ge_old;
+    g_eff_rowsum_[r] += ge - ge_old;
+    g_ideal_rowsum_[r] += gi - gi_old;
     dirty_bits_[r * dirty_words_per_row_ + (c >> 6)] &=
         ~(std::uint64_t{1} << (c & 63));
   }
+  // Refresh the cached column stds wholesale: O(cols) sqrts per delta
+  // event is noise next to the per-cell repair above, and the clamp guards
+  // against a colsum drifting epsilon-negative through cancellation.
+  for (std::size_t c = 0; c < cfg_.cols; ++c)
+    g_eff_col_std_[c] = std::sqrt(std::max(0.0, g_eff_sq_colsum_[c]));
   stats_.cache_dirty_cells += dirty_cells_.size();
   dirty_cells_.clear();
   if (cfg_.passive_array) {
@@ -410,18 +446,115 @@ void Crossbar::apply_read_disturb(util::Rng& rng) {
   }
 }
 
-std::vector<double> Crossbar::vmm(std::span<const double> v_rows) {
+std::vector<double> Crossbar::vmm(std::span<const double> v_rows,
+                                  FidelityTier tier) {
   std::vector<double> currents(cfg_.cols, 0.0);
-  vmm(v_rows, currents);
+  vmm(v_rows, currents, tier);
   return currents;
 }
 
-void Crossbar::vmm(std::span<const double> v_rows,
-                   std::span<double> currents) {
+void Crossbar::accumulate_currents_plain(std::span<const double> v_rows,
+                                         const double* g_flat,
+                                         std::span<double> currents) const {
+  // One dispatch-table load for the whole call instead of one per row.
+  const auto& t = util::simd::active();
+  for (std::size_t r = 0; r < cfg_.rows; ++r) {
+    const double v = v_rows[r];
+    if (v == 0.0) continue;
+    t.axpy(v, g_flat + r * cfg_.cols, currents.data(), cfg_.cols);
+  }
+}
+
+double Crossbar::vmm_energy_from_rowsums(
+    std::span<const double> v_rows, const std::vector<double>& rowsum) const {
+  // Tier 0 charges sum_{r,c} |v_r * (v_r * g)| * t * 1e-3. With g >= 0 the
+  // inner |.| is v_r^2 * g, so the double sum collapses onto the cached
+  // per-row conductance sums (agrees with tier 0 up to reassociation ulps).
+  double e = 0.0;
+  for (std::size_t r = 0; r < cfg_.rows; ++r)
+    e += v_rows[r] * v_rows[r] * rowsum[r];
+  return e * tech_.t_read_ns * 1e-3;
+}
+
+double Crossbar::calibrated_scale_and_energy(std::span<const double> v_rows,
+                                             double& energy) const {
+  // One pass over rows serves both tier-1 closed forms. Noise: tier-0
+  // column variance is sum_r (noise_frac * v_r * g_eff[r][c])^2; the
+  // mean-field calibration factorises it as (mean_r v_r^2) * sum_r g^2 —
+  // exact when |v_r| is uniform across rows (the bit-sliced DAC encodings
+  // the tile layer feeds are exactly that), within the documented budget
+  // otherwise. Per-column std = scale * g_eff_col_std_[c]. Energy: same
+  // accumulation order as vmm_energy_from_rowsums, so the collapse onto
+  // the cached row sums stays bit-identical to the unfused helper.
+  double v_sq_sum = 0.0;
+  double e = 0.0;
+  for (std::size_t r = 0; r < cfg_.rows; ++r) {
+    const double vv = v_rows[r] * v_rows[r];
+    v_sq_sum += vv;
+    e += vv * g_eff_rowsum_[r];
+  }
+  energy = e * tech_.t_read_ns * 1e-3;
+  return tech_.read_noise_frac *
+         std::sqrt(v_sq_sum / static_cast<double>(cfg_.rows));
+}
+
+void Crossbar::vmm_calibrated(std::span<const double> v_rows,
+                              std::span<double> currents) {
+  CIM_OBS_SPAN_NAMED(span, "crossbar.vmm.fast", obs::Component::kArray);
+  ensure_conductance_cache();
+  std::fill(currents.begin(), currents.end(), 0.0);
+  accumulate_currents_plain(v_rows, g_eff_cache_.data(), currents);
+  if (cfg_.passive_array) {
+    const double sneak_per_col = sneak_background_per_col(v_rows);
+    for (double& i : currents) i += sneak_per_col;
+  }
+  double energy = 0.0;
+  const double scale = calibrated_scale_and_energy(v_rows, energy);
+  if (scale > 0.0) {
+    // One serial generator advance keys the whole draw; each column's
+    // noise is then a pure counter hash against the cached column std —
+    // an order of magnitude cheaper than four xoshiro steps plus a sqrt
+    // per column, with the same Irwin-Hall-4 distribution.
+    const std::uint64_t key = rng_();
+    for (std::size_t c = 0; c < cfg_.cols; ++c)
+      currents[c] +=
+          scale * g_eff_col_std_[c] * util::Rng::normal_hash(key, c);
+  }
+  ++stats_.vmm_ops;
+  charge(tech_.t_read_ns, energy);
+  if (obs::enabled()) {
+    obs_counters().vmm_ops.add(1);
+    obs_counters().vmm_fast_ops.add(1);
+    span.add_sim_time_ns(tech_.t_read_ns);
+    span.add_energy_pj(energy);
+  }
+}
+
+void Crossbar::vmm_ideal(std::span<const double> v_rows,
+                         std::span<double> currents) {
+  CIM_OBS_SPAN_NAMED(span, "crossbar.vmm.ideal", obs::Component::kArray);
+  ensure_conductance_cache();
+  std::fill(currents.begin(), currents.end(), 0.0);
+  accumulate_currents_plain(v_rows, g_ideal_cache_.data(), currents);
+  const double energy = vmm_energy_from_rowsums(v_rows, g_ideal_rowsum_);
+  ++stats_.vmm_ops;
+  charge(tech_.t_read_ns, energy);
+  if (obs::enabled()) {
+    obs_counters().vmm_ops.add(1);
+    obs_counters().vmm_ideal_ops.add(1);
+    span.add_sim_time_ns(tech_.t_read_ns);
+    span.add_energy_pj(energy);
+  }
+}
+
+void Crossbar::vmm(std::span<const double> v_rows, std::span<double> currents,
+                   FidelityTier tier) {
   if (v_rows.size() != cfg_.rows)
     throw std::invalid_argument("vmm: input size != rows");
   if (currents.size() != cfg_.cols)
     throw std::invalid_argument("vmm: output size != cols");
+  if (tier == FidelityTier::kCalibrated) return vmm_calibrated(v_rows, currents);
+  if (tier == FidelityTier::kIdeal) return vmm_ideal(v_rows, currents);
   CIM_OBS_SPAN_NAMED(span, "crossbar.vmm", obs::Component::kArray);
   ensure_conductance_cache();
   std::fill(currents.begin(), currents.end(), 0.0);
@@ -455,13 +588,18 @@ void Crossbar::vmm(std::span<const double> v_rows,
 }
 
 void Crossbar::vmm_batch(const util::Matrix& v_batch, util::Matrix& out,
-                         util::ThreadPool* pool) {
+                         util::ThreadPool* pool, FidelityTier tier) {
   if (v_batch.cols() != cfg_.rows)
     throw std::invalid_argument("vmm_batch: input width != rows");
   const std::size_t batch = v_batch.rows();
   if (out.rows() != batch || out.cols() != cfg_.cols)
     out = util::Matrix(batch, cfg_.cols);
   if (batch == 0) return;
+  auto& pool_ref = pool != nullptr ? *pool : util::ThreadPool::global();
+  if (tier == FidelityTier::kCalibrated)
+    return vmm_batch_calibrated(v_batch, out, pool_ref);
+  if (tier == FidelityTier::kIdeal)
+    return vmm_batch_ideal(v_batch, out, pool_ref);
   CIM_OBS_SPAN_NAMED(span, "crossbar.vmm_batch", obs::Component::kArray);
   ensure_conductance_cache();
 
@@ -522,8 +660,87 @@ void Crossbar::vmm_batch(const util::Matrix& v_batch, util::Matrix& out,
   }
 }
 
+void Crossbar::vmm_batch_calibrated(const util::Matrix& v_batch,
+                                    util::Matrix& out,
+                                    util::ThreadPool& pool) {
+  const std::size_t batch = v_batch.rows();
+  CIM_OBS_SPAN_NAMED(span, "crossbar.vmm_batch.fast", obs::Component::kArray);
+  ensure_conductance_cache();
+  // Same counter-split determinism contract as tier 0: one serial master
+  // draw, per-sample noise streams — bit-identical for any pool size. No
+  // disturb streams (tier 1 skips read disturb).
+  const std::uint64_t master = rng_();
+  batch_energy_scratch_.assign(batch, 0.0);
+  auto& sample_energy = batch_energy_scratch_;
+  pool.parallel_for(0, batch, [&](std::size_t s) {
+    const auto v_rows = v_batch.row(s);
+    auto currents = out.row(s);
+    std::fill(currents.begin(), currents.end(), 0.0);
+    accumulate_currents_plain(v_rows, g_eff_cache_.data(), currents);
+    if (cfg_.passive_array) {
+      const double sneak_per_col = sneak_background_per_col(v_rows);
+      for (double& i : currents) i += sneak_per_col;
+    }
+    double energy = 0.0;
+    const double scale = calibrated_scale_and_energy(v_rows, energy);
+    if (scale > 0.0) {
+      // Counter-split per sample, counter-hashed per column: pure
+      // functions of (master, s, c), so the fan-out stays bit-identical
+      // for any pool size without paying a generator per column.
+      const std::uint64_t key = util::Rng::stream_seed(master, s);
+      for (std::size_t c = 0; c < cfg_.cols; ++c)
+        currents[c] +=
+            scale * g_eff_col_std_[c] * util::Rng::normal_hash(key, c);
+    }
+    sample_energy[s] = energy;
+  });
+  for (std::size_t s = 0; s < batch; ++s) {
+    ++stats_.vmm_ops;
+    charge(tech_.t_read_ns, sample_energy[s]);
+  }
+  if (obs::enabled()) {
+    obs_counters().vmm_ops.add(batch);
+    obs_counters().vmm_fast_ops.add(batch);
+    double batch_energy = 0.0;
+    for (const double e : sample_energy) batch_energy += e;
+    span.add_sim_time_ns(tech_.t_read_ns * static_cast<double>(batch));
+    span.add_energy_pj(batch_energy);
+  }
+}
+
+void Crossbar::vmm_batch_ideal(const util::Matrix& v_batch, util::Matrix& out,
+                               util::ThreadPool& pool) {
+  const std::size_t batch = v_batch.rows();
+  CIM_OBS_SPAN_NAMED(span, "crossbar.vmm_batch.ideal",
+                     obs::Component::kArray);
+  ensure_conductance_cache();
+  // No RNG at all: tier 2 does not advance the array's stream.
+  batch_energy_scratch_.assign(batch, 0.0);
+  auto& sample_energy = batch_energy_scratch_;
+  pool.parallel_for(0, batch, [&](std::size_t s) {
+    const auto v_rows = v_batch.row(s);
+    auto currents = out.row(s);
+    std::fill(currents.begin(), currents.end(), 0.0);
+    accumulate_currents_plain(v_rows, g_ideal_cache_.data(), currents);
+    sample_energy[s] = vmm_energy_from_rowsums(v_rows, g_ideal_rowsum_);
+  });
+  for (std::size_t s = 0; s < batch; ++s) {
+    ++stats_.vmm_ops;
+    charge(tech_.t_read_ns, sample_energy[s]);
+  }
+  if (obs::enabled()) {
+    obs_counters().vmm_ops.add(batch);
+    obs_counters().vmm_ideal_ops.add(batch);
+    double batch_energy = 0.0;
+    for (const double e : sample_energy) batch_energy += e;
+    span.add_sim_time_ns(tech_.t_read_ns * static_cast<double>(batch));
+    span.add_energy_pj(batch_energy);
+  }
+}
+
 std::vector<std::vector<double>> Crossbar::vmm_batch(
-    std::span<const std::vector<double>> inputs, util::ThreadPool* pool) {
+    std::span<const std::vector<double>> inputs, util::ThreadPool* pool,
+    FidelityTier tier) {
   util::Matrix v_batch(inputs.size(), cfg_.rows);
   for (std::size_t s = 0; s < inputs.size(); ++s) {
     if (inputs[s].size() != cfg_.rows)
@@ -531,7 +748,7 @@ std::vector<std::vector<double>> Crossbar::vmm_batch(
     std::copy(inputs[s].begin(), inputs[s].end(), v_batch.row(s).begin());
   }
   util::Matrix out;
-  vmm_batch(v_batch, out, pool);
+  vmm_batch(v_batch, out, pool, tier);
   std::vector<std::vector<double>> results(inputs.size());
   for (std::size_t s = 0; s < inputs.size(); ++s) {
     const auto row = out.row(s);

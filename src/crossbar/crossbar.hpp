@@ -30,6 +30,7 @@
 #include <vector>
 
 
+#include "crossbar/fidelity.hpp"
 #include "device/reram_cell.hpp"
 #include "device/technology.hpp"
 #include "fault/fault_map.hpp"
@@ -146,14 +147,18 @@ class Crossbar {
   double true_conductance(std::size_t row, std::size_t col) const;
 
   /// Analog vector-matrix multiply: applies `v_rows` volts on the wordlines
-  /// and returns the bitline currents in uA. Models IR-drop, read noise,
-  /// read disturb and (for passive arrays) sneak-path background current.
-  std::vector<double> vmm(std::span<const double> v_rows);
+  /// and returns the bitline currents in uA. At the default tier
+  /// (FidelityTier::kFull) models IR-drop, read noise, read disturb and
+  /// (for passive arrays) sneak-path background current; the cheaper tiers
+  /// trade model fidelity for throughput (see fidelity.hpp).
+  std::vector<double> vmm(std::span<const double> v_rows,
+                          FidelityTier tier = FidelityTier::kFull);
 
   /// Allocation-free variant: writes the bitline currents into `currents`
   /// (size cols). The steady-state hot path — all scratch lives in member
   /// buffers, so interleaved write/VMM loops never touch the allocator.
-  void vmm(std::span<const double> v_rows, std::span<double> currents);
+  void vmm(std::span<const double> v_rows, std::span<double> currents,
+           FidelityTier tier = FidelityTier::kFull);
 
   /// Batched analog VMM: row b of `v_batch` is one input vector; result b
   /// lands in row b of `out` (resized only on shape change, so the storage
@@ -167,13 +172,18 @@ class Crossbar {
   /// accumulated by the batch is applied after all samples (pipelined-read
   /// semantics: every sample of a batch sees the same array state). Stats
   /// accounting matches `batch` sequential vmm() calls.
+  ///
+  /// Cheaper tiers skip the per-sample disturb streams (kCalibrated) or the
+  /// RNG entirely (kIdeal) — see fidelity.hpp.
   void vmm_batch(const util::Matrix& v_batch, util::Matrix& out,
-                 util::ThreadPool* pool = nullptr);
+                 util::ThreadPool* pool = nullptr,
+                 FidelityTier tier = FidelityTier::kFull);
 
   /// Convenience overload over a span of input vectors.
   std::vector<std::vector<double>> vmm_batch(
       std::span<const std::vector<double>> inputs,
-      util::ThreadPool* pool = nullptr);
+      util::ThreadPool* pool = nullptr,
+      FidelityTier tier = FidelityTier::kFull);
 
   /// Ideal VMM on the *target* conductances — the mathematical oracle.
   std::vector<double> ideal_vmm(std::span<const double> v_rows) const;
@@ -316,6 +326,38 @@ class Crossbar {
                            std::span<double> currents,
                            std::span<double> noise_var, double& energy) const;
 
+  /// Tier-1/2 serial VMM bodies (dispatched from vmm()). Both assume a
+  /// valid conductance cache.
+  void vmm_calibrated(std::span<const double> v_rows,
+                      std::span<double> currents);
+  void vmm_ideal(std::span<const double> v_rows, std::span<double> currents);
+
+  /// Shared tier-1/2 current accumulation: currents[c] += v_r * g[r][c]
+  /// over the given flat conductance matrix, same element order and
+  /// rounding as tier 0's pre-noise accumulation (dispatched axpy rows).
+  void accumulate_currents_plain(std::span<const double> v_rows,
+                                 const double* g_flat,
+                                 std::span<double> currents) const;
+
+  /// Closed-form VMM energy (pJ) from the per-row conductance sums:
+  /// sum_r v_r^2 * rowsum[r] * t_read * 1e-3 — exact for tier 0's
+  /// per-cell energy formula because conductances are non-negative.
+  double vmm_energy_from_rowsums(std::span<const double> v_rows,
+                                 const std::vector<double>& rowsum) const;
+
+  /// Tier-1 fused input pass: returns the calibrated noise scale factor
+  /// (mean-field over rows; exact when |v| is uniform — per-column std is
+  /// scale * g_eff_col_std_[c]) and writes the closed-form VMM energy from
+  /// the cached row sums into `energy`, both from one loop over v_rows.
+  double calibrated_scale_and_energy(std::span<const double> v_rows,
+                                     double& energy) const;
+
+  /// Tier-dependent batch fan-out bodies (dispatched from vmm_batch()).
+  void vmm_batch_calibrated(const util::Matrix& v_batch, util::Matrix& out,
+                            util::ThreadPool& pool);
+  void vmm_batch_ideal(const util::Matrix& v_batch, util::Matrix& out,
+                       util::ThreadPool& pool);
+
   /// Sneak background current per column of a passive 0T1R array (from the
   /// cached conductance sum; requires a valid cache).
   double sneak_background_per_col(std::span<const double> v_rows) const;
@@ -339,6 +381,14 @@ class Crossbar {
   std::vector<double> g_true_cache_;   ///< stored conductances, flat row-major
   std::vector<double> g_eff_cache_;    ///< IR-drop-attenuated counterparts
   double g_true_sum_ = 0.0;            ///< sum of g_true (sneak background)
+  // Fidelity-tier calibration tables, maintained alongside the conductance
+  // caches (rebuild + delta repair): target conductances for tier 2, and
+  // the per-column / per-row sums tier 1 derives its noise and energy from.
+  std::vector<double> g_ideal_cache_;    ///< target conductances, flat
+  std::vector<double> g_eff_sq_colsum_;  ///< per-column sum of g_eff^2
+  std::vector<double> g_eff_col_std_;    ///< sqrt(g_eff_sq_colsum_), cached
+  std::vector<double> g_eff_rowsum_;     ///< per-row sum of g_eff
+  std::vector<double> g_ideal_rowsum_;   ///< per-row sum of g_ideal
   bool g_cache_built_ = false;         ///< caches populated at least once
   bool g_all_dirty_ = true;            ///< full rebuild pending
 

@@ -58,6 +58,9 @@ SmallCnn::ForwardState SmallCnn::forward_full(
     const auto wrow = conv_.w.row(ch);
     for (std::size_t p = 0; p < positions; ++p) {
       const auto patch = st.patches.row(p);
+      // kernels::dot reassociates (per-ISA accumulators): fine here — the
+      // logits feed an argmax and training tolerates ulp drift. Anything
+      // needing cross-ISA bit-exactness must use kernels::dot_serial.
       st.conv_pre[ch * positions + p] =
           conv_.b[ch] +
           util::kernels::dot(wrow.data(), patch.data(), patch.size());
@@ -188,7 +191,8 @@ CrossbarCnn::CrossbarCnn(const SmallCnn& cnn, CrossbarLinearConfig array_cfg)
 }
 
 int CrossbarCnn::predict(std::span<const double> image,
-                         util::ThreadPool* pool) {
+                         util::ThreadPool* pool,
+                         crossbar::FidelityTier tier) {
   CIM_OBS_SPAN("nn.cnn.predict", obs::Component::kArray);
   const auto patches = SmallCnn::im2col(image, kSide, 3);
   const std::size_t positions = patches.rows();
@@ -196,7 +200,7 @@ int CrossbarCnn::predict(std::span<const double> image,
   // Conv as one batched crossbar VMM over all im2col patches (inputs are
   // pixels in [0,1]).
   conv_layer_->set_x_max(1.0);
-  const auto patch_out = conv_layer_->forward_batch(patches, pool);
+  const auto patch_out = conv_layer_->forward_batch(patches, pool, tier);
   std::vector<double> conv_out(channels_ * positions);
   for (std::size_t p = 0; p < positions; ++p)
     for (std::size_t ch = 0; ch < channels_; ++ch)
@@ -219,18 +223,19 @@ int CrossbarCnn::predict(std::span<const double> image,
   double pmax = 1e-9;
   for (const double v : pooled) pmax = std::max(pmax, v);
   fc_layer_->set_x_max(pmax);
-  const auto logits = fc_layer_->forward(pooled);
+  const auto logits = fc_layer_->forward(pooled, tier);
   return static_cast<int>(
       std::max_element(logits.begin(), logits.end()) - logits.begin());
 }
 
-double CrossbarCnn::accuracy(const Dataset& data, util::ThreadPool* pool) {
+double CrossbarCnn::accuracy(const Dataset& data, util::ThreadPool* pool,
+                             crossbar::FidelityTier tier) {
   if (data.size() == 0) return 0.0;
   // Samples stay serial (the arrays are stateful); the per-sample conv
   // batch fans out over the pool.
   std::size_t correct = 0;
   for (std::size_t i = 0; i < data.size(); ++i)
-    if (predict(data.features.row(i), pool) == data.labels[i]) ++correct;
+    if (predict(data.features.row(i), pool, tier) == data.labels[i]) ++correct;
   return static_cast<double>(correct) / static_cast<double>(data.size());
 }
 

@@ -68,9 +68,12 @@ class CrossbarCnn {
   CrossbarCnn(const SmallCnn& cnn, CrossbarLinearConfig array_cfg = {});
 
   /// The conv layer evaluates all im2col patches of the image as one
-  /// crossbar `vmm_batch` — the batched-VMM hot path.
-  int predict(std::span<const double> image, util::ThreadPool* pool = nullptr);
-  double accuracy(const Dataset& data, util::ThreadPool* pool = nullptr);
+  /// crossbar `vmm_batch` — the batched-VMM hot path. `tier` selects the
+  /// analog fidelity of every VMM on the path (crossbar/fidelity.hpp).
+  int predict(std::span<const double> image, util::ThreadPool* pool = nullptr,
+              crossbar::FidelityTier tier = crossbar::FidelityTier::kFull);
+  double accuracy(const Dataset& data, util::ThreadPool* pool = nullptr,
+                  crossbar::FidelityTier tier = crossbar::FidelityTier::kFull);
 
   /// Stuck-at fault injection on both layers' arrays.
   void apply_yield(double yield, util::Rng& rng);

@@ -78,7 +78,8 @@ void CrossbarLinear::set_x_max(double x_max) {
   x_max_ = x_max;
 }
 
-std::vector<double> CrossbarLinear::forward(std::span<const double> x) {
+std::vector<double> CrossbarLinear::forward(std::span<const double> x,
+                                            crossbar::FidelityTier tier) {
   if (x.size() != in_) throw std::invalid_argument("CrossbarLinear: dim mismatch");
   CIM_OBS_SPAN("nn.linear.forward", obs::Component::kArray);
   const auto& tech = plus_->tech();
@@ -93,13 +94,8 @@ std::vector<double> CrossbarLinear::forward(std::span<const double> x) {
   i_minus_scratch_.resize(out_);
   auto& i_plus = i_plus_scratch_;
   auto& i_minus = i_minus_scratch_;
-  plus_->vmm(volts, i_plus);
-  minus_->vmm(volts, i_minus);
-
-  if (adc_) {
-    for (auto* vec : {&i_plus, &i_minus})
-      for (double& i : *vec) i = adc_->dequantize(adc_->quantize(i));
-  }
+  plus_->vmm(volts, i_plus, tier);
+  minus_->vmm(volts, i_minus, tier);
 
   // Undo the conductance/voltage scaling:
   //   I+ - I- = sum_i v_i * (w_i / w_max) * g_range
@@ -108,13 +104,29 @@ std::vector<double> CrossbarLinear::forward(std::span<const double> x) {
   const double scale = w_max_ * x_max_ / (v_read * g_range);
 
   std::vector<double> y(out_);
+  if (tier != crossbar::FidelityTier::kFull && adc_) {
+    // Fast tiers fuse the ADC round-trip into the readout loop: one pass
+    // over the currents instead of a quantize pass plus a combine pass.
+    // Same per-element math as the staged path below.
+    for (std::size_t o = 0; o < out_; ++o) {
+      const double ip = adc_->dequantize(adc_->quantize(i_plus[o]));
+      const double im = adc_->dequantize(adc_->quantize(i_minus[o]));
+      y[o] = (ip - im) * scale + bias_[o];
+    }
+    return y;
+  }
+  if (adc_) {
+    for (auto* vec : {&i_plus, &i_minus})
+      for (double& i : *vec) i = adc_->dequantize(adc_->quantize(i));
+  }
   for (std::size_t o = 0; o < out_; ++o)
     y[o] = (i_plus[o] - i_minus[o]) * scale + bias_[o];
   return y;
 }
 
 util::Matrix CrossbarLinear::forward_batch(const util::Matrix& x,
-                                           util::ThreadPool* pool) {
+                                           util::ThreadPool* pool,
+                                           crossbar::FidelityTier tier) {
   if (x.cols() != in_)
     throw std::invalid_argument("CrossbarLinear: dim mismatch");
   CIM_OBS_SPAN("nn.linear.forward_batch", obs::Component::kArray);
@@ -131,18 +143,31 @@ util::Matrix CrossbarLinear::forward_batch(const util::Matrix& x,
       vi[i] = std::clamp(xi[i] / x_max_, 0.0, 1.0) * v_read;
   }
 
-  plus_->vmm_batch(batch_volts_, batch_plus_, pool);
-  minus_->vmm_batch(batch_volts_, batch_minus_, pool);
-
-  if (adc_) {
-    for (auto* m : {&batch_plus_, &batch_minus_})
-      for (double& i : m->flat()) i = adc_->dequantize(adc_->quantize(i));
-  }
+  plus_->vmm_batch(batch_volts_, batch_plus_, pool, tier);
+  minus_->vmm_batch(batch_volts_, batch_minus_, pool, tier);
 
   const double g_range = tech.g_on_us() - tech.g_off_us();
   const double scale = w_max_ * x_max_ / (v_read * g_range);
 
   util::Matrix y(batch, out_);
+  if (tier != crossbar::FidelityTier::kFull && adc_) {
+    // Fused ADC round-trip (see forward()): one pass per sample.
+    for (std::size_t b = 0; b < batch; ++b) {
+      const auto ip = batch_plus_.row(b);
+      const auto im = batch_minus_.row(b);
+      auto yb = y.row(b);
+      for (std::size_t o = 0; o < out_; ++o) {
+        const double p = adc_->dequantize(adc_->quantize(ip[o]));
+        const double m = adc_->dequantize(adc_->quantize(im[o]));
+        yb[o] = (p - m) * scale + bias_[o];
+      }
+    }
+    return y;
+  }
+  if (adc_) {
+    for (auto* m : {&batch_plus_, &batch_minus_})
+      for (double& i : m->flat()) i = adc_->dequantize(adc_->quantize(i));
+  }
   for (std::size_t b = 0; b < batch; ++b) {
     const auto ip = batch_plus_.row(b);
     const auto im = batch_minus_.row(b);

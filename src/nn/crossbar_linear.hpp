@@ -41,16 +41,21 @@ class CrossbarLinear {
   std::size_t in_dim() const { return in_; }
   std::size_t out_dim() const { return out_; }
 
-  /// Analog forward pass; `x` entries are expected in [0, x_max].
-  std::vector<double> forward(std::span<const double> x);
+  /// Analog forward pass; `x` entries are expected in [0, x_max]. `tier`
+  /// selects the crossbar fidelity (see crossbar/fidelity.hpp); the
+  /// cheaper tiers also fuse the ADC round-trip into the readout loop.
+  std::vector<double> forward(
+      std::span<const double> x,
+      crossbar::FidelityTier tier = crossbar::FidelityTier::kFull);
 
   /// Batched forward pass: row b of `x` is one sample; returns (batch x
   /// out). Rides the crossbars' `vmm_batch`, so samples fan out across
   /// `pool` (global pool when null) with bit-identical results for any
   /// thread count. Internal voltage/current buffers are reused across
   /// calls.
-  util::Matrix forward_batch(const util::Matrix& x,
-                             util::ThreadPool* pool = nullptr);
+  util::Matrix forward_batch(
+      const util::Matrix& x, util::ThreadPool* pool = nullptr,
+      crossbar::FidelityTier tier = crossbar::FidelityTier::kFull);
 
   /// Re-programs the arrays with updated weights/bias (same shape). Stuck
   /// cells silently keep their value — the mechanism fault-tolerant

@@ -14,14 +14,15 @@ struct AnalogForward {
 };
 
 AnalogForward analog_forward(CrossbarLinear& l0, CrossbarLinear& l1,
-                             std::span<const double> x) {
+                             std::span<const double> x,
+                             crossbar::FidelityTier tier) {
   AnalogForward f;
-  f.hidden = l0.forward(x);
+  f.hidden = l0.forward(x, tier);
   for (double& v : f.hidden) v = std::max(0.0, v);
   double hmax = 1e-9;
   for (const double v : f.hidden) hmax = std::max(hmax, v);
   l1.set_x_max(hmax);
-  f.logits = l1.forward(f.hidden);
+  f.logits = l1.forward(f.hidden, tier);
   return f;
 }
 
@@ -78,11 +79,11 @@ util::Matrix effective_weights(const CrossbarLinear& layer,
 }  // namespace
 
 double crossbar_accuracy(CrossbarLinear& l0, CrossbarLinear& l1,
-                         const Dataset& data) {
+                         const Dataset& data, crossbar::FidelityTier tier) {
   if (data.size() == 0) return 0.0;
   std::size_t correct = 0;
   for (std::size_t i = 0; i < data.size(); ++i) {
-    const auto f = analog_forward(l0, l1, data.features.row(i));
+    const auto f = analog_forward(l0, l1, data.features.row(i), tier);
     const int pred = static_cast<int>(
         std::max_element(f.logits.begin(), f.logits.end()) - f.logits.begin());
     if (pred == data.labels[i]) ++correct;

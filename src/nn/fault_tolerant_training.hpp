@@ -32,9 +32,11 @@ struct RetrainResult {
 
 /// Classification accuracy of a 2-layer crossbar-mapped network: layer0 ->
 /// ReLU -> layer1 -> argmax (hidden activations rescaled into layer1's
-/// input range).
-double crossbar_accuracy(CrossbarLinear& l0, CrossbarLinear& l1,
-                         const Dataset& data);
+/// input range). `tier` selects the analog fidelity of every VMM on the
+/// path (crossbar/fidelity.hpp).
+double crossbar_accuracy(
+    CrossbarLinear& l0, CrossbarLinear& l1, const Dataset& data,
+    crossbar::FidelityTier tier = crossbar::FidelityTier::kFull);
 
 /// Retrains `net` (must be a 2-layer MLP matching l0/l1 shapes) through the
 /// faulty arrays. `net`'s software weights are updated in place and

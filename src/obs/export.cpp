@@ -54,6 +54,7 @@ void write_meta_fields(std::ostream& os, const Snapshot::Meta& meta) {
   os << "\"git_sha\":\"" << json_escape(meta.git_sha) << "\","
      << "\"build_type\":\"" << json_escape(meta.build_type) << "\","
      << "\"threads\":" << meta.threads << ","
+     << "\"simd_isa\":\"" << json_escape(meta.simd_isa) << "\","
      << "\"cim_obs\":\"" << json_escape(meta.mode) << "\"";
 }
 
@@ -170,7 +171,7 @@ void write_chrome_trace(std::ostream& os) {
 
 std::string bench_json_line(
     const std::string& bench, double wall_ms, double ops,
-    std::initializer_list<std::pair<const char*, double>> extras) {
+    const std::vector<std::pair<std::string, double>>& extras) {
   const double ops_per_s = wall_ms > 0.0 ? ops / (wall_ms / 1e3) : 0.0;
   const BuildInfo info = build_info();
   Registry& reg = Registry::global();
@@ -191,16 +192,26 @@ std::string bench_json_line(
   os << "\"cache_delta_updates\":" << reg.counter("cache.delta_updates").value()
      << ",";
   os << "\"git_sha\":\"" << json_escape(info.git_sha) << "\",";
-  os << "\"build_type\":\"" << json_escape(info.build_type) << "\"";
+  os << "\"build_type\":\"" << json_escape(info.build_type) << "\",";
+  os << "\"simd_isa\":\"" << json_escape(info.simd_isa) << "\"";
   for (const auto& [key, value] : extras)
-    os << ",\"" << key << "\":" << json_num(value);
+    os << ",\"" << json_escape(key) << "\":" << json_num(value);
   os << "}";
   return os.str();
 }
 
-void emit_bench_json(
+std::string bench_json_line(
     const std::string& bench, double wall_ms, double ops,
     std::initializer_list<std::pair<const char*, double>> extras) {
+  std::vector<std::pair<std::string, double>> vec;
+  vec.reserve(extras.size());
+  for (const auto& [key, value] : extras) vec.emplace_back(key, value);
+  return bench_json_line(bench, wall_ms, ops, vec);
+}
+
+void emit_bench_json(
+    const std::string& bench, double wall_ms, double ops,
+    const std::vector<std::pair<std::string, double>>& extras) {
   std::printf("%s\n", bench_json_line(bench, wall_ms, ops, extras).c_str());
 
   // Exporter hooks: every bench dumps telemetry when asked to, without
@@ -219,6 +230,15 @@ void emit_bench_json(
     write_prometheus_file(path);
   }
   export_health_heatmap_if_requested();
+}
+
+void emit_bench_json(
+    const std::string& bench, double wall_ms, double ops,
+    std::initializer_list<std::pair<const char*, double>> extras) {
+  std::vector<std::pair<std::string, double>> vec;
+  vec.reserve(extras.size());
+  for (const auto& [key, value] : extras) vec.emplace_back(key, value);
+  emit_bench_json(bench, wall_ms, ops, vec);
 }
 
 }  // namespace cim::obs

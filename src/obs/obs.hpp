@@ -303,6 +303,7 @@ struct Snapshot {
     std::string build_type;
     std::size_t threads = 1;
     std::string mode;
+    std::string simd_isa;
   } meta;
   std::vector<std::pair<std::string, std::uint64_t>> counters;
   std::vector<std::pair<std::string, double>> gauges;
@@ -395,6 +396,7 @@ struct BuildInfo {
   std::string git_sha;     ///< configure-time git SHA (or "unknown")
   std::string build_type;  ///< CMAKE_BUILD_TYPE
   std::size_t threads;     ///< CIM_THREADS or hardware concurrency
+  std::string simd_isa;    ///< active kernel ISA (util::simd dispatch)
 };
 BuildInfo build_info();
 
@@ -425,6 +427,12 @@ std::string bench_json_line(
     const std::string& bench, double wall_ms, double ops,
     std::initializer_list<std::pair<const char*, double>> extras = {});
 
+/// Overload for dynamically built extras (per-ISA sweeps and other
+/// run-time-shaped key sets).
+std::string bench_json_line(
+    const std::string& bench, double wall_ms, double ops,
+    const std::vector<std::pair<std::string, double>>& extras);
+
 /// Prints the BENCH_JSON line and honours the exporter env hooks:
 /// CIM_OBS_TRACE_FILE / CIM_OBS_SNAPSHOT_FILE receive the Chrome trace /
 /// JSON snapshot when set (and telemetry is enabled);
@@ -436,5 +444,10 @@ std::string bench_json_line(
 void emit_bench_json(
     const std::string& bench, double wall_ms, double ops,
     std::initializer_list<std::pair<const char*, double>> extras = {});
+
+/// Overload for dynamically built extras.
+void emit_bench_json(
+    const std::string& bench, double wall_ms, double ops,
+    const std::vector<std::pair<std::string, double>>& extras);
 
 }  // namespace cim::obs

@@ -81,6 +81,8 @@ void write_prometheus_text(std::ostream& os) {
     prom_label_value(os, s.meta.build_type);
     os << ",mode=";
     prom_label_value(os, s.meta.mode);
+    os << ",simd_isa=";
+    prom_label_value(os, s.meta.simd_isa);
     os << "} 1\n";
   }
 

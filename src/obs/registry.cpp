@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "obs/trace_events.hpp"
+#include "util/simd_dispatch.hpp"
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
@@ -158,6 +159,7 @@ Snapshot Registry::snapshot() const {
   s.meta.git_sha = info.git_sha;
   s.meta.build_type = info.build_type;
   s.meta.threads = info.threads;
+  s.meta.simd_isa = info.simd_isa;
   const int m = static_cast<int>(obs::mode());
   if (m == 0)
     s.meta.mode = "off";
@@ -278,6 +280,7 @@ BuildInfo build_info() {
     const unsigned hw = std::thread::hardware_concurrency();
     info.threads = hw > 0 ? hw : 1;
   }
+  info.simd_isa = util::simd::active_isa_name();
   return info;
 }
 

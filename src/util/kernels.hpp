@@ -1,5 +1,5 @@
 /// \file kernels.hpp
-/// \brief Blocked, FMA-friendly numeric micro-kernels for the simulator's
+/// \brief Runtime-dispatched numeric micro-kernels for the simulator's
 ///        inner loops (crossbar VMM, dense matvec/GEMM, im2col conv).
 ///
 /// These are the tight loops NeuroSim/MNSIM-class frameworks spend their
@@ -8,40 +8,59 @@
 /// kernels take raw pointers + lengths and leave bounds checking to the
 /// callers.
 ///
+/// Each entry point forwards through the active simd::KernelTable (one
+/// relaxed atomic load), selected at startup from CPUID and the `CIM_SIMD`
+/// environment variable — see simd_dispatch.hpp for the selection rules
+/// and the full cross-ISA bit-exactness contract.
+///
 /// Accumulation contracts:
-///  - `dot` / `gemm_accumulate` use multi-accumulator reassociation: they
-///    are FMA/SIMD-friendly but NOT bitwise-equal to a serial left-to-right
-///    sum. Use them where consumers tolerate ulp-level drift (NN layers,
-///    dense linear algebra).
-///  - `vmm_row_accumulate` preserves the exact element order and expression
-///    shapes of the historical crossbar VMM loop — the crossbar's
-///    bit-identical output contract (serial vmm == batched vmm == the
-///    pre-incremental-cache behaviour) depends on it. Do not reassociate.
+///  - `dot` / `gemm_accumulate` tolerate reassociation: `dot` uses
+///    multi-accumulator splitting (4-way scalar, per-lane FMA on SIMD
+///    tables) and is deterministic per table but drifts by ulps across
+///    tables. `gemm_accumulate` accumulates each C element in k-order with
+///    separate mul+add on every table, so it is in fact bit-identical
+///    across tables — but callers should still only rely on the weaker
+///    per-table determinism.
+///  - `vmm_row_accumulate`'s `currents` / `noise_var` outputs preserve the
+///    exact element order and expression shapes of the historical crossbar
+///    VMM loop on every table — the crossbar's bit-identical output
+///    contract (serial vmm == batched vmm == any CIM_SIMD setting) depends
+///    on it. Only its `energy` reduction reassociates across tables.
+///  - `dot_serial` is the order-preserving escape hatch: strict
+///    left-to-right summation, never dispatched, bit-identical everywhere.
+///    Route callers that require reproducible sums across ISA settings
+///    through it.
 #pragma once
 
 #include <cmath>
 #include <cstddef>
 
+#include "util/simd_dispatch.hpp"
+
 namespace cim::util::kernels {
 
-/// Dot product with 4-way accumulator splitting. The four independent
-/// chains keep the FMA pipeline full; the compiler is free to vectorize.
+/// Dot product via the active table (4-way scalar splitting or per-lane
+/// FMA accumulators). Deterministic for a fixed table; reassociated —
+/// NOT bitwise-stable across CIM_SIMD settings. Callers needing that use
+/// dot_serial().
 inline double dot(const double* a, const double* b, std::size_t n) {
-  double acc0 = 0.0, acc1 = 0.0, acc2 = 0.0, acc3 = 0.0;
-  std::size_t i = 0;
-  for (; i + 4 <= n; i += 4) {
-    acc0 += a[i] * b[i];
-    acc1 += a[i + 1] * b[i + 1];
-    acc2 += a[i + 2] * b[i + 2];
-    acc3 += a[i + 3] * b[i + 3];
-  }
-  for (; i < n; ++i) acc0 += a[i] * b[i];
-  return (acc0 + acc1) + (acc2 + acc3);
+  return simd::active().dot(a, b, n);
 }
 
-/// y[i] += a * x[i]. Element-wise, so reassociation-free by construction.
+/// Strict left-to-right dot product. Never dispatched: bit-identical on
+/// every host, thread count, and CIM_SIMD setting. Slower than dot() —
+/// one dependent add chain — so reserve it for bit-exactness-dependent
+/// callers (golden files, cross-run replay checks).
+inline double dot_serial(const double* a, const double* b, std::size_t n) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+/// y[i] += a * x[i]. Element-wise separate mul+add on every table:
+/// bit-identical across CIM_SIMD settings.
 inline void axpy(double a, const double* x, double* y, std::size_t n) {
-  for (std::size_t i = 0; i < n; ++i) y[i] += a * x[i];
+  simd::active().axpy(a, x, y, n);
 }
 
 /// Fused crossbar-VMM row update over one wordline:
@@ -51,30 +70,26 @@ inline void axpy(double a, const double* x, double* y, std::size_t n) {
 ///   noise_var[c] += (noise_frac * i)^2
 ///   energy      += |v * i| * t_read_ns * 1e-3        (pJ)
 ///
-/// Element order and expression shapes replicate the historical
-/// Crossbar::accumulate_currents loop exactly (see accumulation contract
-/// above): `energy` is carried through sequentially so the running sum sees
-/// the same rounding sequence.
+/// `currents` / `noise_var` replicate the historical per-element rounding
+/// on every table (bit-identical across CIM_SIMD settings). `energy` is a
+/// reduction: serial chain on scalar, per-lane partials on SIMD tables —
+/// deterministic per table, ulp drift across tables.
 inline void vmm_row_accumulate(double v, const double* g, double* currents,
                                double* noise_var, double noise_frac,
                                double t_read_ns, std::size_t n,
                                double& energy) {
-  double e = energy;
-  for (std::size_t c = 0; c < n; ++c) {
-    const double i = v * g[c];
-    currents[c] += i;
-    const double cell_noise = noise_frac * i;
-    noise_var[c] += cell_noise * cell_noise;
-    e += std::abs(v * i) * t_read_ns * 1e-3;
-  }
-  energy = e;
+  simd::active().vmm_row_accumulate(v, g, currents, noise_var, noise_frac,
+                                    t_read_ns, n, energy);
 }
 
 /// C (m x n) += A (m x k) * B (k x n), all row-major with the given leading
 /// strides. Blocked over k and n to keep the B panel and C row in cache;
-/// the inner update is an axpy, so each C element accumulates in k-order.
-void gemm_accumulate(const double* a, std::size_t lda, const double* b,
-                     std::size_t ldb, double* c, std::size_t ldc,
-                     std::size_t m, std::size_t k, std::size_t n);
+/// the inner update is an axpy, so each C element accumulates in k-order
+/// with separate mul+add on every table.
+inline void gemm_accumulate(const double* a, std::size_t lda, const double* b,
+                            std::size_t ldb, double* c, std::size_t ldc,
+                            std::size_t m, std::size_t k, std::size_t n) {
+  simd::active().gemm_accumulate(a, lda, b, ldb, c, ldc, m, k, n);
+}
 
 }  // namespace cim::util::kernels

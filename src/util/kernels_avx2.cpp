@@ -1,0 +1,141 @@
+/// \file kernels_avx2.cpp
+/// \brief AVX2+FMA kernel variants (256-bit lanes).
+///
+/// Compiled with -mavx2 -mfma -ffp-contract=off (src/util/CMakeLists.txt):
+/// contraction is disabled so the element-wise kernels (axpy, gemm's inner
+/// axpy, vmm_row_accumulate's currents/noise_var updates) keep the separate
+/// multiply-then-add rounding of the scalar baseline and stay bit-identical
+/// to it. FMA is used only where the contract already permits
+/// reassociation: the dot reduction. The energy reduction of
+/// vmm_row_accumulate runs in four per-lane partial sums (columns c, c+4,
+/// ... per lane) reduced once at the end — deterministic, but reassociated
+/// relative to the scalar serial chain.
+#include "util/kernels_impl.hpp"
+
+#if CIM_SIMD_X86 && defined(__AVX2__) && defined(__FMA__)
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cmath>
+
+namespace cim::util::kernels::detail {
+
+double dot_avx2(const double* a, const double* b, std::size_t n) {
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  __m256d acc2 = _mm256_setzero_pd();
+  __m256d acc3 = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    acc0 = _mm256_fmadd_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i),
+                           acc0);
+    acc1 = _mm256_fmadd_pd(_mm256_loadu_pd(a + i + 4),
+                           _mm256_loadu_pd(b + i + 4), acc1);
+    acc2 = _mm256_fmadd_pd(_mm256_loadu_pd(a + i + 8),
+                           _mm256_loadu_pd(b + i + 8), acc2);
+    acc3 = _mm256_fmadd_pd(_mm256_loadu_pd(a + i + 12),
+                           _mm256_loadu_pd(b + i + 12), acc3);
+  }
+  for (; i + 4 <= n; i += 4)
+    acc0 = _mm256_fmadd_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i),
+                           acc0);
+  const __m256d sum =
+      _mm256_add_pd(_mm256_add_pd(acc0, acc1), _mm256_add_pd(acc2, acc3));
+  alignas(32) double lanes[4];
+  _mm256_store_pd(lanes, sum);
+  double r = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+  for (; i < n; ++i) r += a[i] * b[i];
+  return r;
+}
+
+void axpy_avx2(double a, const double* x, double* y, std::size_t n) {
+  const __m256d va = _mm256_set1_pd(a);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256d y0 = _mm256_add_pd(
+        _mm256_loadu_pd(y + i), _mm256_mul_pd(va, _mm256_loadu_pd(x + i)));
+    const __m256d y1 =
+        _mm256_add_pd(_mm256_loadu_pd(y + i + 4),
+                      _mm256_mul_pd(va, _mm256_loadu_pd(x + i + 4)));
+    _mm256_storeu_pd(y + i, y0);
+    _mm256_storeu_pd(y + i + 4, y1);
+  }
+  for (; i + 4 <= n; i += 4) {
+    const __m256d y0 = _mm256_add_pd(
+        _mm256_loadu_pd(y + i), _mm256_mul_pd(va, _mm256_loadu_pd(x + i)));
+    _mm256_storeu_pd(y + i, y0);
+  }
+  for (; i < n; ++i) y[i] += a * x[i];
+}
+
+void vmm_row_accumulate_avx2(double v, const double* g, double* currents,
+                             double* noise_var, double noise_frac,
+                             double t_read_ns, std::size_t n, double& energy) {
+  const __m256d vv = _mm256_set1_pd(v);
+  const __m256d vnf = _mm256_set1_pd(noise_frac);
+  const __m256d vt = _mm256_set1_pd(t_read_ns);
+  const __m256d vmilli = _mm256_set1_pd(1e-3);
+  const __m256d abs_mask = _mm256_castsi256_pd(_mm256_set1_epi64x(
+      static_cast<long long>(0x7fffffffffffffffULL)));
+  __m256d e_acc = _mm256_setzero_pd();
+  std::size_t c = 0;
+  for (; c + 4 <= n; c += 4) {
+    const __m256d gi = _mm256_loadu_pd(g + c);
+    const __m256d icur = _mm256_mul_pd(vv, gi);
+    _mm256_storeu_pd(currents + c,
+                     _mm256_add_pd(_mm256_loadu_pd(currents + c), icur));
+    const __m256d cell_noise = _mm256_mul_pd(vnf, icur);
+    _mm256_storeu_pd(noise_var + c,
+                     _mm256_add_pd(_mm256_loadu_pd(noise_var + c),
+                                   _mm256_mul_pd(cell_noise, cell_noise)));
+    // Same per-element term shape as the scalar chain: |v*i| * t * 1e-3.
+    const __m256d vi = _mm256_and_pd(_mm256_mul_pd(vv, icur), abs_mask);
+    e_acc = _mm256_add_pd(e_acc,
+                          _mm256_mul_pd(_mm256_mul_pd(vi, vt), vmilli));
+  }
+  alignas(32) double lanes[4];
+  _mm256_store_pd(lanes, e_acc);
+  double e = energy + ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3]));
+  for (; c < n; ++c) {
+    const double i = v * g[c];
+    currents[c] += i;
+    const double cell_noise = noise_frac * i;
+    noise_var[c] += cell_noise * cell_noise;
+    e += std::abs(v * i) * t_read_ns * 1e-3;
+  }
+  energy = e;
+}
+
+namespace {
+// Identical blocking to the scalar gemm (kernels_scalar.cpp): only the
+// inner axpy is widened, so C accumulates in the same k-order with the
+// same per-element rounding — bit-identical across tables.
+constexpr std::size_t kKc = 64;
+constexpr std::size_t kNc = 256;
+}  // namespace
+
+void gemm_accumulate_avx2(const double* a, std::size_t lda, const double* b,
+                          std::size_t ldb, double* c, std::size_t ldc,
+                          std::size_t m, std::size_t k, std::size_t n) {
+  for (std::size_t k0 = 0; k0 < k; k0 += kKc) {
+    const std::size_t k1 = std::min(k, k0 + kKc);
+    for (std::size_t n0 = 0; n0 < n; n0 += kNc) {
+      const std::size_t n1 = std::min(n, n0 + kNc);
+      const std::size_t nb = n1 - n0;
+      for (std::size_t r = 0; r < m; ++r) {
+        const double* a_row = a + r * lda;
+        double* c_row = c + r * ldc + n0;
+        for (std::size_t kk = k0; kk < k1; ++kk) {
+          const double av = a_row[kk];
+          if (av == 0.0) continue;
+          axpy_avx2(av, b + kk * ldb + n0, c_row, nb);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace cim::util::kernels::detail
+
+#endif  // CIM_SIMD_X86 && __AVX2__ && __FMA__

@@ -1,0 +1,134 @@
+/// \file kernels_avx512.cpp
+/// \brief AVX-512 F/DQ/VL kernel variants (512-bit lanes).
+///
+/// Compiled with -mavx512f -mavx512dq -mavx512vl -mfma -ffp-contract=off
+/// (src/util/CMakeLists.txt). Same contract split as the AVX2 TU: the
+/// element-wise kernels use separate multiply and add so they stay
+/// bit-identical to the scalar baseline; only the dot reduction uses FMA,
+/// and the vmm_row energy reduction runs in eight per-lane partials
+/// reduced once at the end.
+#include "util/kernels_impl.hpp"
+
+#if CIM_SIMD_X86 && defined(__AVX512F__) && defined(__AVX512DQ__) && \
+    defined(__AVX512VL__)
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cmath>
+
+namespace cim::util::kernels::detail {
+
+double dot_avx512(const double* a, const double* b, std::size_t n) {
+  __m512d acc0 = _mm512_setzero_pd();
+  __m512d acc1 = _mm512_setzero_pd();
+  __m512d acc2 = _mm512_setzero_pd();
+  __m512d acc3 = _mm512_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    acc0 = _mm512_fmadd_pd(_mm512_loadu_pd(a + i), _mm512_loadu_pd(b + i),
+                           acc0);
+    acc1 = _mm512_fmadd_pd(_mm512_loadu_pd(a + i + 8),
+                           _mm512_loadu_pd(b + i + 8), acc1);
+    acc2 = _mm512_fmadd_pd(_mm512_loadu_pd(a + i + 16),
+                           _mm512_loadu_pd(b + i + 16), acc2);
+    acc3 = _mm512_fmadd_pd(_mm512_loadu_pd(a + i + 24),
+                           _mm512_loadu_pd(b + i + 24), acc3);
+  }
+  for (; i + 8 <= n; i += 8)
+    acc0 = _mm512_fmadd_pd(_mm512_loadu_pd(a + i), _mm512_loadu_pd(b + i),
+                           acc0);
+  const __m512d sum =
+      _mm512_add_pd(_mm512_add_pd(acc0, acc1), _mm512_add_pd(acc2, acc3));
+  double r = _mm512_reduce_add_pd(sum);
+  for (; i < n; ++i) r += a[i] * b[i];
+  return r;
+}
+
+void axpy_avx512(double a, const double* x, double* y, std::size_t n) {
+  const __m512d va = _mm512_set1_pd(a);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m512d y0 = _mm512_add_pd(
+        _mm512_loadu_pd(y + i), _mm512_mul_pd(va, _mm512_loadu_pd(x + i)));
+    const __m512d y1 =
+        _mm512_add_pd(_mm512_loadu_pd(y + i + 8),
+                      _mm512_mul_pd(va, _mm512_loadu_pd(x + i + 8)));
+    _mm512_storeu_pd(y + i, y0);
+    _mm512_storeu_pd(y + i + 8, y1);
+  }
+  for (; i + 8 <= n; i += 8) {
+    const __m512d y0 = _mm512_add_pd(
+        _mm512_loadu_pd(y + i), _mm512_mul_pd(va, _mm512_loadu_pd(x + i)));
+    _mm512_storeu_pd(y + i, y0);
+  }
+  for (; i < n; ++i) y[i] += a * x[i];
+}
+
+void vmm_row_accumulate_avx512(double v, const double* g, double* currents,
+                               double* noise_var, double noise_frac,
+                               double t_read_ns, std::size_t n,
+                               double& energy) {
+  const __m512d vv = _mm512_set1_pd(v);
+  const __m512d vnf = _mm512_set1_pd(noise_frac);
+  const __m512d vt = _mm512_set1_pd(t_read_ns);
+  const __m512d vmilli = _mm512_set1_pd(1e-3);
+  __m512d e_acc = _mm512_setzero_pd();
+  std::size_t c = 0;
+  for (; c + 8 <= n; c += 8) {
+    const __m512d gi = _mm512_loadu_pd(g + c);
+    const __m512d icur = _mm512_mul_pd(vv, gi);
+    _mm512_storeu_pd(currents + c,
+                     _mm512_add_pd(_mm512_loadu_pd(currents + c), icur));
+    const __m512d cell_noise = _mm512_mul_pd(vnf, icur);
+    _mm512_storeu_pd(noise_var + c,
+                     _mm512_add_pd(_mm512_loadu_pd(noise_var + c),
+                                   _mm512_mul_pd(cell_noise, cell_noise)));
+    // Same per-element term shape as the scalar chain: |v*i| * t * 1e-3.
+    const __m512d vi = _mm512_abs_pd(_mm512_mul_pd(vv, icur));
+    e_acc = _mm512_add_pd(e_acc,
+                          _mm512_mul_pd(_mm512_mul_pd(vi, vt), vmilli));
+  }
+  double e = energy + _mm512_reduce_add_pd(e_acc);
+  for (; c < n; ++c) {
+    const double i = v * g[c];
+    currents[c] += i;
+    const double cell_noise = noise_frac * i;
+    noise_var[c] += cell_noise * cell_noise;
+    e += std::abs(v * i) * t_read_ns * 1e-3;
+  }
+  energy = e;
+}
+
+namespace {
+// Identical blocking to the scalar gemm (kernels_scalar.cpp): only the
+// inner axpy is widened, so C accumulates in the same k-order with the
+// same per-element rounding — bit-identical across tables.
+constexpr std::size_t kKc = 64;
+constexpr std::size_t kNc = 256;
+}  // namespace
+
+void gemm_accumulate_avx512(const double* a, std::size_t lda, const double* b,
+                            std::size_t ldb, double* c, std::size_t ldc,
+                            std::size_t m, std::size_t k, std::size_t n) {
+  for (std::size_t k0 = 0; k0 < k; k0 += kKc) {
+    const std::size_t k1 = std::min(k, k0 + kKc);
+    for (std::size_t n0 = 0; n0 < n; n0 += kNc) {
+      const std::size_t n1 = std::min(n, n0 + kNc);
+      const std::size_t nb = n1 - n0;
+      for (std::size_t r = 0; r < m; ++r) {
+        const double* a_row = a + r * lda;
+        double* c_row = c + r * ldc + n0;
+        for (std::size_t kk = k0; kk < k1; ++kk) {
+          const double av = a_row[kk];
+          if (av == 0.0) continue;
+          axpy_avx512(av, b + kk * ldb + n0, c_row, nb);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace cim::util::kernels::detail
+
+#endif  // CIM_SIMD_X86 && __AVX512F__ && __AVX512DQ__ && __AVX512VL__

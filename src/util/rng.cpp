@@ -70,6 +70,17 @@ double Rng::normal() {
 
 double Rng::normal(double mean, double stddev) { return mean + stddev * normal(); }
 
+double Rng::normal_approx() {
+  // Irwin-Hall with n = 4: sum of four U(0,1) has mean 2, variance 4/12, so
+  // (sum - 2) * sqrt(3) is moment-matched to N(0, 1).
+  const double sum = uniform() + uniform() + uniform() + uniform();
+  return (sum - 2.0) * 1.7320508075688772;  // sqrt(3)
+}
+
+double Rng::normal_approx(double mean, double stddev) {
+  return mean + stddev * normal_approx();
+}
+
 double Rng::lognormal(double mu_log, double sigma_log) {
   return std::exp(normal(mu_log, sigma_log));
 }
