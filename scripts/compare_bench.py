@@ -10,7 +10,11 @@ number) and fails loudly when a bench that exists in both runs regressed:
 Benches present in only one of the two files are reported but never fail
 the gate (new benches appear, old ones get retired). Sub-millisecond wall
 times are pure noise on shared CI hardware, so rows where *both* runs are
-under 1.0 ms are compared on RSS only.
+under 1.0 ms are compared on RSS only; on top of that the wall gate
+requires an *absolute* slowdown of at least 1.0 ms, because few-ms
+benches carry ms-scale constant offsets between container instances
+(loader, page cache) that the relative threshold misreads as
+regressions.
 
 Runs from different PRs execute on different container instances whose
 raw speed drifts far more than the gate threshold, so wall times are
@@ -43,6 +47,7 @@ from pathlib import Path
 WALL_REGRESSION_FRAC = 0.15
 RSS_REGRESSION_FRAC = 0.10
 WALL_NOISE_FLOOR_MS = 1.0
+WALL_ABS_SLACK_MS = 1.0
 # Host-speed normalization needs enough shared benches for the median
 # ratio to be a speed estimate rather than one bench's behaviour.
 MIN_BENCHES_FOR_SPEED_NORM = 5
@@ -123,8 +128,16 @@ def main() -> int:
 
     print(f"compare_bench: {prev_path.name} -> {cur_path.name} "
           f"({len(shared)} shared benches)")
-    if only_cur:
-        print(f"  new benches (not compared): {', '.join(only_cur)}")
+    # First-appearance benches are informational: their numbers become the
+    # baseline the *next* PR is gated against, so print them rather than
+    # just naming them — a wild first wall/RSS should be visible in the
+    # collection log, not discovered one PR later as a mystery regression.
+    for name in only_cur:
+        obj = cur[name]
+        wall = obj.get("wall_ms", float("nan"))
+        rss = obj.get("peak_rss_mb", float("nan"))
+        print(f"  new bench (informational, baseline for next run): {name} "
+              f"wall_ms={wall:.2f} peak_rss_mb={rss:.1f}")
     if only_prev:
         print(f"  retired benches (not compared): {', '.join(only_prev)}")
 
@@ -165,7 +178,7 @@ def main() -> int:
         elif max(cw, pw) >= WALL_NOISE_FLOOR_MS and pw > 0.0:
             pw_adj = pw * host_speed
             dw = (cw - pw_adj) / pw_adj
-            if dw > WALL_REGRESSION_FRAC:
+            if dw > WALL_REGRESSION_FRAC and cw - pw_adj > WALL_ABS_SLACK_MS:
                 notes.append(f"wall_ms {pw:.2f} -> {cw:.2f} "
                              f"(+{100*dw:.1f}% host-adjusted)")
         if pr > 0.0:

@@ -110,6 +110,28 @@ std::vector<long> CimSystem::vmm_int(std::span<const std::uint32_t> inputs,
   return y;
 }
 
+std::vector<std::vector<long>> CimSystem::vmm_int_batch(
+    std::span<const std::vector<std::uint32_t>> inputs, int input_bits,
+    util::ThreadPool* pool, crossbar::FidelityTier tier) {
+  std::vector<std::vector<long>> out;
+  out.reserve(inputs.size());
+  for (const auto& x : inputs)
+    out.push_back(vmm_int(x, input_bits, pool, tier));
+  return out;
+}
+
+double CimSystem::request_latency_ns(int input_bits) const {
+  double worst_tile = 0.0;
+  for (const auto& blk : tiles_)
+    worst_tile = std::max(worst_tile, blk.tile->vmm_latency_ns(input_bits));
+  const std::size_t row_blocks =
+      (in_ + cfg_.tile.tile.rows - 1) / cfg_.tile.tile.rows;
+  const double reduce_hops =
+      row_blocks > 1 ? std::ceil(std::log2(static_cast<double>(row_blocks)))
+                     : 0.0;
+  return worst_tile + reduce_hops * cfg_.transfer_latency_ns_per_hop;
+}
+
 std::vector<long> CimSystem::ideal_vmm_int(
     std::span<const std::uint32_t> inputs) const {
   if (inputs.size() != in_) throw std::invalid_argument("CimSystem: dim");

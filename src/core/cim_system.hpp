@@ -47,6 +47,11 @@ class CimSystem {
   std::size_t out_dim() const { return out_; }
   std::size_t tile_count() const { return tiles_.size(); }
 
+  /// The tile executing block `i` (block order). Exposed for health
+  /// consumers — wear/drift-aware routing reads the tiles' array monitors.
+  CimTile& tile(std::size_t i) { return *tiles_.at(i).tile; }
+  const CimTile& tile(std::size_t i) const { return *tiles_.at(i).tile; }
+
   /// y = W x over the tile grid, with digital partial-sum reduction.
   /// Independent tiles execute concurrently on `pool` (serial when null);
   /// every tile owns its crossbars and RNG streams, and the partial-sum
@@ -56,6 +61,25 @@ class CimSystem {
       std::span<const std::uint32_t> inputs, int input_bits,
       util::ThreadPool* pool = nullptr,
       crossbar::FidelityTier tier = crossbar::FidelityTier::kFull);
+
+  /// Batched execution path for coalesced request dispatch: runs every
+  /// input vector of `inputs` through the tile grid in order, exactly as
+  /// back-to-back vmm_int() calls would (array state — noise streams, read
+  /// disturb, caches — evolves across samples identically, so result b is
+  /// bit-identical to the b'th sequential call). One dispatch onto the
+  /// system serves the whole batch; the serving controller amortizes its
+  /// per-dispatch issue overhead across these samples.
+  std::vector<std::vector<long>> vmm_int_batch(
+      std::span<const std::vector<std::uint32_t>> inputs, int input_bits,
+      util::ThreadPool* pool = nullptr,
+      crossbar::FidelityTier tier = crossbar::FidelityTier::kFull);
+
+  /// Simulated service latency of one vmm_int of `input_bits` bits (ns):
+  /// the slowest tile's bit-serial time plus the reduction-tree hops. Data
+  /// independent and an exact closed form of the per-call stats().time_ns
+  /// increment — what the serving controller schedules against without
+  /// executing the request.
+  double request_latency_ns(int input_bits) const;
 
   /// Exact oracle.
   std::vector<long> ideal_vmm_int(std::span<const std::uint32_t> inputs) const;

@@ -171,6 +171,18 @@ std::vector<long> CimTile::vmm_int(std::span<const std::uint32_t> inputs,
   return y;
 }
 
+double CimTile::vmm_latency_ns(int input_bits) const {
+  // Mirrors the per-cycle accounting in vmm_int(): one wordline read plus
+  // ceil(cols/adcs) conversion slots (the differential pair's two
+  // conversions per column share a slot across the two arrays).
+  const double adc_conversions_per_cycle =
+      2.0 * std::ceil(static_cast<double>(cols()) /
+                      static_cast<double>(cfg_.tile.adcs));
+  const double t_cycle = plus_->tech().t_read_ns +
+                         (adc_conversions_per_cycle / 2.0) * adc_.latency_ns();
+  return static_cast<double>(input_bits) * t_cycle;
+}
+
 std::vector<long> CimTile::ideal_vmm_int(
     std::span<const std::uint32_t> inputs) const {
   if (inputs.size() != rows())

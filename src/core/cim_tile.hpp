@@ -64,6 +64,13 @@ class CimTile {
   /// Exact reference result (oracle).
   std::vector<long> ideal_vmm_int(std::span<const std::uint32_t> inputs) const;
 
+  /// Simulated latency of one vmm_int of `input_bits` bits on this tile
+  /// (ns). The bit-serial pipeline's cycle time is data-independent
+  /// (wordline read + ADC conversions), so this is an exact closed form of
+  /// the per-call stats().time_ns increment — the quantity the serving
+  /// controller schedules against without executing the request.
+  double vmm_latency_ns(int input_bits) const;
+
   /// Injects faults into the positive/negative arrays.
   void apply_faults(const fault::FaultMap& plus, const fault::FaultMap& minus);
 
@@ -80,6 +87,13 @@ class CimTile {
   /// = 1, cols = tile cols): ADC conversion/saturation counts for the
   /// differential pair. The crossbars attach their own spatial monitors.
   obs::HealthMonitor& health_monitor();
+
+  /// The differential crossbar pair backing this tile. Exposed so health
+  /// consumers (wear/drift-aware request routing, exporters) can read the
+  /// arrays' spatial monitors; mutating the arrays directly bypasses the
+  /// tile's weight bookkeeping.
+  crossbar::Crossbar& plus_array() { return *plus_; }
+  crossbar::Crossbar& minus_array() { return *minus_; }
 
  private:
   double decode_level_sum(double current_ua, double active_inputs) const;

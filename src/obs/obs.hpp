@@ -178,6 +178,20 @@ class Histogram {
     std::vector<std::uint64_t> counts;  ///< bounds.size() + 1 (overflow last)
     std::uint64_t count = 0;
     double sum = 0.0;
+
+    /// Estimated q-quantile (q in [0, 1]) by linear interpolation inside
+    /// the bucket holding rank q*count — the same estimator Prometheus'
+    /// histogram_quantile() applies to the cumulative `le` buckets. The
+    /// first bucket interpolates from lower edge min(bounds[0], 0); a rank
+    /// landing in the overflow bucket clamps to bounds.back() (the largest
+    /// value the bucket layout can resolve). Returns NaN when count == 0
+    /// or there are no finite bounds. Exact per-observation quantiles need
+    /// the raw samples; this is the scrape-side estimate tail-latency
+    /// consumers (serving bench, Prometheus export) read off a histogram.
+    double quantile(double q) const;
+    double p50() const { return quantile(0.50); }
+    double p99() const { return quantile(0.99); }
+    double p999() const { return quantile(0.999); }
   };
   Snapshot snapshot() const;
   void reset() noexcept;

@@ -117,6 +117,22 @@ void write_prometheus_text(std::ostream& os) {
     prom_value(os, h.data.sum);
     os << '\n';
     os << name << "_count " << h.data.count << '\n';
+    // Scrape-side tail summary (Histogram::Snapshot::quantile): a separate
+    // `<name>_q` gauge family so the histogram family above stays exactly
+    // the conventional bucket/sum/count triple.
+    if (h.data.count > 0) {
+      const std::string qname = name + "_q";
+      header(os, qname, "gauge",
+             "Estimated quantiles of the cim::obs histogram.");
+      for (const auto& [label, q] :
+           {std::pair<const char*, double>{"0.5", 0.5},
+            {"0.99", 0.99},
+            {"0.999", 0.999}}) {
+        os << qname << "{quantile=\"" << label << "\"} ";
+        prom_value(os, h.data.quantile(q));
+        os << '\n';
+      }
+    }
   }
 
   if (!s.spans.empty()) {
@@ -216,7 +232,11 @@ bool write_prometheus_file(const std::string& path) {
 PromServer::~PromServer() { stop(); }
 
 bool PromServer::start(std::uint16_t port) {
-  if (running_.load(std::memory_order_acquire)) return false;
+  // Double-start is a no-op, not a bind failure: a front-end that starts
+  // the endpoint explicitly must compose with a CimSystem ctor (or another
+  // front-end) doing the same.
+  if (running_.load(std::memory_order_acquire))
+    return port == 0 || port == port_;
 
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) return false;
@@ -297,19 +317,42 @@ void PromServer::serve_loop() {
   }
 }
 
-std::uint16_t maybe_start_prometheus_from_env() {
+namespace {
+std::mutex& global_prom_mutex() {
+  static std::mutex* mu = new std::mutex();  // leaked, like Registry
+  return *mu;
+}
+}  // namespace
+
+PromServer& global_prom_server() {
   static PromServer* server = new PromServer();  // leaked, like Registry
-  static std::mutex mu;
-  std::lock_guard<std::mutex> lk(mu);
-  if (server->running()) return server->port();
+  return *server;
+}
+
+std::uint16_t start_global_prometheus(std::uint16_t port) {
+  std::lock_guard<std::mutex> lk(global_prom_mutex());
+  PromServer& server = global_prom_server();
+  if (!server.start(port)) return 0;
+  return server.port();
+}
+
+void stop_global_prometheus() {
+  std::lock_guard<std::mutex> lk(global_prom_mutex());
+  global_prom_server().stop();
+}
+
+std::uint16_t maybe_start_prometheus_from_env() {
+  std::lock_guard<std::mutex> lk(global_prom_mutex());
+  PromServer& server = global_prom_server();
+  if (server.running()) return server.port();
   if (mode() == Mode::kOff) return 0;
   const char* env = std::getenv("CIM_OBS_PROM_PORT");
   if (env == nullptr || *env == '\0') return 0;
   char* end = nullptr;
   const unsigned long p = std::strtoul(env, &end, 10);
   if (end == env || *end != '\0' || p > 65535) return 0;
-  if (!server->start(static_cast<std::uint16_t>(p))) return 0;
-  return server->port();
+  if (!server.start(static_cast<std::uint16_t>(p))) return 0;
+  return server.port();
 }
 
 }  // namespace cim::obs

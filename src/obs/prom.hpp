@@ -51,8 +51,11 @@ class PromServer {
   PromServer(const PromServer&) = delete;
   PromServer& operator=(const PromServer&) = delete;
 
-  /// Binds 127.0.0.1:`port` and starts the accept thread. Returns false if
-  /// already running or the socket could not be bound.
+  /// Binds 127.0.0.1:`port` and starts the accept thread. Starting an
+  /// already-running server is a no-op that returns true when the request
+  /// is compatible (same port, or 0 = "any"); asking a running server to
+  /// rebind to a *different* port returns false. Returns false when the
+  /// socket could not be bound.
   bool start(std::uint16_t port);
   void stop();
 
@@ -70,9 +73,26 @@ class PromServer {
   std::thread thread_;
 };
 
+/// The process-wide scrape endpoint. Not started by construction — use the
+/// explicit start/stop helpers below or the env-driven one. Exposed so any
+/// long-running front-end (the serving layer, tools, tests) can manage the
+/// endpoint lifecycle without constructing a CimSystem.
+PromServer& global_prom_server();
+
+/// Explicitly starts the process-wide scrape endpoint on `port` (0 binds an
+/// ephemeral port). Idempotent: if the endpoint is already up the call is a
+/// no-op and the already-bound port is returned. Returns 0 only when the
+/// socket could not be bound (or a different port was requested while
+/// running). Does not consult CIM_OBS_PROM_PORT or the telemetry mode.
+std::uint16_t start_global_prometheus(std::uint16_t port);
+
+/// Stops the process-wide scrape endpoint (no-op when not running).
+void stop_global_prometheus();
+
 /// Starts the process-wide scrape endpoint when CIM_OBS_PROM_PORT is set to
-/// a valid port and telemetry is enabled. Idempotent; returns the bound
-/// port, or 0 when no server is running. Called from the CimSystem ctor.
+/// a valid port and telemetry is enabled. Idempotent (double-start is a
+/// no-op); returns the bound port, or 0 when no server is running. Called
+/// from the CimSystem ctor and the serving controller.
 std::uint16_t maybe_start_prometheus_from_env();
 
 }  // namespace cim::obs

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "obs/trace_events.hpp"
 #include "util/simd_dispatch.hpp"
@@ -97,6 +98,26 @@ Histogram::Snapshot Histogram::snapshot() const {
   s.count = count_.value();
   s.sum = sum_.value();
   return s;
+}
+
+double Histogram::Snapshot::quantile(double q) const {
+  if (count == 0 || bounds.empty() || counts.size() != bounds.size() + 1)
+    return std::numeric_limits<double>::quiet_NaN();
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(count);
+  double cum = 0.0;
+  for (std::size_t b = 0; b < bounds.size(); ++b) {
+    const double in_bucket = static_cast<double>(counts[b]);
+    if (cum + in_bucket >= rank && in_bucket > 0.0) {
+      const double lo = b > 0 ? bounds[b - 1] : std::min(bounds[0], 0.0);
+      const double hi = bounds[b];
+      return lo + (hi - lo) * ((rank - cum) / in_bucket);
+    }
+    cum += in_bucket;
+  }
+  // Rank fell in the overflow bucket: the layout cannot resolve past the
+  // last finite bound (Prometheus clamps the same way).
+  return bounds.back();
 }
 
 void Histogram::reset() noexcept {

@@ -1,0 +1,421 @@
+#include "serve/controller.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <map>
+#include <numeric>
+#include <queue>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "obs/obs.hpp"
+#include "obs/prom.hpp"
+
+namespace cim::serve {
+
+namespace {
+
+/// Latency histogram bounds (ns): geometric 2x ladder from 250 ns to ~4 ms,
+/// wide enough for sub-us tile service times and deep overload queues.
+std::vector<double> latency_bounds() {
+  std::vector<double> b;
+  for (double v = 250.0; v <= 4.0e6; v *= 2.0) b.push_back(v);
+  return b;
+}
+
+/// Exact q-quantile of a sorted sample (nearest-rank; the per-request
+/// records are all in hand, unlike the scrape-side histogram estimate).
+double exact_quantile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double rank = q * static_cast<double>(sorted.size());
+  std::size_t idx = static_cast<std::size_t>(std::ceil(rank));
+  if (idx > 0) --idx;
+  if (idx >= sorted.size()) idx = sorted.size() - 1;
+  return sorted[idx];
+}
+
+int argmax_label(const std::vector<long>& logits) {
+  if (logits.empty()) return -1;
+  return static_cast<int>(
+      std::max_element(logits.begin(), logits.end()) - logits.begin());
+}
+
+/// One flushed batch: everything phase 2 needs to execute it and the
+/// request indices whose completions it fills.
+struct PlannedBatch {
+  std::size_t replica = 0;
+  int input_bits = 4;
+  crossbar::FidelityTier tier = crossbar::FidelityTier::kFull;
+  std::vector<std::size_t> members;  ///< indices into the request span
+};
+
+/// Batch-coalescing queue for one (input_bits, requested tier) class.
+struct PendingClass {
+  std::vector<std::size_t> members;
+  double oldest_arrival_ns = 0.0;
+};
+
+}  // namespace
+
+Controller::Controller(TilePool& pool, ControllerConfig cfg)
+    : pool_(pool), cfg_(cfg) {
+  if (cfg_.max_batch == 0)
+    throw std::invalid_argument("Controller: max_batch must be >= 1");
+  if (cfg_.queue_capacity == 0)
+    throw std::invalid_argument("Controller: queue_capacity must be >= 1");
+  obs::maybe_start_prometheus_from_env();
+}
+
+ServeReport Controller::run(std::span<const Request> requests,
+                            util::ThreadPool* tp) {
+  auto& reg = obs::Registry::global();
+  auto& m_requests = reg.counter("serve.requests");
+  auto& m_rejected = reg.counter("serve.rejected");
+  auto& m_dispatches = reg.counter("serve.dispatches");
+  auto& m_escalated = reg.counter("serve.escalated");
+  static const std::vector<double> kLatencyBounds = latency_bounds();
+  auto& m_latency = reg.histogram("serve.latency_ns", kLatencyBounds);
+  auto& g_queue = reg.gauge("serve.queue_depth");
+  auto& g_inflight = reg.gauge("serve.inflight");
+
+  const std::size_t n = requests.size();
+  const std::size_t replicas = pool_.size();
+
+  ServeReport report;
+  report.stats.offered = n;
+  report.stats.per_replica_requests.assign(replicas, 0);
+  report.stats.per_replica_utilization.assign(replicas, 0.0);
+  if (n == 0) return report;
+
+  // ---- Phase 1: serial event-driven schedule (simulated time) -------------
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (requests[a].arrival_ns != requests[b].arrival_ns)
+      return requests[a].arrival_ns < requests[b].arrival_ns;
+    return requests[a].id < requests[b].id;
+  });
+
+  // Health scores are read once per run: routing reacts to the wear the
+  // previous traffic epochs produced, not to in-flight execution.
+  std::vector<double> health(replicas, 0.0);
+  if (cfg_.routing == RoutingPolicy::kWearAware) health = pool_.health_scores();
+
+  std::vector<Completion> completions(n);
+  std::vector<char> completed(n, 0);
+  std::vector<PlannedBatch> plan;
+  std::vector<double> busy_until(replicas, 0.0);
+  std::vector<double> busy_ns(replicas, 0.0);
+
+  // Coalescing state: one queue per compatibility class, deterministic
+  // iteration via std::map ordering.
+  std::map<std::pair<int, int>, PendingClass> pending;
+  std::size_t pending_total = 0;
+
+  // Occupancy tracking. A dispatched request still *queues* until its
+  // batch's start time (it sits in the chosen replica's backlog), then is
+  // *in flight* until its done time. Queue depth — the quantity admission
+  // control and tier escalation react to — is therefore
+  // pending (coalescing) + dispatched-but-unstarted.
+  using MinHeap =
+      std::priority_queue<double, std::vector<double>, std::greater<>>;
+  MinHeap start_heap;  ///< batch start times of dispatched requests
+  MinHeap done_heap;   ///< completion times of dispatched requests
+  auto advance_to = [&](double now) {
+    while (!start_heap.empty() && start_heap.top() <= now) start_heap.pop();
+    while (!done_heap.empty() && done_heap.top() <= now) done_heap.pop();
+  };
+  auto queue_depth_now = [&]() { return pending_total + start_heap.size(); };
+  // Executing = started but not done (done implies started, so the heap
+  // sizes difference counts exactly the in-service requests).
+  auto inflight_now = [&]() { return done_heap.size() - start_heap.size(); };
+
+  std::size_t rejected = 0;
+  std::size_t escalated = 0;
+  std::size_t dispatches = 0;
+  double queue_depth_sum = 0.0;
+  double inflight_sum = 0.0;
+  std::size_t samples = 0;
+  std::size_t max_queue_depth = 0;
+
+  const double service_cache_unset = -1.0;
+  std::vector<double> service_ns_by_bits(17, service_cache_unset);
+  auto service_ns = [&](int bits) {
+    double& s = service_ns_by_bits.at(static_cast<std::size_t>(bits));
+    if (s == service_cache_unset) s = pool_.request_latency_ns(bits);
+    return s;
+  };
+
+  auto route = [&](double now) -> std::size_t {
+    switch (cfg_.routing) {
+      case RoutingPolicy::kRoundRobin: {
+        const std::size_t r = rr_next_ % replicas;
+        ++rr_next_;
+        return r;
+      }
+      case RoutingPolicy::kLeastLoaded:
+      case RoutingPolicy::kWearAware: {
+        std::size_t best = 0;
+        double best_cost = 0.0;
+        for (std::size_t r = 0; r < replicas; ++r) {
+          double cost = std::max(busy_until[r] - now, 0.0);
+          if (cfg_.routing == RoutingPolicy::kWearAware)
+            cost += cfg_.wear_penalty_ns * health[r];
+          if (r == 0 || cost < best_cost) {
+            best = r;
+            best_cost = cost;
+          }
+        }
+        return best;
+      }
+    }
+    return 0;
+  };
+
+  auto flush = [&](std::map<std::pair<int, int>, PendingClass>::iterator it,
+                   double now) {
+    PendingClass& cls = it->second;
+    const int bits = it->first.first;
+    auto tier = static_cast<crossbar::FidelityTier>(it->first.second);
+
+    // Load shedding: under a deep queue, downgrade full-fidelity batches to
+    // the calibrated tier (PR 7's cheaper read path).
+    if (cfg_.tier_escalation && tier == crossbar::FidelityTier::kFull &&
+        queue_depth_now() >= cfg_.escalation_queue_depth) {
+      tier = crossbar::FidelityTier::kCalibrated;
+      escalated += cls.members.size();
+    }
+
+    const std::size_t replica = route(now);
+    const double start = std::max(now, busy_until[replica]);
+    const double s = service_ns(bits);
+    const std::size_t b = cls.members.size();
+
+    for (std::size_t j = 0; j < b; ++j) {
+      const std::size_t idx = cls.members[j];
+      Completion& c = completions[idx];
+      c.id = requests[idx].id;
+      c.kind = requests[idx].kind;
+      c.arrival_ns = requests[idx].arrival_ns;
+      c.dispatch_ns = start;
+      // Requests in a coalesced batch still execute bit-serially one after
+      // another; the win is paying the issue overhead once.
+      c.done_ns = start + cfg_.issue_overhead_ns +
+                  static_cast<double>(j + 1) * s;
+      c.replica = replica;
+      c.batch_size = b;
+      c.tier = tier;
+      completed[idx] = 1;
+      start_heap.push(start);
+      done_heap.push(c.done_ns);
+    }
+
+    const double busy = cfg_.issue_overhead_ns + static_cast<double>(b) * s;
+    busy_until[replica] = start + busy;
+    busy_ns[replica] += busy;
+    report.stats.per_replica_requests[replica] += b;
+
+    PlannedBatch pb;
+    pb.replica = replica;
+    pb.input_bits = bits;
+    pb.tier = tier;
+    pb.members = std::move(cls.members);
+    plan.push_back(std::move(pb));
+
+    pending_total -= b;
+    ++dispatches;
+    pending.erase(it);
+  };
+
+  // Earliest deadline across the pending classes (map scan: the class count
+  // is tiny — distinct (bits, tier) pairs in flight).
+  auto next_deadline = [&]() {
+    auto best = pending.end();
+    for (auto it = pending.begin(); it != pending.end(); ++it)
+      if (best == pending.end() ||
+          it->second.oldest_arrival_ns < best->second.oldest_arrival_ns)
+        best = it;
+    return best;
+  };
+
+  for (const std::size_t idx : order) {
+    const Request& req = requests[idx];
+    const double now = req.arrival_ns;
+
+    // Deadline flushes that fire before this arrival.
+    for (auto it = next_deadline(); it != pending.end(); it = next_deadline()) {
+      const double deadline = it->second.oldest_arrival_ns +
+                              cfg_.batch_deadline_ns;
+      if (deadline > now) break;
+      advance_to(deadline);
+      flush(it, deadline);
+    }
+    advance_to(now);
+
+    if (queue_depth_now() >= cfg_.queue_capacity) {
+      ++rejected;
+    } else {
+      const auto key = std::make_pair(req.input_bits,
+                                      static_cast<int>(req.tier));
+      auto [it, inserted] = pending.try_emplace(key);
+      if (inserted) it->second.oldest_arrival_ns = now;
+      it->second.members.push_back(idx);
+      ++pending_total;
+      if (it->second.members.size() >= cfg_.max_batch) flush(it, now);
+    }
+
+    const std::size_t depth = queue_depth_now();
+    queue_depth_sum += static_cast<double>(depth);
+    inflight_sum += static_cast<double>(inflight_now());
+    max_queue_depth = std::max(max_queue_depth, depth);
+    ++samples;
+    g_queue.set(static_cast<double>(depth));
+    g_inflight.set(static_cast<double>(inflight_now()));
+  }
+
+  // Drain: remaining classes flush at their deadlines (the controller never
+  // learns the stream ended — open loop).
+  for (auto it = next_deadline(); it != pending.end(); it = next_deadline()) {
+    const double deadline =
+        it->second.oldest_arrival_ns + cfg_.batch_deadline_ns;
+    advance_to(deadline);
+    flush(it, deadline);
+  }
+  g_queue.set(0.0);
+  g_inflight.set(0.0);
+
+  // ---- Phase 2: execute the plan, one lane per replica --------------------
+  // Per-replica batch lists preserve flush order, so each replica's device
+  // state (noise streams, disturb, caches) evolves exactly as the schedule
+  // says — independent of how many lanes actually run.
+  std::vector<std::vector<std::size_t>> by_replica(replicas);
+  for (std::size_t p = 0; p < plan.size(); ++p)
+    by_replica[plan[p].replica].push_back(p);
+
+  auto execute_replica = [&](std::size_t r) {
+    core::CimSystem& sys = pool_.replica(r);
+    for (const std::size_t p : by_replica[r]) {
+      const PlannedBatch& pb = plan[p];
+      std::vector<std::vector<std::uint32_t>> inputs;
+      inputs.reserve(pb.members.size());
+      for (const std::size_t idx : pb.members)
+        inputs.push_back(requests[idx].input);
+      auto results = sys.vmm_int_batch(inputs, pb.input_bits, nullptr, pb.tier);
+      for (std::size_t j = 0; j < pb.members.size(); ++j) {
+        Completion& c = completions[pb.members[j]];
+        c.result = std::move(results[j]);
+        if (c.kind == RequestKind::kInference) c.label = argmax_label(c.result);
+      }
+    }
+  };
+  if (tp != nullptr) {
+    tp->parallel_for(0, replicas, execute_replica);
+  } else {
+    for (std::size_t r = 0; r < replicas; ++r) execute_replica(r);
+  }
+
+  // ---- Aggregate SLO metrics ----------------------------------------------
+  ServeStats& st = report.stats;
+  st.rejected = rejected;
+  st.dispatches = dispatches;
+  st.escalated = escalated;
+
+  report.completions.reserve(n - rejected);
+  for (std::size_t i = 0; i < n; ++i)
+    if (completed[i] != 0) report.completions.push_back(std::move(completions[i]));
+  std::sort(report.completions.begin(), report.completions.end(),
+            [](const Completion& a, const Completion& b) { return a.id < b.id; });
+  st.completed = report.completions.size();
+
+  if (st.completed > 0) {
+    double first_arrival = report.completions.front().arrival_ns;
+    double last_done = 0.0;
+    std::vector<double> lat;
+    lat.reserve(st.completed);
+    double lat_sum = 0.0;
+    for (const Completion& c : report.completions) {
+      first_arrival = std::min(first_arrival, c.arrival_ns);
+      last_done = std::max(last_done, c.done_ns);
+      const double l = c.latency_ns();
+      lat.push_back(l);
+      lat_sum += l;
+      m_latency.observe(l);
+    }
+    std::sort(lat.begin(), lat.end());
+    st.makespan_ns = last_done - first_arrival;
+    st.throughput_rps = st.makespan_ns > 0.0
+                            ? static_cast<double>(st.completed) /
+                                  (st.makespan_ns * 1e-9)
+                            : 0.0;
+    st.mean_batch = dispatches > 0
+                        ? static_cast<double>(st.completed) /
+                              static_cast<double>(dispatches)
+                        : 0.0;
+    st.mean_ns = lat_sum / static_cast<double>(st.completed);
+    st.p50_ns = exact_quantile(lat, 0.50);
+    st.p99_ns = exact_quantile(lat, 0.99);
+    st.p999_ns = exact_quantile(lat, 0.999);
+    st.max_ns = lat.back();
+    for (std::size_t r = 0; r < replicas; ++r)
+      st.per_replica_utilization[r] =
+          st.makespan_ns > 0.0 ? busy_ns[r] / st.makespan_ns : 0.0;
+  }
+  if (samples > 0) {
+    st.mean_queue_depth = queue_depth_sum / static_cast<double>(samples);
+    st.mean_inflight = inflight_sum / static_cast<double>(samples);
+  }
+  st.max_queue_depth = max_queue_depth;
+
+  m_requests.add(n);
+  m_rejected.add(rejected);
+  m_dispatches.add(dispatches);
+  m_escalated.add(escalated);
+  return report;
+}
+
+namespace {
+
+bool env_double(const char* name, double& out) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return false;
+  char* end = nullptr;
+  const double d = std::strtod(v, &end);
+  if (end == v || *end != '\0') return false;
+  out = d;
+  return true;
+}
+
+bool env_size(const char* name, std::size_t& out) {
+  double d = 0.0;
+  if (!env_double(name, d) || d < 0.0) return false;
+  out = static_cast<std::size_t>(d);
+  return true;
+}
+
+}  // namespace
+
+void apply_env_overrides(TrafficConfig& traffic, ControllerConfig& ctl) {
+  env_size("CIM_SERVE_REQUESTS", traffic.requests);
+  env_double("CIM_SERVE_RATE_RPS", traffic.rate_rps);
+  if (const char* v = std::getenv("CIM_SERVE_PROCESS"); v != nullptr) {
+    const std::string s = v;
+    if (s == "poisson") traffic.process = ArrivalProcess::kPoisson;
+    if (s == "mmpp") traffic.process = ArrivalProcess::kMmpp;
+  }
+  env_size("CIM_SERVE_BATCH", ctl.max_batch);
+  env_double("CIM_SERVE_DEADLINE_NS", ctl.batch_deadline_ns);
+  if (const char* v = std::getenv("CIM_SERVE_POLICY"); v != nullptr) {
+    const std::string s = v;
+    if (s == "rr") ctl.routing = RoutingPolicy::kRoundRobin;
+    if (s == "least") ctl.routing = RoutingPolicy::kLeastLoaded;
+    if (s == "wear") ctl.routing = RoutingPolicy::kWearAware;
+  }
+  if (const char* v = std::getenv("CIM_SERVE_ESCALATE"); v != nullptr) {
+    const std::string s = v;
+    ctl.tier_escalation = (s == "1" || s == "on" || s == "true");
+  }
+}
+
+}  // namespace cim::serve

@@ -1,0 +1,47 @@
+#include "serve/tile_pool.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "crossbar/crossbar.hpp"
+#include "obs/health.hpp"
+#include "util/rng.hpp"
+
+namespace cim::serve {
+
+TilePool::TilePool(const util::Matrix& w_int, TilePoolConfig cfg) {
+  if (cfg.replicas == 0)
+    throw std::invalid_argument("TilePool: need at least one replica");
+  replicas_.reserve(cfg.replicas);
+  for (std::size_t r = 0; r < cfg.replicas; ++r) {
+    auto sys_cfg = cfg.system;
+    sys_cfg.tile.seed = util::Rng::stream_seed(cfg.seed, r);
+    replicas_.push_back(std::make_unique<core::CimSystem>(w_int, sys_cfg));
+  }
+}
+
+std::vector<double> TilePool::health_scores() const {
+  std::vector<double> raw(replicas_.size(), 0.0);
+  for (std::size_t r = 0; r < replicas_.size(); ++r) {
+    // health_monitor() attaches lazily and needs mutable access; the scores
+    // are pure reads of the snapshots.
+    auto& sys = const_cast<core::CimSystem&>(*replicas_[r]);
+    for (std::size_t b = 0; b < sys.tile_count(); ++b) {
+      auto& tile = sys.tile(b);
+      for (crossbar::Crossbar* xb : {&tile.plus_array(), &tile.minus_array()}) {
+        const auto s = xb->health_monitor().snapshot();
+        raw[r] += static_cast<double>(s.total_writes) +
+                  static_cast<double>(s.total_disturbs) +
+                  s.mean_abs_drift_us *
+                      static_cast<double>(s.rows * s.cols) +
+                  100.0 * static_cast<double>(s.worn_cells);
+      }
+    }
+  }
+  const double worst = *std::max_element(raw.begin(), raw.end());
+  if (worst > 0.0)
+    for (double& v : raw) v /= worst;
+  return raw;
+}
+
+}  // namespace cim::serve

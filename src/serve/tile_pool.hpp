@@ -1,0 +1,68 @@
+/// \file tile_pool.hpp
+/// \brief Pool of replicated CIM tile systems — the serving backend the
+///        memory controller routes requests onto.
+///
+/// One pool serves one programmed weight matrix (a dense classifier layer /
+/// VMM operand); each replica is a complete `core::CimSystem` (tile grid +
+/// periphery) with its own independent RNG streams, so replicas execute
+/// concurrently on the thread pool without sharing mutable state — the
+/// CIMFlow-style request -> tile dispatch abstraction.
+///
+/// The pool also derives the per-replica **health scores** wear/drift-aware
+/// routing consumes: a normalized scalar folding endurance wear (writes),
+/// disturb events, in-field wear-outs and accumulated |drift| read from the
+/// arrays' `obs::HealthMonitor`s (PR 5). Scores are read at controller-run
+/// granularity; successive runs therefore see the health the previous
+/// traffic epoch produced (HybridSim's aging-aware scheduling shape).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/cim_system.hpp"
+#include "util/matrix.hpp"
+
+namespace cim::serve {
+
+struct TilePoolConfig {
+  std::size_t replicas = 4;
+  core::CimSystemConfig system{};  ///< template for every replica
+  /// Base seed; replica r derives its device randomness from counter
+  /// sub-stream r, so the pool is reproducible and replicas independent.
+  std::uint64_t seed = 99;
+};
+
+class TilePool {
+ public:
+  /// Programs `w_int` (out x in) onto every replica.
+  TilePool(const util::Matrix& w_int, TilePoolConfig cfg);
+
+  std::size_t size() const { return replicas_.size(); }
+  core::CimSystem& replica(std::size_t i) { return *replicas_.at(i); }
+  const core::CimSystem& replica(std::size_t i) const {
+    return *replicas_.at(i);
+  }
+
+  std::size_t in_dim() const { return replicas_.front()->in_dim(); }
+  std::size_t out_dim() const { return replicas_.front()->out_dim(); }
+
+  /// Per-request service latency (ns) for `input_bits`-bit inputs —
+  /// identical across replicas (same geometry), data-independent.
+  double request_latency_ns(int input_bits) const {
+    return replicas_.front()->request_latency_ns(input_bits);
+  }
+
+  /// Health score per replica, normalized to [0, 1] by the worst replica
+  /// (all zeros when no replica has any recorded health events). Raw score
+  /// = writes + disturbs + sum |drift| (uS) + 100 * worn-out cells, summed
+  /// over both arrays of every tile: a monotone "how consumed is this
+  /// resource" proxy, not a lifetime model.
+  std::vector<double> health_scores() const;
+
+ private:
+  std::vector<std::unique_ptr<core::CimSystem>> replicas_;
+};
+
+}  // namespace cim::serve

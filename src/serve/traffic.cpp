@@ -1,0 +1,97 @@
+#include "serve/traffic.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace cim::serve {
+
+namespace {
+
+/// Exponential variate with the given mean (inverse-CDF over uniform()).
+double exponential(util::Rng& rng, double mean) {
+  // uniform() is in [0, 1); 1-u is in (0, 1] so the log is finite.
+  return -mean * std::log(1.0 - rng.uniform());
+}
+
+}  // namespace
+
+std::vector<Request> generate(const TrafficConfig& cfg) {
+  if (cfg.rate_rps <= 0.0)
+    throw std::invalid_argument("traffic: rate_rps must be positive");
+  if (cfg.in_dim == 0)
+    throw std::invalid_argument("traffic: in_dim must be positive");
+  if (cfg.input_bits < 1 || cfg.input_bits > 16)
+    throw std::invalid_argument("traffic: input_bits in [1,16]");
+  if (cfg.process == ArrivalProcess::kMmpp &&
+      (cfg.burst_rate_mult < 1.0 || cfg.burst_dwell_ns <= 0.0 ||
+       cfg.idle_dwell_ns <= 0.0))
+    throw std::invalid_argument("traffic: malformed MMPP burst structure");
+
+  // Arrival clock: one serial stream (sub-stream 0 of the seed).
+  util::Rng arrivals = util::Rng::stream(cfg.seed, 0);
+
+  // MMPP base (idle) rate solved so the stationary mean equals rate_rps:
+  // the chain spends burst_dwell/(burst_dwell+idle_dwell) of the time in
+  // the burst state, where the rate is burst_rate_mult * idle rate.
+  double idle_rate = cfg.rate_rps;
+  if (cfg.process == ArrivalProcess::kMmpp) {
+    const double f_burst =
+        cfg.burst_dwell_ns / (cfg.burst_dwell_ns + cfg.idle_dwell_ns);
+    idle_rate = cfg.rate_rps / (1.0 + (cfg.burst_rate_mult - 1.0) * f_burst);
+  }
+
+  bool bursting = false;
+  double dwell_left_ns =
+      cfg.process == ArrivalProcess::kMmpp
+          ? exponential(arrivals, cfg.idle_dwell_ns)
+          : 0.0;
+
+  std::vector<Request> out;
+  out.reserve(cfg.requests);
+  const std::uint32_t input_max = (1u << cfg.input_bits) - 1u;
+  double now_ns = 0.0;
+
+  for (std::uint64_t id = 0; id < cfg.requests; ++id) {
+    // Next arrival. For MMPP, a candidate inter-arrival beyond the state's
+    // remaining dwell is discarded at the switch (memorylessness makes the
+    // resample in the new state exact).
+    if (cfg.process == ArrivalProcess::kPoisson) {
+      now_ns += exponential(arrivals, 1.0e9 / cfg.rate_rps);
+    } else {
+      for (;;) {
+        const double rate = bursting ? idle_rate * cfg.burst_rate_mult
+                                     : idle_rate;
+        const double dt = exponential(arrivals, 1.0e9 / rate);
+        if (dt <= dwell_left_ns) {
+          now_ns += dt;
+          dwell_left_ns -= dt;
+          break;
+        }
+        now_ns += dwell_left_ns;
+        bursting = !bursting;
+        dwell_left_ns = exponential(
+            arrivals, bursting ? cfg.burst_dwell_ns : cfg.idle_dwell_ns);
+      }
+    }
+
+    // Payload: a pure function of (seed, id) — sub-streams 1..n so the
+    // arrival stream above stays sub-stream 0.
+    util::Rng payload = util::Rng::stream(cfg.seed, id + 1);
+    Request req;
+    req.id = id;
+    req.arrival_ns = now_ns;
+    req.kind = payload.bernoulli(cfg.inference_frac) ? RequestKind::kInference
+                                                     : RequestKind::kVmm;
+    req.input_bits = cfg.input_bits;
+    req.tier = cfg.tier;
+    req.input.resize(cfg.in_dim);
+    for (auto& v : req.input)
+      v = static_cast<std::uint32_t>(payload.uniform_int(input_max + 1ull));
+    out.push_back(std::move(req));
+  }
+  return out;
+}
+
+}  // namespace cim::serve

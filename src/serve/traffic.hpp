@@ -1,0 +1,66 @@
+/// \file traffic.hpp
+/// \brief Deterministic open-loop traffic generation: Poisson and bursty
+///        MMPP arrival processes over the counter-based Rng streams.
+///
+/// The generator separates *when* requests arrive from *what* they carry:
+/// arrival timestamps come from one serial generator (inter-arrival times
+/// are inherently sequential), while each request's payload (input vector,
+/// kind) is drawn from `Rng::stream(seed, id)` — a pure function of the
+/// seed and the request id. Two configs with the same seed therefore
+/// produce identical streams on any host, and changing only the arrival
+/// process keeps every payload bit-identical (the controlled-variable
+/// property the serving bench's batched-vs-single comparison rests on).
+///
+/// MMPP (Markov-modulated Poisson process, 2 states) models bursty "flash
+/// crowd" traffic: an idle state at a base rate and a burst state at
+/// `burst_rate_mult` times that rate, with exponentially distributed state
+/// dwell times. The base rate is solved so the long-run mean offered load
+/// equals `rate_rps` — an MMPP sweep is directly comparable to a Poisson
+/// sweep at the same nominal load.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "serve/request.hpp"
+
+namespace cim::serve {
+
+enum class ArrivalProcess : int {
+  kPoisson = 0,  ///< memoryless arrivals at a constant mean rate
+  kMmpp = 1,     ///< 2-state Markov-modulated Poisson (bursty)
+};
+
+constexpr const char* process_name(ArrivalProcess p) {
+  switch (p) {
+    case ArrivalProcess::kPoisson: return "poisson";
+    case ArrivalProcess::kMmpp: return "mmpp";
+  }
+  return "unknown";
+}
+
+/// Shape of one synthetic request stream.
+struct TrafficConfig {
+  std::size_t requests = 1000;
+  double rate_rps = 2.0e6;  ///< mean offered load (requests / simulated s)
+  ArrivalProcess process = ArrivalProcess::kPoisson;
+
+  // MMPP burst structure (ignored for kPoisson).
+  double burst_rate_mult = 8.0;   ///< burst-state rate / idle-state rate
+  double burst_dwell_ns = 5.0e4;  ///< mean dwell in the burst state
+  double idle_dwell_ns = 2.0e5;   ///< mean dwell in the idle state
+
+  // Payload shape.
+  std::size_t in_dim = 64;      ///< input vector length (= pool in_dim)
+  int input_bits = 4;           ///< values uniform in [0, 2^input_bits)
+  double inference_frac = 0.5;  ///< fraction of kInference requests
+  crossbar::FidelityTier tier = crossbar::FidelityTier::kFull;
+
+  std::uint64_t seed = 1;
+};
+
+/// Generates the stream: `requests` entries, ids 0..n-1, arrival times
+/// strictly non-decreasing from 0. Deterministic in `cfg` alone.
+std::vector<Request> generate(const TrafficConfig& cfg);
+
+}  // namespace cim::serve

@@ -146,7 +146,8 @@ TEST_F(HealthExportTest, PromServerServesOneScrapePerConnection) {
   ASSERT_TRUE(server.start(0));  // ephemeral port
   ASSERT_TRUE(server.running());
   ASSERT_NE(server.port(), 0);
-  EXPECT_FALSE(server.start(0));  // already running
+  EXPECT_TRUE(server.start(0));   // double-start is a compatible no-op
+  EXPECT_FALSE(server.start(server.port() + 1));  // rebind request refused
 
   auto scrape = [&]() -> std::string {
     const int fd = ::socket(AF_INET, SOCK_STREAM, 0);

@@ -61,6 +61,54 @@ TEST(HistogramBounds, NanAndInfinityGoToOverflow) {
   EXPECT_EQ(s.count, 2u);
 }
 
+// Snapshot::quantile — the Prometheus histogram_quantile estimator: linear
+// interpolation inside the bucket holding rank q*count.
+TEST(HistogramQuantile, InterpolatesWithinBucket) {
+  Histogram h(std::vector<double>{10.0, 20.0, 40.0});
+  // 10 observations in (10, 20]: ranks spread linearly across the bucket.
+  for (int i = 0; i < 10; ++i) h.observe(15.0);
+  const auto s = h.snapshot();
+  // Median rank = 5 of 10 in-bucket -> midpoint of (10, 20].
+  EXPECT_DOUBLE_EQ(s.p50(), 15.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 20.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.1), 11.0);
+}
+
+TEST(HistogramQuantile, SpansBucketsByCumulativeRank) {
+  Histogram h(std::vector<double>{1.0, 2.0, 4.0});
+  for (int i = 0; i < 98; ++i) h.observe(0.5);  // bucket (=<1]
+  h.observe(1.5);                               // bucket (1,2]
+  h.observe(3.0);                               // bucket (2,4]
+  const auto s = h.snapshot();
+  EXPECT_LE(s.p50(), 1.0);
+  EXPECT_DOUBLE_EQ(s.p99(), 2.0);   // rank 99 closes bucket (1,2]
+  EXPECT_GT(s.p999(), 2.0);         // rank 99.9 interpolates into (2,4]
+  EXPECT_LE(s.p999(), 4.0);
+}
+
+TEST(HistogramQuantile, OverflowClampsToLastBound) {
+  Histogram h(std::vector<double>{1.0, 2.0});
+  h.observe(100.0);  // overflow bucket
+  h.observe(200.0);
+  const auto s = h.snapshot();
+  // The bucket layout cannot resolve past bounds.back().
+  EXPECT_DOUBLE_EQ(s.p99(), 2.0);
+}
+
+TEST(HistogramQuantile, EmptySnapshotIsNaN) {
+  Histogram h(std::vector<double>{1.0});
+  EXPECT_TRUE(std::isnan(h.snapshot().p50()));
+}
+
+TEST(HistogramQuantile, FirstBucketInterpolatesFromZeroFloor) {
+  Histogram h(std::vector<double>{100.0, 200.0});
+  for (int i = 0; i < 4; ++i) h.observe(50.0);
+  const auto s = h.snapshot();
+  // Lower edge of the first bucket is min(bounds[0], 0) = 0.
+  EXPECT_DOUBLE_EQ(s.p50(), 50.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.25), 25.0);
+}
+
 TEST(HistogramBounds, UnsortedConstructionBoundsAreSorted) {
   Histogram h(std::vector<double>{4.0, 1.0, 2.0});
   h.observe(1.5);  // (1, 2] after sorting

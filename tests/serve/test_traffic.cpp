@@ -1,0 +1,127 @@
+/// Open-loop traffic generator: determinism, arrival-process statistics,
+/// and the payload/arrival stream separation the serving bench's
+/// controlled comparisons rest on.
+#include "serve/traffic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cim::serve {
+namespace {
+
+TrafficConfig small_cfg() {
+  TrafficConfig cfg;
+  cfg.requests = 200;
+  cfg.rate_rps = 1.0e6;
+  cfg.in_dim = 8;
+  cfg.seed = 42;
+  return cfg;
+}
+
+TEST(Traffic, DeterministicAndWellFormed) {
+  const auto a = generate(small_cfg());
+  const auto b = generate(small_cfg());
+  ASSERT_EQ(a.size(), 200u);
+  ASSERT_EQ(a.size(), b.size());
+  double prev = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].id, i);
+    EXPECT_GE(a[i].arrival_ns, prev);
+    prev = a[i].arrival_ns;
+    EXPECT_EQ(a[i].input.size(), 8u);
+    for (const auto v : a[i].input) EXPECT_LT(v, 16u);  // 4-bit payload
+    // Bit-identical regeneration.
+    EXPECT_EQ(a[i].arrival_ns, b[i].arrival_ns);
+    EXPECT_EQ(a[i].kind, b[i].kind);
+    EXPECT_EQ(a[i].input, b[i].input);
+  }
+}
+
+TEST(Traffic, PayloadsInvariantUnderArrivalProcess) {
+  auto cfg = small_cfg();
+  const auto poisson = generate(cfg);
+  cfg.process = ArrivalProcess::kMmpp;
+  const auto mmpp = generate(cfg);
+  // Arrival clocks differ, but request id i carries the same payload — the
+  // controlled-variable property (payloads come from per-id sub-streams).
+  ASSERT_EQ(poisson.size(), mmpp.size());
+  bool some_arrival_differs = false;
+  for (std::size_t i = 0; i < poisson.size(); ++i) {
+    EXPECT_EQ(poisson[i].kind, mmpp[i].kind);
+    EXPECT_EQ(poisson[i].input, mmpp[i].input);
+    if (poisson[i].arrival_ns != mmpp[i].arrival_ns)
+      some_arrival_differs = true;
+  }
+  EXPECT_TRUE(some_arrival_differs);
+}
+
+TEST(Traffic, PoissonMeanRateMatchesConfig) {
+  auto cfg = small_cfg();
+  cfg.requests = 20000;
+  cfg.rate_rps = 2.0e6;
+  const auto reqs = generate(cfg);
+  const double span_s = reqs.back().arrival_ns * 1e-9;
+  const double rate = static_cast<double>(reqs.size()) / span_s;
+  // 20k exponential inter-arrivals: the mean is within a few percent.
+  EXPECT_NEAR(rate / cfg.rate_rps, 1.0, 0.05);
+}
+
+TEST(Traffic, MmppLongRunRateMatchesConfigAndIsBurstier) {
+  auto cfg = small_cfg();
+  cfg.requests = 40000;
+  cfg.rate_rps = 2.0e6;
+  cfg.process = ArrivalProcess::kMmpp;
+  const auto reqs = generate(cfg);
+  const double span_s = reqs.back().arrival_ns * 1e-9;
+  const double rate = static_cast<double>(reqs.size()) / span_s;
+  // The idle rate is solved so the stationary mean equals rate_rps; the
+  // tolerance is looser because dwell-time variance decays slowly.
+  EXPECT_NEAR(rate / cfg.rate_rps, 1.0, 0.15);
+
+  // Burstiness: the squared coefficient of variation of inter-arrival
+  // times exceeds the Poisson value of 1.
+  auto scv = [](const std::vector<Request>& rs) {
+    double sum = 0.0, sum2 = 0.0;
+    const std::size_t n = rs.size() - 1;
+    for (std::size_t i = 1; i < rs.size(); ++i) {
+      const double dt = rs[i].arrival_ns - rs[i - 1].arrival_ns;
+      sum += dt;
+      sum2 += dt * dt;
+    }
+    const double mean = sum / static_cast<double>(n);
+    return (sum2 / static_cast<double>(n) - mean * mean) / (mean * mean);
+  };
+  auto pcfg = cfg;
+  pcfg.process = ArrivalProcess::kPoisson;
+  EXPECT_GT(scv(reqs), 1.5 * scv(generate(pcfg)));
+}
+
+TEST(Traffic, InferenceFractionEdges) {
+  auto cfg = small_cfg();
+  cfg.inference_frac = 0.0;
+  for (const auto& r : generate(cfg)) EXPECT_EQ(r.kind, RequestKind::kVmm);
+  cfg.inference_frac = 1.0;
+  for (const auto& r : generate(cfg))
+    EXPECT_EQ(r.kind, RequestKind::kInference);
+}
+
+TEST(Traffic, RejectsMalformedConfig) {
+  auto cfg = small_cfg();
+  cfg.rate_rps = 0.0;
+  EXPECT_THROW(generate(cfg), std::invalid_argument);
+  cfg = small_cfg();
+  cfg.input_bits = 17;
+  EXPECT_THROW(generate(cfg), std::invalid_argument);
+  cfg = small_cfg();
+  cfg.in_dim = 0;
+  EXPECT_THROW(generate(cfg), std::invalid_argument);
+  cfg = small_cfg();
+  cfg.process = ArrivalProcess::kMmpp;
+  cfg.burst_dwell_ns = 0.0;
+  EXPECT_THROW(generate(cfg), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cim::serve
