@@ -73,6 +73,15 @@ OPTIONAL = {
     "p50_us", "p99_us", "p999_us", "mean_queue_depth", "max_queue_depth",
     "util_mean", "sustained_rps_overload", "shed_frac_overload",
     "worn_share_rr", "worn_share_wear", "replicas",
+    # request-lifecycle decomposition + windowed SLO (bench_serve_timeline):
+    # overload-point latency decomposition means, queue-wait share of the
+    # mean at 120%/20% load, burn-rate alerting outcome, and the number of
+    # closed aggregation windows. Simulated-time metrics.
+    "p99_us_overload", "queue_share_overload", "queue_share_healthy",
+    "mean_batch_wait_us", "mean_queue_wait_us", "mean_issue_share_us",
+    "mean_bitserial_us", "mean_reduce_us", "slo_breached_overload",
+    "slo_fast_alerts_overload", "slo_budget_consumed_overload",
+    "windows_closed",
     # dispatched-ISA kernel sweep (bench_micro_kernels): GB/s per variant
     # and speedup vs the scalar table; avx* keys are absent on hosts
     # whose build or CPU cannot execute that table.

@@ -120,16 +120,24 @@ std::vector<std::vector<long>> CimSystem::vmm_int_batch(
   return out;
 }
 
-double CimSystem::request_latency_ns(int input_bits) const {
-  double worst_tile = 0.0;
+CimSystem::RequestLatencyParts CimSystem::request_latency_parts(
+    int input_bits) const {
+  RequestLatencyParts p;
   for (const auto& blk : tiles_)
-    worst_tile = std::max(worst_tile, blk.tile->vmm_latency_ns(input_bits));
+    p.bitserial_ns =
+        std::max(p.bitserial_ns, blk.tile->vmm_latency_ns(input_bits));
   const std::size_t row_blocks =
       (in_ + cfg_.tile.tile.rows - 1) / cfg_.tile.tile.rows;
   const double reduce_hops =
       row_blocks > 1 ? std::ceil(std::log2(static_cast<double>(row_blocks)))
                      : 0.0;
-  return worst_tile + reduce_hops * cfg_.transfer_latency_ns_per_hop;
+  p.reduce_ns = reduce_hops * cfg_.transfer_latency_ns_per_hop;
+  return p;
+}
+
+double CimSystem::request_latency_ns(int input_bits) const {
+  const RequestLatencyParts p = request_latency_parts(input_bits);
+  return p.bitserial_ns + p.reduce_ns;
 }
 
 std::vector<long> CimSystem::ideal_vmm_int(

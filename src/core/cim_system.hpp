@@ -81,6 +81,17 @@ class CimSystem {
   /// executing the request.
   double request_latency_ns(int input_bits) const;
 
+  /// The two physical phases of request_latency_ns, split for per-request
+  /// latency decomposition: the slowest tile's bit-serial array+ADC time
+  /// and the digital reduction-tree transfer time. Invariant:
+  /// `bitserial_ns + reduce_ns == request_latency_ns(bits)` bitwise (the
+  /// total is computed as exactly that sum).
+  struct RequestLatencyParts {
+    double bitserial_ns = 0.0;
+    double reduce_ns = 0.0;
+  };
+  RequestLatencyParts request_latency_parts(int input_bits) const;
+
   /// Exact oracle.
   std::vector<long> ideal_vmm_int(std::span<const std::uint32_t> inputs) const;
 

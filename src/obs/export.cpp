@@ -155,15 +155,25 @@ void write_chrome_trace(std::ostream& os) {
   os << "},\"traceEvents\":[";
   bool first = true;
   for (const auto& e : events) {
-    // Complete ("X") events; ts/dur are microseconds in the trace_event
-    // format, fractional values carry the ns resolution.
+    // ts/dur are microseconds in the trace_event format; fractional values
+    // carry the ns resolution.
     os << (first ? "" : ",") << "\n{\"name\":\""
        << json_escape(e.name != nullptr ? e.name : "span") << "\","
-       << "\"cat\":\"" << component_name(e.comp) << "\","
-       << "\"ph\":\"X\",\"pid\":1,\"tid\":" << e.tid << ","
-       << "\"ts\":" << json_num(static_cast<double>(e.ts_ns) / 1e3) << ","
-       << "\"dur\":" << json_num(static_cast<double>(e.dur_ns) / 1e3) << ","
-       << "\"args\":{\"energy_pj\":" << json_num(e.energy_pj) << "}}";
+       << "\"cat\":\"" << component_name(e.comp) << "\",";
+    if (e.ph == 's' || e.ph == 'f') {
+      // Flow arrow: a start/finish pair sharing an id binds the slices
+      // enclosing its timestamps (bp "e": attach to the enclosing slice).
+      os << "\"ph\":\"" << e.ph << "\",\"id\":" << e.flow_id
+         << (e.ph == 'f' ? ",\"bp\":\"e\"" : "") << ",\"pid\":" << e.pid
+         << ",\"tid\":" << e.tid << ","
+         << "\"ts\":" << json_num(static_cast<double>(e.ts_ns) / 1e3) << "}";
+    } else {
+      // Complete ("X") span.
+      os << "\"ph\":\"X\",\"pid\":" << e.pid << ",\"tid\":" << e.tid << ","
+         << "\"ts\":" << json_num(static_cast<double>(e.ts_ns) / 1e3) << ","
+         << "\"dur\":" << json_num(static_cast<double>(e.dur_ns) / 1e3) << ","
+         << "\"args\":{\"energy_pj\":" << json_num(e.energy_pj) << "}}";
+    }
     first = false;
   }
   os << "\n]}\n";

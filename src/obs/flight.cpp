@@ -1,0 +1,85 @@
+#include "obs/flight.hpp"
+
+#include <cstdio>
+#include <ostream>
+
+#include "obs/obs.hpp"
+
+namespace cim::obs {
+
+namespace {
+
+void escape_into(std::ostream& os, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.resize(capacity_);
+}
+
+void FlightRecorder::record(std::string line) {
+  if (size_ == capacity_) ++dropped_;
+  ring_[head_] = std::move(line);
+  head_ = (head_ + 1) % capacity_;
+  if (size_ < capacity_) ++size_;
+}
+
+std::vector<std::string> FlightRecorder::recent() const {
+  std::vector<std::string> out;
+  out.reserve(size_);
+  const std::size_t start = (head_ + capacity_ - size_) % capacity_;
+  for (std::size_t i = 0; i < size_; ++i)
+    out.push_back(ring_[(start + i) % capacity_]);
+  return out;
+}
+
+bool FlightRecorder::dump(
+    const std::string& path, const std::string& reason,
+    const std::vector<std::pair<std::string, std::string>>& meta) {
+  const bool ok = write_file_atomic(path, [&](std::ostream& os) {
+    os << "{\"format\":\"cim-flight-v1\",\"reason\":\"";
+    escape_into(os, reason);
+    os << "\",\"records\":" << size_ << ",\"dropped\":" << dropped_;
+    for (const auto& [k, v] : meta) {
+      os << ",\"";
+      escape_into(os, k);
+      os << "\":\"";
+      escape_into(os, v);
+      os << "\"";
+    }
+    os << "}\n";
+    const std::size_t start = (head_ + capacity_ - size_) % capacity_;
+    for (std::size_t i = 0; i < size_; ++i)
+      os << ring_[(start + i) % capacity_] << "\n";
+  });
+  if (ok) ++dumps_;
+  return ok;
+}
+
+void FlightRecorder::clear() {
+  for (auto& s : ring_) s.clear();
+  head_ = 0;
+  size_ = 0;
+  dropped_ = 0;
+}
+
+}  // namespace cim::obs

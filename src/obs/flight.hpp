@@ -1,0 +1,65 @@
+/// \file flight.hpp
+/// \brief Bounded flight recorder: last-N records, crash-safe auto-dump.
+///
+/// Post-mortems of an SLO breach need the *moments before* the breach, not
+/// the whole run: a full reqlog of a million-request sweep is gigabytes,
+/// but the 256 requests and controller decisions preceding the first
+/// fast-burn alert fit in memory for free. The FlightRecorder keeps a
+/// bounded ring of pre-rendered record lines (the caller decides what a
+/// record is — the serving controller feeds it request completions and
+/// batch-seal decisions) and dumps them oldest-first through
+/// `obs::write_file_atomic` when a trigger fires, so an interrupted dump
+/// never leaves a truncated post-mortem behind.
+///
+/// Like the windowed aggregates, this is a plain single-writer class fed
+/// from the controller's serial schedule phase: determinism comes from the
+/// event stream, not from locking.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace cim::obs {
+
+/// Bounded ring of record lines with an atomic-write dump.
+class FlightRecorder {
+ public:
+  /// `capacity` >= 1 bounds the ring; older records are overwritten.
+  explicit FlightRecorder(std::size_t capacity = 256);
+
+  /// Appends one record line (newline-free JSON by convention; the dump
+  /// writes one record per line). Overwrites the oldest when full.
+  void record(std::string line);
+
+  /// Records retained, oldest first.
+  std::vector<std::string> recent() const;
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const { return size_; }
+  /// Records evicted by the ring bound since construction (or clear()).
+  std::uint64_t dropped() const { return dropped_; }
+  /// Successful dump() calls.
+  std::size_t dumps() const { return dumps_; }
+
+  /// Crash-safe dump: a `cim-flight-v1` header object naming the trigger
+  /// `reason` plus any `meta` key/values, then the retained records oldest
+  /// first, one per line. Returns false when the file cannot be written.
+  bool dump(const std::string& path, const std::string& reason,
+            const std::vector<std::pair<std::string, std::string>>& meta = {});
+
+  /// Empties the ring (capacity and dump count persist).
+  void clear();
+
+ private:
+  std::size_t capacity_;
+  std::vector<std::string> ring_;
+  std::size_t head_ = 0;  ///< slot the next record lands in
+  std::size_t size_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::size_t dumps_ = 0;
+};
+
+}  // namespace cim::obs

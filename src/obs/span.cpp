@@ -66,13 +66,13 @@ EventBuffer& this_thread_buffer() {
 
 }  // namespace
 
-void record_trace_event(const char* name, Component comp, std::uint64_t ts_ns,
-                        std::uint64_t dur_ns, double energy_pj) {
+void record_trace_event(TraceEvent e, bool keep_tid) {
   EventBuffer& buf = this_thread_buffer();
+  if (!keep_tid) e.tid = buf.tid;
   {
     std::lock_guard<std::mutex> lk(buf.mu);
     if (buf.events.size() < trace_buffer_capacity()) {
-      buf.events.push_back({name, comp, ts_ns, dur_ns, energy_pj, buf.tid});
+      buf.events.push_back(e);
       return;
     }
   }
@@ -83,6 +83,17 @@ void record_trace_event(const char* name, Component comp, std::uint64_t ts_ns,
   // while clearing trace buffers, so taking the registry mutex under a
   // buffer mutex would close a lock-order cycle (found by TSan).
   Registry::global().counter("obs.trace.dropped").add(1);
+}
+
+void record_trace_event(const char* name, Component comp, std::uint64_t ts_ns,
+                        std::uint64_t dur_ns, double energy_pj) {
+  TraceEvent e;
+  e.name = name;
+  e.comp = comp;
+  e.ts_ns = ts_ns;
+  e.dur_ns = dur_ns;
+  e.energy_pj = energy_pj;
+  record_trace_event(e);
 }
 
 void set_trace_buffer_capacity_for_test(std::size_t cap) {

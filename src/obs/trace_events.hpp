@@ -12,16 +12,31 @@
 namespace cim::obs::detail {
 
 struct TraceEvent {
-  const char* name = nullptr;
+  const char* name = nullptr;  ///< must be a static string (not copied)
   Component comp = Component::kOther;
   std::uint64_t ts_ns = 0;
   std::uint64_t dur_ns = 0;
   double energy_pj = 0.0;
   std::uint32_t tid = 0;
+  /// Chrome trace_event phase: 'X' complete span (the span recorder's only
+  /// phase), or a flow arrow — 's' start / 'f' finish (binding point "e").
+  /// Flow pairs share `flow_id` and draw an arrow between the slices
+  /// enclosing their timestamps (request causality across serving lanes).
+  char ph = 'X';
+  std::uint64_t flow_id = 0;
+  /// Trace process lane: pid 1 = wall-clock spans (the span recorder),
+  /// pid 2 = simulated-time serving lanes (ts is simulated ns there).
+  std::uint32_t pid = 1;
 };
 
 void record_trace_event(const char* name, Component comp, std::uint64_t ts_ns,
                         std::uint64_t dur_ns, double energy_pj);
+
+/// Full-control overload for non-span events (flow arrows, simulated-time
+/// lanes). `e.tid` is overwritten with the recording thread's trace tid
+/// unless `keep_tid` is set (the serving controller assigns one lane per
+/// replica, independent of which thread records the plan).
+void record_trace_event(TraceEvent e, bool keep_tid = false);
 
 /// All recorded events (live + exited threads), sorted by timestamp.
 std::vector<TraceEvent> collect_trace_events();

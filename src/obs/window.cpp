@@ -1,0 +1,362 @@
+#include "obs/window.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace cim::obs {
+
+namespace {
+
+std::uint64_t index_of(double t_ns, double window_ns) {
+  if (!(t_ns > 0.0)) return 0;  // negatives and NaN clamp to window 0
+  return static_cast<std::uint64_t>(std::floor(t_ns / window_ns));
+}
+
+}  // namespace
+
+// --- WindowedCounter ---------------------------------------------------------
+
+WindowedCounter::WindowedCounter(double window_ns, std::size_t ring_windows)
+    : window_ns_(window_ns) {
+  if (!(window_ns > 0.0))
+    throw std::invalid_argument("WindowedCounter: window_ns must be > 0");
+  if (ring_windows == 0)
+    throw std::invalid_argument("WindowedCounter: ring_windows must be >= 1");
+  ring_.resize(ring_windows);
+}
+
+std::uint64_t WindowedCounter::window_index(double t_ns) const {
+  return index_of(t_ns, window_ns_);
+}
+
+void WindowedCounter::close_slot(Slot& s, const CloseFn& on_close) {
+  if (on_close) {
+    WindowCount w;
+    w.index = s.index;
+    w.start_ns = static_cast<double>(s.index) * window_ns_;
+    w.count = s.count;
+    on_close(w);
+  }
+  s.live = false;
+  s.count = 0;
+}
+
+void WindowedCounter::advance_to(std::uint64_t idx, const CloseFn& on_close) {
+  const std::size_t R = ring_.size();
+  const std::uint64_t keep_from = idx >= R - 1 ? idx - (R - 1) : 0;
+  // Evict every live window that falls off the ring, oldest first, so the
+  // close callback sees an in-order exactly-once stream.
+  std::vector<Slot*> evict;
+  for (Slot& s : ring_)
+    if (s.live && s.index < keep_from) evict.push_back(&s);
+  std::sort(evict.begin(), evict.end(),
+            [](const Slot* a, const Slot* b) { return a->index < b->index; });
+  for (Slot* s : evict) close_slot(*s, on_close);
+  newest_ = idx;
+}
+
+void WindowedCounter::add(double t_ns, std::uint64_t v,
+                          const CloseFn& on_close) {
+  add_at_index(window_index(t_ns), v, on_close);
+}
+
+void WindowedCounter::add_at_index(std::uint64_t idx, std::uint64_t v,
+                                   const CloseFn& on_close) {
+  total_ += v;
+  if (!any_) {
+    any_ = true;
+    newest_ = idx;
+  } else if (idx > newest_) {
+    advance_to(idx, on_close);
+  } else if (newest_ >= ring_.size() &&
+             idx < newest_ - (ring_.size() - 1)) {
+    late_dropped_ += v;  // window already evicted; never resurrect it
+    return;
+  }
+  Slot& s = ring_[idx % ring_.size()];
+  if (!s.live) {
+    s.live = true;
+    s.index = idx;
+    s.count = 0;
+  }
+  s.count += v;
+}
+
+void WindowedCounter::finalize(const CloseFn& on_close) {
+  std::vector<Slot*> live;
+  for (Slot& s : ring_)
+    if (s.live) live.push_back(&s);
+  std::sort(live.begin(), live.end(),
+            [](const Slot* a, const Slot* b) { return a->index < b->index; });
+  for (Slot* s : live) close_slot(*s, on_close);
+  any_ = false;
+  newest_ = 0;
+}
+
+void WindowedCounter::merge(const WindowedCounter& other,
+                            const CloseFn& on_close) {
+  if (other.window_ns_ != window_ns_ || other.ring_.size() != ring_.size())
+    throw std::invalid_argument("WindowedCounter::merge: shape mismatch");
+  std::vector<const Slot*> live;
+  for (const Slot& s : other.ring_)
+    if (s.live) live.push_back(&s);
+  std::sort(live.begin(), live.end(),
+            [](const Slot* a, const Slot* b) { return a->index < b->index; });
+  for (const Slot* s : live) add_at_index(s->index, s->count, on_close);
+  late_dropped_ += other.late_dropped_;
+  total_ += other.late_dropped_;
+}
+
+// --- WindowedHistogram -------------------------------------------------------
+
+WindowedHistogram::WindowedHistogram(double window_ns,
+                                     std::span<const double> bounds,
+                                     std::size_t ring_windows)
+    : window_ns_(window_ns), bounds_(bounds.begin(), bounds.end()) {
+  if (!(window_ns > 0.0))
+    throw std::invalid_argument("WindowedHistogram: window_ns must be > 0");
+  if (ring_windows == 0)
+    throw std::invalid_argument("WindowedHistogram: ring_windows must be >= 1");
+  if (!std::is_sorted(bounds_.begin(), bounds_.end()))
+    throw std::invalid_argument("WindowedHistogram: bounds must be sorted");
+  ring_.resize(ring_windows);
+}
+
+std::uint64_t WindowedHistogram::window_index(double t_ns) const {
+  return index_of(t_ns, window_ns_);
+}
+
+void WindowedHistogram::close_slot(Slot& s, const CloseFn& on_close) {
+  if (on_close) {
+    WindowHistogramSnap w;
+    w.index = s.index;
+    w.start_ns = static_cast<double>(s.index) * window_ns_;
+    w.hist.bounds = bounds_;
+    w.hist.counts = s.counts;
+    w.hist.count = s.count;
+    w.hist.sum = s.sum;
+    on_close(w);
+  }
+  s.live = false;
+  std::fill(s.counts.begin(), s.counts.end(), 0);
+  s.count = 0;
+  s.sum = 0.0;
+}
+
+void WindowedHistogram::advance_to(std::uint64_t idx, const CloseFn& on_close) {
+  const std::size_t R = ring_.size();
+  const std::uint64_t keep_from = idx >= R - 1 ? idx - (R - 1) : 0;
+  std::vector<Slot*> evict;
+  for (Slot& s : ring_)
+    if (s.live && s.index < keep_from) evict.push_back(&s);
+  std::sort(evict.begin(), evict.end(),
+            [](const Slot* a, const Slot* b) { return a->index < b->index; });
+  for (Slot* s : evict) close_slot(*s, on_close);
+  newest_ = idx;
+}
+
+void WindowedHistogram::observe(double t_ns, double value,
+                                const CloseFn& on_close) {
+  observe_at_index(window_index(t_ns), value, 1, on_close);
+}
+
+void WindowedHistogram::observe_at_index(std::uint64_t idx, double value,
+                                         std::uint64_t weight,
+                                         const CloseFn& on_close) {
+  total_ += weight;
+  if (!any_) {
+    any_ = true;
+    newest_ = idx;
+  } else if (idx > newest_) {
+    advance_to(idx, on_close);
+  } else if (newest_ >= ring_.size() &&
+             idx < newest_ - (ring_.size() - 1)) {
+    late_dropped_ += weight;
+    return;
+  }
+  Slot& s = ring_[idx % ring_.size()];
+  if (!s.live) {
+    s.live = true;
+    s.index = idx;
+    if (s.counts.size() != bounds_.size() + 1)
+      s.counts.assign(bounds_.size() + 1, 0);
+  }
+  // Same closed-upper-bound semantics as obs::Histogram: bucket i covers
+  // (bounds[i-1], bounds[i]]; NaN and values above the last bound land in
+  // the overflow bucket.
+  std::size_t b = bounds_.size();
+  for (std::size_t i = 0; i < bounds_.size(); ++i)
+    if (value <= bounds_[i]) {
+      b = i;
+      break;
+    }
+  s.counts[b] += weight;
+  s.count += weight;
+  s.sum += value * static_cast<double>(weight);
+}
+
+void WindowedHistogram::finalize(const CloseFn& on_close) {
+  std::vector<Slot*> live;
+  for (Slot& s : ring_)
+    if (s.live) live.push_back(&s);
+  std::sort(live.begin(), live.end(),
+            [](const Slot* a, const Slot* b) { return a->index < b->index; });
+  for (Slot* s : live) close_slot(*s, on_close);
+  any_ = false;
+  newest_ = 0;
+}
+
+void WindowedHistogram::merge(const WindowedHistogram& other,
+                              const CloseFn& on_close) {
+  if (other.window_ns_ != window_ns_ || other.ring_.size() != ring_.size() ||
+      other.bounds_ != bounds_)
+    throw std::invalid_argument("WindowedHistogram::merge: shape mismatch");
+  std::vector<const Slot*> live;
+  for (const Slot& s : other.ring_)
+    if (s.live) live.push_back(&s);
+  std::sort(live.begin(), live.end(),
+            [](const Slot* a, const Slot* b) { return a->index < b->index; });
+  for (const Slot* src : live) {
+    // Replay the source window bucket-by-bucket at its own index. The
+    // bucket mid-value does not matter — counts land by bucket position.
+    total_ += src->count;
+    if (!any_) {
+      any_ = true;
+      newest_ = src->index;
+    } else if (src->index > newest_) {
+      advance_to(src->index, on_close);
+    } else if (newest_ >= ring_.size() &&
+               src->index < newest_ - (ring_.size() - 1)) {
+      late_dropped_ += src->count;
+      continue;
+    }
+    Slot& dst = ring_[src->index % ring_.size()];
+    if (!dst.live) {
+      dst.live = true;
+      dst.index = src->index;
+      if (dst.counts.size() != bounds_.size() + 1)
+        dst.counts.assign(bounds_.size() + 1, 0);
+    }
+    for (std::size_t i = 0; i < src->counts.size(); ++i)
+      dst.counts[i] += src->counts[i];
+    dst.count += src->count;
+    dst.sum += src->sum;
+  }
+  late_dropped_ += other.late_dropped_;
+  total_ += other.late_dropped_;
+}
+
+// --- SloTracker --------------------------------------------------------------
+
+SloTracker::SloTracker(SloConfig cfg) : cfg_(cfg) {
+  if (!(cfg_.target_ns > 0.0))
+    throw std::invalid_argument("SloTracker: target_ns must be > 0");
+  if (!(cfg_.objective > 0.0) || !(cfg_.objective < 1.0))
+    throw std::invalid_argument("SloTracker: objective must be in (0, 1)");
+  if (!(cfg_.window_ns > 0.0))
+    throw std::invalid_argument("SloTracker: window_ns must be > 0");
+  if (cfg_.fast_windows == 0 || cfg_.slow_windows == 0)
+    throw std::invalid_argument("SloTracker: alert spans must be >= 1 window");
+  summary_.enabled = true;
+  summary_.target_ns = cfg_.target_ns;
+  summary_.objective = cfg_.objective;
+  summary_.window_ns = cfg_.window_ns;
+}
+
+void SloTracker::observe(double t_ns, double latency_ns) {
+  // NaN compares false, so a NaN latency counts as a violation — the same
+  // pessimistic default the histogram overflow bucket applies.
+  event(t_ns, latency_ns <= cfg_.target_ns);
+}
+
+void SloTracker::record_rejected(double t_ns) { event(t_ns, false); }
+
+void SloTracker::event(double t_ns, bool good) {
+  const std::uint64_t idx = index_of(t_ns, cfg_.window_ns);
+  if (!any_) {
+    any_ = true;
+    cur_index_ = idx;
+  } else if (idx > cur_index_) {
+    close_current();
+    cur_index_ = idx;
+  }
+  // Events are fed in non-decreasing simulated time; anything that still
+  // lands behind the current window folds into it (never reopens a
+  // closed one).
+  if (good) {
+    ++cur_good_;
+    ++total_good_;
+  } else {
+    ++cur_bad_;
+    ++total_bad_;
+  }
+}
+
+void SloTracker::close_current() {
+  SloWindow row;
+  row.index = cur_index_;
+  row.start_ns = static_cast<double>(cur_index_) * cfg_.window_ns;
+  row.good = cur_good_;
+  row.bad = cur_bad_;
+  const double budget = 1.0 - cfg_.objective;
+  const std::uint64_t n = cur_good_ + cur_bad_;
+  row.burn_rate =
+      n > 0 ? (static_cast<double>(cur_bad_) / static_cast<double>(n)) / budget
+            : 0.0;
+
+  // Trailing burn over the last K *window indices* (quiet windows count as
+  // zero-traffic, diluting nothing — they simply contribute no events).
+  auto trailing_burn = [&](std::size_t k) {
+    const std::uint64_t from =
+        cur_index_ >= k - 1 ? cur_index_ - (k - 1) : 0;
+    std::uint64_t good = cur_good_;
+    std::uint64_t bad = cur_bad_;
+    for (auto it = closed_.rbegin(); it != closed_.rend(); ++it) {
+      if (it->index < from) break;
+      good += it->good;
+      bad += it->bad;
+    }
+    const std::uint64_t total = good + bad;
+    if (total == 0) return 0.0;
+    return (static_cast<double>(bad) / static_cast<double>(total)) / budget;
+  };
+
+  const double fast = trailing_burn(cfg_.fast_windows);
+  const double slow = trailing_burn(cfg_.slow_windows);
+  const bool fast_now = fast >= cfg_.fast_burn_threshold;
+  const bool slow_now = slow >= cfg_.slow_burn_threshold;
+  row.fast_alert = fast_now && !fast_active_;  // onset, not level
+  row.slow_alert = slow_now && !slow_active_;
+  fast_active_ = fast_now;
+  slow_active_ = slow_now;
+  if (row.fast_alert) {
+    ++summary_.fast_alerts;
+    if (summary_.first_breach_ns < 0.0) summary_.first_breach_ns = row.start_ns;
+  }
+  if (row.slow_alert) ++summary_.slow_alerts;
+
+  closed_.push_back(row);
+  cur_good_ = 0;
+  cur_bad_ = 0;
+}
+
+SloSummary SloTracker::finalize() {
+  if (finalized_) return summary_;
+  finalized_ = true;
+  if (any_ && (cur_good_ + cur_bad_) > 0) close_current();
+  summary_.good = total_good_;
+  summary_.bad = total_bad_;
+  const std::uint64_t total = total_good_ + total_bad_;
+  summary_.budget_consumed =
+      total > 0 ? static_cast<double>(total_bad_) /
+                      (static_cast<double>(total) * (1.0 - cfg_.objective))
+                : 0.0;
+  summary_.breached =
+      summary_.fast_alerts > 0 || summary_.budget_consumed >= 1.0;
+  if (summary_.breached && summary_.first_breach_ns < 0.0 && !closed_.empty())
+    summary_.first_breach_ns = closed_.front().start_ns;
+  return summary_;
+}
+
+}  // namespace cim::obs

@@ -42,8 +42,10 @@
 
 #include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
 
+#include "obs/window.hpp"
 #include "serve/request.hpp"
 #include "serve/tile_pool.hpp"
 #include "serve/traffic.hpp"
@@ -87,6 +89,45 @@ struct ControllerConfig {
   std::size_t escalation_queue_depth = 64;
   /// Admission-queue capacity; arrivals beyond it are rejected.
   std::size_t queue_capacity = 8192;
+
+  // --- Request-lifecycle observability (all off by default) -----------------
+  /// Simulated-time window width for the live per-window latency/rate
+  /// series (ServeStats::windows). 0 disables windowed aggregation.
+  double window_ns = 0.0;
+  /// SLO latency target; > 0 (with window_ns > 0) enables the SloTracker
+  /// (error budget + fast/slow burn-rate alerts over `window_ns` windows).
+  double slo_target_ns = 0.0;
+  /// Required good fraction of the SLO, in (0, 1).
+  double slo_objective = 0.999;
+  std::size_t slo_fast_windows = 1;   ///< fast burn-alert trailing span
+  std::size_t slo_slow_windows = 12;  ///< slow burn-alert trailing span
+  double slo_fast_burn = 14.4;        ///< fast alert threshold (x budget rate)
+  double slo_slow_burn = 6.0;         ///< slow alert threshold
+  /// Flight-recorder ring capacity (most recent request records and
+  /// controller decisions retained for post-mortems).
+  std::size_t flight_capacity = 256;
+  /// Rejections within one window that count as a shed spike (the second
+  /// flight-dump trigger besides a fast-burn SLO alert).
+  std::size_t flight_shed_spike = 16;
+  /// When non-empty, the flight recorder auto-dumps here (crash-safe
+  /// atomic write) on the first SLO fast-burn alert or shed spike.
+  std::string flight_dump_path;
+};
+
+/// One closed simulated-time window of a run (ControllerConfig::window_ns):
+/// the live view end-of-run aggregates cannot give — *when* the tail blew
+/// up, not just that it did.
+struct WindowStat {
+  std::uint64_t index = 0;   ///< window number (floor(t / window_ns))
+  double start_ns = 0.0;     ///< index * window_ns
+  std::uint64_t completed = 0;  ///< completions whose done time fell here
+  std::uint64_t rejected = 0;   ///< admissions shed in this window
+  double rate_rps = 0.0;     ///< completed / window (simulated)
+  double p50_ns = 0.0;       ///< within-window latency quantiles
+  double p99_ns = 0.0;
+  double p999_ns = 0.0;
+  std::uint64_t slo_violations = 0;  ///< latency > target + rejections
+  double burn_rate = 0.0;    ///< this window's budget burn multiple
 };
 
 /// Aggregate SLO metrics of one controller run (all times simulated ns).
@@ -107,19 +148,39 @@ struct ServeStats {
   double p999_ns = 0.0;
   double max_ns = 0.0;
 
-  // Queue/in-flight occupancy sampled at every arrival event.
+  // Queue/in-flight occupancy sampled at every arrival *and* completion
+  // event (arrival-only sampling biases occupancy low on bursty traffic:
+  // the deep-queue intervals between bursts would never be sampled).
   double mean_queue_depth = 0.0;
   std::size_t max_queue_depth = 0;
   double mean_inflight = 0.0;
+  std::size_t occupancy_samples = 0;
+
+  // Mean latency decomposition across completions (simulated ns). The
+  // issue term is the *amortized* share (issue_wait_ns / batch_size), so
+  // the five means sum to mean_ns only up to the amortization gap; the
+  // per-request sums are exact (Completion::decomposition_sum).
+  double mean_batch_wait_ns = 0.0;
+  double mean_queue_wait_ns = 0.0;
+  double mean_issue_share_ns = 0.0;
+  double mean_bitserial_ns = 0.0;
+  double mean_reduce_ns = 0.0;
 
   // Per-replica traffic split and utilization (busy / makespan).
   std::vector<std::size_t> per_replica_requests;
   std::vector<double> per_replica_utilization;
+
+  // Windowed series + SLO accounting (empty / disabled unless
+  // ControllerConfig::window_ns and slo_target_ns enable them).
+  std::vector<WindowStat> windows;
+  obs::SloSummary slo;
+  std::size_t flight_dumps = 0;  ///< auto-dumps triggered this run
 };
 
 struct ServeReport {
   ServeStats stats;
   std::vector<Completion> completions;  ///< completed requests, by id
+  std::vector<Rejection> rejections;    ///< shed requests, by id
 };
 
 class Controller {
@@ -148,8 +209,10 @@ class Controller {
 
 /// Applies the CIM_SERVE_* environment overrides (documented in README):
 /// CIM_SERVE_REQUESTS, CIM_SERVE_RATE_RPS, CIM_SERVE_PROCESS, CIM_SERVE_BATCH,
-/// CIM_SERVE_DEADLINE_NS, CIM_SERVE_POLICY, CIM_SERVE_ESCALATE. Unset or
-/// malformed variables leave the fields untouched.
+/// CIM_SERVE_DEADLINE_NS, CIM_SERVE_POLICY, CIM_SERVE_ESCALATE, plus the
+/// observability knobs CIM_SERVE_WINDOW_NS, CIM_SERVE_SLO_TARGET_NS,
+/// CIM_SERVE_SLO_OBJECTIVE, CIM_SERVE_FLIGHT_FILE. Unset or malformed
+/// variables leave the fields untouched.
 void apply_env_overrides(TrafficConfig& traffic, ControllerConfig& ctl);
 
 }  // namespace cim::serve

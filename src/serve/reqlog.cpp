@@ -1,0 +1,176 @@
+#include "serve/reqlog.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "obs/json.hpp"
+#include "obs/obs.hpp"
+
+namespace cim::serve {
+
+namespace {
+
+constexpr const char* kHeaderFormat = "cim-reqlog-v1";
+
+/// %.17g: shortest-or-exact round trip for IEEE doubles — the fixpoint
+/// contract of the format (and of cim-trace-v1, trace_io.cpp).
+void num(std::ostream& os, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  os << buf;
+}
+
+void write_completion_line(std::ostream& os, const Completion& c) {
+  os << "{\"event\":\"done\",\"id\":" << c.id << ",\"kind\":\""
+     << kind_name(c.kind) << "\",\"tier\":\"" << crossbar::tier_name(c.tier)
+     << "\",\"escalated\":" << (c.escalated ? "true" : "false")
+     << ",\"replica\":" << c.replica << ",\"batch\":" << c.batch_size
+     << ",\"label\":" << c.label;
+  const std::pair<const char*, double> fields[] = {
+      {"arrival_ns", c.arrival_ns},       {"dispatch_ns", c.dispatch_ns},
+      {"done_ns", c.done_ns},             {"batch_wait_ns", c.batch_wait_ns},
+      {"queue_wait_ns", c.queue_wait_ns}, {"issue_wait_ns", c.issue_wait_ns},
+      {"bitserial_ns", c.bitserial_ns},   {"reduce_ns", c.reduce_ns}};
+  for (const auto& [k, v] : fields) {
+    os << ",\"" << k << "\":";
+    num(os, v);
+  }
+  os << "}\n";
+}
+
+void write_rejection_line(std::ostream& os, const Rejection& r) {
+  os << "{\"event\":\"rejected\",\"id\":" << r.id << ",\"kind\":\""
+     << kind_name(r.kind) << "\",\"arrival_ns\":";
+  num(os, r.arrival_ns);
+  os << "}\n";
+}
+
+void write_lines(std::ostream& os, const std::vector<Completion>& completions,
+                 const std::vector<Rejection>& rejections) {
+  os << "{\"format\":\"" << kHeaderFormat
+     << "\",\"completions\":" << completions.size()
+     << ",\"rejections\":" << rejections.size() << "}\n";
+  for (const Completion& c : completions) write_completion_line(os, c);
+  for (const Rejection& r : rejections) write_rejection_line(os, r);
+}
+
+[[noreturn]] void fail(std::size_t line_no, const std::string& what) {
+  throw std::runtime_error("cim-reqlog-v1: line " + std::to_string(line_no) +
+                           ": " + what);
+}
+
+double get_num(const obs::json::Value& v, const char* key,
+               std::size_t line_no) {
+  if (!v.contains(key)) fail(line_no, std::string("missing '") + key + "'");
+  return v.at(key).as_number();
+}
+
+RequestKind parse_kind(const std::string& s, std::size_t line_no) {
+  if (s == "vmm") return RequestKind::kVmm;
+  if (s == "infer") return RequestKind::kInference;
+  fail(line_no, "unknown kind '" + s + "'");
+}
+
+crossbar::FidelityTier parse_tier(const std::string& s, std::size_t line_no) {
+  if (s == "full") return crossbar::FidelityTier::kFull;
+  if (s == "calibrated") return crossbar::FidelityTier::kCalibrated;
+  if (s == "ideal") return crossbar::FidelityTier::kIdeal;
+  fail(line_no, "unknown tier '" + s + "'");
+}
+
+}  // namespace
+
+void write_reqlog(std::ostream& os, const ServeReport& report) {
+  write_lines(os, report.completions, report.rejections);
+}
+
+void write_reqlog(std::ostream& os, const ReqLog& log) {
+  write_lines(os, log.completions, log.rejections);
+}
+
+bool write_reqlog_file(const std::string& path, const ServeReport& report) {
+  return obs::write_file_atomic(
+      path, [&](std::ostream& os) { write_reqlog(os, report); });
+}
+
+ReqLog read_reqlog(std::istream& is) {
+  ReqLog log;
+  std::string line;
+  std::size_t line_no = 0;
+  bool seen_header = false;
+  while (std::getline(is, line)) {
+    ++line_no;
+    // Tolerate CRLF line endings and trailing whitespace: reqlogs survive
+    // transfer through windows editors and clipboard round trips.
+    while (!line.empty() &&
+           (line.back() == '\r' || line.back() == ' ' || line.back() == '\t'))
+      line.pop_back();
+    if (line.empty()) continue;
+    obs::json::Value v;
+    try {
+      v = obs::json::parse(line);
+    } catch (const std::exception& e) {
+      fail(line_no, e.what());
+    }
+    if (!v.is_object()) fail(line_no, "expected a JSON object");
+    if (!seen_header) {
+      if (!v.contains("format") || v.at("format").as_string() != kHeaderFormat)
+        fail(line_no, std::string("expected header {\"format\":\"") +
+                          kHeaderFormat + "\"}");
+      seen_header = true;
+      continue;
+    }
+    if (!v.contains("event")) fail(line_no, "missing 'event'");
+    const std::string& event = v.at("event").as_string();
+    if (event == "done") {
+      Completion c;
+      c.id = static_cast<std::uint64_t>(get_num(v, "id", line_no));
+      c.kind = parse_kind(v.at("kind").as_string(), line_no);
+      c.tier = parse_tier(v.at("tier").as_string(), line_no);
+      c.escalated = v.contains("escalated") && v.at("escalated").as_bool();
+      c.replica = static_cast<std::size_t>(get_num(v, "replica", line_no));
+      c.batch_size = static_cast<std::size_t>(get_num(v, "batch", line_no));
+      c.label = static_cast<int>(get_num(v, "label", line_no));
+      c.arrival_ns = get_num(v, "arrival_ns", line_no);
+      c.dispatch_ns = get_num(v, "dispatch_ns", line_no);
+      c.done_ns = get_num(v, "done_ns", line_no);
+      c.batch_wait_ns = get_num(v, "batch_wait_ns", line_no);
+      c.queue_wait_ns = get_num(v, "queue_wait_ns", line_no);
+      c.issue_wait_ns = get_num(v, "issue_wait_ns", line_no);
+      c.bitserial_ns = get_num(v, "bitserial_ns", line_no);
+      c.reduce_ns = get_num(v, "reduce_ns", line_no);
+      log.completions.push_back(std::move(c));
+    } else if (event == "rejected") {
+      Rejection r;
+      r.id = static_cast<std::uint64_t>(get_num(v, "id", line_no));
+      r.kind = parse_kind(v.at("kind").as_string(), line_no);
+      r.arrival_ns = get_num(v, "arrival_ns", line_no);
+      log.rejections.push_back(r);
+    } else {
+      fail(line_no, "unknown event '" + event + "'");
+    }
+  }
+  if (!seen_header) fail(line_no == 0 ? 1 : line_no, "empty reqlog (no header)");
+  return log;
+}
+
+ReqLog read_reqlog_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f)
+    throw std::runtime_error("cim-reqlog-v1: cannot open '" + path + "'");
+  return read_reqlog(f);
+}
+
+void export_reqlog_if_requested(const ServeReport& report) {
+  if (!obs::enabled()) return;
+  if (const char* path = std::getenv("CIM_OBS_REQLOG_FILE");
+      path != nullptr && *path != '\0')
+    write_reqlog_file(path, report);
+}
+
+}  // namespace cim::serve

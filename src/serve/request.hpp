@@ -49,7 +49,9 @@ struct Request {
 };
 
 /// Per-request completion record: the timing triple the SLO metrics are
-/// derived from plus the executed result.
+/// derived from, the exact lifecycle latency decomposition, and the
+/// executed result. The request id doubles as the trace id: it is the flow
+/// id of the Chrome-trace arrows and the join key of the reqlog.
 struct Completion {
   std::uint64_t id = 0;
   RequestKind kind = RequestKind::kVmm;
@@ -59,11 +61,43 @@ struct Completion {
   std::size_t replica = 0;   ///< tile replica that served the request
   std::size_t batch_size = 0;  ///< size of the coalesced batch it rode in
   crossbar::FidelityTier tier = crossbar::FidelityTier::kFull;  ///< as served
+  bool escalated = false;    ///< tier downgraded by overload shedding
   std::vector<long> result;  ///< VMM output / logits
   int label = -1;            ///< argmax class (kInference only)
 
+  /// Exact latency decomposition (simulated ns). The controller constructs
+  /// `done_ns = arrival_ns + decomposition_sum()`, so the five components
+  /// sum to the end-to-end latency **bitwise**, per request:
+  ///  - batch_wait_ns: arrival -> batch seal (size-or-deadline coalescing);
+  ///  - queue_wait_ns: seal -> own service start (replica backlog plus the
+  ///    in-batch serialization behind earlier batch members);
+  ///  - issue_wait_ns: the full per-dispatch issue overhead this request
+  ///    sat through; its *amortized* share is issue_wait_ns / batch_size
+  ///    (what aggregate attribution reports — the batching win);
+  ///  - bitserial_ns: own worst-tile bit-serial array+ADC time;
+  ///  - reduce_ns: own digital reduction-tree transfer time.
+  double batch_wait_ns = 0.0;
+  double queue_wait_ns = 0.0;
+  double issue_wait_ns = 0.0;
+  double bitserial_ns = 0.0;
+  double reduce_ns = 0.0;
+
   double latency_ns() const { return done_ns - arrival_ns; }
   double queue_ns() const { return dispatch_ns - arrival_ns; }
+  /// Left-to-right sum, the exact construction order of done_ns.
+  double decomposition_sum() const {
+    return ((((batch_wait_ns + queue_wait_ns) + issue_wait_ns) +
+             bitserial_ns) +
+            reduce_ns);
+  }
+};
+
+/// A request shed at admission (queue over capacity): the only lifecycle
+/// record a rejected request leaves.
+struct Rejection {
+  std::uint64_t id = 0;
+  RequestKind kind = RequestKind::kVmm;
+  double arrival_ns = 0.0;
 };
 
 }  // namespace cim::serve

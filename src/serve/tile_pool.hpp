@@ -54,6 +54,13 @@ class TilePool {
     return replicas_.front()->request_latency_ns(input_bits);
   }
 
+  /// Bit-serial / digital-reduce split of request_latency_ns (the two
+  /// service components of the per-request latency decomposition).
+  core::CimSystem::RequestLatencyParts request_latency_parts(
+      int input_bits) const {
+    return replicas_.front()->request_latency_parts(input_bits);
+  }
+
   /// Health score per replica, normalized to [0, 1] by the worst replica
   /// (all zeros when no replica has any recorded health events). Raw score
   /// = writes + disturbs + sum |drift| (uS) + 100 * worn-out cells, summed

@@ -41,6 +41,15 @@ std::optional<std::vector<Request>> fail(std::string* error, std::size_t line,
   return std::nullopt;
 }
 
+/// Strips the trailing CR of CRLF-translated traces plus trailing
+/// spaces/tabs, so files that crossed a Windows checkout or an editor that
+/// pads lines still parse. Leading whitespace stays significant.
+void strip_trailing(std::string& line) {
+  while (!line.empty() && (line.back() == '\r' || line.back() == ' ' ||
+                           line.back() == '\t'))
+    line.pop_back();
+}
+
 }  // namespace
 
 void dump_trace(std::ostream& os, std::span<const Request> requests) {
@@ -66,6 +75,7 @@ std::optional<std::vector<Request>> parse_trace(std::istream& is,
   bool have_header = false;
   while (!have_header && std::getline(is, line)) {
     ++lineno;
+    strip_trailing(line);
     if (line.empty() || line[0] == '#') continue;
     if (line != kHeader)
       return fail(error, lineno,
@@ -79,6 +89,7 @@ std::optional<std::vector<Request>> parse_trace(std::istream& is,
   double prev_arrival = 0.0;
   while (std::getline(is, line)) {
     ++lineno;
+    strip_trailing(line);
     if (line.empty() || line[0] == '#') continue;
 
     std::istringstream fields(line);

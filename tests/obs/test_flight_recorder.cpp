@@ -1,0 +1,92 @@
+/// Flight recorder: ring-bound retention with drop accounting, oldest-
+/// first ordering, and the crash-safe cim-flight-v1 dump format.
+#include "obs/flight.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace cim::obs {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  return ss.str();
+}
+
+std::string temp_path(const char* name) {
+  return std::string(::testing::TempDir()) + name;
+}
+
+TEST(FlightRecorder, RingKeepsLastNOldestFirst) {
+  FlightRecorder fr(3);
+  for (int i = 0; i < 5; ++i) fr.record("rec" + std::to_string(i));
+  EXPECT_EQ(fr.size(), 3u);
+  EXPECT_EQ(fr.dropped(), 2u);
+  const auto recs = fr.recent();
+  ASSERT_EQ(recs.size(), 3u);
+  EXPECT_EQ(recs[0], "rec2");
+  EXPECT_EQ(recs[1], "rec3");
+  EXPECT_EQ(recs[2], "rec4");
+}
+
+TEST(FlightRecorder, ZeroCapacityClampsToOne) {
+  FlightRecorder fr(0);
+  EXPECT_EQ(fr.capacity(), 1u);
+  fr.record("a");
+  fr.record("b");
+  ASSERT_EQ(fr.recent().size(), 1u);
+  EXPECT_EQ(fr.recent()[0], "b");
+}
+
+TEST(FlightRecorder, DumpWritesHeaderThenRecords) {
+  FlightRecorder fr(4);
+  fr.record("{\"event\":\"done\",\"id\":1}");
+  fr.record("{\"event\":\"done\",\"id\":2}");
+  const std::string path = temp_path("flight_dump.json");
+  ASSERT_TRUE(fr.dump(path, "slo-fast-burn", {{"t_ns", "123"}}));
+  EXPECT_EQ(fr.dumps(), 1u);
+
+  std::istringstream is(slurp(path));
+  std::string line;
+  ASSERT_TRUE(std::getline(is, line));
+  EXPECT_NE(line.find("\"format\":\"cim-flight-v1\""), std::string::npos);
+  EXPECT_NE(line.find("\"reason\":\"slo-fast-burn\""), std::string::npos);
+  EXPECT_NE(line.find("\"records\":2"), std::string::npos);
+  EXPECT_NE(line.find("\"t_ns\":\"123\""), std::string::npos);
+  ASSERT_TRUE(std::getline(is, line));
+  EXPECT_EQ(line, "{\"event\":\"done\",\"id\":1}");
+  ASSERT_TRUE(std::getline(is, line));
+  EXPECT_EQ(line, "{\"event\":\"done\",\"id\":2}");
+  EXPECT_FALSE(std::getline(is, line));
+  std::remove(path.c_str());
+}
+
+TEST(FlightRecorder, DumpToUnwritablePathFailsWithoutCrashing) {
+  FlightRecorder fr(2);
+  fr.record("x");
+  EXPECT_FALSE(fr.dump("/nonexistent-dir/f.json", "test"));
+  EXPECT_EQ(fr.dumps(), 0u);
+}
+
+TEST(FlightRecorder, ClearEmptiesRingButKeepsDumpCount) {
+  FlightRecorder fr(2);
+  fr.record("a");
+  const std::string path = temp_path("flight_clear.json");
+  ASSERT_TRUE(fr.dump(path, "test"));
+  fr.clear();
+  EXPECT_EQ(fr.size(), 0u);
+  EXPECT_EQ(fr.dropped(), 0u);
+  EXPECT_EQ(fr.dumps(), 1u);
+  EXPECT_TRUE(fr.recent().empty());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace cim::obs

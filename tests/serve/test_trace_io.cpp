@@ -94,6 +94,35 @@ TEST(TraceIo, CommentsAndBlanksAreIgnored) {
   EXPECT_EQ((*parsed)[1].input, (std::vector<std::uint32_t>{3, 4}));
 }
 
+TEST(TraceIo, ToleratesCrlfAndTrailingWhitespace) {
+  // A trace that crossed a windows checkout (CRLF) or an editor that pads
+  // line ends must still parse — and reparse to the same requests.
+  std::istringstream is(
+      "cim-trace-v1\r\n"
+      "req 0 0 vmm 4 full 2 1 2 \r\n"
+      "req 1 10.5 infer 4 calibrated 2 3 4\t\r\n");
+  std::string error;
+  const auto parsed = parse_trace(is, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  ASSERT_EQ(parsed->size(), 2u);
+  EXPECT_EQ((*parsed)[0].input, (std::vector<std::uint32_t>{1, 2}));
+  EXPECT_DOUBLE_EQ((*parsed)[1].arrival_ns, 10.5);
+
+  // The damaged parse re-dumps to the same text a clean parse does:
+  // dump(parse(damaged)) == dump(parse(clean)).
+  std::istringstream clean(
+      "cim-trace-v1\n"
+      "req 0 0 vmm 4 full 2 1 2\n"
+      "req 1 10.5 infer 4 calibrated 2 3 4\n");
+  const auto parsed_clean = parse_trace(clean, &error);
+  ASSERT_TRUE(parsed_clean.has_value()) << error;
+  std::ostringstream from_damaged;
+  std::ostringstream from_clean;
+  dump_trace(from_damaged, *parsed);
+  dump_trace(from_clean, *parsed_clean);
+  EXPECT_EQ(from_damaged.str(), from_clean.str());
+}
+
 TEST(TraceIo, ErrorsCarryLineNumbers) {
   const struct {
     const char* text;
