@@ -82,6 +82,12 @@ OPTIONAL = {
     "mean_bitserial_us", "mean_reduce_us", "slo_breached_overload",
     "slo_fast_alerts_overload", "slo_budget_consumed_overload",
     "windows_closed",
+    # adaptive Monte-Carlo campaigns (exp::run_campaign): scheduler round
+    # counts / process-shard counts for the migrated sweeps, and the
+    # adaptive-vs-fixed trial economics of the bench_campaign gate.
+    "campaign_rounds", "campaign_shards",
+    "adaptive_trials", "fixed_trials", "saved_frac",
+    "adaptive_wall_ms", "fixed_wall_ms",
     # dispatched-ISA kernel sweep (bench_micro_kernels): GB/s per variant
     # and speedup vs the scalar table; avx* keys are absent on hosts
     # whose build or CPU cannot execute that table.

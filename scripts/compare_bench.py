@@ -58,6 +58,16 @@ WAIVERS: dict[str, tuple[int, str]] = {
     "bench_fig4_crossbar_vmm": (
         7, "added fidelity-dial sweep: 3 tiers x 3 passes x 400 VMMs "
            "+ deviation statistics"),
+    "bench_accuracy_vs_yield": (
+        10, "migrated onto the adaptive Monte-Carlo campaign runner: "
+            "per-yield replication counts are now CI-driven"),
+    "bench_retraining_ablation": (
+        10, "migrated onto the adaptive Monte-Carlo campaign runner: "
+            "retrains replicate per yield until the recovery CI tightens"),
+    "bench_technology_sweep": (
+        10, "migrated onto the adaptive Monte-Carlo campaign runner: "
+            "per-technology VMM-error statistics replace the single "
+            "fixed-seed array"),
 }
 
 _BENCH_RE = re.compile(r"^BENCH_PR(\d+)\.json$")

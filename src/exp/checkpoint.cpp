@@ -1,0 +1,253 @@
+#include "exp/checkpoint.hpp"
+
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/obs.hpp"
+
+namespace cim::exp {
+
+namespace {
+
+constexpr std::string_view kMagic = "cim-campaign-v1";
+
+[[noreturn]] void fail(std::size_t line_no, const std::string& what) {
+  throw std::runtime_error("cim-campaign-v1: line " + std::to_string(line_no) +
+                           ": " + what);
+}
+
+/// Tolerate CRLF transports: manifests are text and may cross filesystems.
+std::string_view strip_trailing(std::string_view line) {
+  while (!line.empty() && (line.back() == '\r' || line.back() == ' '))
+    line.remove_suffix(1);
+  return line;
+}
+
+/// Splits off the next space-separated token; empty when exhausted.
+std::string_view next_token(std::string_view& rest) {
+  while (!rest.empty() && rest.front() == ' ') rest.remove_prefix(1);
+  const std::size_t sp = rest.find(' ');
+  std::string_view tok = rest.substr(0, sp);
+  rest = sp == std::string_view::npos ? std::string_view{}
+                                      : rest.substr(sp + 1);
+  return tok;
+}
+
+std::uint64_t parse_u64(std::string_view tok, std::size_t line_no,
+                        const char* what, int base = 10) {
+  std::string buf(tok);
+  char* end = nullptr;
+  errno = 0;
+  const std::uint64_t v = std::strtoull(buf.c_str(), &end, base);
+  if (buf.empty() || end != buf.c_str() + buf.size() || errno == ERANGE)
+    fail(line_no, std::string("bad ") + what + " '" + buf + "'");
+  return v;
+}
+
+double parse_double(std::string_view tok, std::size_t line_no,
+                    const char* what) {
+  std::string buf(tok);
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(buf.c_str(), &end);
+  if (buf.empty() || end != buf.c_str() + buf.size())
+    fail(line_no, std::string("bad ") + what + " '" + buf + "'");
+  return v;
+}
+
+/// Expects `tok` to equal `kw`; the keyword-value line grammar is rigid so
+/// the dump -> parse -> dump fixpoint is trivially checkable.
+void expect_kw(std::string_view tok, std::string_view kw,
+               std::size_t line_no) {
+  if (tok != kw)
+    fail(line_no, "expected '" + std::string(kw) + "', got '" +
+                      std::string(tok) + "'");
+}
+
+/// %.17g: shortest text that round-trips any finite double exactly.
+std::string g17(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::uint64_t campaign_fingerprint(std::string_view name, std::uint64_t seed,
+                                   std::size_t cells, std::uint64_t block) {
+  std::string key;
+  key.reserve(name.size() + 64);
+  key.append(name);
+  key.push_back('|');
+  key.append(std::to_string(seed));
+  key.push_back('|');
+  key.append(std::to_string(cells));
+  key.push_back('|');
+  key.append(std::to_string(block));
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a offset basis
+  for (const char c : key) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;  // FNV prime
+  }
+  return h;
+}
+
+void dump_manifest(std::ostream& os, const CampaignManifest& m) {
+  char fp[20];
+  std::snprintf(fp, sizeof(fp), "%016" PRIx64, m.fingerprint);
+  os << kMagic << '\n';
+  os << "campaign " << m.name << " seed " << m.seed << " cells " << m.cells
+     << " block " << m.block << " fingerprint " << fp << '\n';
+  os << "state rounds " << m.rounds << " trials " << m.total_trials << '\n';
+  for (std::size_t i = 0; i < m.cell_state.size(); ++i) {
+    const CellCheckpoint& c = m.cell_state[i];
+    os << "cell " << i << " count " << c.stat.n << " mean " << g17(c.stat.mean)
+       << " m2 " << g17(c.stat.m2) << " min " << g17(c.stat.min) << " max "
+       << g17(c.stat.max) << " cursor " << c.cursor << " frozen "
+       << (c.frozen ? 1 : 0) << " capped " << (c.capped ? 1 : 0) << '\n';
+  }
+  os << "end\n";
+}
+
+std::string manifest_to_string(const CampaignManifest& m) {
+  std::ostringstream os;
+  dump_manifest(os, m);
+  return os.str();
+}
+
+CampaignManifest parse_manifest(std::string_view text) {
+  CampaignManifest m;
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  bool saw_campaign = false;
+  bool saw_state = false;
+  bool saw_end = false;
+  std::size_t next_cell = 0;
+
+  while (pos <= text.size()) {
+    const std::size_t nl = text.find('\n', pos);
+    std::string_view line = strip_trailing(
+        text.substr(pos, nl == std::string_view::npos ? nl : nl - pos));
+    pos = nl == std::string_view::npos ? text.size() + 1 : nl + 1;
+    ++line_no;
+    if (line_no == 1) {
+      if (line.empty() && nl == std::string_view::npos) break;  // empty input
+      if (line != kMagic)
+        fail(line_no, "bad magic '" + std::string(line) + "'");
+      continue;
+    }
+    if (line.empty()) {
+      if (nl == std::string_view::npos) break;  // trailing newline
+      continue;
+    }
+    if (saw_end) fail(line_no, "content after 'end'");
+
+    std::string_view rest = line;
+    const std::string_view kw = next_token(rest);
+    if (kw == "campaign") {
+      if (saw_campaign) fail(line_no, "duplicate 'campaign' line");
+      m.name = std::string(next_token(rest));
+      if (m.name.empty()) fail(line_no, "missing campaign name");
+      expect_kw(next_token(rest), "seed", line_no);
+      m.seed = parse_u64(next_token(rest), line_no, "seed");
+      expect_kw(next_token(rest), "cells", line_no);
+      m.cells = static_cast<std::size_t>(
+          parse_u64(next_token(rest), line_no, "cell count"));
+      expect_kw(next_token(rest), "block", line_no);
+      m.block = parse_u64(next_token(rest), line_no, "block");
+      expect_kw(next_token(rest), "fingerprint", line_no);
+      m.fingerprint =
+          parse_u64(next_token(rest), line_no, "fingerprint", 16);
+      if (!rest.empty()) fail(line_no, "trailing tokens");
+      if (m.fingerprint !=
+          campaign_fingerprint(m.name, m.seed, m.cells, m.block))
+        fail(line_no, "fingerprint does not match campaign identity");
+      saw_campaign = true;
+    } else if (kw == "state") {
+      if (!saw_campaign) fail(line_no, "'state' before 'campaign'");
+      if (saw_state) fail(line_no, "duplicate 'state' line");
+      expect_kw(next_token(rest), "rounds", line_no);
+      m.rounds = parse_u64(next_token(rest), line_no, "rounds");
+      expect_kw(next_token(rest), "trials", line_no);
+      m.total_trials = parse_u64(next_token(rest), line_no, "trials");
+      if (!rest.empty()) fail(line_no, "trailing tokens");
+      saw_state = true;
+    } else if (kw == "cell") {
+      if (!saw_state) fail(line_no, "'cell' before 'state'");
+      const std::uint64_t idx =
+          parse_u64(next_token(rest), line_no, "cell index");
+      if (idx != next_cell)
+        fail(line_no, "cell index " + std::to_string(idx) + ", expected " +
+                          std::to_string(next_cell));
+      if (idx >= m.cells) fail(line_no, "cell index out of range");
+      CellCheckpoint c;
+      expect_kw(next_token(rest), "count", line_no);
+      c.stat.n = parse_u64(next_token(rest), line_no, "count");
+      expect_kw(next_token(rest), "mean", line_no);
+      c.stat.mean = parse_double(next_token(rest), line_no, "mean");
+      expect_kw(next_token(rest), "m2", line_no);
+      c.stat.m2 = parse_double(next_token(rest), line_no, "m2");
+      expect_kw(next_token(rest), "min", line_no);
+      c.stat.min = parse_double(next_token(rest), line_no, "min");
+      expect_kw(next_token(rest), "max", line_no);
+      c.stat.max = parse_double(next_token(rest), line_no, "max");
+      expect_kw(next_token(rest), "cursor", line_no);
+      c.cursor = parse_u64(next_token(rest), line_no, "cursor");
+      expect_kw(next_token(rest), "frozen", line_no);
+      c.frozen = parse_u64(next_token(rest), line_no, "frozen flag") != 0;
+      expect_kw(next_token(rest), "capped", line_no);
+      c.capped = parse_u64(next_token(rest), line_no, "capped flag") != 0;
+      if (!rest.empty()) fail(line_no, "trailing tokens");
+      if (c.cursor < c.stat.n)
+        fail(line_no, "cursor behind trial count");
+      m.cell_state.push_back(c);
+      ++next_cell;
+    } else if (kw == "end") {
+      if (!saw_state) fail(line_no, "'end' before 'state'");
+      if (!rest.empty()) fail(line_no, "trailing tokens");
+      saw_end = true;
+    } else {
+      fail(line_no, "unknown record '" + std::string(kw) + "'");
+    }
+    if (nl == std::string_view::npos) break;
+  }
+
+  if (!saw_campaign) throw std::runtime_error("cim-campaign-v1: empty input");
+  if (!saw_end) fail(line_no, "missing 'end' trailer");
+  if (m.cell_state.size() != m.cells)
+    fail(line_no, "have " + std::to_string(m.cell_state.size()) +
+                      " cell lines, campaign declares " +
+                      std::to_string(m.cells));
+  return m;
+}
+
+bool save_manifest(const std::string& path, const CampaignManifest& m) {
+  return obs::write_file_atomic(path,
+                                [&](std::ostream& os) { dump_manifest(os, m); });
+}
+
+bool load_manifest(const std::string& path, CampaignManifest& out,
+                   std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open '" + path + "'";
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  try {
+    out = parse_manifest(buf.str());
+  } catch (const std::exception& e) {
+    if (error != nullptr) *error = e.what();
+    return false;
+  }
+  return true;
+}
+
+}  // namespace cim::exp

@@ -1,0 +1,111 @@
+#include "obs/dataset.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace cim::obs {
+
+double StreamStat::stddev() const { return std::sqrt(variance()); }
+
+double StreamStat::std_error() const {
+  return n > 1 ? stddev() / std::sqrt(static_cast<double>(n)) : 0.0;
+}
+
+double StreamStat::ci_half_width(double z) const {
+  if (n < 2) return std::numeric_limits<double>::infinity();
+  return z * std_error();
+}
+
+double normal_quantile(double p) {
+  if (!(p > 0.0)) return -std::numeric_limits<double>::infinity();
+  if (!(p < 1.0)) return std::numeric_limits<double>::infinity();
+  // Beasley-Springer-Moro with Acklam's coefficients: rational
+  // approximations on a central region and two symmetric tails.
+  static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                 -2.759285104469687e+02, 1.383577518672690e+02,
+                                 -3.066479806614716e+01, 2.506628277459239e+00};
+  static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                 -1.556989798598866e+02, 6.680131188771972e+01,
+                                 -1.328068155288572e+01};
+  static constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                 -2.400758277161838e+00, -2.549732539343734e+00,
+                                 4.374664141464968e+00,  2.938163982698783e+00};
+  static constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                 2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double p_low = 0.02425;
+  if (p < p_low) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+            c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  if (p > 1.0 - p_low) {
+    const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+    return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+             c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  const double q = p - 0.5;
+  const double r = q * q;
+  return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r +
+          a[5]) *
+         q /
+         (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+}
+
+double z_for_confidence(double confidence) {
+  return normal_quantile(0.5 + 0.5 * confidence);
+}
+
+void DataSet::observe(std::string_view key, double x) {
+  auto it = stats_.find(key);
+  if (it == stats_.end()) it = stats_.emplace(std::string(key), StreamStat{}).first;
+  it->second.add(x);
+}
+
+void DataSet::absorb(std::string_view key, const StreamStat& stat) {
+  auto it = stats_.find(key);
+  if (it == stats_.end()) it = stats_.emplace(std::string(key), StreamStat{}).first;
+  it->second.merge(stat);
+}
+
+void DataSet::merge(const DataSet& other) {
+  for (const auto& [key, stat] : other.stats_) absorb(key, stat);
+}
+
+const StreamStat& DataSet::stat(std::string_view key) const {
+  static const StreamStat kEmpty{};
+  const auto it = stats_.find(key);
+  return it == stats_.end() ? kEmpty : it->second;
+}
+
+bool DataSet::contains(std::string_view key) const {
+  return stats_.find(key) != stats_.end();
+}
+
+std::vector<DataSet::Row> DataSet::rows() const {
+  std::vector<Row> out;
+  out.reserve(stats_.size());
+  for (const auto& [key, stat] : stats_) out.push_back({key, stat});
+  return out;
+}
+
+std::string DataSet::summary_table(double confidence) const {
+  const double z = z_for_confidence(confidence);
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof line, "%-28s %8s %12s %12s %12s %12s %12s\n",
+                "key", "n", "mean", "stddev", "min", "max", "ci_half");
+  out += line;
+  for (const auto& [key, s] : stats_) {
+    std::snprintf(line, sizeof line,
+                  "%-28s %8llu %12.6g %12.6g %12.6g %12.6g %12.6g\n",
+                  key.c_str(), static_cast<unsigned long long>(s.n), s.mean,
+                  s.stddev(), s.min, s.max, s.ci_half_width(z));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace cim::obs

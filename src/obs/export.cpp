@@ -50,12 +50,23 @@ std::string json_num(double v) {
   return buf;
 }
 
+/// Full-precision variant for the snapshot exporter: 17 significant digits
+/// round-trip an IEEE double exactly, which the snapshot parser / merge
+/// path (worker-process telemetry aggregation) relies on.
+std::string json_num17(double v) {
+  if (!(v > -1e308 && v < 1e308)) return "0";
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
 void write_meta_fields(std::ostream& os, const Snapshot::Meta& meta) {
   os << "\"git_sha\":\"" << json_escape(meta.git_sha) << "\","
      << "\"build_type\":\"" << json_escape(meta.build_type) << "\","
      << "\"threads\":" << meta.threads << ","
      << "\"simd_isa\":\"" << json_escape(meta.simd_isa) << "\","
-     << "\"cim_obs\":\"" << json_escape(meta.mode) << "\"";
+     << "\"cim_obs\":\"" << json_escape(meta.mode) << "\","
+     << "\"unix_us\":" << meta.unix_us;
 }
 
 }  // namespace
@@ -89,8 +100,7 @@ double peak_rss_mb() {
   return static_cast<double>(ru.ru_maxrss) / 1024.0;  // Linux: KiB
 }
 
-void write_snapshot_json(std::ostream& os) {
-  const Snapshot s = snapshot();
+void write_snapshot_json(std::ostream& os, const Snapshot& s) {
   os << "{\"meta\":{";
   write_meta_fields(os, s.meta);
   os << "},\"counters\":{";
@@ -103,7 +113,7 @@ void write_snapshot_json(std::ostream& os) {
   first = true;
   for (const auto& [name, v] : s.gauges) {
     os << (first ? "" : ",") << "\"" << json_escape(name)
-       << "\":" << json_num(v);
+       << "\":" << json_num17(v);
     first = false;
   }
   os << "},\"histograms\":{";
@@ -112,12 +122,12 @@ void write_snapshot_json(std::ostream& os) {
     os << (first ? "" : ",") << "\"" << json_escape(h.name) << "\":{";
     os << "\"bounds\":[";
     for (std::size_t i = 0; i < h.data.bounds.size(); ++i)
-      os << (i != 0 ? "," : "") << json_num(h.data.bounds[i]);
+      os << (i != 0 ? "," : "") << json_num17(h.data.bounds[i]);
     os << "],\"counts\":[";
     for (std::size_t i = 0; i < h.data.counts.size(); ++i)
       os << (i != 0 ? "," : "") << h.data.counts[i];
-    os << "],\"count\":" << h.data.count << ",\"sum\":" << json_num(h.data.sum)
-       << "}";
+    os << "],\"count\":" << h.data.count
+       << ",\"sum\":" << json_num17(h.data.sum) << "}";
     first = false;
   }
   os << "},\"spans\":{";
@@ -126,9 +136,9 @@ void write_snapshot_json(std::ostream& os) {
     os << (first ? "" : ",") << "\"" << json_escape(row.name) << "\":{"
        << "\"component\":\"" << component_name(row.comp) << "\","
        << "\"count\":" << row.count << ","
-       << "\"wall_ns\":" << json_num(row.wall_ns) << ","
-       << "\"sim_time_ns\":" << json_num(row.sim_time_ns) << ","
-       << "\"energy_pj\":" << json_num(row.energy_pj) << "}";
+       << "\"wall_ns\":" << json_num17(row.wall_ns) << ","
+       << "\"sim_time_ns\":" << json_num17(row.sim_time_ns) << ","
+       << "\"energy_pj\":" << json_num17(row.energy_pj) << "}";
     first = false;
   }
   os << "},\"components\":{";
@@ -136,13 +146,15 @@ void write_snapshot_json(std::ostream& os) {
   for (const auto& row : s.components) {
     os << (first ? "" : ",") << "\"" << component_name(row.comp) << "\":{"
        << "\"events\":" << row.events << ","
-       << "\"wall_ns\":" << json_num(row.wall_ns) << ","
-       << "\"sim_time_ns\":" << json_num(row.sim_time_ns) << ","
-       << "\"energy_pj\":" << json_num(row.energy_pj) << "}";
+       << "\"wall_ns\":" << json_num17(row.wall_ns) << ","
+       << "\"sim_time_ns\":" << json_num17(row.sim_time_ns) << ","
+       << "\"energy_pj\":" << json_num17(row.energy_pj) << "}";
     first = false;
   }
   os << "}}\n";
 }
+
+void write_snapshot_json(std::ostream& os) { write_snapshot_json(os, snapshot()); }
 
 void write_chrome_trace(std::ostream& os) {
   const auto events = detail::collect_trace_events();

@@ -196,6 +196,13 @@ class Histogram {
   Snapshot snapshot() const;
   void reset() noexcept;
 
+  /// Bucket-wise add of a compatible snapshot (identical bounds): bucket
+  /// counts, total count and sum accumulate exactly. Returns false and
+  /// leaves the histogram untouched when the bucket layout differs. This
+  /// is the live-registry half of the snapshot merge (worker-process
+  /// telemetry absorption).
+  bool absorb(const Snapshot& s) noexcept;
+
  private:
   std::vector<double> bounds_;
   std::vector<Counter> counts_;  ///< bounds_.size() + 1
@@ -318,6 +325,14 @@ struct Snapshot {
     std::size_t threads = 1;
     std::string mode;
     std::string simd_isa;
+    /// Wall-clock capture time (unix epoch microseconds,
+    /// std::chrono::system_clock). Monotone process-relative clocks cannot
+    /// order snapshots taken by *different processes*, and the snapshot
+    /// merge uses this to resolve gauge conflicts (last writer wins) when
+    /// worker-process telemetry aggregates into a parent campaign runner.
+    /// Microseconds, not ns: the value round-trips exactly through the
+    /// JSON exporter's double numbers (2^53 > 10^15).
+    std::uint64_t unix_us = 0;
   } meta;
   std::vector<std::pair<std::string, std::uint64_t>> counters;
   std::vector<std::pair<std::string, double>> gauges;
@@ -388,6 +403,49 @@ Snapshot snapshot();
 /// Zero the global registry and recorded trace events.
 void reset();
 
+// --- snapshot merge (merge.cpp) ----------------------------------------------
+
+/// What a merge_snapshot() call did — returned so callers (and tests) can
+/// assert the merge semantics instead of trusting them.
+struct MergeStats {
+  std::size_t counters_added = 0;     ///< counter names summed or adopted
+  std::size_t gauges_taken = 0;       ///< gauges where `from` won (newer)
+  std::size_t histograms_merged = 0;  ///< bucket-wise added histograms
+  std::size_t bound_conflicts = 0;    ///< histograms skipped: bounds differ
+  std::size_t spans_merged = 0;
+};
+
+/// Deterministic merge of `from` into `into`:
+///  - counters: values add (missing names are adopted);
+///  - histograms: bucket-wise count add + sum add, *only* when the bucket
+///    bounds match exactly — mismatched layouts measure different things,
+///    so the `into` histogram is kept untouched and the conflict counted;
+///  - gauges: last writer wins by snapshot capture time (`meta.unix_us`,
+///    ties keep `into` — the deterministic choice), since a gauge is an
+///    instantaneous value that cannot meaningfully add;
+///  - spans/components: counts, wall, simulated time and energy add.
+/// `into.meta` keeps its identity fields but takes the later unix_us, so
+/// folding N worker snapshots into a parent is associative-in-effect and
+/// independent of fold order for everything except gauge ties.
+MergeStats merge_snapshot(Snapshot& into, const Snapshot& from);
+
+/// Parses the flat-JSON snapshot format produced by write_snapshot_json()
+/// back into a Snapshot. Returns false (and fills `error` when non-null)
+/// on malformed input. parse(write(s)) == s up to histogram-bound float
+/// formatting (%.17g is used on export for exactly this reason).
+bool parse_snapshot_json(std::string_view text, Snapshot& out,
+                         std::string* error = nullptr);
+
+/// Folds a parsed snapshot into the *live* global registry: counters add
+/// their deltas, histogram buckets re-observe... structurally (bucket
+/// counts are added to a histogram registered with the same bounds),
+/// span stats accumulate, and gauges are set when the snapshot is newer
+/// than `newer_than_unix_us`. This is how a campaign parent absorbs the
+/// telemetry a worker process shipped over its result pipe. Histograms
+/// whose registered bounds differ are skipped (counted in the result).
+MergeStats absorb_snapshot(const Snapshot& from,
+                           std::uint64_t newer_than_unix_us = 0);
+
 // --- attribution report ------------------------------------------------------
 
 /// Per-component attribution with shares over the attributed totals — the
@@ -426,6 +484,9 @@ bool write_file_atomic(const std::string& path,
 
 /// Flat JSON snapshot of the registry (meta header + every metric).
 void write_snapshot_json(std::ostream& os);
+/// Same format for an already-captured Snapshot (numbers at %.17g, so the
+/// file re-parses bit-identically — see parse_snapshot_json).
+void write_snapshot_json(std::ostream& os, const Snapshot& s);
 
 /// Chrome trace_event JSON (chrome://tracing, Perfetto) of the span events
 /// recorded under CIM_OBS=trace.

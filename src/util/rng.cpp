@@ -111,4 +111,21 @@ Rng Rng::stream(std::uint64_t seed, std::uint64_t stream_index) {
   return Rng(stream_seed(seed, stream_index));
 }
 
+std::uint64_t Rng::stream_seed2(std::uint64_t seed, std::uint64_t hi,
+                                std::uint64_t lo) {
+  // Independent odd Weyl constants for the two indices (golden-ratio and
+  // stream_seed's increment) keep (hi, lo) -> state injective modulo 2^64
+  // before the avalanche rounds; a distinct xor constant separates this
+  // family from single-index stream_seed outputs.
+  std::uint64_t x = seed ^ 0x6a09e667f3bcc909ULL;  // sqrt(2) fraction bits
+  x ^= hi * 0x9e3779b97f4a7c15ULL + 0x165667b19e3779f9ULL;
+  x += lo * 0xd1342543de82ef95ULL + 0x2545f4914f6cdd1dULL;
+  (void)splitmix64(x);
+  return splitmix64(x);
+}
+
+Rng Rng::stream2(std::uint64_t seed, std::uint64_t hi, std::uint64_t lo) {
+  return Rng(stream_seed2(seed, hi, lo));
+}
+
 }  // namespace cim::util

@@ -98,10 +98,36 @@ class Rng {
   /// parallel loop gets `stream(master, i)` and sees the same numbers
   /// regardless of which thread runs it or in what order, which is the
   /// backbone of the repo's "bit-identical for any thread count" contract.
+  ///
+  /// NESTED SPLITTING: composing this with itself —
+  /// `stream_seed(stream_seed(s, a), b)` — is NOT collision-free by
+  /// construction. The outer call folds its 64-bit seed argument through
+  /// the same Weyl-step + SplitMix64 mix, so two distinct (a, b) pairs can
+  /// in principle land on the same final seed (a birthday bound of
+  /// ~2^-64 per pair, but nothing *structural* rules it out, and a
+  /// collision silently correlates two "independent" Monte-Carlo trials).
+  /// Callers that need a two-level split (parameter cell x replication,
+  /// as in the cim::exp campaign engine) should use `stream_seed2`, which
+  /// mixes both indices into the state in one pass; the campaign key
+  /// space is additionally collision-audited by
+  /// tests/exp/test_seed_audit.cpp.
   static std::uint64_t stream_seed(std::uint64_t seed, std::uint64_t stream);
+
+  /// Two-index sub-stream seed for nested splits: a pure function of
+  /// (seed, hi, lo) that feeds both indices through *independent* Weyl
+  /// constants before the double SplitMix64 finalizer, instead of chaining
+  /// two stream_seed calls. Use for cell x replication style key spaces;
+  /// `stream_seed2(s, 0, i) != stream_seed(s, i)` in general (the two
+  /// families are distinct by design, so mixing them in one experiment
+  /// cannot alias).
+  static std::uint64_t stream_seed2(std::uint64_t seed, std::uint64_t hi,
+                                    std::uint64_t lo);
 
   /// Generator over sub-stream `stream` of `seed` (see `stream_seed`).
   static Rng stream(std::uint64_t seed, std::uint64_t stream_index);
+
+  /// Generator over the two-index sub-stream (see `stream_seed2`).
+  static Rng stream2(std::uint64_t seed, std::uint64_t hi, std::uint64_t lo);
 
  private:
   std::uint64_t s_[4];

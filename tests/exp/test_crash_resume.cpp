@@ -1,0 +1,128 @@
+/// \file test_crash_resume.cpp
+/// \brief Crash-safety gate: a campaign process SIGKILLed at arbitrary
+///        points must, after resuming from its last checkpoint, converge
+///        on a final manifest byte-identical to an uninterrupted run.
+///
+/// The victim is this test binary re-exec'd with GTEST_FILTER steering it
+/// into the CrashResumeChild helper, which runs the shared campaign
+/// against a checkpoint path from the environment. The parent kills
+/// victims at a ladder of delays — some die before the first checkpoint,
+/// some mid-round, some during a manifest write (the atomic tmp+rename is
+/// what keeps that survivable) — then finishes the campaign in-process
+/// and compares manifests byte for byte.
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <fcntl.h>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "exp/campaign.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using cim::exp::CampaignConfig;
+using cim::exp::run_campaign;
+using cim::exp::TrialFn;
+
+constexpr const char* kCkptEnv = "CIM_TEST_CRASH_CKPT";
+
+CampaignConfig crash_config(const std::string& ckpt) {
+  CampaignConfig cfg;
+  cfg.name = "tcr_crash";
+  cfg.seed = 29;
+  cfg.cells = 6;
+  cfg.block = 8;
+  cfg.adaptive = false;
+  cfg.fixed_trials = 256;  // 8 rounds of 32/cell => several checkpoints
+  cfg.max_trials = 256;
+  cfg.checkpoint_path = ckpt;
+  cfg.checkpoint_every_rounds = 1;
+  cfg.pool = &cim::util::ThreadPool::global();
+  return cfg;
+}
+
+TrialFn crash_trial() {
+  return [](std::size_t cell, std::uint64_t rep, cim::util::Rng& rng) {
+    // Enough deterministic work per trial (~100us) that the whole campaign
+    // spans the kill ladder, with several round-boundary checkpoints.
+    double acc = rng.normal(static_cast<double>(cell), 0.3);
+    double x = 1e-3 * static_cast<double>(rep + 1);
+    for (int i = 0; i < 8000; ++i) acc += 1e-9 * std::sin(x + i);
+    return acc;
+  };
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+TEST(CrashResumeChild, RunsSharedCampaignFromEnv) {
+  const char* ckpt = std::getenv(kCkptEnv);
+  if (ckpt == nullptr || *ckpt == '\0')
+    GTEST_SKIP() << "victim-child helper (" << kCkptEnv << " unset)";
+  (void)run_campaign(crash_config(ckpt), crash_trial());
+}
+
+TEST(CrashResume, KilledCampaignResumesBitIdentical) {
+  namespace fs = std::filesystem;
+  const std::string dir = fs::temp_directory_path().string();
+  const std::string victim_ckpt = dir + "/tcr_victim.cimcampaign";
+  const std::string ref_ckpt = dir + "/tcr_reference.cimcampaign";
+  fs::remove(victim_ckpt);
+  fs::remove(ref_ckpt);
+
+  // Uninterrupted reference run.
+  (void)run_campaign(crash_config(ref_ckpt), crash_trial());
+  ASSERT_TRUE(fs::exists(ref_ckpt));
+  const std::string ref_bytes = slurp(ref_ckpt);
+  ASSERT_FALSE(ref_bytes.empty());
+
+  // Kill ladder: victims progress further and further before dying.
+  setenv(kCkptEnv, victim_ckpt.c_str(), 1);
+  setenv("GTEST_FILTER", "CrashResumeChild.RunsSharedCampaignFromEnv", 1);
+  for (const int delay_ms : {10, 40, 80, 140, 220}) {
+    const pid_t pid = fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+      const int devnull = open("/dev/null", O_WRONLY);
+      if (devnull >= 0) {
+        dup2(devnull, STDOUT_FILENO);
+        dup2(devnull, STDERR_FILENO);
+        close(devnull);
+      }
+      execl("/proc/self/exe", "/proc/self/exe", (char*)nullptr);
+      _exit(127);  // exec failed
+    }
+    usleep(static_cast<useconds_t>(delay_ms) * 1000);
+    kill(pid, SIGKILL);
+    int status = 0;
+    waitpid(pid, &status, 0);
+  }
+  unsetenv("GTEST_FILTER");
+  unsetenv(kCkptEnv);
+
+  // Finish from whatever state the last victim left behind. Any torn or
+  // missing checkpoint would either throw (corrupt file) or change the
+  // final statistics (lost/duplicated trials) — byte equality catches all
+  // of it.
+  (void)run_campaign(crash_config(victim_ckpt), crash_trial());
+  const std::string victim_bytes = slurp(victim_ckpt);
+  EXPECT_EQ(victim_bytes, ref_bytes);
+
+  fs::remove(victim_ckpt);
+  fs::remove(ref_ckpt);
+}
+
+}  // namespace
